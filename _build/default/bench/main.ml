@@ -1,0 +1,121 @@
+(* Benchmark and reproduction harness.
+
+   Two parts:
+   1. The Table-1 regeneration harness: every experiment of DESIGN.md §4 runs
+      at Small scale and prints its table (these are the numbers EXPERIMENTS.md
+      quotes).
+   2. Bechamel micro-benchmarks: one Test.make per Table-1 protocol row (plus
+      the substrate hot paths), timing a single representative run. *)
+
+open Tfree_util
+open Tfree_graph
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------ part 1: experiments *)
+
+let run_experiments () =
+  print_endline "# Table 1 reproduction (Small scale; see EXPERIMENTS.md)";
+  print_newline ();
+  List.iter
+    (fun (e : Tfree_experiments.Registry.entry) ->
+      Printf.printf "### %s [%s]\n%!" e.Tfree_experiments.Registry.title e.Tfree_experiments.Registry.id;
+      Tfree_experiments.Registry.run_and_print ~scale:Tfree_experiments.Common.Small e;
+      print_newline ())
+    Tfree_experiments.Registry.all
+
+(* -------------------------------------------- part 2: bechamel micro *)
+
+let params = Tfree.Params.practical
+
+(* Fixed fixtures, built once so the timed closures only run the protocol. *)
+let fixture_low =
+  let rng = Rng.create 4242 in
+  let g = Gen.far_with_degree rng ~n:1000 ~d:4.0 ~eps:0.1 in
+  (g, Partition.with_duplication rng ~k:4 ~dup_p:0.3 g)
+
+let fixture_dense =
+  let rng = Rng.create 4243 in
+  let g = Gen.far_with_degree rng ~n:600 ~d:36.0 ~eps:0.1 in
+  (g, Partition.with_duplication rng ~k:4 ~dup_p:0.3 g)
+
+let seed_counter = ref 0
+
+let next_seed () =
+  incr seed_counter;
+  !seed_counter
+
+let micro_tests =
+  let g_low, parts_low = fixture_low in
+  let g_dense, parts_dense = fixture_dense in
+  Test.make_grouped ~name:"tfree"
+    [
+      Test.make ~name:"table1/unrestricted"
+        (Staged.stage (fun () -> Tfree.Tester.unrestricted ~seed:(next_seed ()) params parts_low));
+      Test.make ~name:"table1/sim-low"
+        (Staged.stage (fun () ->
+             Tfree.Sim_low.run ~seed:(next_seed ()) params ~d:(Graph.avg_degree g_low) parts_low));
+      Test.make ~name:"table1/sim-high"
+        (Staged.stage (fun () ->
+             Tfree.Sim_high.run ~seed:(next_seed ()) params ~d:(Graph.avg_degree g_dense) parts_dense));
+      Test.make ~name:"table1/sim-oblivious"
+        (Staged.stage (fun () -> Tfree.Sim_oblivious.run ~seed:(next_seed ()) params parts_low));
+      Test.make ~name:"table1/exact-baseline"
+        (Staged.stage (fun () -> Tfree.Tester.exact ~seed:(next_seed ()) parts_low));
+      Test.make ~name:"substrate/triangle-find"
+        (Staged.stage (fun () -> Triangle.find g_dense));
+      Test.make ~name:"substrate/greedy-packing"
+        (Staged.stage (fun () -> Triangle.greedy_packing g_low));
+      Test.make ~name:"substrate/degree-approx"
+        (Staged.stage (fun () ->
+             let rt = Tfree_comm.Runtime.make ~seed:(next_seed ()) parts_low in
+             Tfree.Degree_approx.approx_degree rt ~key:1 ~alpha:3.0 ~tau:0.1 ~boost:0.3 0));
+      Test.make ~name:"lower/bm-reduction"
+        (Staged.stage (fun () ->
+             let rng = Rng.create (next_seed ()) in
+             let inst = Tfree_lowerbound.Boolean_matching.generate rng ~n:256 ~target:false in
+             Tfree_lowerbound.Boolean_matching.reduction_graph inst));
+      Test.make ~name:"lower/streaming-detector"
+        (Staged.stage (fun () ->
+             let det = Tfree_streaming.Detector.make ~seed:(next_seed ()) ~p:0.2 in
+             let rng = Rng.create (next_seed ()) in
+             Tfree_streaming.Stream_alg.run det ~n:(Graph.n g_low)
+               (Tfree_streaming.Stream_alg.stream_of_graph rng g_low)));
+    ]
+
+let run_micro () =
+  print_endline "# Bechamel micro-benchmarks (one Test.make per protocol row)";
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        let est = match Analyze.OLS.estimates o with Some [ e ] -> e | _ -> Float.nan in
+        let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square o) in
+        (name, est, r2) :: acc)
+      results []
+  in
+  let rows = List.sort compare rows in
+  let table =
+    Table.make ~title:"wall-clock per run"
+      ~header:[ "benchmark"; "time/run"; "r²" ]
+      (List.map
+         (fun (name, est, r2) ->
+           let human =
+             if Float.is_nan est then "-"
+             else if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+             else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+             else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+             else Printf.sprintf "%.0f ns" est
+           in
+           [ name; human; Table.fcell r2 ])
+         rows)
+  in
+  Table.print table
+
+let () =
+  run_experiments ();
+  run_micro ();
+  print_endline "done."

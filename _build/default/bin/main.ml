@@ -1,0 +1,163 @@
+(* tfree — command-line driver.
+
+   Subcommands:
+     run         test a generated distributed instance with a chosen protocol
+     experiment  run a named reproduction experiment (see `tfree list`)
+     list        list the reproduction experiments
+     inspect     generate an instance and print its triangle statistics *)
+
+open Cmdliner
+open Tfree_util
+open Tfree_graph
+
+(* ----------------------------------------------------------- common args *)
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+let n_arg = Arg.(value & opt int 2000 & info [ "n" ] ~docv:"N" ~doc:"Number of vertices.")
+let d_arg = Arg.(value & opt float 6.0 & info [ "d" ] ~docv:"D" ~doc:"Target average degree.")
+let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Number of players.")
+let eps_arg = Arg.(value & opt float 0.1 & info [ "eps" ] ~docv:"EPS" ~doc:"Farness parameter ǫ.")
+
+let instance_arg =
+  let doc =
+    "Instance family: far (planted ǫ-far), free (triangle-free), hub (§3.4.2 hubs), mu (hard \
+     distribution), gnp, behrend (§5 removal-lemma instance; sized by n), diluted (1/ǫ \
+     distractor leaves per triangle corner)."
+  in
+  Arg.(value
+       & opt
+           (enum
+              [ ("far", `Far); ("free", `Free); ("hub", `Hub); ("mu", `Mu); ("gnp", `Gnp);
+                ("behrend", `Behrend); ("diluted", `Diluted) ])
+           `Far
+       & info [ "instance" ] ~docv:"FAMILY" ~doc)
+
+let partition_arg =
+  let doc = "Edge partition: disjoint, dup (30% duplication), replicate, skewed, hash." in
+  Arg.(value
+       & opt (enum [ ("disjoint", `Disjoint); ("dup", `Dup); ("replicate", `Replicate); ("skewed", `Skewed); ("hash", `Hash) ]) `Dup
+       & info [ "partition" ] ~docv:"PART" ~doc)
+
+let protocol_arg =
+  let doc = "Protocol: unrestricted (§3.3), sim (§3.4, d known), oblivious (Alg 11), exact ([38] baseline)." in
+  Arg.(value
+       & opt (enum [ ("unrestricted", `Unrestricted); ("sim", `Sim); ("oblivious", `Oblivious); ("exact", `Exact) ]) `Oblivious
+       & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
+let blackboard_arg =
+  Arg.(value & flag & info [ "blackboard" ] ~doc:"Use the blackboard model (Theorem 3.23) for the unrestricted protocol.")
+
+let big_arg = Arg.(value & flag & info [ "big" ] ~doc:"Run the experiment at Big scale (minutes instead of seconds).")
+
+(* ------------------------------------------------------------- builders *)
+
+let build_instance family rng ~n ~d ~eps =
+  match family with
+  | `Far -> Gen.far_with_degree rng ~n ~d ~eps
+  | `Free -> Gen.free_with_degree rng ~n ~d
+  | `Hub -> Gen.hub_far rng ~n ~hubs:(max 1 (n / 400)) ~pairs:(max 1 (int_of_float (eps *. float_of_int n *. d /. 2.0)))
+  | `Mu -> Tfree_lowerbound.Mu_dist.sample rng ~part:(n / 3) ~gamma:2.0
+  | `Gnp -> Gen.gnp rng ~n ~p:(Float.min 1.0 (d /. float_of_int n))
+  | `Behrend ->
+      (* pick digits/base so 6·(2·base)^digits is near n *)
+      let base = max 2 (int_of_float (sqrt (float_of_int n /. 24.0))) in
+      (Tfree_graph.Behrend.instance ~rng ~base ~digits:2 ()).Tfree_graph.Behrend.graph
+  | `Diluted ->
+      let extra = max 1 (int_of_float (1.0 /. (3.0 *. eps)) - 1) in
+      let triangles = max 1 (n / (3 * (1 + extra))) in
+      Gen.diluted_far rng ~triangles ~extra_degree:extra
+
+let build_partition kind rng ~k g =
+  match kind with
+  | `Disjoint -> Partition.disjoint_random rng ~k g
+  | `Dup -> Partition.with_duplication rng ~k ~dup_p:0.3 g
+  | `Replicate -> Partition.replicate ~k g
+  | `Skewed -> Partition.skewed rng ~k ~bias:0.8 g
+  | `Hash -> Partition.by_endpoint_hash rng ~k g
+
+(* ------------------------------------------------------------------ run *)
+
+let run_cmd =
+  let run seed n d k eps family part proto blackboard =
+    let rng = Rng.create seed in
+    let g = build_instance family rng ~n ~d ~eps in
+    let inputs = build_partition part rng ~k g in
+    Printf.printf "instance: n=%d m=%d avg degree %.2f; k=%d players (duplication %b)\n" (Graph.n g)
+      (Graph.m g) (Graph.avg_degree g) k (Partition.has_duplication inputs);
+    let params = Tfree.Params.(with_eps practical eps) in
+    let report =
+      match proto with
+      | `Unrestricted ->
+          let mode = if blackboard then Tfree_comm.Runtime.Blackboard else Tfree_comm.Runtime.Coordinator in
+          Tfree.Tester.unrestricted ~mode ~seed params inputs
+      | `Sim -> Tfree.Tester.simultaneous ~seed params ~d:(Graph.avg_degree g) inputs
+      | `Oblivious -> Tfree.Tester.simultaneous_oblivious ~seed params inputs
+      | `Exact -> Tfree.Tester.exact ~seed inputs
+    in
+    (match report.Tfree.Tester.verdict with
+    | Tfree.Tester.Triangle (a, b, c) ->
+        Printf.printf "verdict: TRIANGLE (%d,%d,%d) — verified real: %b\n" a b c
+          (Triangle.is_triangle g (a, b, c))
+    | Tfree.Tester.Triangle_free -> print_endline "verdict: no triangle found");
+    Printf.printf "communication: %d bits over %d round(s); max single message %d bits\n"
+      report.Tfree.Tester.bits report.Tfree.Tester.rounds report.Tfree.Tester.max_message
+  in
+  let term =
+    Term.(const run $ seed_arg $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg
+          $ protocol_arg $ blackboard_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Test a generated distributed instance with a chosen protocol.") term
+
+(* ----------------------------------------------------------- experiment *)
+
+let experiment_cmd =
+  let run id big =
+    match Tfree_experiments.Registry.find id with
+    | Some e ->
+        let scale = if big then Tfree_experiments.Common.Big else Tfree_experiments.Common.Small in
+        Tfree_experiments.Registry.run_and_print ~scale e
+    | None ->
+        Printf.eprintf "unknown experiment %S; try `tfree list`\n" id;
+        exit 1
+  in
+  let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one reproduction experiment and print its table(s).")
+    Term.(const run $ id_arg $ big_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Tfree_experiments.Registry.entry) ->
+        Printf.printf "%-26s %s\n" e.Tfree_experiments.Registry.id e.Tfree_experiments.Registry.title)
+      Tfree_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproduction experiments.") Term.(const run $ const ())
+
+(* -------------------------------------------------------------- inspect *)
+
+let inspect_cmd =
+  let run seed n d eps family =
+    let rng = Rng.create seed in
+    let g = build_instance family rng ~n ~d ~eps in
+    let lo, hi = Distance.farness_interval g in
+    Printf.printf "n=%d m=%d avg degree %.2f\n" (Graph.n g) (Graph.m g) (Graph.avg_degree g);
+    Printf.printf "triangles: %d; greedy edge-disjoint packing: %d; triangle edges: %d\n"
+      (Triangle.count g)
+      (List.length (Triangle.greedy_packing g))
+      (List.length (Triangle.triangle_edges g));
+    Printf.printf "farness interval: [%.4f, %.4f] of m\n" lo hi;
+    match Bucket.b_min g ~eps with
+    | Some i ->
+        Printf.printf "lowest full bucket B_min: index %d (degrees %d..%d), %d full vertices in graph\n" i
+          (Bucket.d_minus i) (Bucket.d_plus i)
+          (List.length (Bucket.full_vertices g ~eps))
+    | None -> print_endline "no full bucket (graph close to triangle-free)"
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Generate an instance and print its triangle statistics.")
+    Term.(const run $ seed_arg $ n_arg $ d_arg $ eps_arg $ instance_arg)
+
+let () =
+  let doc = "multiparty communication-complexity testers for triangle-freeness (PODC'17 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "tfree" ~doc) [ run_cmd; experiment_cmd; list_cmd; inspect_cmd ]))

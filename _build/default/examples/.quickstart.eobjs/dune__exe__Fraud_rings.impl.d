@@ -1,0 +1,1 @@
+examples/fraud_rings.ml: Gen Graph Partition Printf Rng Tfree Tfree_graph Tfree_util Triangle

@@ -1,0 +1,1 @@
+examples/graph_health_suite.ml: Array Bits Cost Gen Graph List Partition Printf Rng Runtime Simultaneous String Subgraph Tfree Tfree_comm Tfree_congest Tfree_graph Tfree_util Triangle

@@ -1,0 +1,1 @@
+examples/lowerbound_tour.ml: Boolean_matching Budgeted Float Gen Graph Info List Mu_dist Partition Printf Rng Symmetrization Tfree Tfree_graph Tfree_lowerbound Tfree_util Triangle

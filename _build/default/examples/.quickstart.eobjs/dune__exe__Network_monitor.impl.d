@@ -1,0 +1,1 @@
+examples/network_monitor.ml: Array Cost Gen Graph List Partition Printf Rng Runtime Tfree Tfree_comm Tfree_graph Tfree_util Triangle

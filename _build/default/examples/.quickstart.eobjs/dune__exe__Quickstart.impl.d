@@ -1,0 +1,1 @@
+examples/quickstart.ml: Distance Gen Graph Partition Printf Rng Tfree Tfree_graph Tfree_util

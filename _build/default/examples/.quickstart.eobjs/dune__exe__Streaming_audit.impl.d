@@ -1,0 +1,1 @@
+examples/streaming_audit.ml: Bridge Detector Gen Graph Partition Printf Rng Stream_alg Tfree_graph Tfree_streaming Tfree_util Triangle

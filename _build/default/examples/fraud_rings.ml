@@ -1,0 +1,64 @@
+(* Fraud-ring screening across regional payment processors.
+
+   Scenario: a payment network's transaction graph (accounts = vertices,
+   "money moved between these accounts this week" = edges) is ingested by k
+   regional processors.  Collusive "ring" behaviour shows up as triangles of
+   mutual transfers; a clean book is triangle-free (the compliance rule bans
+   A→B→C→A cycles of mutual dealing).  Regions overlap — a cross-border
+   transfer lands at both processors — so the inputs have duplicated edges,
+   exactly the paper's duplication regime.
+
+   Headquarters wants to know whether the book is clean or riddled with rings
+   (ǫ-far), paying as little backhaul bandwidth as possible, in ONE round of
+   reports (processors upload nightly; no interactive back-and-forth).  That
+   is precisely the degree-oblivious simultaneous protocol: nobody knows the
+   global transaction density in advance.
+
+     dune exec examples/fraud_rings.exe *)
+
+open Tfree_util
+open Tfree_graph
+
+let () =
+  let rng = Rng.create 77 in
+  let n = 5_000 in
+
+  (* The weekly book: mostly legitimate bipartite-ish commerce (consumers x
+     merchants, no rings) plus a colluding cluster of rings around a few
+     mule accounts — the paper's hub instance (§3.4.2). *)
+  let legitimate = Gen.free_with_degree rng ~n ~d:5.0 in
+  let rings = Gen.hub_far rng ~n ~hubs:6 ~pairs:600 in
+  let book = Graph.union legitimate rings in
+  Printf.printf "transaction book: %d accounts, %d edges, avg degree %.1f\n" (Graph.n book)
+    (Graph.m book) (Graph.avg_degree book);
+  Printf.printf "ground truth: %d disjoint rings planted via %d mule accounts\n\n" 600 6;
+
+  (* Regional ingestion with overlap: each edge lands at the processor owning
+     its lower account id, and at a second processor 20%% of the time. *)
+  let k = 8 in
+  let inputs = Partition.with_duplication rng ~k ~dup_p:0.2 book in
+
+  (* Nightly screening: one simultaneous round, density unknown. *)
+  let params = Tfree.Params.practical in
+  let report = Tfree.Tester.simultaneous_oblivious ~seed:99 params inputs in
+  (match report.Tfree.Tester.verdict with
+  | Tfree.Tester.Triangle (a, b, c) ->
+      Printf.printf "ALERT: ring detected among accounts %d, %d, %d\n" a b c;
+      Printf.printf "verified: %b\n" (Triangle.is_triangle book (a, b, c))
+  | Tfree.Tester.Triangle_free -> print_endline "book looks clean tonight (one-sided: no false alarms)");
+  Printf.printf "backhaul used: %d bits in %d round\n" report.Tfree.Tester.bits report.Tfree.Tester.rounds;
+
+  (* What the naive pipeline would have uploaded: everything. *)
+  let naive = Tfree.Exact_baseline.cost inputs in
+  Printf.printf "naive full upload: %d bits  (saving factor %.0fx)\n\n" naive
+    (float_of_int naive /. float_of_int (max 1 report.Tfree.Tester.bits));
+
+  (* False-alarm check on a clean book: run 5 independent nights. *)
+  let clean_inputs = Partition.with_duplication rng ~k ~dup_p:0.2 legitimate in
+  let alarms = ref 0 in
+  for night = 1 to 5 do
+    match (Tfree.Tester.simultaneous_oblivious ~seed:(1000 + night) params clean_inputs).Tfree.Tester.verdict with
+    | Tfree.Tester.Triangle _ -> incr alarms
+    | Tfree.Tester.Triangle_free -> ()
+  done;
+  Printf.printf "clean book, 5 nights: %d false alarms (guaranteed 0 by one-sidedness)\n" !alarms

@@ -1,0 +1,81 @@
+(* A tour of the paper's lower-bound machinery (§4), executed.
+
+   Walks through: the hard distribution µ and Lemma 4.5; the information-
+   theoretic toolkit (Lemma 4.3); the Boolean-Matching reduction (Theorem
+   4.16); the symmetrization lift (Theorem 4.15); and the budget-threshold
+   experiment exhibiting the Ω((nd)^{1/3}) shape of Theorem 4.1(2).
+
+     dune exec examples/lowerbound_tour.exe *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_lowerbound
+
+let () =
+  let rng = Rng.create 1789 in
+
+  (* 1. The hard distribution µ: tripartite, edge probability γ/√n. *)
+  print_endline "1. hard distribution µ (§4.2.1) ----------------------------";
+  let g, parts = Mu_dist.sample_partition rng ~part:100 ~gamma:2.0 in
+  let s = Mu_dist.stats g in
+  Printf.printf "   sample: n=%d m=%d, %d triangles, packing %d, certified %.3f-far\n" s.Mu_dist.n
+    s.Mu_dist.m s.Mu_dist.triangles s.Mu_dist.disjoint_triangles s.Mu_dist.farness_lb;
+  Printf.printf "   players hold: Alice %d, Bob %d, Charlie %d edges (U×V1 / U×V2 / V1×V2)\n"
+    (Graph.m (Partition.player parts 0))
+    (Graph.m (Partition.player parts 1))
+    (Graph.m (Partition.player parts 2));
+  let far_frac, normalized = Mu_dist.lemma_4_5_stats rng ~part:80 ~gamma:2.0 ~eps:0.05 ~trials:10 in
+  Printf.printf "   Lemma 4.5: %.0f%% of samples certifiably far (needs >= 50%%); packing/n^1.5 = %.3f\n"
+    (100.0 *. far_frac) normalized;
+
+  (* 2. Information theory: Lemma 4.3 at a glance. *)
+  print_endline "\n2. divergence bound (Lemma 4.3) -----------------------------";
+  let q = 0.9 and p = 0.01 in
+  Printf.printf "   D(%.2f || %.2f) = %.3f >= q - 2p = %.3f\n" q p (Info.binary_kl ~q ~p)
+    (Info.lemma_4_3_bound ~q ~p);
+
+  (* 3. Boolean-Matching reduction (Theorem 4.16). *)
+  print_endline "\n3. Boolean-Matching reduction (§4.4) ------------------------";
+  let yes = Boolean_matching.generate rng ~n:300 ~target:false in
+  let no = Boolean_matching.generate rng ~n:300 ~target:true in
+  let gy = Boolean_matching.reduction_graph yes in
+  let gn = Boolean_matching.reduction_graph no in
+  Printf.printf "   yes-instance: %d vertices, %d edge-disjoint triangles (one per matching row)\n"
+    (Graph.n gy)
+    (List.length (Triangle.greedy_packing gy));
+  Printf.printf "   no-instance : triangle-free = %b\n" (Triangle.is_free gn);
+  Printf.printf "   => testing triangle-freeness at d=Θ(1) inherits BM's Ω(√n) one-way bound\n";
+
+  (* 4. Symmetrization (Theorem 4.15). *)
+  print_endline "\n4. symmetrization lift (Theorem 4.15) -----------------------";
+  let k = 8 in
+  let m =
+    Symmetrization.measure_identity rng ~k ~trials:80
+      ~sample_mu:(Symmetrization.mu_sampler ~part:40 ~gamma:2.0)
+      (Tfree.Sim_low.protocol Tfree.Params.practical ~d:8.0)
+  in
+  Printf.printf "   E|Π'| = %.1f bits, (2/k)·CC(Π) = %.1f bits — identity ratio %.3f\n"
+    m.Symmetrization.lhs_mean m.Symmetrization.rhs_mean
+    (m.Symmetrization.lhs_mean /. m.Symmetrization.rhs_mean);
+
+  (* 5. Budget threshold: the Ω((nd)^{1/3}) shape. *)
+  print_endline "\n5. budget threshold (Theorem 4.1(2) shape) ------------------";
+  List.iter
+    (fun n ->
+      let d = sqrt (float_of_int n) in
+      let gen seed =
+        let r = Rng.create (90_000 + seed + n) in
+        let graph = Gen.far_with_degree r ~n ~d ~eps:0.1 in
+        (Partition.disjoint_random r ~k:3 graph, graph)
+      in
+      match
+        Budgeted.threshold_budget ~trials:10 ~gen
+          ~protocol_of_budget:(fun b -> Budgeted.sim_high_budgeted ~budget_bits:b ~d)
+          ~target:0.6 ~lo:32 ~hi:1_000_000
+      with
+      | Some (b, rate) ->
+          Printf.printf "   n=%5d: success >= 60%% first at budget %6d bits/player (rate %.2f); (nd)^(1/3) = %.0f\n"
+            n b rate
+            (Float.pow (float_of_int n *. d) (1.0 /. 3.0))
+      | None -> Printf.printf "   n=%5d: threshold beyond cap\n" n)
+    [ 300; 600; 1200 ]

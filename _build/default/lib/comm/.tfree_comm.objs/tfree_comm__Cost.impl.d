@@ -1,0 +1,1 @@
+lib/comm/cost.ml: Array Printf

@@ -1,0 +1,1 @@
+lib/comm/message_passing.ml: Bits List Msg Partition Rng Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/comm/message_passing.mli: Graph Msg Partition Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/comm/msg.ml: Bits List Tfree_util

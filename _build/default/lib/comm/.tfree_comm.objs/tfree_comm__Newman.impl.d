@@ -1,0 +1,1 @@
+lib/comm/newman.ml: Msg Runtime Tfree_util

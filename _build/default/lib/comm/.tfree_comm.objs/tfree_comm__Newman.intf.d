@@ -1,0 +1,1 @@
+lib/comm/newman.mli: Partition Runtime Tfree_graph

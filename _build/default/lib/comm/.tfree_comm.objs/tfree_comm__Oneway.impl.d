@@ -1,0 +1,1 @@
+lib/comm/oneway.ml: Graph List Msg Rng Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/comm/oneway.mli: Graph Msg Tfree_graph Tfree_util

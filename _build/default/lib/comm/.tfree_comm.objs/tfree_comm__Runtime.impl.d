@@ -1,0 +1,1 @@
+lib/comm/runtime.ml: Array Cost List Msg Partition Rng Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/comm/runtime.mli: Cost Graph Msg Partition Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/comm/simultaneous.ml: Array Graph Msg Partition Rng Tfree_graph Tfree_util

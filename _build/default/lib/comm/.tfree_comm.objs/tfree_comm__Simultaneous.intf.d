@@ -1,0 +1,1 @@
+lib/comm/simultaneous.mli: Graph Msg Partition Tfree_graph Tfree_util

@@ -1,0 +1,83 @@
+(** Messages with exact bit accounting.
+
+    Every value crossing a channel in any of the models is a [Msg.t]: a typed
+    payload plus the number of bits it costs under the schema of
+    {!Tfree_util.Bits} (a vertex costs ceil(log2 n), an edge twice that, a
+    list additionally carries a self-delimiting length).  Protocols construct
+    messages only through the smart constructors here, so the cost model is
+    centralized and auditable. *)
+
+open Tfree_util
+
+type value =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Vertex of int
+  | No_vertex
+  | Edge of int * int
+  | Vertices of int list
+  | Edges of (int * int) list
+  | Tuple of value list
+
+type t = { value : value; bits : int }
+
+let bits t = t.bits
+let value t = t.value
+
+let empty = { value = Unit; bits = 0 }
+
+let bool b = { value = Bool b; bits = 1 }
+
+(** Integer known by both sides to lie in [lo, hi]. *)
+let int_in ~lo ~hi v =
+  if v < lo || v > hi then invalid_arg "Msg.int_in: out of declared range";
+  { value = Int v; bits = Bits.int_in_range ~lo ~hi }
+
+(** Nonnegative integer with a self-delimiting code. *)
+let nat v = { value = Int v; bits = Bits.elias_gamma v }
+
+let vertex ~n v = { value = Vertex v; bits = Bits.vertex ~n }
+
+(** Optional vertex: 1 flag bit plus the identifier when present. *)
+let vertex_opt ~n vo =
+  match vo with
+  | None -> { value = No_vertex; bits = 1 }
+  | Some v -> { value = Vertex v; bits = 1 + Bits.vertex ~n }
+
+let edge ~n (u, v) = { value = Edge (u, v); bits = Bits.edge ~n }
+
+(** Length-prefixed vertex list. *)
+let vertices ~n vs =
+  { value = Vertices vs; bits = Bits.elias_gamma (List.length vs) + (List.length vs * Bits.vertex ~n) }
+
+(** Length-prefixed edge list — the dominant message type in every protocol. *)
+let edges ~n es =
+  { value = Edges es; bits = Bits.elias_gamma (List.length es) + (List.length es * Bits.edge ~n) }
+
+let tuple parts =
+  { value = Tuple (List.map (fun p -> p.value) parts);
+    bits = List.fold_left (fun acc p -> acc + p.bits) 0 parts }
+
+(* Extraction: a mismatch is a protocol bug, so we fail loudly. *)
+
+let get_bool t = match t.value with Bool b -> b | _ -> invalid_arg "Msg.get_bool"
+
+let get_int t = match t.value with Int v -> v | _ -> invalid_arg "Msg.get_int"
+
+let get_vertex_opt t =
+  match t.value with
+  | Vertex v -> Some v
+  | No_vertex -> None
+  | _ -> invalid_arg "Msg.get_vertex_opt"
+
+let get_edge t = match t.value with Edge (u, v) -> (u, v) | _ -> invalid_arg "Msg.get_edge"
+
+let get_vertices t = match t.value with Vertices vs -> vs | _ -> invalid_arg "Msg.get_vertices"
+
+let get_edges t = match t.value with Edges es -> es | _ -> invalid_arg "Msg.get_edges"
+
+let get_tuple t =
+  match t.value with
+  | Tuple vs -> List.map (fun v -> { value = v; bits = 0 }) vs
+  | _ -> invalid_arg "Msg.get_tuple"

@@ -1,0 +1,65 @@
+(** Messages with exact bit accounting.  Every value crossing a channel in
+    any model is a [Msg.t]: a typed payload plus its cost under the
+    {!Tfree_util.Bits} schema.  Protocols construct messages only through the
+    smart constructors, keeping the cost model centralized and auditable. *)
+
+type value =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Vertex of int
+  | No_vertex
+  | Edge of int * int
+  | Vertices of int list
+  | Edges of (int * int) list
+  | Tuple of value list
+
+type t
+
+(** Cost in bits. *)
+val bits : t -> int
+
+val value : t -> value
+
+(** Zero-bit placeholder (structurally implied requests). *)
+val empty : t
+
+(** One bit. *)
+val bool : bool -> t
+
+(** Integer known by both sides to lie in [lo, hi]; costs
+    ceil(log2 (hi-lo+1)).  @raise Invalid_argument outside the range. *)
+val int_in : lo:int -> hi:int -> int -> t
+
+(** Nonnegative integer, self-delimiting code. *)
+val nat : int -> t
+
+(** Vertex identifier: ceil(log2 n) bits. *)
+val vertex : n:int -> int -> t
+
+(** Optional vertex: 1 flag bit plus the identifier when present. *)
+val vertex_opt : n:int -> int option -> t
+
+(** Edge: two vertex identifiers. *)
+val edge : n:int -> int * int -> t
+
+(** Length-prefixed vertex list. *)
+val vertices : n:int -> int list -> t
+
+(** Length-prefixed edge list — the dominant message type everywhere. *)
+val edges : n:int -> (int * int) list -> t
+
+(** Concatenation; cost is the sum of the parts. *)
+val tuple : t list -> t
+
+(** Extractors; a mismatch is a protocol bug and raises [Invalid_argument]. *)
+
+val get_bool : t -> bool
+val get_int : t -> int
+val get_vertex_opt : t -> int option
+val get_edge : t -> int * int
+val get_vertices : t -> int list
+val get_edges : t -> (int * int) list
+
+(** Parts of a tuple (bit counts of the parts are not preserved). *)
+val get_tuple : t -> t list

@@ -1,0 +1,34 @@
+(** Newman's theorem, the direction used in §2: a shared-randomness protocol
+    can be run with private coins at an extra O(k·log n) bits — the
+    coordinator draws the seed privately and announces it, after which all
+    parties derive the "shared" streams from the announced seed.
+
+    [run_private] performs exactly that: charges the seed broadcast on the
+    ledger, then runs the protocol body against a runtime whose shared
+    randomness is the announced seed.  The paper invokes this to argue that
+    the public-coin assumption is free for multi-round protocols; the tests
+    verify both the cost delta (= broadcast of [seed_bits]) and that
+    verdicts are unchanged relative to a public-coin run with the same
+    seed. *)
+
+
+
+(** [run_private ?mode ~coordinator_seed ~seed_bits inputs body] announces a
+    [seed_bits]-bit seed drawn from the coordinator's private randomness and
+    runs [body] over a runtime seeded with it.  Returns the body's result
+    and the runtime (for cost inspection). *)
+let run_private ?(mode = Runtime.Coordinator) ~coordinator_seed ~seed_bits inputs body =
+  (* The coordinator's private draw: any value representable in seed_bits. *)
+  let coordinator_rng = Tfree_util.Rng.create coordinator_seed in
+  let bound = if seed_bits >= 30 then 1 lsl 30 else 1 lsl seed_bits in
+  let announced = Tfree_util.Rng.int coordinator_rng bound in
+  let rt = Runtime.make ~mode ~seed:announced inputs in
+  (* Announce the seed: k·seed_bits on private channels, seed_bits on a
+     blackboard. *)
+  Runtime.tell_all rt (Msg.int_in ~lo:0 ~hi:(bound - 1) announced);
+  (body rt, rt)
+
+(** The cost the transformation adds under the given mode and player count:
+    the seed announcement. *)
+let overhead_bits ~mode ~k ~seed_bits =
+  match mode with Runtime.Coordinator -> k * seed_bits | Runtime.Blackboard -> seed_bits

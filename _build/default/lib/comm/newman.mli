@@ -1,0 +1,22 @@
+(** Newman's theorem, the direction invoked in §2: a shared-randomness
+    protocol runs with private coins at an extra O(k·log n) bits — the
+    coordinator draws a seed privately and announces it, and all parties
+    derive the "shared" streams from the announcement. *)
+
+open Tfree_graph
+
+(** [run_private ?mode ~coordinator_seed ~seed_bits inputs body] announces a
+    [seed_bits]-bit privately drawn seed (charged on the ledger: k·seed_bits
+    on private channels, seed_bits on a blackboard), then runs [body] over a
+    runtime seeded with the announcement.  Returns the body's result and the
+    runtime for cost inspection. *)
+val run_private :
+  ?mode:Runtime.mode ->
+  coordinator_seed:int ->
+  seed_bits:int ->
+  Partition.t ->
+  (Runtime.t -> 'a) ->
+  'a * Runtime.t
+
+(** The announcement's cost under the given mode and player count. *)
+val overhead_bits : mode:Runtime.mode -> k:int -> seed_bits:int -> int

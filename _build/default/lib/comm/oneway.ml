@@ -1,0 +1,59 @@
+(** One-way three-player model (§4.2.2).
+
+    Standard chain: Alice sends one message to Bob, Bob one message to
+    Charlie, Charlie outputs.  The paper's "extended" variant lets Alice and
+    Bob converse back-and-forth for any number of rounds with Charlie
+    observing the whole transcript; both are provided.  The max-message /
+    total-transcript statistics feed the streaming bridge
+    ({!Tfree_streaming.Bridge}). *)
+
+open Tfree_util
+open Tfree_graph
+
+type ctx = { n : int; shared : Rng.t }
+
+let shared_rng ctx ~key = Rng.split ctx.shared key
+
+(** Chain protocol: Alice -> Bob -> Charlie. *)
+type 'r chain = {
+  alice : ctx -> Graph.t -> Msg.t;
+  bob : ctx -> Graph.t -> Msg.t -> Msg.t;
+  charlie : ctx -> Graph.t -> Msg.t -> Msg.t -> 'r;
+}
+
+type 'r outcome = { result : 'r; total_bits : int; max_message_bits : int }
+
+let run_chain ~seed chain ~alice_input ~bob_input ~charlie_input =
+  let ctx = { n = Graph.n alice_input; shared = Rng.split (Rng.create seed) 0 } in
+  let m1 = chain.alice ctx alice_input in
+  let m2 = chain.bob ctx bob_input m1 in
+  {
+    result = chain.charlie ctx charlie_input m1 m2;
+    total_bits = Msg.bits m1 + Msg.bits m2;
+    max_message_bits = max (Msg.bits m1) (Msg.bits m2);
+  }
+
+(** Extended variant: Alice and Bob alternate (Alice speaks on even turns),
+    each turn a function of own input and the transcript so far; [turns]
+    exchanges in total, then Charlie outputs from his input and the full
+    transcript. *)
+type 'r extended = {
+  speak : ctx -> turn:int -> Graph.t -> Msg.t list -> Msg.t;
+  out : ctx -> Graph.t -> Msg.t list -> 'r;
+  turns : int;
+}
+
+let run_extended ~seed ext ~alice_input ~bob_input ~charlie_input =
+  let ctx = { n = Graph.n alice_input; shared = Rng.split (Rng.create seed) 0 } in
+  let rec converse turn transcript =
+    if turn >= ext.turns then List.rev transcript
+    else begin
+      let speaker_input = if turn mod 2 = 0 then alice_input else bob_input in
+      let msg = ext.speak ctx ~turn speaker_input (List.rev transcript) in
+      converse (turn + 1) (msg :: transcript)
+    end
+  in
+  let transcript = converse 0 [] in
+  let total_bits = List.fold_left (fun acc m -> acc + Msg.bits m) 0 transcript in
+  let max_message_bits = List.fold_left (fun acc m -> max acc (Msg.bits m)) 0 transcript in
+  { result = ext.out ctx charlie_input transcript; total_bits; max_message_bits }

@@ -1,0 +1,44 @@
+(** One-way three-player model (§4.2.2): the Alice → Bob → Charlie chain, and
+    the paper's "extended" variant where Alice and Bob alternate for any
+    number of turns with Charlie observing the transcript. *)
+
+open Tfree_graph
+
+type ctx = { n : int; shared : Tfree_util.Rng.t }
+
+val shared_rng : ctx -> key:int -> Tfree_util.Rng.t
+
+(** Chain protocol: Alice's message, Bob's message (seeing Alice's), and
+    Charlie's output (seeing both). *)
+type 'r chain = {
+  alice : ctx -> Graph.t -> Msg.t;
+  bob : ctx -> Graph.t -> Msg.t -> Msg.t;
+  charlie : ctx -> Graph.t -> Msg.t -> Msg.t -> 'r;
+}
+
+type 'r outcome = { result : 'r; total_bits : int; max_message_bits : int }
+
+val run_chain :
+  seed:int ->
+  'r chain ->
+  alice_input:Graph.t ->
+  bob_input:Graph.t ->
+  charlie_input:Graph.t ->
+  'r outcome
+
+(** Extended variant: Alice speaks on even turns, Bob on odd ones, each a
+    function of own input and the transcript so far; after [turns] exchanges
+    Charlie outputs from his input and the full transcript. *)
+type 'r extended = {
+  speak : ctx -> turn:int -> Graph.t -> Msg.t list -> Msg.t;
+  out : ctx -> Graph.t -> Msg.t list -> 'r;
+  turns : int;
+}
+
+val run_extended :
+  seed:int ->
+  'r extended ->
+  alice_input:Graph.t ->
+  bob_input:Graph.t ->
+  charlie_input:Graph.t ->
+  'r outcome

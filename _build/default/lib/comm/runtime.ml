@@ -1,0 +1,116 @@
+(** Coordinator-model runtime (§2).
+
+    k players hold private edge-set inputs; a coordinator with no input
+    exchanges messages with them over private channels.  In [`Blackboard]
+    mode every posted message is visible to all parties, which changes the
+    accounting of broadcasts (posted once rather than k times) — the source
+    of the k-factor saving in Theorem 3.23.
+
+    Fidelity note: all parties run in one process.  Player code is a function
+    of the player's own input (and the shared randomness); the runtime merely
+    invokes it and charges the declared size of whatever it returns.  This is
+    the standard way to measure communication complexity — the model is the
+    accounting, not process isolation. *)
+
+open Tfree_util
+open Tfree_graph
+
+type mode = Coordinator | Blackboard
+
+type t = {
+  k : int;
+  n : int;
+  inputs : Partition.t;
+  shared : Rng.t;
+  private_rngs : Rng.t array;
+  cost : Cost.t;
+  mode : mode;
+}
+
+let make ?(mode = Coordinator) ~seed inputs =
+  let k = Partition.k inputs in
+  let root = Rng.create seed in
+  {
+    k;
+    n = Partition.n inputs;
+    inputs;
+    shared = Rng.split root 0;
+    private_rngs = Array.init k (fun j -> Rng.split root (j + 1));
+    cost = Cost.create ~k;
+    mode;
+  }
+
+let k t = t.k
+let n t = t.n
+let cost t = t.cost
+let input t j = Partition.player t.inputs j
+
+(** Derive a shared-randomness sub-stream for protocol step [key]; both the
+    coordinator and all players can derive the identical stream, so no
+    communication is charged. *)
+let shared_rng t ~key = Rng.split t.shared key
+
+let private_rng t j = t.private_rngs.(j)
+
+(** One communication round in which the coordinator sends [req] to player
+    [j] and the player answers with [respond input].  Charges both
+    directions. *)
+let query t j ~req respond =
+  Cost.next_round t.cost;
+  Cost.charge_to_player t.cost (Msg.bits req);
+  let reply = respond (input t j) in
+  Cost.charge_from_player t.cost j (Msg.bits reply);
+  reply
+
+(** One parallel round: the same request to every player, one response each.
+    In blackboard mode the request is posted once. *)
+let ask_all t ~req respond =
+  Cost.next_round t.cost;
+  let req_bits = Msg.bits req in
+  (match t.mode with
+  | Coordinator -> if req_bits > 0 then Cost.charge_to_player t.cost (t.k * req_bits)
+  | Blackboard -> if req_bits > 0 then Cost.charge_to_player t.cost req_bits);
+  Array.init t.k (fun j ->
+      let reply = respond j (input t j) in
+      Cost.charge_from_player t.cost j (Msg.bits reply);
+      reply)
+
+(** Like {!ask_all}, but in blackboard mode each player also sees the replies
+    of the players before it (they are posted publicly, §2) — the mechanism
+    behind Theorem 3.23's "post in turns, ensuring no edge is posted twice".
+    In coordinator mode the previous-replies list is empty, preserving the
+    private-channel semantics. *)
+let ask_all_visible t ~req respond =
+  Cost.next_round t.cost;
+  let req_bits = Msg.bits req in
+  (match t.mode with
+  | Coordinator -> if req_bits > 0 then Cost.charge_to_player t.cost (t.k * req_bits)
+  | Blackboard -> if req_bits > 0 then Cost.charge_to_player t.cost req_bits);
+  let replies = Array.make t.k Msg.empty in
+  for j = 0 to t.k - 1 do
+    let visible =
+      match t.mode with
+      | Blackboard -> List.init j (fun j' -> replies.(j'))
+      | Coordinator -> []
+    in
+    let reply = respond j (input t j) visible in
+    Cost.charge_from_player t.cost j (Msg.bits reply);
+    replies.(j) <- reply
+  done;
+  replies
+
+let mode t = t.mode
+
+(** Coordinator announcement to all players (no responses). *)
+let tell_all t msg =
+  Cost.next_round t.cost;
+  let bits = Msg.bits msg in
+  match t.mode with
+  | Coordinator -> Cost.charge_to_player t.cost (t.k * bits)
+  | Blackboard -> Cost.charge_to_player t.cost bits
+
+(** OR over one bit per player — the "does anyone have it" idiom used by the
+    edge-query building block and the degree-approximation experiments. *)
+let any_player t predicate =
+  let replies = ask_all t ~req:Msg.empty (fun _ input -> Msg.bool (predicate input)) in
+  Array.exists Msg.get_bool replies

@@ -1,0 +1,53 @@
+(** Coordinator-model runtime (§2): k players with private edge-set inputs
+    and a coordinator with none, exchanging messages over private channels —
+    or over a blackboard, where every posted message is visible to all
+    (Theorem 3.23's model).
+
+    All parties run in one process; player code is a function of the
+    player's own input and the shared randomness, and the runtime charges
+    the declared size of everything that crosses a channel.  The model is
+    the accounting. *)
+
+open Tfree_graph
+
+type mode = Coordinator | Blackboard
+
+type t
+
+val make : ?mode:mode -> seed:int -> Partition.t -> t
+
+val k : t -> int
+val n : t -> int
+val mode : t -> mode
+val cost : t -> Cost.t
+
+(** Player [j]'s private input. *)
+val input : t -> int -> Graph.t
+
+(** Shared-randomness sub-stream for protocol step [key]; identical for all
+    parties, free of communication. *)
+val shared_rng : t -> key:int -> Tfree_util.Rng.t
+
+(** Player [j]'s private randomness. *)
+val private_rng : t -> int -> Tfree_util.Rng.t
+
+(** One round: the coordinator sends [req] to player [j], who answers with
+    [respond input]; both directions charged. *)
+val query : t -> int -> req:Msg.t -> (Graph.t -> Msg.t) -> Msg.t
+
+(** One parallel round: the same request to every player, one response each.
+    The request is charged k times on private channels, once on a
+    blackboard. *)
+val ask_all : t -> req:Msg.t -> (int -> Graph.t -> Msg.t) -> Msg.t array
+
+(** Like {!ask_all}, but on a blackboard each player also sees the replies
+    of the players before it — the "post in turns, no edge twice" mechanism
+    of Theorem 3.23.  On private channels the visible list is empty. *)
+val ask_all_visible : t -> req:Msg.t -> (int -> Graph.t -> Msg.t list -> Msg.t) -> Msg.t array
+
+(** Coordinator announcement (no responses): charged k-fold on private
+    channels, once on a blackboard. *)
+val tell_all : t -> Msg.t -> unit
+
+(** OR of one bit per player: "does anyone have it". *)
+val any_player : t -> (Graph.t -> bool) -> bool

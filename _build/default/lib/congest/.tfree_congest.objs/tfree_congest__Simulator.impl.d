@@ -1,0 +1,1 @@
+lib/congest/simulator.ml: Array Graph List Rng Tfree_comm Tfree_graph Tfree_util

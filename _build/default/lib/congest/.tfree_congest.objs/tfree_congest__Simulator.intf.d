@@ -1,0 +1,1 @@
+lib/congest/simulator.mli: Graph Tfree_comm Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/congest/triangle_tester.ml: Array Float Graph List Rng Simulator Tfree_comm Tfree_graph Tfree_util Triangle

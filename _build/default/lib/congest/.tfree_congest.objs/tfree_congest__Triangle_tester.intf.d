@@ -1,0 +1,1 @@
+lib/congest/triangle_tester.mli: Graph Simulator Tfree_graph Triangle

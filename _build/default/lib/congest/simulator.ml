@@ -1,0 +1,75 @@
+(** Synchronous CONGEST simulator — the distributed model the paper's first
+    motivation comes from ([10, 19]: property testing in CONGEST, whose lower
+    bounds are expected to require communication-complexity advances like
+    this paper's).
+
+    n nodes, one per graph vertex; computation proceeds in synchronous
+    rounds; in each round a node may send one message of at most [b_bits]
+    bits along each incident edge (the bandwidth cap is enforced — oversized
+    messages raise).  Nodes know n, their own id, their incident edges, and
+    a private random stream. *)
+
+open Tfree_util
+open Tfree_graph
+
+exception Bandwidth_exceeded of { round : int; src : int; dst : int; bits : int }
+
+type 'st algorithm = {
+  init : n:int -> int -> int array -> 'st;
+      (** [init ~n v neighbors]: starting state of node [v]. *)
+  round :
+    n:int ->
+    round:int ->
+    int ->
+    'st ->
+    rng:Rng.t ->
+    inbox:(int * Tfree_comm.Msg.t) list ->
+    neighbors:int array ->
+    'st * (int * Tfree_comm.Msg.t) list;
+      (** One synchronous round at node [v]: consume the inbox (sender,
+          message) and emit an outbox (neighbour, message).  Sending to a
+          non-neighbour raises. *)
+}
+
+type stats = {
+  rounds_run : int;
+  total_message_bits : int;
+  max_message_bits : int;
+  messages : int;
+}
+
+(** [run g ~b_bits ~rounds ~seed alg] executes [rounds] synchronous rounds
+    and returns the final node states and traffic statistics.
+    @raise Bandwidth_exceeded when a message exceeds [b_bits]
+    @raise Invalid_argument on sends to non-neighbours. *)
+let run g ~b_bits ~rounds ~seed alg =
+  let n = Graph.n g in
+  let root = Rng.create seed in
+  let rngs = Array.init n (fun v -> Rng.split root (v + 1)) in
+  let states = Array.init n (fun v -> alg.init ~n v (Graph.neighbors g v)) in
+  let inboxes : (int * Tfree_comm.Msg.t) list array = Array.make n [] in
+  let total = ref 0 and max_bits = ref 0 and messages = ref 0 in
+  for r = 0 to rounds - 1 do
+    let outgoing = Array.make n [] in
+    for v = 0 to n - 1 do
+      let st, outbox =
+        alg.round ~n ~round:r v states.(v) ~rng:rngs.(v) ~inbox:inboxes.(v)
+          ~neighbors:(Graph.neighbors g v)
+      in
+      states.(v) <- st;
+      List.iter
+        (fun (dst, msg) ->
+          if not (Graph.mem_edge g v dst) then
+            invalid_arg "Congest.run: send to non-neighbour";
+          let bits = Tfree_comm.Msg.bits msg in
+          if bits > b_bits then raise (Bandwidth_exceeded { round = r; src = v; dst; bits });
+          total := !total + bits;
+          max_bits := max !max_bits bits;
+          incr messages;
+          outgoing.(dst) <- (v, msg) :: outgoing.(dst))
+        outbox
+    done;
+    Array.blit outgoing 0 inboxes 0 n
+  done;
+  ( states,
+    { rounds_run = rounds; total_message_bits = !total; max_message_bits = !max_bits; messages = !messages } )

@@ -1,0 +1,36 @@
+(** Synchronous CONGEST simulator ([10, 19]'s model): one node per vertex,
+    synchronous rounds, at most [b_bits] bits per incident edge per round —
+    the bandwidth cap is enforced at runtime. *)
+
+open Tfree_graph
+
+exception Bandwidth_exceeded of { round : int; src : int; dst : int; bits : int }
+
+type 'st algorithm = {
+  init : n:int -> int -> int array -> 'st;
+      (** [init ~n v neighbors]: starting state of node [v]. *)
+  round :
+    n:int ->
+    round:int ->
+    int ->
+    'st ->
+    rng:Tfree_util.Rng.t ->
+    inbox:(int * Tfree_comm.Msg.t) list ->
+    neighbors:int array ->
+    'st * (int * Tfree_comm.Msg.t) list;
+      (** One synchronous round at node [v]: consume the inbox
+          (sender, message), emit an outbox (neighbour, message). *)
+}
+
+type stats = {
+  rounds_run : int;
+  total_message_bits : int;
+  max_message_bits : int;
+  messages : int;
+}
+
+(** Execute the algorithm; returns final node states and traffic statistics.
+    @raise Bandwidth_exceeded when a message exceeds [b_bits]
+    @raise Invalid_argument on sends to non-neighbours. *)
+val run :
+  Graph.t -> b_bits:int -> rounds:int -> seed:int -> 'st algorithm -> 'st array * stats

@@ -1,0 +1,23 @@
+(** The CONGEST triangle-freeness tester in the style of Censor-Hillel et
+    al. [10]: every round each vertex probes a random neighbour pair (u, w)
+    by sending u's id to w, who checks {u, w} locally — any hit is a real
+    triangle (one-sided).  Θ(1/ǫ²) rounds, O(log n)-bit messages. *)
+
+open Tfree_graph
+
+type state = { found : Triangle.triangle option }
+
+val algorithm : state Simulator.algorithm
+
+type result = {
+  triangle : Triangle.triangle option;
+  rounds : int;
+  stats : Simulator.stats;
+}
+
+(** Run for ceil(c/ǫ²) rounds (c defaults to 2) with log n-bit bandwidth. *)
+val test : ?c:float -> Graph.t -> eps:float -> seed:int -> result
+
+(** Smallest (geometrically scanned) round count at which a triangle is
+    detected, up to [max_rounds]. *)
+val rounds_to_detect : Graph.t -> seed:int -> max_rounds:int -> int option

@@ -1,0 +1,1 @@
+lib/core/blocks.ml: Array Graph List Msg Option Rng Runtime Tfree_comm Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/core/blocks.mli: Graph Runtime Tfree_comm Tfree_graph

@@ -1,0 +1,1 @@
+lib/core/count.ml: Array Blocks Degree_approx Graph Hashtbl List Msg Params Runtime Tfree_comm Tfree_graph

@@ -1,0 +1,1 @@
+lib/core/count.mli: Params Runtime Tfree_comm

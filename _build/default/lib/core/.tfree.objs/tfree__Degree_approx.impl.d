@@ -1,0 +1,1 @@
+lib/core/degree_approx.ml: Array Float Graph List Msg Rng Runtime Tfree_comm Tfree_graph Tfree_util

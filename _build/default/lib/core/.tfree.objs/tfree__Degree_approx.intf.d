@@ -1,0 +1,1 @@
+lib/core/degree_approx.mli: Graph Runtime Tfree_comm Tfree_graph

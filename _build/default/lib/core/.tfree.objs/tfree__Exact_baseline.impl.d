@@ -1,0 +1,1 @@
+lib/core/exact_baseline.ml: Array Graph List Msg Partition Simultaneous Tfree_comm Tfree_graph Triangle

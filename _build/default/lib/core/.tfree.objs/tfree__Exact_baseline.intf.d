@@ -1,0 +1,1 @@
+lib/core/exact_baseline.mli: Partition Simultaneous Tfree_comm Tfree_graph Triangle

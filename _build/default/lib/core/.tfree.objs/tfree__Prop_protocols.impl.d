@@ -1,0 +1,1 @@
+lib/core/prop_protocols.ml: Blocks Degree_approx Float List Params Rng Runtime Sampling Tfree_comm Tfree_graph Tfree_util Traversal

@@ -1,0 +1,1 @@
+lib/core/prop_protocols.mli: Params Runtime Tfree_comm

@@ -1,0 +1,1 @@
+lib/core/sim_high.ml: Array Float Graph List Msg Params Rng Simultaneous Tfree_comm Tfree_graph Tfree_util Triangle

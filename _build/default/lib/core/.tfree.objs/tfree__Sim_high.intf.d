@@ -1,0 +1,1 @@
+lib/core/sim_high.mli: Params Partition Simultaneous Tfree_comm Tfree_graph Triangle

@@ -1,0 +1,1 @@
+lib/core/sim_oblivious.ml: Array Bits Float Graph Hashtbl List Msg Params Rng Sim_high Sim_low Simultaneous Tfree_comm Tfree_graph Tfree_util Triangle

@@ -1,0 +1,1 @@
+lib/core/sim_oblivious.mli: Graph Params Partition Simultaneous Tfree_comm Tfree_graph Triangle

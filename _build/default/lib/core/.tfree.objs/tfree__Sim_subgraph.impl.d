@@ -1,0 +1,1 @@
+lib/core/sim_subgraph.ml: Array Float Graph List Msg Params Rng Simultaneous Subgraph Tfree_comm Tfree_graph Tfree_util

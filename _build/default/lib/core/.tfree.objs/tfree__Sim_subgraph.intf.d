@@ -1,0 +1,1 @@
+lib/core/sim_subgraph.mli: Params Partition Simultaneous Subgraph Tfree_comm Tfree_graph

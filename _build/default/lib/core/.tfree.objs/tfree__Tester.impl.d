@@ -1,0 +1,1 @@
+lib/core/tester.ml: Cost Exact_baseline Params Partition Runtime Sim_high Sim_low Sim_oblivious Simultaneous Tfree_comm Tfree_graph Triangle Unrestricted

@@ -1,0 +1,1 @@
+lib/core/tester.mli: Params Partition Runtime Tfree_comm Tfree_graph Triangle

@@ -1,0 +1,1 @@
+lib/core/unrestricted.ml: Array Bucket Degree_approx Float Graph Hashtbl List Msg Params Rng Runtime Tfree_comm Tfree_graph Tfree_util Triangle

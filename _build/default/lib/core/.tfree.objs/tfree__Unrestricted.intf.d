@@ -1,0 +1,1 @@
+lib/core/unrestricted.mli: Params Runtime Tfree_comm Tfree_graph Triangle

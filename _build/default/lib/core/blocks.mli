@@ -1,0 +1,36 @@
+(** The §3.1 building blocks as coordinator-model sub-protocols, each with
+    its stated cost and — where the paper requires it — unbiased under edge
+    duplication (shared random priorities). *)
+
+open Tfree_comm
+open Tfree_graph
+
+(** Edge-existence query (dense-model primitive): O(k) bits, the answer is
+    announced to everyone. *)
+val query_edge : Runtime.t -> int * int -> bool
+
+(** Uniformly random edge incident to the vertex (sparse-model primitive),
+    uniform even with duplication; O(k·log n) bits.  [None] at isolated
+    vertices. *)
+val random_incident_edge : Runtime.t -> key:int -> int -> Graph.edge option
+
+(** Random walk taking a uniform incident edge per step; returns the visited
+    vertices starting at the source, stopping early at isolated vertices. *)
+val random_walk : Runtime.t -> key:int -> int -> steps:int -> int list
+
+(** Uniformly random edge of the whole graph (impossible in the plain query
+    model, cheap here); O(k·log n) bits. *)
+val random_edge : Runtime.t -> key:int -> Graph.edge option
+
+(** All edges of the induced subgraph: O(k·m'·log n) bits for m' subgraph
+    edges — pays only for edges that exist. *)
+val induced_subgraph : Runtime.t -> int list -> Graph.t
+
+(** Distributed BFS; returns the distance array (-1 = unreachable). *)
+val bfs : Runtime.t -> int -> int array
+
+(** Truncated distributed BFS: stop once more than [max_vertices] vertices
+    are discovered.  Returns (discovered vertices, exhausted?); when
+    exhausted, the discovered set is the whole component — a certificate of
+    disconnection if it is smaller than V. *)
+val bfs_limited : Runtime.t -> int -> max_vertices:int -> int list * bool

@@ -1,0 +1,26 @@
+(** Approximate triangle-edge counting from the §3.1 blocks: uniform edge
+    sampling plus an exact distributed test of Definition 3 (the closing
+    pair may be split across players, so the coordinator collects and posts
+    one endpoint's neighbourhood). *)
+
+open Tfree_comm
+
+(** The deduplicated neighbourhood of the vertex, collected at the
+    coordinator; O(k·deg·log n) bits. *)
+val collect_neighbors : Runtime.t -> key:int -> int -> int list
+
+(** Exact distributed test: is (u, v) a triangle edge of the union graph? *)
+val is_triangle_edge : Runtime.t -> key:int -> int * int -> bool
+
+type estimate = {
+  sampled : int;  (** edges actually sampled (0 on an empty graph) *)
+  hits : int;  (** sampled edges that are triangle edges *)
+  fraction : float;  (** hits / sampled *)
+}
+
+(** Unbiased estimator of the triangle-edge fraction by uniform edge
+    sampling. *)
+val estimate_triangle_edge_fraction : Runtime.t -> key:int -> samples:int -> estimate
+
+(** Triangle-edge count estimate: fraction × 2-approximate m. *)
+val estimate_triangle_edges : Runtime.t -> Params.t -> key:int -> samples:int -> float

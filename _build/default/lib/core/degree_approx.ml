@@ -1,0 +1,149 @@
+(** Constant-factor approximation of the number of distinct elements held
+    jointly by the players — Theorem 3.1 (with duplication) and Lemma 3.2
+    (without).
+
+    Instantiated with a vertex's incident edges this approximates deg(v); with
+    the whole edge set it approximates m (the paper notes the procedure
+    "solves the more general problem of approximating the number of distinct
+    elements in a set", which is exactly how we implement it).
+
+    Structure of the duplication-tolerant procedure (Theorem 3.1):
+    - {b Phase 1}: each player sends the index of the most significant bit of
+      its local count; the sum of the rounded counts d′ satisfies
+      D ≤ d′ ≤ 2k·D, a k-factor window.
+    - {b Phase 2}: geometric guesses g = d′, d′/√α, … — for each guess the
+      players run shared-randomness Bernoulli experiments (mark each universe
+      element with probability 1/g; report whether they hold a marked
+      element) and stop at the first guess whose empirical success rate
+      clears a threshold.
+
+    The paper's threshold constant ("F(r)/c") contains typos; we use the
+    statistically equivalent choice documented in DESIGN.md §2: the midpoint
+    between the success probabilities at the two α-approximation boundaries,
+    1−e^{−1/α} (guess too high) and 1−e^{−√α} (guess low enough), with a
+    Hoeffding sample count.  The two-phase structure and the O(k log log +
+    k·polylog) cost are the paper's. *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_comm
+
+let msb_index c =
+  if c <= 0 then -1
+  else begin
+    let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
+    go 0 c
+  end
+
+(* Success-rate boundaries for approximation factor alpha (see header). *)
+let thresholds ~alpha =
+  let low = 1.0 -. exp (-1.0 /. alpha) in
+  let high = 1.0 -. exp (-.sqrt alpha) in
+  let theta = (low +. high) /. 2.0 in
+  let margin = (high -. low) /. 2.0 in
+  (theta, margin)
+
+(** [approx_distinct rt ~key ~alpha ~tau ~boost ~elements] returns an
+    α-approximation (with probability >= 1-τ) of |∪_j elements(E_j)|, where
+    [elements] lists a player's universe elements as integers agreed upon by
+    all players (e.g. neighbour ids of a fixed vertex).  Returns 0 when no
+    player holds any element. *)
+let approx_distinct rt ~key ~alpha ~tau ~boost ~elements =
+  let local : int list array = Array.init (Runtime.k rt) (fun j -> elements (Runtime.input rt j)) in
+  (* Phase 1: MSB indices of the local counts. *)
+  let replies =
+    Runtime.ask_all rt ~req:Msg.empty (fun j _ ->
+        Msg.int_in ~lo:(-1) ~hi:62 (msb_index (List.length local.(j))))
+  in
+  let d' =
+    Array.fold_left
+      (fun acc reply ->
+        let i = Msg.get_int reply in
+        if i < 0 then acc else acc +. Float.pow 2.0 (float_of_int (i + 1)))
+      0.0 replies
+  in
+  if d' = 0.0 then 0
+  else begin
+    (* Phase 2: geometric guesses down to d'/(2k·alpha). *)
+    let k = float_of_int (Runtime.k rt) in
+    let floor_guess = Float.max 1.0 (d' /. (2.0 *. k *. alpha)) in
+    let theta, margin = thresholds ~alpha in
+    let n_guesses =
+      1 + int_of_float (Float.ceil (Float.log (d' /. floor_guess) /. Float.log (sqrt alpha)))
+    in
+    let m_exp =
+      let hoeffding = Float.log (2.0 *. float_of_int n_guesses /. tau) /. (2.0 *. margin *. margin) in
+      max 8 (int_of_float (Float.ceil (boost *. hoeffding)))
+    in
+    let run_guess idx g =
+      let p = Float.min 1.0 (1.0 /. g) in
+      let successes = ref 0 in
+      for e = 0 to m_exp - 1 do
+        let mark_rng = Runtime.shared_rng rt ~key:(key + (7919 * idx) + (104729 * (e + 1))) in
+        let replies =
+          Runtime.ask_all rt ~req:Msg.empty (fun j _ ->
+              (* Each player checks its (precomputed) elements for a marked
+                 one and answers a single bit. *)
+              Msg.bool (List.exists (fun el -> Rng.hash_float mark_rng el < p) local.(j)))
+        in
+        if Array.exists Msg.get_bool replies then incr successes
+      done;
+      float_of_int !successes /. float_of_int m_exp >= theta
+    in
+    let rec scan idx g =
+      if g <= floor_guess then g
+      else if run_guess idx g then g
+      else scan (idx + 1) (g /. sqrt alpha)
+    in
+    let answer = scan 0 d' in
+    (* The coordinator announces the outcome's exponent so all players agree. *)
+    Runtime.tell_all rt (Msg.int_in ~lo:0 ~hi:127 (max 0 (msb_index (int_of_float answer))));
+    max 1 (int_of_float (Float.round answer))
+  end
+
+(** Lemma 3.2: without duplication each player just sends the top bits of its
+    exact local count; the truncated sum under-counts by at most the factor
+    α.  O(k·log log) bits, no experiments. *)
+let approx_distinct_nodup rt ~key:_ ~alpha ~elements =
+  if alpha <= 1.0 then invalid_arg "approx_distinct_nodup: alpha must exceed 1";
+  (* Keep b top bits so truncation loses < 2^{1-b} <= alpha - 1 relatively. *)
+  let b =
+    let rec go b = if Float.pow 2.0 (float_of_int (1 - b)) <= alpha -. 1.0 then b else go (b + 1) in
+    go 1
+  in
+  let replies =
+    Runtime.ask_all rt ~req:Msg.empty (fun _ input ->
+        let c = List.length (elements input) in
+        let i = msb_index c in
+        if i < 0 then Msg.tuple [ Msg.int_in ~lo:(-1) ~hi:62 (-1); Msg.int_in ~lo:0 ~hi:((1 lsl b) - 1) 0 ]
+        else begin
+          let shift = max 0 (i - b + 1) in
+          Msg.tuple
+            [ Msg.int_in ~lo:(-1) ~hi:62 i; Msg.int_in ~lo:0 ~hi:((1 lsl b) - 1) ((c lsr shift) land ((1 lsl b) - 1)) ]
+        end)
+  in
+  Array.fold_left
+    (fun acc reply ->
+      match Msg.get_tuple reply with
+      | [ idx; top ] ->
+          let i = Msg.get_int idx in
+          if i < 0 then acc
+          else begin
+            (* Truncation loses < 2^shift <= c·2^{1-b}, an under-count only. *)
+            let shift = max 0 (i - b + 1) in
+            acc + (Msg.get_int top lsl shift)
+          end
+      | _ -> invalid_arg "approx_distinct_nodup: malformed reply")
+    0 replies
+
+(** α-approximate deg(v) under duplication (Theorem 3.1 specialized). *)
+let approx_degree rt ~key ~alpha ~tau ~boost v =
+  approx_distinct rt ~key ~alpha ~tau ~boost ~elements:(fun input ->
+      Array.to_list (Graph.neighbors input v))
+
+(** α-approximate total edge count m (for the degree-oblivious driver,
+    Corollary 3.22). *)
+let approx_edge_count rt ~key ~alpha ~tau ~boost =
+  let n = Runtime.n rt in
+  approx_distinct rt ~key ~alpha ~tau ~boost ~elements:(fun input ->
+      List.map (fun (u, v) -> (u * n) + v) (Graph.edges input))

@@ -1,0 +1,43 @@
+(** Constant-factor approximate counting of the distinct elements held
+    jointly by the players — Theorem 3.1 (duplication-tolerant: MSB phase +
+    geometric guesses with shared-randomness Bernoulli experiments) and
+    Lemma 3.2 (duplication-free: truncated exact counts).  Instantiated for
+    vertex degrees and for the total edge count.
+
+    Threshold note: the paper's constant-picking passage has typos; we use
+    the statistically equivalent midpoint threshold documented in the
+    implementation header and DESIGN.md §2. *)
+
+open Tfree_comm
+open Tfree_graph
+
+(** Index of the most significant set bit; -1 for nonpositive input. *)
+val msb_index : int -> int
+
+(** The stop threshold θ and separation margin for approximation factor
+    [alpha] (both in (0,1)). *)
+val thresholds : alpha:float -> float * float
+
+(** α-approximation (probability >= 1-τ) of |∪ⱼ elements(Eⱼ)|; [elements]
+    lists a player's universe elements as integers agreed by all players.
+    [boost] scales the per-guess experiment count.  0 when nobody holds
+    anything. *)
+val approx_distinct :
+  Runtime.t ->
+  key:int ->
+  alpha:float ->
+  tau:float ->
+  boost:float ->
+  elements:(Graph.t -> int list) ->
+  int
+
+(** Lemma 3.2: without duplication, the truncated-count sum — never
+    over-counts, within factor [alpha], O(k·log log) bits, deterministic.
+    @raise Invalid_argument when [alpha <= 1]. *)
+val approx_distinct_nodup : Runtime.t -> key:int -> alpha:float -> elements:(Graph.t -> int list) -> int
+
+(** α-approximate deg(v) under duplication. *)
+val approx_degree : Runtime.t -> key:int -> alpha:float -> tau:float -> boost:float -> int -> int
+
+(** α-approximate total edge count m (Corollary 3.22's degree estimate). *)
+val approx_edge_count : Runtime.t -> key:int -> alpha:float -> tau:float -> boost:float -> int

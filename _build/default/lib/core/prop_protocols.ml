@@ -1,0 +1,78 @@
+(** Additional property-testing protocols built from the §3.1 building
+    blocks — the paper's claim that "the essential primitives used in the
+    property testing setting … are efficiently translatable into our
+    communication complexity model", demonstrated on the two properties its
+    introduction names alongside triangle-freeness ([38] proves both
+    maximally hard to decide exactly): connectivity and bipartiteness.
+
+    Both testers are one-sided with exact witnesses:
+    - [test_connectivity] rejects only after exhausting a component smaller
+      than the vertex set (a certificate of disconnection);
+    - [test_bipartiteness] rejects only after exhibiting an odd cycle all of
+      whose edges were received from players. *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_comm
+
+type connectivity_verdict =
+  | Connected_looking  (** no small component found (connected, or δ-failure) *)
+  | Disconnected of int list  (** a full component smaller than V: a certificate *)
+
+(** Connectivity tester (sparse-model style, [22]): a graph ǫ-far from
+    connected (≥ ǫ·m edge-insertions needed) has ≥ ǫ·m + 1 components, so at
+    least half its components span < 2/(ǫ·d̄) vertices each and a random
+    vertex lands in one with probability ≥ ǫ·d̄/4-ish.  Sample
+    O(1/(ǫ·d̄)·ln(1/δ)) vertices and run truncated BFS from each. *)
+let test_connectivity rt (p : Params.t) ~key =
+  let n = Runtime.n rt in
+  (* d̄ from a cheap edge-count estimate; an empty graph with n > 1 vertices
+     is maximally disconnected. *)
+  let m_hat =
+    Degree_approx.approx_edge_count rt ~key ~alpha:2.0 ~tau:(p.Params.delta /. 4.0)
+      ~boost:(Params.degree_approx_boost p)
+  in
+  if n <= 1 then Connected_looking
+  else if m_hat = 0 then Disconnected [ 0 ]
+  else begin
+    let d_bar = Float.max 0.5 (2.0 *. float_of_int m_hat /. float_of_int n) in
+    let budget = Float.max 2.0 (2.0 /. (p.Params.eps *. d_bar)) in
+    let samples =
+      max 2
+        (int_of_float
+           (Float.ceil (Float.log (2.0 /. p.Params.delta) /. p.Params.eps /. d_bar *. 4.0)))
+    in
+    let samples = min samples n in
+    let rng = Runtime.shared_rng rt ~key:(key + 1) in
+    let rec probe i =
+      if i >= samples then Connected_looking
+      else begin
+        let src = Rng.int rng n in
+        let component, exhausted = Blocks.bfs_limited rt src ~max_vertices:(int_of_float budget) in
+        if exhausted && List.length component < n then Disconnected component else probe (i + 1)
+      end
+    in
+    probe 0
+  end
+
+type bipartiteness_verdict =
+  | Bipartite_looking  (** no odd cycle found *)
+  | Odd_cycle of int list  (** an odd cycle of the input: a certificate *)
+
+(** Bipartiteness tester (dense-model style, [22]): sample a shared vertex
+    set, collect its induced subgraph (cheap here: players pay only for
+    edges that exist, §3.1), and look for an odd cycle. *)
+let test_bipartiteness rt (p : Params.t) ~key =
+  let n = Runtime.n rt in
+  let sample_size =
+    min n
+      (max 4
+         (int_of_float
+            (Float.ceil (4.0 *. Params.ln_n ~n /. p.Params.eps *. Float.log (2.0 /. p.Params.delta)))))
+  in
+  let rng = Runtime.shared_rng rt ~key in
+  let sample = Sampling.without_replacement rng n sample_size in
+  let sub = Blocks.induced_subgraph rt sample in
+  match Traversal.odd_cycle sub with
+  | Some cycle -> Odd_cycle cycle
+  | None -> Bipartite_looking

@@ -1,0 +1,23 @@
+(** Property-testing protocols for connectivity and bipartiteness built from
+    the §3.1 building blocks — demonstrating the paper's claim that the
+    standard property-testing primitives translate into the communication
+    model.  Both are one-sided with exact witnesses. *)
+
+open Tfree_comm
+
+type connectivity_verdict =
+  | Connected_looking  (** no small component found (connected, or δ-failure) *)
+  | Disconnected of int list  (** a full component smaller than V: a certificate *)
+
+(** Sparse-model connectivity tester: sample O(1/(ǫ·d̄)) vertices, truncated
+    BFS from each; rejects only on a certified small component. *)
+val test_connectivity : Runtime.t -> Params.t -> key:int -> connectivity_verdict
+
+type bipartiteness_verdict =
+  | Bipartite_looking  (** no odd cycle found *)
+  | Odd_cycle of int list  (** an odd cycle of the input: a certificate *)
+
+(** Dense-model bipartiteness tester: collect the induced subgraph of a
+    shared sample (paying only for existing edges) and search for an odd
+    cycle. *)
+val test_bipartiteness : Runtime.t -> Params.t -> key:int -> bipartiteness_verdict

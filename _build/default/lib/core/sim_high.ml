@@ -1,0 +1,53 @@
+(** Simultaneous protocol for high degrees d = Ω(√n) — Algorithm 7 (capped,
+    Theorem 3.24) and its uncapped variant Algorithm 9 used by the
+    degree-oblivious combination.
+
+    A shared random vertex set S of ~c·(n²/(ǫd))^{1/3} vertices is sampled;
+    every player sends its edges inside S (paying only for edges that exist,
+    unlike the query model); the referee looks for a triangle in the union.
+    If the graph is ǫ-far, the induced subgraph contains a triangle with
+    constant probability ([3]'s dense tester, Theorem 3.24). *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_comm
+
+(** Sample-set size |S| = c·(n²/(ǫ·d))^{1/3}; [c] grows with 1/δ. *)
+let sample_size (p : Params.t) ~n ~d =
+  let c = Params.sim_c p in
+  let raw = c *. Float.pow (float_of_int n *. float_of_int n /. (p.eps *. Float.max 1.0 d)) (1.0 /. 3.0) in
+  max 3 (min n (int_of_float (Float.ceil raw)))
+
+(** Per-player edge cap l = 4·|S|²·d/(δ·n) (Algorithm 7 step 2). *)
+let edge_cap (p : Params.t) ~n ~d ~s =
+  let l = 4.0 *. float_of_int (s * s) *. Float.max 1.0 d /. (p.delta *. float_of_int n) in
+  max 8 (int_of_float (Float.ceil l))
+
+(* Shared membership test for S: a keyed Bernoulli mark per vertex with
+   probability s/n reproduces a uniform sample of expected size s while
+   letting players test membership without materializing S. *)
+let in_sample rng ~n ~s v = Rng.hash_float rng v < float_of_int s /. float_of_int n
+
+let player_message (p : Params.t) ~d ~capped ctx _j input =
+  let n = ctx.Simultaneous.n in
+  let s = sample_size p ~n ~d in
+  let rng = Simultaneous.shared_rng ctx ~key:11 in
+  let cap = if capped then edge_cap p ~n ~d ~s else max_int in
+  let selected =
+    Graph.fold_edges input ~init:[] ~f:(fun acc u v ->
+        if in_sample rng ~n ~s u && in_sample rng ~n ~s v then (u, v) :: acc else acc)
+  in
+  let truncated = List.filteri (fun idx _ -> idx < cap) selected in
+  Msg.edges ~n truncated
+
+let referee ctx messages =
+  let n = ctx.Simultaneous.n in
+  let union = Graph.of_edges ~n (List.concat_map Msg.get_edges (Array.to_list messages)) in
+  Triangle.find union
+
+(** The protocol, for average degree [d] known to the players. *)
+let protocol ?(capped = true) (p : Params.t) ~d =
+  { Simultaneous.player = player_message p ~d ~capped; referee }
+
+let run ?(capped = true) ~seed (p : Params.t) ~d inputs =
+  Simultaneous.run ~seed (protocol ~capped p ~d) inputs

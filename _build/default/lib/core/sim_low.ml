@@ -1,0 +1,47 @@
+(** Simultaneous protocol for low degrees d = O(√n) — Algorithm 8 (capped,
+    Theorem 3.26) and its uncapped variant Algorithm 10.
+
+    Two shared random vertex sets: S (each vertex with probability min(c/d,1))
+    targets the few possibly-high-degree triangle sources, and R (probability
+    c/√n) catches the two low-degree corners of each triangle by the birthday
+    paradox.  Players send their edges with one endpoint in R and the other
+    in R ∪ S; the referee looks for a triangle in the union.  Cost
+    O(k·√n·log n) with constant error (Theorem 3.26). *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_comm
+
+let c_const (p : Params.t) = Params.sim_c p
+
+let p1 (p : Params.t) ~d = Float.min 1.0 (c_const p /. Float.max 1.0 d)
+
+let p2 (p : Params.t) ~n = Float.min 1.0 (c_const p /. sqrt (float_of_int n))
+
+(** Per-player cap q = 2c²(√n + d)·(2/δ) (Algorithm 8 step 3). *)
+let edge_cap (p : Params.t) ~n ~d =
+  let c = c_const p in
+  let q = 2.0 *. c *. c *. (sqrt (float_of_int n) +. Float.max 1.0 d) *. 2.0 /. p.delta in
+  max 8 (int_of_float (Float.ceil q))
+
+let player_message (p : Params.t) ~d ~capped ctx _j input =
+  let n = ctx.Simultaneous.n in
+  let rng_s = Simultaneous.shared_rng ctx ~key:21 in
+  let rng_r = Simultaneous.shared_rng ctx ~key:22 in
+  let in_s v = Rng.hash_float rng_s v < p1 p ~d in
+  let in_r v = Rng.hash_float rng_r v < p2 p ~n in
+  let wanted u v = (in_r u && (in_r v || in_s v)) || (in_r v && (in_r u || in_s u)) in
+  let cap = if capped then edge_cap p ~n ~d else max_int in
+  let selected = Graph.fold_edges input ~init:[] ~f:(fun acc u v -> if wanted u v then (u, v) :: acc else acc) in
+  Msg.edges ~n (List.filteri (fun idx _ -> idx < cap) selected)
+
+let referee ctx messages =
+  let n = ctx.Simultaneous.n in
+  let union = Graph.of_edges ~n (List.concat_map Msg.get_edges (Array.to_list messages)) in
+  Triangle.find union
+
+let protocol ?(capped = true) (p : Params.t) ~d =
+  { Simultaneous.player = player_message p ~d ~capped; referee }
+
+let run ?(capped = true) ~seed (p : Params.t) ~d inputs =
+  Simultaneous.run ~seed (protocol ~capped p ~d) inputs

@@ -1,0 +1,25 @@
+(** Extension (§5): simultaneous H-freeness testing for small patterns by
+    the generalized Algorithm-7 sampler — vertex sample tuned so Θ(c^h)
+    edge-disjoint H-copies survive into the induced subgraph, referee
+    searches the union for an embedding and verifies it (one-sided). *)
+
+open Tfree_comm
+open Tfree_graph
+
+(** Vertex-sample size for the pattern at average degree [d]. *)
+val sample_size : Params.t -> n:int -> d:float -> Subgraph.pattern -> int
+
+(** Per-player edge cap: (2/δ)·expected sampled-subgraph edges. *)
+val edge_cap : Params.t -> n:int -> d:float -> s:int -> int
+
+(** The protocol; the referee returns a verified embedding (pattern vertex →
+    graph vertex) or [None]. *)
+val protocol : Params.t -> d:float -> Subgraph.pattern -> int array option Simultaneous.protocol
+
+val run :
+  seed:int ->
+  Params.t ->
+  d:float ->
+  Subgraph.pattern ->
+  Partition.t ->
+  int array option Simultaneous.outcome

@@ -1,0 +1,37 @@
+(** Top-level API: test triangle-freeness of a distributed graph.
+
+    Every tester is one-sided (§3): on a triangle-free input the verdict is
+    always [Triangle_free] (no false witnesses, ever); on an ǫ-far input a
+    real triangle is found with probability >= 1-δ. *)
+
+open Tfree_graph
+open Tfree_comm
+
+type verdict =
+  | Triangle of Triangle.triangle  (** witness found: the graph has a triangle *)
+  | Triangle_free  (** nothing found: triangle-free, or the δ-failure on a far input *)
+
+type report = {
+  verdict : verdict;
+  bits : int;  (** total communication *)
+  rounds : int;  (** communication rounds (1 for simultaneous) *)
+  max_message : int;  (** largest single player message *)
+}
+
+(** Unrestricted-communication tester (§3.3), degree-oblivious:
+    O~(k·(nd)^¼ + k²) bits. *)
+val unrestricted : ?mode:Runtime.mode -> seed:int -> Params.t -> Partition.t -> report
+
+(** Simultaneous tester for known average degree [d]: Algorithm 8 when
+    d <= √n, Algorithm 7 otherwise (§3.4.2: they coincide at d = Θ(√n)). *)
+val simultaneous : seed:int -> Params.t -> d:float -> Partition.t -> report
+
+(** Degree-oblivious simultaneous tester (Algorithm 11). *)
+val simultaneous_oblivious : seed:int -> Params.t -> Partition.t -> report
+
+(** Exact baseline [38]: always correct, Θ(k·n·d) bits. *)
+val exact : seed:int -> Partition.t -> report
+
+(** Repeat a randomized tester with independent seeds; any found triangle
+    wins (sound by one-sidedness).  Bits are summed over the runs made. *)
+val amplify : reps:int -> seed:int -> (seed:int -> report) -> report

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Bucket Common Float Gen Graph Hashtbl List Option Partition Rng Stats Table Tfree Tfree_comm Tfree_graph Tfree_lowerbound Tfree_util

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Gen Partition Printf Rng Stats Table Tfree Tfree_graph Tfree_util

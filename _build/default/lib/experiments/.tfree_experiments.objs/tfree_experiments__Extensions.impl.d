@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Behrend Common Gen Graph List Option Partition Printf Rng Stats Subgraph Table Tfree Tfree_comm Tfree_congest Tfree_graph Tfree_util Triangle

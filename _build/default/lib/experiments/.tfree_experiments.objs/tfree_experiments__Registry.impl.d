@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Common Extensions List Lower_bounds Table Tfree_util Upper_bounds

@@ -1,0 +1,1 @@
+lib/experiments/upper_bounds.ml: Common Float Gen Graph List Option Partition Printf Table Tfree Tfree_comm Tfree_graph Tfree_util

@@ -1,0 +1,52 @@
+(** Shared machinery for the experiment harness (DESIGN.md §4).
+
+    Every experiment produces one or more {!Tfree_util.Table.t} rendering the
+    measured quantities next to the paper's predicted shape; EXPERIMENTS.md
+    quotes the small-scale outputs produced by [bench/main.exe].  All
+    experiments run at two scales: [Small] (seconds, used by the bench
+    executable) and [Big] (minutes, via the CLI). *)
+
+open Tfree_util
+open Tfree_graph
+
+type scale = Small | Big
+
+let reps = function Small -> 5 | Big -> 15
+
+(** Mean communication bits of [run : seed -> int] over [reps] seeds, with
+    the detection count (every experiment also tracks correctness). *)
+let mean_bits ~reps run =
+  let bits = ref [] and hits = ref 0 in
+  for s = 1 to reps do
+    let b, found = run s in
+    bits := float_of_int b :: !bits;
+    if found then incr hits
+  done;
+  (Stats.mean !bits, float_of_int !hits /. float_of_int reps)
+
+let found_of_report (r : Tfree.Tester.report) =
+  match r.Tfree.Tester.verdict with Tfree.Tester.Triangle _ -> true | Tfree.Tester.Triangle_free -> false
+
+(** A far instance at (n, d) partitioned over k players with mild
+    duplication, seeded deterministically. *)
+let far_instance ~n ~d ~k ~dup seed =
+  let rng = Rng.create (914_771 * seed) in
+  let g = Gen.far_with_degree rng ~n ~d ~eps:0.1 in
+  let parts =
+    if dup then Partition.with_duplication rng ~k ~dup_p:0.3 g else Partition.disjoint_random rng ~k g
+  in
+  (g, parts)
+
+(** Fit the log–log exponent of (n, bits) points. *)
+let exponent pts = (Stats.loglog_exponent pts).Stats.slope
+
+let fmt_exp e = Table.fcell ~prec:2 e
+
+(** Build the standard scaling table: one row per n, closing with the fitted
+    exponent row. *)
+let scaling_table ~title ~claim rows_with_fit =
+  let rows, pts = rows_with_fit in
+  let fit = exponent pts in
+  Table.make ~title
+    ~header:[ "n"; "d"; "k"; "mean bits"; "success" ]
+    (rows @ [ [ "fit"; "-"; "-"; Printf.sprintf "n^%s" (fmt_exp fit); claim ] ])

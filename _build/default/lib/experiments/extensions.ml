@@ -1,0 +1,192 @@
+(** Experiments E16–E18: the extension features and parameter-sensitivity
+    ablations (not rows of Table 1, but claims of §5 and of the parameter
+    discussion in §2/§3). *)
+
+open Tfree_util
+open Tfree_graph
+
+let params = Tfree.Params.practical
+
+(* ------------------------------------------------------------------ E16 *)
+
+(** E16: H-freeness extension (§5): the generalized Algorithm-7 sampler for
+    4-vertex patterns.  Cost per n should sit above the triangle protocol's
+    (the sample must be denser for 4-vertex copies: n^{1-?/h} scaling), with
+    detection preserved. *)
+let e16_subgraph scale =
+  let sizes = match scale with Common.Small -> [ 300; 600; 1200 ] | Common.Big -> [ 600; 1200; 2400; 4800 ] in
+  let reps = Common.reps scale in
+  let run_pattern pattern ~copies_frac n =
+    let rng = Rng.create (112_000 + n) in
+    let copies = max 2 (int_of_float (copies_frac *. float_of_int n)) in
+    let g = Gen.planted_pattern_far rng ~n ~pattern ~copies ~noise:(n / 8) in
+    let parts = Partition.with_duplication rng ~k:4 ~dup_p:0.3 g in
+    let bits = ref [] and hits = ref 0 in
+    for s = 1 to reps do
+      let o = Tfree.Sim_subgraph.run ~seed:s params ~d:(Graph.avg_degree g) pattern parts in
+      bits := float_of_int o.Tfree_comm.Simultaneous.total_bits :: !bits;
+      match o.Tfree_comm.Simultaneous.result with
+      | Some a -> if Subgraph.is_embedding g pattern a then incr hits
+      | None -> ()
+    done;
+    (Stats.mean !bits, float_of_int !hits /. float_of_int reps)
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (pattern, frac) ->
+            let bits, rate = run_pattern pattern ~copies_frac:frac n in
+            [ string_of_int n; pattern.Subgraph.name; Table.fcell ~prec:0 bits; Table.fcell rate ])
+          [ (Subgraph.triangle, 0.12); (Subgraph.four_cycle, 0.10); (Subgraph.four_clique, 0.08) ])
+      sizes
+  in
+  [ Table.make
+      ~title:"E16 H-freeness extension (§5): generalized simultaneous sampler, 3- vs 4-vertex patterns"
+      ~header:[ "n"; "pattern"; "mean bits"; "success" ]
+      rows ]
+
+(* ------------------------------------------------------------------ E17 *)
+
+(** E17: ǫ-sensitivity — the simultaneous protocols' sample sizes scale as
+    poly(1/ǫ), so cost rises and detection holds as instances get closer to
+    triangle-free. *)
+let e17_eps_sweep scale =
+  let n = 2000 and k = 4 in
+  let reps = Common.reps scale in
+  let rows =
+    List.map
+      (fun eps ->
+        let p = Tfree.Params.(with_eps practical eps) in
+        let bits = ref [] and hits = ref 0 in
+        for s = 1 to reps do
+          let rng = Rng.create (123_000 + s) in
+          let g = Gen.far_with_degree rng ~n ~d:6.0 ~eps in
+          let parts = Partition.disjoint_random rng ~k g in
+          let o = Tfree.Sim_low.run ~seed:s p ~d:(Graph.avg_degree g) parts in
+          bits := float_of_int o.Tfree_comm.Simultaneous.total_bits :: !bits;
+          if Option.is_some o.Tfree_comm.Simultaneous.result then incr hits
+        done;
+        [ Table.fcell eps; Table.fcell ~prec:0 (Stats.mean !bits); Table.fcell (float_of_int !hits /. float_of_int reps) ])
+      [ 0.2; 0.1; 0.05; 0.025 ]
+  in
+  [ Table.make
+      ~title:"E17 ǫ-sensitivity of sim-low at n=2000, d=6 (cost grows as ǫ shrinks; detection maintained)"
+      ~header:[ "eps"; "mean bits"; "success" ]
+      rows ]
+
+(* ------------------------------------------------------------------ E19 *)
+
+(** E19: the CONGEST tester of [10] (the paper's motivating model): rounds
+    to detect scale like 1/ǫ² at fixed n and stay flat in n at fixed ǫ,
+    with O(log n)-bit messages throughout. *)
+let e19_congest scale =
+  let reps = match scale with Common.Small -> 9 | Common.Big -> 21 in
+  (* Diluted instances: farness ≈ 1/(3·(D+1)) and each corner's probe hits
+     with probability ~2/D², isolating the 1/ǫ² round dependence. *)
+  let median_rounds ~triangles ~extra_degree =
+    let rounds = ref [] in
+    for s = 1 to reps do
+      let rng = Rng.create (134_000 + (7 * s) + extra_degree) in
+      let g = Gen.diluted_far rng ~triangles ~extra_degree in
+      match Tfree_congest.Triangle_tester.rounds_to_detect g ~seed:s ~max_rounds:262_144 with
+      | Some r -> rounds := float_of_int r :: !rounds
+      | None -> ()
+    done;
+    Stats.median !rounds
+  in
+  let rows = ref [] and pts = ref [] in
+  List.iter
+    (fun extra_degree ->
+      let eps = 1.0 /. (3.0 *. float_of_int (extra_degree + 1)) in
+      let med = median_rounds ~triangles:6 ~extra_degree in
+      rows := [ Table.fcell ~prec:3 eps; string_of_int extra_degree; Table.fcell ~prec:0 med ] :: !rows;
+      pts := (1.0 /. eps, med) :: !pts)
+    [ 4; 8; 16; 32 ];
+  let fit = Common.exponent (List.rev !pts) in
+  [ Table.make
+      ~title:
+        "E19 CONGEST tester [10] on diluted instances: median rounds vs ǫ (paper context: O(1/ǫ²) \
+         rounds, O(log n)-bit messages)"
+      ~header:[ "eps"; "distractor degree"; "median rounds" ]
+      (List.rev !rows
+      @ [ [ "fit"; "-"; Printf.sprintf "(1/eps)^%s vs paper <= (1/eps)^2" (Common.fmt_exp fit) ] ]) ]
+
+(* ------------------------------------------------------------------ E20 *)
+
+(** E20: Behrend instances (§5): Θ(1)-far with the minimum triangle count —
+    triangle count equals the edge-disjoint packing exactly (no slack),
+    unlike random far graphs where the count dwarfs the packing.  The
+    protocols still detect (there are m/3 planted triangles), which is why
+    the paper expects dense lower bounds to need a more sophisticated use of
+    these graphs. *)
+let e20_behrend scale =
+  ignore scale;
+  let rng = Rng.create 145_000 in
+  let rows =
+    List.map
+      (fun (base, digits) ->
+        let t = Behrend.instance ~rng ~base ~digits () in
+        let g = t.Behrend.graph in
+        let n = Graph.n g in
+        let count = Triangle.count g in
+        let packing = List.length (Triangle.greedy_packing g) in
+        (* a random far graph of the same size for contrast *)
+        let gr = Gen.gnp (Rng.split rng base) ~n ~p:(2.2 /. sqrt (float_of_int n)) in
+        let rnd_count = Triangle.count gr in
+        let rnd_packing = List.length (Triangle.greedy_packing gr) in
+        (* the sim tester on the Behrend instance *)
+        let parts = Partition.disjoint_random rng ~k:3 g in
+        let hits = ref 0 and bits = ref [] in
+        for s = 1 to 8 do
+          let o = Tfree.Sim_low.run ~seed:s params ~d:(Graph.avg_degree g) parts in
+          bits := float_of_int o.Tfree_comm.Simultaneous.total_bits :: !bits;
+          if Option.is_some o.Tfree_comm.Simultaneous.result then incr hits
+        done;
+        [
+          string_of_int n;
+          string_of_int (Graph.m g);
+          Printf.sprintf "%d=%d" count packing;
+          string_of_bool (count = packing && 3 * count = Graph.m g);
+          Printf.sprintf "%d>%d" rnd_count rnd_packing;
+          Printf.sprintf "%d/8 @ %.0f bits" !hits (Stats.mean !bits);
+        ])
+      [ (2, 2); (3, 2); (3, 3) ]
+  in
+  [ Table.make
+      ~title:
+        "E20 Behrend instances (§5): far with count=packing=m/3 exactly; random far graphs have \
+         count >> packing"
+      ~header:[ "n"; "m"; "behrend count=packing"; "minimal"; "random count>packing"; "sim detection" ]
+      rows ]
+
+(* ------------------------------------------------------------------ E18 *)
+
+(** E18: profile ablation — the literal paper constants vs the practical
+    profile on a small instance (the paper profile is orders of magnitude
+    more conservative at the same correctness). *)
+let e18_profiles scale =
+  ignore scale;
+  let n = 240 and k = 3 in
+  let rng = Rng.create 321 in
+  let g = Gen.far_with_degree rng ~n ~d:5.0 ~eps:0.2 in
+  let parts = Partition.disjoint_random rng ~k g in
+  let d = Graph.avg_degree g in
+  let run p =
+    let o = Tfree.Sim_low.run ~seed:5 p ~d parts in
+    (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result)
+  in
+  let paper_p = Tfree.Params.(with_eps paper 0.2) in
+  let pract_p = Tfree.Params.(with_eps practical 0.2) in
+  let paper_bits, paper_ok = run paper_p in
+  let pract_bits, pract_ok = run pract_p in
+  (* the unrestricted protocol's candidate-sampling budgets under each *)
+  let q_paper = Tfree.Params.bucket_samples paper_p ~k ~n in
+  let q_pract = Tfree.Params.bucket_samples pract_p ~k ~n in
+  [ Table.make
+      ~title:"E18 profile ablation at n=240 (paper constants vs practical; same asymptotic terms)"
+      ~header:[ "profile"; "sim-low bits"; "found"; "Alg-3 samples/bucket (q)" ]
+      [
+        [ "paper"; string_of_int paper_bits; string_of_bool paper_ok; string_of_int q_paper ];
+        [ "practical"; string_of_int pract_bits; string_of_bool pract_ok; string_of_int q_pract ];
+      ] ]

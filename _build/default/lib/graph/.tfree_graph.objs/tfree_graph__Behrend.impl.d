@@ -1,0 +1,1 @@
+lib/graph/behrend.ml: Array Float Graph Hashtbl List Sampling Tfree_util

@@ -1,0 +1,1 @@
+lib/graph/behrend.mli: Graph Tfree_util

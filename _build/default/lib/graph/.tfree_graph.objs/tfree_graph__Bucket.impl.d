@@ -1,0 +1,1 @@
+lib/graph/bucket.ml: Array Float Graph List Tfree_util Triangle

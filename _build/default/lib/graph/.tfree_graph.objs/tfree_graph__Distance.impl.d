@@ -1,0 +1,1 @@
+lib/graph/distance.ml: Graph Hashtbl List Triangle

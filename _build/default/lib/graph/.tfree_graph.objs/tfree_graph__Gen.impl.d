@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Float Graph Hashtbl List Sampling Subgraph Tfree_util

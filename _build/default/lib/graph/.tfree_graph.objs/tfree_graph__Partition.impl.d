@@ -1,0 +1,1 @@
+lib/graph/partition.ml: Array Graph Hashtbl List Rng Tfree_util

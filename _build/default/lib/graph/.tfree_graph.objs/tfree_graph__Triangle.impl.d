@@ -1,0 +1,1 @@
+lib/graph/triangle.ml: Array Graph Hashtbl List Option

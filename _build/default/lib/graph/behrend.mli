@@ -1,0 +1,29 @@
+(** Behrend graphs — the triangle-removal-lemma instances §5 expects
+    dense-regime lower bounds to need: Θ(1)-far from triangle-free with the
+    minimum possible triangle count (every edge in exactly one triangle). *)
+
+(** The largest spherical shell of {0..base-1}^digits encoded in radix
+    2·base: a 3-AP-free subset of [(2·base)^digits].
+    @raise Invalid_argument for base < 2 or digits < 1. *)
+val ap_free_set : base:int -> digits:int -> int list
+
+(** O(|S|²) check for non-trivial 3-term arithmetic progressions. *)
+val is_ap_free : int list -> bool
+
+type t = {
+  graph : Graph.t;
+  m_param : int;  (** M: the part-size parameter (parts M, 2M, 3M) *)
+  set_size : int;  (** |S| *)
+  planted : int;  (** M·|S| — the complete, edge-disjoint triangle set *)
+}
+
+(** The tripartite Behrend graph of a 3-AP-free set over [M]: 6·M vertices,
+    3·M·|S| edges, exactly M·|S| pairwise edge-disjoint triangles.
+    @raise Invalid_argument when the set leaves [0, M). *)
+val graph_of_set : m_param:int -> int list -> t
+
+(** Instance sized by (base, digits), optionally label-shuffled. *)
+val instance : ?rng:Tfree_util.Rng.t -> base:int -> digits:int -> unit -> t
+
+(** planted / m — exactly 1/3 by construction. *)
+val triangles_per_edge : t -> float

@@ -1,0 +1,48 @@
+(** Degree bucketing and the input analysis of §3.2 (Definitions 4–8,
+    Lemmas 3.4–3.13).  Bucket [i] holds the vertices of degree in
+    [3^i, 3^{i+1}); isolated vertices belong to no bucket. *)
+
+(** Bucket index of a positive degree.
+    @raise Invalid_argument on nonpositive degrees. *)
+val index_of_degree : int -> int
+
+(** Lower degree bound of bucket [i]: 3^i. *)
+val d_minus : int -> int
+
+(** Upper degree bound (exclusive) of bucket [i]: 3^{i+1}. *)
+val d_plus : int -> int
+
+(** Number of bucket indices needed for an n-vertex graph. *)
+val count : n:int -> int
+
+(** Vertex lists per bucket index. *)
+val members : Graph.t -> int list array
+
+(** The full-vertex edge-fraction threshold ǫ/(12·log n) (Definition 5). *)
+val full_vertex_threshold : n:int -> eps:float -> float
+
+(** Is at least an ǫ/(12·log n) fraction of v's incident edges covered by
+    disjoint vees (Definition 5)? *)
+val is_full_vertex : Graph.t -> eps:float -> int -> bool
+
+val full_vertices : Graph.t -> eps:float -> int list
+
+(** Disjoint triangle-vees sourced at the given vertices (the paper's
+    disjointness: edge-disjoint or distinct sources). *)
+val disjoint_vees_in : Graph.t -> int list -> int
+
+(** The full-bucket threshold ǫ·n·d/(2·log n) (Definition 4). *)
+val full_bucket_threshold : Graph.t -> eps:float -> float
+
+val is_full_bucket : Graph.t -> eps:float -> int list -> bool
+
+(** Index of the lowest-degree full bucket, if any (B_min). *)
+val b_min : Graph.t -> eps:float -> int option
+
+(** The degree window [d_l, d_h] of Definitions 7–8 within which B_min must
+    fall (Lemma 3.12). *)
+val degree_window : Graph.t -> eps:float -> float * float
+
+(** Does a player observing local degree [dj_v] suspect bucket [i]
+    (membership in B̃ʲᵢ, §3.3): 3^i/k <= dj_v <= 3^{i+1}? *)
+val suspects : k:int -> i:int -> int -> bool

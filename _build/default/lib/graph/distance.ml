@@ -1,0 +1,63 @@
+(** Distance to triangle-freeness.
+
+    A graph is ǫ-far from triangle-free when at least ǫ·m edges must be
+    removed to destroy every triangle.  Computing that distance exactly is
+    NP-hard in general, but the reproduction only ever needs certified
+    bounds:
+
+    - {b lower bound}: any edge-disjoint triangle packing of size t forces at
+      least t removals (each packed triangle loses >= 1 private edge);
+    - {b upper bound}: any hitting set of edges that meets all triangles is a
+      valid removal set; we take the greedy one.
+
+    Generators plant instances whose farness is known by construction; these
+    bounds serve as independent verification in tests and experiments. *)
+
+(** Removals forced by the greedy packing. *)
+let removal_lower_bound g = List.length (Triangle.greedy_packing g)
+
+(** Greedy hitting set: repeatedly delete the edge participating in the most
+    remaining triangles.  Returns the number of edges removed. *)
+let removal_upper_bound g =
+  let rec loop g removed =
+    match Triangle.find g with
+    | None -> removed
+    | Some _ ->
+        (* Count triangle participation per edge, remove the max. *)
+        let counts : (Graph.edge, int ref) Hashtbl.t = Hashtbl.create 64 in
+        let bump e =
+          match Hashtbl.find_opt counts e with
+          | Some r -> incr r
+          | None -> Hashtbl.add counts e (ref 1)
+        in
+        Triangle.iter g (fun a b c ->
+            bump (Graph.normalize_edge (a, b));
+            bump (Graph.normalize_edge (b, c));
+            bump (Graph.normalize_edge (a, c)));
+        let best =
+          Hashtbl.fold
+            (fun e r acc ->
+              match acc with
+              | Some (_, n) when n >= !r -> acc
+              | _ -> Some (e, !r))
+            counts None
+        in
+        (match best with
+        | None -> removed
+        | Some ((u, v), _) -> loop (Graph.filter_edges g (fun a b -> not (a = u && b = v))) (removed + 1))
+  in
+  loop g 0
+
+(** Certified check that [g] is ǫ-far: the packing lower bound alone
+    suffices.  [false] means "not certified", not "close". *)
+let certified_far g ~eps =
+  float_of_int (removal_lower_bound g) >= eps *. float_of_int (Graph.m g)
+
+(** Certified check that removing fewer than ǫ·m edges suffices, i.e. [g] is
+    certainly NOT ǫ-far. *)
+let certified_close g ~eps = float_of_int (removal_upper_bound g) < eps *. float_of_int (Graph.m g)
+
+(** Best-known farness interval [lo, hi] as fractions of m. *)
+let farness_interval g =
+  let m = float_of_int (max 1 (Graph.m g)) in
+  (float_of_int (removal_lower_bound g) /. m, float_of_int (removal_upper_bound g) /. m)

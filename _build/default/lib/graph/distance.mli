@@ -1,0 +1,19 @@
+(** Certified bounds on the distance to triangle-freeness (the exact distance
+    is NP-hard): a packing lower bound and a greedy hitting-set upper bound.
+    A graph is ǫ-far when at least ǫ·m edge removals are needed (§2). *)
+
+(** Removals forced by the greedy edge-disjoint packing (lower bound). *)
+val removal_lower_bound : Graph.t -> int
+
+(** Size of a greedy triangle-hitting edge set (upper bound). *)
+val removal_upper_bound : Graph.t -> int
+
+(** Is the graph certifiably ǫ-far?  [false] means "not certified by the
+    packing bound", not "close". *)
+val certified_far : Graph.t -> eps:float -> bool
+
+(** Is the graph certifiably NOT ǫ-far (greedy removal set below ǫ·m)? *)
+val certified_close : Graph.t -> eps:float -> bool
+
+(** Best-known farness interval [lo, hi], as fractions of m. *)
+val farness_interval : Graph.t -> float * float

@@ -1,0 +1,70 @@
+(** Graph generators: every input family used by the paper's analysis and the
+    experiments.  [planted_far], [hub_far] and [planted_pattern_far] have
+    farness known by construction (their complete triangle / pattern set is
+    the planted edge-disjoint family); random families are far w.h.p.
+    (Lemma 4.5) and are certified by {!Distance} in tests. *)
+
+open Tfree_util
+
+(** Erdős–Rényi G(n, p). *)
+val gnp : Rng.t -> n:int -> p:float -> Graph.t
+
+(** Uniform graph with exactly [m] edges. *)
+val gnm : Rng.t -> n:int -> m:int -> Graph.t
+
+(** Tripartite random graph on three parts of [part] vertices (3·part total),
+    each cross-part pair an edge iid with probability [p] — the hard
+    distribution µ of §4.2.1 when p = γ/√n. *)
+val tripartite_gnp : Rng.t -> part:int -> p:float -> Graph.t
+
+(** Triangle-free bipartite noise among the given vertices (split in halves,
+    cross pairs iid with probability [p]); returns the edges. *)
+val bipartite_noise : Rng.t -> int list -> p:float -> (int * int) list
+
+(** [triangles] vertex-disjoint planted triangles plus ~[noise] bipartite
+    edges on the remaining vertices; the triangle set is exactly the planted
+    family.  @raise Invalid_argument when 3·triangles > n. *)
+val planted_far : Rng.t -> n:int -> triangles:int -> noise:int -> Graph.t
+
+(** The adversarial low-degree instance of §3.4.2: [pairs] edge-disjoint
+    triangles all sourced at [hubs] high-degree vertices. *)
+val hub_far : Rng.t -> n:int -> hubs:int -> pairs:int -> Graph.t
+
+(** Triangle factors on three parts of [n_part] vertices starting at vertex
+    [offset]: [rounds] random tripartite perfect matchings of triangles.
+    Returns (edges, lower bound on the edge-disjoint triangle count). *)
+val tripartite_planted : Rng.t -> n_part:int -> rounds:int -> int -> (int * int) list * int
+
+(** ǫ-far instance at target average degree [d] (vertex-disjoint planting for
+    small d, triangle factors for large d, plus triangle-free noise). *)
+val far_with_degree : Rng.t -> n:int -> d:float -> eps:float -> Graph.t
+
+(** [copies] vertex-disjoint copies of [pattern] plus matching noise (which
+    contains no copy of any connected pattern on >= 3 vertices).
+    @raise Invalid_argument when copies·|V(pattern)| > n. *)
+val planted_pattern_far :
+  Rng.t -> n:int -> pattern:Subgraph.pattern -> copies:int -> noise:int -> Graph.t
+
+(** [triangles] vertex-disjoint triangles with [extra_degree] distractor
+    leaves on every corner: probe-based testers hit a corner's vee with
+    probability only ~2/extra_degree²; farness ≈ 1/(3·(extra_degree+1)).
+    3·triangles·(1+extra_degree) vertices. *)
+val diluted_far : Rng.t -> triangles:int -> extra_degree:int -> Graph.t
+
+(** Triangle-free (bipartite) graph with average degree ≈ d. *)
+val free_with_degree : Rng.t -> n:int -> d:float -> Graph.t
+
+(** Lemma 4.17 embedding: pad with isolated vertices up to [n] and shuffle
+    labels; triangles and farness-in-edges are preserved.
+    @raise Invalid_argument when [n] is smaller than the source. *)
+val embed : Rng.t -> Graph.t -> n:int -> Graph.t
+
+val shuffle_labels : Rng.t -> Graph.t -> Graph.t
+
+(** Deterministic small graphs for tests and examples. *)
+
+val complete : n:int -> Graph.t
+val cycle : n:int -> Graph.t
+val path : n:int -> Graph.t
+val star : n:int -> Graph.t
+val complete_bipartite : left:int -> right:int -> Graph.t

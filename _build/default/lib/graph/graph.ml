@@ -1,0 +1,114 @@
+type t = { n : int; adj : int array array; m : int }
+
+type edge = int * int
+
+let normalize_edge (u, v) = if u <= v then (u, v) else (v, u)
+
+let check_vertex n v =
+  if v < 0 || v >= n then invalid_arg (Printf.sprintf "Graph: vertex %d out of range [0,%d)" v n)
+
+let of_edges ~n edges =
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check_vertex n u;
+      check_vertex n v;
+      if u <> v then begin
+        let u, v = normalize_edge (u, v) in
+        buckets.(u) <- v :: buckets.(u);
+        buckets.(v) <- u :: buckets.(v)
+      end)
+    edges;
+  let dedup_sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let len = Array.length a in
+    if len = 0 then [||]
+    else begin
+      let out = Array.make len a.(0) in
+      let k = ref 1 in
+      for i = 1 to len - 1 do
+        if a.(i) <> a.(i - 1) then begin
+          out.(!k) <- a.(i);
+          incr k
+        end
+      done;
+      Array.sub out 0 !k
+    end
+  in
+  let adj = Array.map dedup_sorted buckets in
+  let deg_sum = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj in
+  { n; adj; m = deg_sum / 2 }
+
+let empty ~n = { n; adj = Array.make n [||]; m = 0 }
+
+let n g = g.n
+let m g = g.m
+
+let avg_degree g = if g.n = 0 then 0.0 else 2.0 *. float_of_int g.m /. float_of_int g.n
+
+let degree g v =
+  check_vertex g.n v;
+  Array.length g.adj.(v)
+
+let neighbors g v =
+  check_vertex g.n v;
+  g.adj.(v)
+
+(* Binary search in a sorted adjacency array. *)
+let mem_sorted a x =
+  let rec go lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      let y = a.(mid) in
+      if y = x then true else if y < x then go (mid + 1) hi else go lo mid
+    end
+  in
+  go 0 (Array.length a)
+
+let mem_edge g u v =
+  check_vertex g.n u;
+  check_vertex g.n v;
+  if u = v then false
+  else begin
+    (* Probe the smaller adjacency list. *)
+    let a, x = if degree g u <= degree g v then (g.adj.(u), v) else (g.adj.(v), u) in
+    mem_sorted a x
+  end
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun u v -> acc := f !acc u v);
+  !acc
+
+let edges g = List.rev (fold_edges g ~init:[] ~f:(fun acc u v -> (u, v) :: acc))
+
+let union g1 g2 =
+  if g1.n <> g2.n then invalid_arg "Graph.union: vertex counts differ";
+  of_edges ~n:g1.n (edges g1 @ edges g2)
+
+let union_list ~n gs = of_edges ~n (List.concat_map edges gs)
+
+let induced g vs =
+  let keep = Array.make g.n false in
+  List.iter (fun v -> check_vertex g.n v; keep.(v) <- true) vs;
+  of_edges ~n:g.n (List.filter (fun (u, v) -> keep.(u) && keep.(v)) (edges g))
+
+let filter_edges g f = of_edges ~n:g.n (List.filter (fun (u, v) -> f u v) (edges g))
+
+let relabel g perm =
+  if Array.length perm <> g.n then invalid_arg "Graph.relabel: permutation size mismatch";
+  of_edges ~n:g.n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+
+let equal g1 g2 = g1.n = g2.n && g1.m = g2.m && g1.adj = g2.adj
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d@," g.n g.m;
+  iter_edges g (fun u v -> Format.fprintf fmt "%d-%d@," u v);
+  Format.fprintf fmt "@]"

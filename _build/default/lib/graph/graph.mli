@@ -1,0 +1,65 @@
+(** Undirected simple graphs on vertices [0 .. n-1], the common substrate for
+    the whole reproduction.
+
+    The representation is immutable after construction: sorted adjacency
+    arrays, giving O(log deg) edge membership, O(1) degree queries and cheap
+    set intersections (the triangle algorithms rely on all three).  A player's
+    private input in the communication protocols is itself a [t] on the same
+    vertex set, so every local operation a player performs is a plain graph
+    operation. *)
+
+type t
+
+(** An edge is normalized as [(u, v)] with [u < v]. *)
+type edge = int * int
+
+val normalize_edge : int * int -> edge
+
+(** [of_edges ~n edges] builds a graph; duplicate edges and self-loops are
+    dropped.  Raises [Invalid_argument] on out-of-range endpoints. *)
+val of_edges : n:int -> (int * int) list -> t
+
+val empty : n:int -> t
+
+(** Number of vertices. *)
+val n : t -> int
+
+(** Number of edges. *)
+val m : t -> int
+
+(** Average degree 2m/n (0 for the empty vertex set). *)
+val avg_degree : t -> float
+
+val degree : t -> int -> int
+
+(** Sorted array of neighbours; physically shared, do not mutate. *)
+val neighbors : t -> int -> int array
+
+val mem_edge : t -> int -> int -> bool
+
+(** All edges, each once, normalized, in lexicographic order. *)
+val edges : t -> edge list
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+
+(** Union of edge sets (same [n] required). *)
+val union : t -> t -> t
+
+val union_list : n:int -> t list -> t
+
+(** Subgraph keeping only edges with both endpoints in the given set. *)
+val induced : t -> int list -> t
+
+(** Subgraph keeping edges on which [f u v] holds. *)
+val filter_edges : t -> (int -> int -> bool) -> t
+
+(** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
+    permutation of [0 .. n-1]. *)
+val relabel : t -> int array -> t
+
+(** Structural equality of edge sets. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+(** Dividing an input graph between k players (§2, "Communication complexity
+    of property testing in graphs").
+
+    A partition is an array of k graphs on the same vertex set whose union is
+    the input.  The model explicitly allows {e edge duplication} — several
+    players may hold the same edge — and gives no locality guarantee (a
+    vertex's edges may be spread over all players), so we provide partitioners
+    covering the whole spectrum the paper discusses: disjoint random,
+    duplicated, endpoint-local, skewed, and the degenerate all-to-one. *)
+
+open Tfree_util
+
+type t = Graph.t array
+
+let k (p : t) = Array.length p
+
+let n (p : t) = if Array.length p = 0 then 0 else Graph.n p.(0)
+
+(** Reassemble the underlying input graph. *)
+let union (p : t) = Graph.union_list ~n:(n p) (Array.to_list p)
+
+let player (p : t) j = p.(j)
+
+let of_assignment ~n ~k assign =
+  let buckets = Array.make k [] in
+  List.iter (fun (j, e) -> buckets.(j) <- e :: buckets.(j)) assign;
+  Array.map (fun es -> Graph.of_edges ~n es) buckets
+
+(** Each edge goes to exactly one uniformly random player. *)
+let disjoint_random rng ~k g =
+  let n = Graph.n g in
+  of_assignment ~n ~k (List.map (fun e -> (Rng.int rng k, e)) (Graph.edges g))
+
+(** Each edge goes to one uniform owner, and additionally to every other
+    player independently with probability [dup_p] — the duplication regime. *)
+let with_duplication rng ~k ~dup_p g =
+  let n = Graph.n g in
+  let assign =
+    List.concat_map
+      (fun e ->
+        let owner = Rng.int rng k in
+        let copies =
+          List.filter_map
+            (fun j -> if j <> owner && Rng.bool rng ~p:dup_p then Some (j, e) else None)
+            (List.init k (fun j -> j))
+        in
+        (owner, e) :: copies)
+      (Graph.edges g)
+  in
+  of_assignment ~n ~k assign
+
+(** Every player receives the whole graph: worst-case duplication. *)
+let replicate ~k g = Array.init k (fun _ -> g)
+
+(** Edge (u, v) assigned to the player owning its lower endpoint (hashed):
+    a locality-flavoured partition (closest to CONGEST-style inputs). *)
+let by_endpoint_hash rng ~k g =
+  let n = Graph.n g in
+  let salt = Rng.int rng 1_000_000_007 in
+  let owner v = (v + salt) mod k in
+  of_assignment ~n ~k (List.map (fun (u, v) -> (owner u, (u, v))) (Graph.edges g))
+
+(** Player 0 receives each edge with probability [bias]; the rest is spread
+    uniformly — exercises the "irrelevant player" analysis of §3.4.3. *)
+let skewed rng ~k ~bias g =
+  let n = Graph.n g in
+  let assign =
+    List.map
+      (fun e ->
+        if Rng.bool rng ~p:bias then (0, e)
+        else ((1 + Rng.int rng (max 1 (k - 1))), e))
+      (Graph.edges g)
+  in
+  of_assignment ~n ~k assign
+
+let all_to_one ~k g =
+  Array.init k (fun j -> if j = 0 then g else Graph.empty ~n:(Graph.n g))
+
+(** Do the players' inputs overlap anywhere? *)
+let has_duplication (p : t) =
+  let seen : (Graph.edge, unit) Hashtbl.t = Hashtbl.create 64 in
+  Array.exists
+    (fun g ->
+      Graph.fold_edges g ~init:false ~f:(fun acc u v ->
+          let e = (u, v) in
+          if Hashtbl.mem seen e then true
+          else begin
+            Hashtbl.replace seen e ();
+            acc
+          end))
+    p

@@ -1,0 +1,39 @@
+(** Dividing an input graph between k players (§2).  A partition is an array
+    of k graphs on the same vertex set whose union is the input; {e edge
+    duplication} (several players holding the same edge) is allowed, and no
+    locality is guaranteed. *)
+
+type t = Graph.t array
+
+val k : t -> int
+
+(** Vertex count of the underlying graph (0 for zero players). *)
+val n : t -> int
+
+(** Reassemble the input graph as the union of all players' edges. *)
+val union : t -> Graph.t
+
+val player : t -> int -> Graph.t
+
+(** Each edge to exactly one uniformly random player. *)
+val disjoint_random : Tfree_util.Rng.t -> k:int -> Graph.t -> t
+
+(** One uniform owner per edge, plus an independent copy to every other
+    player with probability [dup_p] — the duplication regime. *)
+val with_duplication : Tfree_util.Rng.t -> k:int -> dup_p:float -> Graph.t -> t
+
+(** Every player holds the whole graph (worst-case duplication). *)
+val replicate : k:int -> Graph.t -> t
+
+(** Edge assigned by a hash of its lower endpoint: locality-flavoured. *)
+val by_endpoint_hash : Tfree_util.Rng.t -> k:int -> Graph.t -> t
+
+(** Player 0 takes each edge with probability [bias]; the rest spread
+    uniformly — exercises the relevant/irrelevant-player analysis (§3.4.3). *)
+val skewed : Tfree_util.Rng.t -> k:int -> bias:float -> Graph.t -> t
+
+(** Player 0 holds everything, the others nothing. *)
+val all_to_one : k:int -> Graph.t -> t
+
+(** Do any two players share an edge? *)
+val has_duplication : t -> bool

@@ -1,0 +1,55 @@
+(** Triangle machinery: detection, enumeration, counting, greedy edge-disjoint
+    packing, and the paper's triangle-vee notions (Definitions 2 and 3).
+
+    Enumeration is the forward algorithm over a degree order: every triangle
+    reported exactly once, O(m^{3/2}) time. *)
+
+type triangle = int * int * int
+
+(** Normalize to increasing vertex order. *)
+val normalize : triangle -> triangle
+
+(** Are these three distinct vertices pairwise adjacent? *)
+val is_triangle : Graph.t -> triangle -> bool
+
+(** [iter g f] calls [f a b c] exactly once per triangle of [g]. *)
+val iter : Graph.t -> (int -> int -> int -> unit) -> unit
+
+val count : Graph.t -> int
+
+(** All triangles, normalized, each once. *)
+val enumerate : Graph.t -> triangle list
+
+(** First triangle found, if any — the referee's final check in every
+    protocol; returns only real triangles (one-sided error rests on this). *)
+val find : Graph.t -> triangle option
+
+val is_free : Graph.t -> bool
+
+(** Greedy maximal edge-disjoint triangle packing.  Its size lower-bounds the
+    removals needed to destroy all triangles, certifying ǫ-farness. *)
+val greedy_packing : Graph.t -> triangle list
+
+(** A triangle-vee with source [source] (Definition 2): edges
+    {source,a}, {source,b} such that {a,b} is also in the graph. *)
+type vee = { source : int; a : int; b : int }
+
+val is_vee : Graph.t -> vee -> bool
+
+(** Greedy maximal set of vees sourced at [v] that are pairwise edge-disjoint
+    at [v] (a maximal matching in v's link graph; 2-approximation of the
+    maximum, which suffices for the Definition-5 analysis). *)
+val disjoint_vees_at : Graph.t -> int -> vee list
+
+val count_disjoint_vees_at : Graph.t -> int -> int
+
+(** Is the edge part of some triangle (Definition 3)? *)
+val is_triangle_edge : Graph.t -> Graph.edge -> bool
+
+(** All triangle edges, each once (unspecified order). *)
+val triangle_edges : Graph.t -> Graph.edge list
+
+(** [close_vee available vees] finds a vee that an edge of [available]
+    closes into a triangle — the "players check their own inputs" step of
+    §3.3. *)
+val close_vee : Graph.t -> vee list -> (vee * Graph.edge) option

@@ -1,0 +1,1 @@
+lib/lowerbound/boolean_matching.ml: Array Graph List Partition Rng Sampling Tfree_graph Tfree_util

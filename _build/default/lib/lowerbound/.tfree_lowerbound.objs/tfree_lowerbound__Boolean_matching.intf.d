@@ -1,0 +1,1 @@
+lib/lowerbound/boolean_matching.mli: Graph Partition Tfree_graph Tfree_util

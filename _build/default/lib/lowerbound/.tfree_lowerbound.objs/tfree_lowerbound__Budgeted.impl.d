@@ -1,0 +1,1 @@
+lib/lowerbound/budgeted.ml: Array Bits Float Graph List Msg Oneway Rng Simultaneous Tfree_comm Tfree_graph Tfree_util Triangle

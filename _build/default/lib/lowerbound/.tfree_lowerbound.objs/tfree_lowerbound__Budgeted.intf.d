@@ -1,0 +1,1 @@
+lib/lowerbound/budgeted.mli: Graph Oneway Partition Simultaneous Tfree_comm Tfree_graph Triangle

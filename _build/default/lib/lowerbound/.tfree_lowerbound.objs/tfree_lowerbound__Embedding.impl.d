@@ -1,0 +1,1 @@
+lib/lowerbound/embedding.ml: Array Float Graph Partition Sampling Tfree_graph Tfree_util

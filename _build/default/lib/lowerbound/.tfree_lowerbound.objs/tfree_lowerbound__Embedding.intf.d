@@ -1,0 +1,1 @@
+lib/lowerbound/embedding.mli: Graph Partition Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/lowerbound/info.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/lowerbound/mu_dist.ml: Distance Float Gen Graph List Partition Tfree_graph Triangle

@@ -1,0 +1,1 @@
+lib/lowerbound/mu_dist.mli: Graph Partition Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/lowerbound/symmetrization.ml: Array Mu_dist Partition Rng Simultaneous Tfree_comm Tfree_graph Tfree_util

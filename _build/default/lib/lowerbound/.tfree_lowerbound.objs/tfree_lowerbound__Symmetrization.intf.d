@@ -1,0 +1,1 @@
+lib/lowerbound/symmetrization.mli: Graph Partition Tfree_comm Tfree_graph Tfree_util

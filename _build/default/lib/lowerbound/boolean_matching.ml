@@ -1,0 +1,79 @@
+(** The Boolean Matching problem and its reduction to triangle-freeness
+    testing at average degree Θ(1) — Definition 12 and Theorem 4.16 (§4.4),
+    following Kallaugher–Price [27] / Verbin–Yu [36].
+
+    Alice holds x ∈ {0,1}^{2n}; Bob holds a perfect matching M on [2n] and
+    w ∈ {0,1}^n; the promise is Mx ⊕ w = 0ⁿ (yes) or 1ⁿ (no).  The reduction
+    builds a graph on 4n+1 vertices such that yes-instances contain n
+    edge-disjoint triangles (1-far from triangle-free) and no-instances are
+    triangle-free — so any one-way tester solves Boolean Matching, whose
+    one-way complexity is Ω(√n) [28, 36]. *)
+
+open Tfree_util
+open Tfree_graph
+
+type instance = {
+  x : bool array;  (** Alice's 2n bits *)
+  matching : (int * int) array;  (** Bob's perfect matching on [0, 2n) *)
+  w : bool array;  (** Bob's n bits *)
+}
+
+let size inst = Array.length inst.w
+
+(** (Mx)_j ⊕ w_j for row j. *)
+let row_value inst j =
+  let j1, j2 = inst.matching.(j) in
+  let ( +! ) a b = a <> b in
+  inst.x.(j1) +! inst.x.(j2) +! inst.w.(j)
+
+(** Generate an instance satisfying Mx ⊕ w = target·1ⁿ. *)
+let generate rng ~n ~target =
+  let x = Array.init (2 * n) (fun _ -> Rng.bool rng ~p:0.5) in
+  let verts = Array.init (2 * n) (fun i -> i) in
+  Sampling.shuffle_in_place rng verts;
+  let matching = Array.init n (fun j -> (verts.(2 * j), verts.((2 * j) + 1))) in
+  let w =
+    Array.init n (fun j ->
+        let j1, j2 = matching.(j) in
+        (* w_j = x_{j1} ⊕ x_{j2} ⊕ target makes row j equal target. *)
+        x.(j1) <> x.(j2) <> target)
+  in
+  { x; matching; w }
+
+(* Vertex layout of the reduction graph: hub u = 0; (i, b) = 1 + 2i + b for
+   i in [0, 2n), b in {0, 1}. *)
+let hub = 0
+let vertex_of ~i ~b = 1 + (2 * i) + if b then 1 else 0
+
+let graph_n inst = 1 + (4 * size inst)
+
+(** Alice's edges: {u, (i, x_i)} for every bit i. *)
+let alice_edges inst =
+  Array.to_list (Array.mapi (fun i xi -> (hub, vertex_of ~i ~b:xi)) inst.x)
+
+(** Bob's edges per matched pair: parallel connections when w_j = 0, crossed
+    when w_j = 1. *)
+let bob_edges inst =
+  List.concat
+    (List.init (size inst) (fun j ->
+         let j1, j2 = inst.matching.(j) in
+         if inst.w.(j) then
+           [ (vertex_of ~i:j1 ~b:false, vertex_of ~i:j2 ~b:true);
+             (vertex_of ~i:j1 ~b:true, vertex_of ~i:j2 ~b:false) ]
+         else
+           [ (vertex_of ~i:j1 ~b:false, vertex_of ~i:j2 ~b:false);
+             (vertex_of ~i:j1 ~b:true, vertex_of ~i:j2 ~b:true) ]))
+
+let reduction_graph inst =
+  Graph.of_edges ~n:(graph_n inst) (alice_edges inst @ bob_edges inst)
+
+(** Two-player partition (Alice, Bob) of the reduction graph. *)
+let to_partition inst : Partition.t =
+  let n = graph_n inst in
+  [| Graph.of_edges ~n (alice_edges inst); Graph.of_edges ~n (bob_edges inst) |]
+
+(** Theorem 4.16's structural dichotomy, checked on a concrete instance:
+    yes-instances yield exactly one triangle per matched pair (n edge-disjoint
+    triangles), no-instances yield none. *)
+let expected_triangles inst =
+  List.length (List.filter (fun j -> not (row_value inst j)) (List.init (size inst) (fun j -> j)))

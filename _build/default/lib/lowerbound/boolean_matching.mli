@@ -1,0 +1,43 @@
+(** The Boolean Matching problem and its reduction to triangle-freeness
+    testing at average degree Θ(1) — Definition 12 and Theorem 4.16: yes
+    instances (Mx ⊕ w = 0ⁿ) reduce to graphs with n edge-disjoint triangles,
+    no instances (= 1ⁿ) to triangle-free graphs, so testers inherit BM's
+    Ω(√n) one-way bound [28, 36]. *)
+
+open Tfree_graph
+
+type instance = {
+  x : bool array;  (** Alice's 2n bits *)
+  matching : (int * int) array;  (** Bob's perfect matching on [0, 2n) *)
+  w : bool array;  (** Bob's n bits *)
+}
+
+(** n (the number of matching rows). *)
+val size : instance -> int
+
+(** (Mx)ⱼ ⊕ wⱼ. *)
+val row_value : instance -> int -> bool
+
+(** Random instance with Mx ⊕ w = target·1ⁿ. *)
+val generate : Tfree_util.Rng.t -> n:int -> target:bool -> instance
+
+(** The hub vertex u of the reduction graph. *)
+val hub : int
+
+(** Vertex (i, b) of the reduction graph's [2n]×{0,1} grid. *)
+val vertex_of : i:int -> b:bool -> int
+
+(** Vertex count of the reduction graph: 4n + 1. *)
+val graph_n : instance -> int
+
+val alice_edges : instance -> (int * int) list
+val bob_edges : instance -> (int * int) list
+
+val reduction_graph : instance -> Graph.t
+
+(** Two-player (Alice, Bob) partition of the reduction graph. *)
+val to_partition : instance -> Partition.t
+
+(** Number of matching rows with (Mx ⊕ w)ⱼ = 0 — the triangle count Theorem
+    4.16 predicts. *)
+val expected_triangles : instance -> int

@@ -1,0 +1,35 @@
+(** Budget-capped protocol variants for the threshold experiments (E6):
+    the executable shape of the §4 lower bounds — cap the per-player budget
+    of the matching upper bound and locate where success collapses; the
+    threshold should scale as the lower bound does. *)
+
+open Tfree_graph
+open Tfree_comm
+
+(** Sim-high with its sample size derived from a per-player bit budget and
+    messages hard-truncated at the budget. *)
+val sim_high_budgeted :
+  budget_bits:int -> d:float -> Triangle.triangle option Simultaneous.protocol
+
+(** One-way chain with budget-capped forwarded samples (for the Ω((nd)^{1/6})
+    one-way shape). *)
+val oneway_budgeted : budget_bits:int -> Triangle.triangle option Oneway.chain
+
+(** Fraction of [trials] fresh instances from [gen] on which the protocol
+    outputs a verified triangle. *)
+val success_rate :
+  trials:int ->
+  gen:(int -> Partition.t * Graph.t) ->
+  protocol:Triangle.triangle option Simultaneous.protocol ->
+  float
+
+(** Smallest power-of-two-stepped budget in [lo, hi] whose success rate
+    reaches [target], with the rate achieved there. *)
+val threshold_budget :
+  trials:int ->
+  gen:(int -> Partition.t * Graph.t) ->
+  protocol_of_budget:(int -> Triangle.triangle option Simultaneous.protocol) ->
+  target:float ->
+  lo:int ->
+  hi:int ->
+  (int * float) option

@@ -1,0 +1,28 @@
+(** Lemma 4.17: embed a hard instance of n′ vertices and degree Θ((n′)^c)
+    among isolated vertices to reach any lower average degree d′, preserving
+    triangles and farness-in-edges; n′ = (d′·n)^{1/(1+c)}. *)
+
+open Tfree_graph
+
+(** The lemma's source-size formula, clamped to [6, n]. *)
+val source_size : n:int -> d':float -> c:float -> int
+
+type embedded = {
+  inputs : Partition.t;
+  graph : Graph.t;
+  n' : int;
+  achieved_degree : float;
+}
+
+(** Build a k-player embedded instance from a hard-instance family [make]
+    and a partitioner [split]; one common label shuffle keeps the players'
+    inputs consistent. *)
+val embed_at_degree :
+  Tfree_util.Rng.t ->
+  n:int ->
+  d':float ->
+  c:float ->
+  k:int ->
+  make:(Tfree_util.Rng.t -> int -> Graph.t) ->
+  split:(Tfree_util.Rng.t -> k:int -> Graph.t -> Partition.t) ->
+  embedded

@@ -1,0 +1,37 @@
+(** Information-theory toolkit behind the §4 lower bounds: entropy, KL
+    divergence, mutual information (Definitions 1 and 9), super-additivity
+    (Lemma 4.2), and the divergence bound of Lemma 4.3.  Distributions are
+    finite and explicit; all quantities in bits. *)
+
+val log2 : float -> float
+
+(** Shannon entropy; 0·log 0 = 0. *)
+val entropy : float array -> float
+
+(** D(mu || eta); +inf where mu has mass outside eta's support.
+    @raise Invalid_argument on size mismatch. *)
+val kl_divergence : float array -> float array -> float
+
+(** Divergence between Bernoulli(q) and Bernoulli(p). *)
+val binary_kl : q:float -> p:float -> float
+
+(** Lemma 4.3's lower bound q - 2p (valid for p < 1/2). *)
+val lemma_4_3_bound : q:float -> p:float -> float
+
+(** Finite joint distribution p(x, y) as a matrix. *)
+type joint = float array array
+
+(** @raise Invalid_argument when the mass does not sum to 1. *)
+val check_joint : joint -> unit
+
+val marginal_x : joint -> float array
+val marginal_y : joint -> float array
+
+(** I(X;Y), direct formula. *)
+val mutual_information : joint -> float
+
+(** I(X;Y) via E_y[D(p(X|Y=y) || p(X))] (Definition 9) — cross-check. *)
+val mutual_information_via_kl : joint -> float
+
+(** Empirical joint from paired integer samples. *)
+val empirical_joint : nx:int -> ny:int -> (int * int) list -> joint

@@ -1,0 +1,86 @@
+(** The hard input distribution µ of §4.2.1: a tripartite graph on
+    U ∪ V₁ ∪ V₂ where every cross-part pair is an edge independently with
+    probability γ/√n.  Alice receives the U×V₁ edges, Bob U×V₂ and Charlie
+    V₁×V₂ — the three-player split every lower bound in §4.2 is proved
+    against.
+
+    [lemma_4_5_stats] reproduces Lemma 4.5 empirically: the sampled graphs
+    carry Θ(n^{3/2}) edge-disjoint triangles and are Ω(1)-far from
+    triangle-free with probability at least 1/2 (for suitable γ). *)
+
+open Tfree_graph
+
+type sides = { part : int; alice : Graph.t; bob : Graph.t; charlie : Graph.t }
+
+let side_of ~part u v =
+  let su = u / part and sv = v / part in
+  match (min su sv, max su sv) with
+  | 0, 1 -> `Alice
+  | 0, 2 -> `Bob
+  | 1, 2 -> `Charlie
+  | _ -> invalid_arg "Mu_dist.side_of: not a cross-part pair"
+
+(** Sample G ~ µ with |U| = |V₁| = |V₂| = part; edge probability γ/√(3·part). *)
+let sample rng ~part ~gamma =
+  let n = 3 * part in
+  let p = Float.min 1.0 (gamma /. sqrt (float_of_int n)) in
+  Gen.tripartite_gnp rng ~part ~p
+
+(** Split a tripartite graph into the canonical 3-player partition. *)
+let split g ~part =
+  let n = Graph.n g in
+  let pick side = Graph.filter_edges g (fun u v -> side_of ~part u v = side) in
+  ignore n;
+  { part; alice = pick `Alice; bob = pick `Bob; charlie = pick `Charlie }
+
+let to_partition (s : sides) : Partition.t = [| s.alice; s.bob; s.charlie |]
+
+(** Sample an input directly as a 3-player partition. *)
+let sample_partition rng ~part ~gamma =
+  let g = sample rng ~part ~gamma in
+  (g, to_partition (split g ~part))
+
+type stats = {
+  n : int;
+  m : int;
+  triangles : int;
+  disjoint_triangles : int;  (** greedy packing size *)
+  farness_lb : float;  (** packing / m *)
+}
+
+let stats g =
+  let packing = List.length (Triangle.greedy_packing g) in
+  {
+    n = Graph.n g;
+    m = Graph.m g;
+    triangles = Triangle.count g;
+    disjoint_triangles = packing;
+    farness_lb = float_of_int packing /. float_of_int (max 1 (Graph.m g));
+  }
+
+(** Over [trials] samples: fraction that are certifiably ǫ-far, and the mean
+    packing size normalized by n^{3/2} (Lemma 4.5 predicts a constant). *)
+let lemma_4_5_stats rng ~part ~gamma ~eps ~trials =
+  let far = ref 0 in
+  let norm_packing = ref 0.0 in
+  for _ = 1 to trials do
+    let g = sample rng ~part ~gamma in
+    let s = stats g in
+    if s.farness_lb >= eps then incr far;
+    norm_packing :=
+      !norm_packing +. (float_of_int s.disjoint_triangles /. Float.pow (float_of_int s.n) 1.5)
+  done;
+  ( float_of_int !far /. float_of_int trials,
+    !norm_packing /. float_of_int trials )
+
+(** µ′ of §4.2.1: µ conditioned on being (certifiably) ǫ-far — rejection
+    sampling, with a cap on attempts. *)
+let sample_far rng ~part ~gamma ~eps =
+  let rec attempt i =
+    if i > 200 then None
+    else begin
+      let g = sample rng ~part ~gamma in
+      if Distance.certified_far g ~eps then Some g else attempt (i + 1)
+    end
+  in
+  attempt 0

@@ -1,0 +1,60 @@
+(** Symmetrization (Theorem 4.15): lifting a 3-player lower bound to k
+    simultaneous players.
+
+    Given a symmetric 3-player distribution µ over inputs (X₁, X₂, X₃), the
+    k-player distribution η gives X₁ and X₂ to two random players (neither
+    being player k) and X₃ to everyone else.  A k-player simultaneous
+    protocol Π then yields a 3-player one-way protocol Π′ in which Alice and
+    Bob send the messages of their impersonated players, and the proof's
+    cost identity is E|Π′| = (2/k)·CC_η(Π).  [measure_identity] constructs
+    η, runs Π on it, and measures both sides of the identity, which the
+    experiments verify to within sampling error. *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_comm
+
+(** embed(i, j, X): the η-input in which players i and j hold X₁ and X₂ and
+    all others hold X₃. *)
+let embed ~k ~i ~j (x1, x2, x3) : Partition.t =
+  if i = j || i = k - 1 || j = k - 1 then invalid_arg "Symmetrization.embed: bad player ids";
+  Array.init k (fun p -> if p = i then x1 else if p = j then x2 else x3)
+
+(** Draw (i, j) uniform among ordered pairs of distinct players excluding
+    player k-1, per the construction in the proof. *)
+let draw_roles rng ~k =
+  let i = Rng.int rng (k - 1) in
+  let rec draw_j () =
+    let j = Rng.int rng (k - 1) in
+    if j = i then draw_j () else j
+  in
+  (i, draw_j ())
+
+type measurement = {
+  lhs_mean : float;  (** E[|Π′|]: Alice's + Bob's message bits *)
+  rhs_mean : float;  (** (2/k)·E[CC_η(Π)] *)
+  trials : int;
+}
+
+(** Measure both sides of the identity for a simultaneous protocol [protocol]
+    over inputs drawn by [sample_mu] (a symmetric 3-player sampler). *)
+let measure_identity rng ~k ~trials ~sample_mu protocol =
+  let lhs = ref 0.0 and rhs = ref 0.0 in
+  for t = 1 to trials do
+    let x = sample_mu rng in
+    let i, j = draw_roles rng ~k in
+    let inputs = embed ~k ~i ~j x in
+    let outcome = Simultaneous.run ~seed:(Rng.int rng 1_000_000_000 + t) protocol inputs in
+    let per = outcome.Simultaneous.per_player_bits in
+    lhs := !lhs +. float_of_int (per.(i) + per.(j));
+    rhs := !rhs +. (2.0 /. float_of_int k *. float_of_int outcome.Simultaneous.total_bits)
+  done;
+  { lhs_mean = !lhs /. float_of_int trials; rhs_mean = !rhs /. float_of_int trials; trials }
+
+(** Symmetric 3-player µ sampler built from the tripartite hard distribution:
+    the marginals of the three sides are identical by symmetry of the
+    construction (each side is an iid bipartite γ/√n graph on disjoint part
+    pairs of equal size). *)
+let mu_sampler ~part ~gamma rng =
+  let _, parts = Mu_dist.sample_partition rng ~part ~gamma in
+  (Partition.player parts 0, Partition.player parts 1, Partition.player parts 2)

@@ -1,0 +1,32 @@
+(** Symmetrization (Theorem 4.15): lift a symmetric 3-player distribution µ
+    to the k-player η (X₁, X₂ to two random players other than the last, X₃
+    to the rest); a k-player simultaneous protocol then yields a 3-player
+    one-way protocol with E|Π′| = (2/k)·CC_η(Π), measured here. *)
+
+open Tfree_graph
+
+(** embed(i, j, X): players i and j hold X₁ and X₂, everyone else X₃.
+    @raise Invalid_argument when i = j or either is the last player. *)
+val embed : k:int -> i:int -> j:int -> Graph.t * Graph.t * Graph.t -> Partition.t
+
+(** Uniform ordered pair of distinct role players (excluding the last). *)
+val draw_roles : Tfree_util.Rng.t -> k:int -> int * int
+
+type measurement = {
+  lhs_mean : float;  (** E[|Π′|]: the two role players' message bits *)
+  rhs_mean : float;  (** (2/k)·E[CC_η(Π)] *)
+  trials : int;
+}
+
+(** Measure both sides of the identity for a simultaneous protocol over
+    inputs drawn by [sample_mu]. *)
+val measure_identity :
+  Tfree_util.Rng.t ->
+  k:int ->
+  trials:int ->
+  sample_mu:(Tfree_util.Rng.t -> Graph.t * Graph.t * Graph.t) ->
+  'r Tfree_comm.Simultaneous.protocol ->
+  measurement
+
+(** Symmetric 3-player sampler from the tripartite hard distribution. *)
+val mu_sampler : part:int -> gamma:float -> Tfree_util.Rng.t -> Graph.t * Graph.t * Graph.t

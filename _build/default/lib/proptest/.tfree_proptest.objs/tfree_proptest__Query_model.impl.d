@@ -1,0 +1,1 @@
+lib/proptest/query_model.ml: Array Graph Tfree_graph

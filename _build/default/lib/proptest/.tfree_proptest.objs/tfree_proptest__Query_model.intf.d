@@ -1,0 +1,1 @@
+lib/proptest/query_model.mli: Graph Tfree_graph

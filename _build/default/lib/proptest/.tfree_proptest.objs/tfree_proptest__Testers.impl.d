@@ -1,0 +1,1 @@
+lib/proptest/testers.ml: Array Float List Query_model Rng Sampling Tfree_graph Tfree_util Triangle

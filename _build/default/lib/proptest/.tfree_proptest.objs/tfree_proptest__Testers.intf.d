@@ -1,0 +1,1 @@
+lib/proptest/testers.mli: Query_model Tfree_graph Tfree_util Triangle

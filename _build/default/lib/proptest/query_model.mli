@@ -1,0 +1,28 @@
+(** The classical centralized property-testing query model (the comparator
+    the paper positions itself against): edge queries (dense model), degree
+    and i-th-neighbour queries (sparse/general model), with per-kind query
+    counting. *)
+
+open Tfree_graph
+
+type t = {
+  graph : Graph.t;
+  mutable edge_queries : int;
+  mutable degree_queries : int;
+  mutable neighbor_queries : int;
+}
+
+val make : Graph.t -> t
+
+val n : t -> int
+
+(** Is {u, v} an edge? *)
+val edge_query : t -> int -> int -> bool
+
+(** deg(v). *)
+val degree_query : t -> int -> int
+
+(** i-th neighbour of v (0-based); [None] past the degree. *)
+val neighbor_query : t -> int -> int -> int option
+
+val total_queries : t -> int

@@ -1,0 +1,66 @@
+(** Centralized query-model triangle-freeness testers, used as baselines.
+
+    - [dense_tester]: the classical dense-model tester (sample vertex
+      triples, query the three pairs) — the oblivious tester of [2] that the
+      simultaneous protocols are compared against.
+    - [general_tester]: a simplified [3]-style tester for the general model:
+      sample vertices, estimate their degrees, sample ~sqrt(deg)
+      neighbours of each and query all pairs among them (the birthday-paradox
+      step shared with Algorithm 4).
+
+    Both are one-sided: they report a triangle only when its three edges were
+    positively queried. *)
+
+open Tfree_util
+open Tfree_graph
+
+type result = Found of Triangle.triangle | Not_found_after of int  (** queries spent *)
+
+(** Dense tester: [trials] uniformly random triples. *)
+let dense_tester rng oracle ~trials =
+  let n = Query_model.n oracle in
+  let rec go t =
+    if t >= trials then Not_found_after (Query_model.total_queries oracle)
+    else begin
+      let a = Rng.int rng n and b = Rng.int rng n and c = Rng.int rng n in
+      if a <> b && b <> c && a <> c
+         && Query_model.edge_query oracle a b
+         && Query_model.edge_query oracle b c
+         && Query_model.edge_query oracle a c
+      then Found (Triangle.normalize (a, b, c))
+      else go (t + 1)
+    end
+  in
+  go 0
+
+(** General-model tester: for each of [vertex_trials] random vertices, sample
+    ~[c]·sqrt(deg) of its neighbours (by index) and edge-query all pairs. *)
+let general_tester rng oracle ~vertex_trials ~c =
+  let n = Query_model.n oracle in
+  let try_vertex () =
+    let v = Rng.int rng n in
+    let d = Query_model.degree_query oracle v in
+    if d < 2 then None
+    else begin
+      let sample_size = min d (max 2 (int_of_float (Float.ceil (c *. sqrt (float_of_int d))))) in
+      let idxs = Sampling.without_replacement rng d sample_size in
+      let nbrs = List.filter_map (fun i -> Query_model.neighbor_query oracle v i) idxs in
+      let arr = Array.of_list nbrs in
+      let len = Array.length arr in
+      let rec pairs i j =
+        if i >= len then None
+        else if j >= len then pairs (i + 1) (i + 2)
+        else if Query_model.edge_query oracle arr.(i) arr.(j) then
+          Some (Triangle.normalize (v, arr.(i), arr.(j)))
+        else pairs i (j + 1)
+      in
+      pairs 0 1
+    end
+  in
+  let rec go t =
+    if t >= vertex_trials then Not_found_after (Query_model.total_queries oracle)
+    else begin
+      match try_vertex () with Some tri -> Found tri | None -> go (t + 1)
+    end
+  in
+  go 0

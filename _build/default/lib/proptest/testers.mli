@@ -1,0 +1,15 @@
+(** Centralized query-model triangle-freeness testers (baselines): the dense
+    triple-sampling tester of [2] and a simplified [3]-style general-model
+    tester (degree query + birthday-paradox neighbour sampling).  Both
+    one-sided. *)
+
+open Tfree_graph
+
+type result = Found of Triangle.triangle | Not_found_after of int  (** queries spent *)
+
+(** [trials] uniformly random triples, three edge queries each. *)
+val dense_tester : Tfree_util.Rng.t -> Query_model.t -> trials:int -> result
+
+(** For each of [vertex_trials] random vertices: degree query, sample
+    ~c·sqrt(deg) neighbours, edge-query all pairs. *)
+val general_tester : Tfree_util.Rng.t -> Query_model.t -> vertex_trials:int -> c:float -> result

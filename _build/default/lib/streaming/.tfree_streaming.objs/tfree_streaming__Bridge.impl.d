@@ -1,0 +1,1 @@
+lib/streaming/bridge.ml: Graph List Partition Stream_alg Tfree_graph

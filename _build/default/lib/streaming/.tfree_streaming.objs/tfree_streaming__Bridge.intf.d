@@ -1,0 +1,1 @@
+lib/streaming/bridge.mli: Partition Stream_alg Tfree_graph

@@ -1,0 +1,1 @@
+lib/streaming/detector.ml: Bits Float Graph Rng Stream_alg Tfree_graph Tfree_util Triangle

@@ -1,0 +1,1 @@
+lib/streaming/detector.mli: Stream_alg Tfree_graph Triangle

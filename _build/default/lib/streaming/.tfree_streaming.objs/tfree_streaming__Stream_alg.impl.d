@@ -1,0 +1,1 @@
+lib/streaming/stream_alg.ml: Array Graph List Partition Sampling Seq Tfree_graph Tfree_util

@@ -1,0 +1,1 @@
+lib/streaming/stream_alg.mli: Graph Partition Seq Tfree_graph Tfree_util

@@ -1,0 +1,45 @@
+(** The generic streaming ⇄ one-way reduction of §4.2.2 ([4]).
+
+    Direction used by the paper's lower bound: a streaming algorithm with
+    space S yields a 3-player one-way protocol with messages of at most S
+    bits — Alice runs the algorithm on her segment and ships the state, Bob
+    continues and ships the state, Charlie finishes.  Hence a one-way
+    communication lower bound is a streaming space lower bound.
+
+    [oneway_of_streaming] performs that construction executably and reports
+    both the protocol's message sizes and the algorithm's space high-water
+    mark, which the tests assert equal. *)
+
+open Tfree_graph
+
+type 'r run = {
+  result : 'r;
+  message_bits : int * int;  (** Alice's and Bob's state shipments *)
+  space_bits : int;  (** the streaming high-water mark over the same run *)
+}
+
+let oneway_of_streaming (alg : ('s, 'r) Stream_alg.t) ~(inputs : Partition.t) =
+  if Partition.k inputs <> 3 then invalid_arg "Bridge.oneway_of_streaming: needs 3 players";
+  let n = Partition.n inputs in
+  let watermark = ref 0 in
+  let observe st =
+    watermark := max !watermark (alg.Stream_alg.size_bits st);
+    st
+  in
+  let segment st g =
+    List.fold_left (fun st e -> observe (alg.Stream_alg.step st e)) st (Graph.edges g)
+  in
+  let st0 = observe (alg.Stream_alg.init ~n) in
+  (* Alice's segment; her message is the serialized state. *)
+  let st1 = observe (segment st0 (Partition.player inputs 0)) in
+  let alice_bits = alg.Stream_alg.size_bits st1 in
+  (* Bob's segment. *)
+  let st2 = observe (segment st1 (Partition.player inputs 1)) in
+  let bob_bits = alg.Stream_alg.size_bits st2 in
+  (* Charlie finishes. *)
+  let st3 = observe (segment st2 (Partition.player inputs 2)) in
+  {
+    result = alg.Stream_alg.finish st3;
+    message_bits = (alice_bits, bob_bits);
+    space_bits = !watermark;
+  }

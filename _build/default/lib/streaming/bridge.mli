@@ -1,0 +1,17 @@
+(** The generic streaming → one-way reduction of §4.2.2: a space-S streaming
+    algorithm yields a 3-player one-way protocol whose messages are state
+    snapshots of at most S bits — hence one-way communication lower bounds
+    are streaming space lower bounds. *)
+
+open Tfree_graph
+
+type 'r run = {
+  result : 'r;
+  message_bits : int * int;  (** Alice's and Bob's state shipments *)
+  space_bits : int;  (** the space high-water mark over the same run *)
+}
+
+(** Execute the construction on a 3-player partition (Alice's segment, then
+    Bob's, then Charlie's).
+    @raise Invalid_argument unless there are exactly 3 players. *)
+val oneway_of_streaming : ('s, 'r) Stream_alg.t -> inputs:Partition.t -> 'r run

@@ -1,0 +1,33 @@
+(** Sampling-based streaming triangle(-edge) detector.
+
+    Keeps the edges induced by a shared pseudorandom vertex sample (the
+    streaming twin of Algorithm 7): state is the retained edge list, space is
+    its encoded size, and the finish step looks for a triangle.  With sample
+    probability ~(1/(ǫd))^{1/3}·n^{-1/3} the space matches the protocol's
+    O~((nd)^{1/3}) message size, and the detector finds a triangle on ǫ-far
+    inputs with constant probability. *)
+
+open Tfree_util
+open Tfree_graph
+
+type state = { n : int; keep : int -> bool; edges : (int * int) list; count : int }
+
+let make ~seed ~p : (state, Triangle.triangle option) Stream_alg.t =
+  {
+    init =
+      (fun ~n ->
+        let rng = Rng.split (Rng.create seed) 5 in
+        { n; keep = (fun v -> Rng.hash_float rng v < p); edges = []; count = 0 });
+    step =
+      (fun st (u, v) ->
+        if st.keep u && st.keep v then { st with edges = (u, v) :: st.edges; count = st.count + 1 }
+        else st);
+    finish = (fun st -> Triangle.find (Graph.of_edges ~n:st.n st.edges));
+    size_bits = (fun st -> Bits.elias_gamma st.count + (st.count * Bits.edge ~n:st.n));
+  }
+
+(** Sample probability tuned to the Algorithm-7 rate for (n, d, ǫ). *)
+let tuned_p ~n ~d ~eps ~c =
+  Float.min 1.0
+    (c *. Float.pow (float_of_int n *. float_of_int n /. (eps *. Float.max 1.0 d)) (1.0 /. 3.0)
+    /. float_of_int n)

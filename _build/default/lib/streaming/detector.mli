@@ -1,0 +1,14 @@
+(** Sampling-based streaming triangle detector — the streaming twin of
+    Algorithm 7: retain the edges induced by a shared pseudorandom vertex
+    sample; a triangle among them is a verified witness. *)
+
+open Tfree_graph
+
+type state = { n : int; keep : int -> bool; edges : (int * int) list; count : int }
+
+(** Detector keeping each vertex with probability [p]. *)
+val make : seed:int -> p:float -> (state, Triangle.triangle option) Stream_alg.t
+
+(** Sample probability matching Algorithm 7's rate for (n, d, ǫ); space then
+    tracks O~((nd)^{1/3}). *)
+val tuned_p : n:int -> d:float -> eps:float -> c:float -> float

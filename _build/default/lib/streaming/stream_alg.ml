@@ -1,0 +1,43 @@
+(** Single-pass edge-stream algorithms with space accounting (§4.2.2).
+
+    The data-stream model reads the edges once, in order; the space
+    complexity is the maximum state size at any point.  An algorithm is a
+    record of [init]/[step]/[finish] plus [size_bits], so the runner can track
+    the high-water mark exactly — that high-water mark is what the one-way
+    bridge exchanges as messages. *)
+
+open Tfree_util
+open Tfree_graph
+
+type ('state, 'r) t = {
+  init : n:int -> 'state;
+  step : 'state -> int * int -> 'state;
+  finish : 'state -> 'r;
+  size_bits : 'state -> int;
+}
+
+type 'r outcome = { result : 'r; space_bits : int; edges_seen : int }
+
+let run alg ~n stream =
+  let state = ref (alg.init ~n) in
+  let space = ref (alg.size_bits !state) in
+  let count = ref 0 in
+  Seq.iter
+    (fun e ->
+      state := alg.step !state e;
+      incr count;
+      space := max !space (alg.size_bits !state))
+    stream;
+  { result = alg.finish !state; space_bits = !space; edges_seen = !count }
+
+(** Edge stream of a graph in a shuffled order (adversarial orders can be fed
+    directly as lists). *)
+let stream_of_graph rng g =
+  let edges = Array.of_list (Graph.edges g) in
+  Sampling.shuffle_in_place rng edges;
+  Array.to_seq edges
+
+(** Concatenated per-player streams: the order used by the one-way bridge
+    (Alice's segment, then Bob's, then Charlie's). *)
+let stream_of_partition (parts : Partition.t) =
+  Array.to_seq parts |> Seq.concat_map (fun g -> List.to_seq (Graph.edges g))

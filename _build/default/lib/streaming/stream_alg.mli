@@ -1,0 +1,23 @@
+(** Single-pass edge-stream algorithms with exact space accounting (§4.2.2):
+    the space complexity is the state-size high-water mark over the run,
+    which is what the one-way bridge ships as messages. *)
+
+open Tfree_graph
+
+type ('state, 'r) t = {
+  init : n:int -> 'state;
+  step : 'state -> int * int -> 'state;
+  finish : 'state -> 'r;
+  size_bits : 'state -> int;
+}
+
+type 'r outcome = { result : 'r; space_bits : int; edges_seen : int }
+
+(** Run over a stream, tracking the space high-water mark. *)
+val run : ('s, 'r) t -> n:int -> (int * int) Seq.t -> 'r outcome
+
+(** The graph's edges in a shuffled order. *)
+val stream_of_graph : Tfree_util.Rng.t -> Graph.t -> (int * int) Seq.t
+
+(** Concatenated per-player segments — the order the one-way bridge uses. *)
+val stream_of_partition : Partition.t -> (int * int) Seq.t

@@ -1,0 +1,34 @@
+(** Bit-size arithmetic for the communication cost model.
+
+    The paper charges O(log n) bits per vertex or edge identifier; this module
+    fixes the exact accounting used everywhere: a value ranging over [c]
+    possibilities costs [ceil (log2 c)] bits (minimum 1). *)
+
+(** Smallest [b] with [2^b >= c]; at least 1. *)
+let for_card c =
+  if c <= 1 then 1
+  else begin
+    let rec loop b pow = if pow >= c then b else loop (b + 1) (2 * pow) in
+    loop 1 2
+  end
+
+(** Bits to name a vertex of an n-vertex graph. *)
+let vertex ~n = for_card (max n 2)
+
+(** Bits to name an (unordered) edge: two vertex identifiers. *)
+let edge ~n = 2 * vertex ~n
+
+(** Bits for an integer known to lie in [lo, hi]. *)
+let int_in_range ~lo ~hi =
+  if hi < lo then invalid_arg "Bits.int_in_range: hi < lo";
+  for_card (hi - lo + 1)
+
+(** Bits for a nonnegative integer sent with a self-delimiting (Elias-gamma
+    style) code: 2*floor(log2 (v+1)) + 1. *)
+let elias_gamma v =
+  if v < 0 then invalid_arg "Bits.elias_gamma: negative";
+  let rec log2floor acc x = if x <= 1 then acc else log2floor (acc + 1) (x lsr 1) in
+  2 * log2floor 0 (v + 1) + 1
+
+(** ceil (log2 x) for floats, used in cost formulas. *)
+let log2 x = Float.log x /. Float.log 2.0

@@ -1,0 +1,23 @@
+(** Bit-size arithmetic for the communication cost model: a value ranging
+    over [c] possibilities costs ceil(log2 c) bits (minimum 1). *)
+
+(** Smallest [b] with [2^b >= c]; at least 1. *)
+val for_card : int -> int
+
+(** Bits to name a vertex of an n-vertex graph: ceil(log2 n). *)
+val vertex : n:int -> int
+
+(** Bits to name an unordered edge: two vertex identifiers. *)
+val edge : n:int -> int
+
+(** Bits for an integer known by both sides to lie in [lo, hi].
+    @raise Invalid_argument if [hi < lo]. *)
+val int_in_range : lo:int -> hi:int -> int
+
+(** Self-delimiting (Elias-gamma style) code length for a nonnegative
+    integer: 2·floor(log2 (v+1)) + 1.
+    @raise Invalid_argument on negatives. *)
+val elias_gamma : int -> int
+
+(** log base 2, for floats (cost formulas). *)
+val log2 : float -> float

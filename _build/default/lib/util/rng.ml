@@ -1,0 +1,80 @@
+(** Splittable pseudo-random number generator.
+
+    The paper's protocols rely on {e shared randomness}: all players and the
+    coordinator interpret the same public random bits, e.g. to agree on a
+    random priority order over vertices (Algorithm 1) or on a sampled vertex
+    set (Algorithms 7--10) without communicating.  We realize this with a
+    SplitMix64 generator: a stream is identified by a 64-bit state, and
+    [split] derives a statistically independent child stream from a parent
+    stream and an integer key.  Two parties holding the same root seed derive
+    identical streams for identical key paths, which is exactly the shared-
+    randomness abstraction.
+
+    In addition to stateful streams we expose {e stateless keyed hashing}
+    ([hash_float], [hash_bool], ...): a pure function of (stream, key) used to
+    implement shared random priorities and shared Bernoulli marks over huge
+    index spaces without materializing them. *)
+
+type t = { mutable state : int64; salt : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer: a strong 64-bit mixing permutation. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed); salt = mix64 (Int64.add (Int64.of_int seed) golden) }
+
+let copy t = { state = t.state; salt = t.salt }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  mix64 (Int64.logxor t.state t.salt)
+
+(** [split t key] derives an independent child stream.  The child depends
+    only on the {e current} state of [t] and [key]; it does not advance [t],
+    so parties that agree on [t]'s state and the key derive the same child. *)
+let split t key =
+  let k = mix64 (Int64.logxor t.salt (Int64.of_int key)) in
+  { state = mix64 (Int64.logxor t.state k); salt = mix64 (Int64.add k golden) }
+
+(** Stateless keyed hash in [0, 1). *)
+let hash_float t key =
+  let h = mix64 (Int64.logxor (Int64.add t.state (Int64.of_int key)) t.salt) in
+  let mantissa = Int64.to_float (Int64.shift_right_logical h 11) in
+  mantissa /. 9007199254740992.0 (* 2^53 *)
+
+(** Stateless keyed hash over a pair of keys, in [0, 1). *)
+let hash_float2 t key1 key2 =
+  let h1 = mix64 (Int64.logxor (Int64.add t.state (Int64.of_int key1)) t.salt) in
+  let h = mix64 (Int64.add h1 (Int64.of_int key2)) in
+  let mantissa = Int64.to_float (Int64.shift_right_logical h 11) in
+  mantissa /. 9007199254740992.0
+
+let hash_bool t key ~p = hash_float t key < p
+
+(** Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem r (Int64.of_int bound))
+
+let float t =
+  let mantissa = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  mantissa /. 9007199254740992.0
+
+let bool t ~p = float t < p
+
+(** Geometric number of failures before first success with parameter [p];
+    used for fast Bernoulli-subset sampling by skipping. *)
+let geometric t ~p =
+  if p >= 1.0 then 0
+  else if p <= 0.0 then max_int
+  else begin
+    let u = float t in
+    let u = if u <= 0.0 then 1e-300 else u in
+    let g = Float.to_int (Float.floor (Float.log u /. Float.log1p (-.p))) in
+    if g < 0 then 0 else g
+  end

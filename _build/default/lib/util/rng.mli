@@ -1,0 +1,48 @@
+(** Splittable pseudo-random number generator (SplitMix64).
+
+    The protocols' {e shared randomness} (§2): parties holding the same root
+    seed derive identical streams for identical key paths, so agreeing on
+    samples, priorities or Bernoulli marks costs no communication.  The
+    stateless keyed hashes implement shared random functions over large
+    index spaces without materializing them. *)
+
+type t
+
+(** Fresh generator from an integer seed. *)
+val create : int -> t
+
+(** Independent copy: advancing one does not affect the other. *)
+val copy : t -> t
+
+(** Next raw 64-bit output; advances the stream. *)
+val next_int64 : t -> int64
+
+(** [split t key] derives an independent child stream from [t]'s current
+    state and [key] without advancing [t]: same state + same key = same
+    child, for all parties. *)
+val split : t -> int -> t
+
+(** Stateless keyed hash in [0, 1): a pure function of (stream state, key).
+    Used for shared random priorities and Bernoulli marks. *)
+val hash_float : t -> int -> float
+
+(** Stateless keyed hash of a pair of keys, in [0, 1); order-sensitive. *)
+val hash_float2 : t -> int -> int -> float
+
+(** [hash_bool t key ~p]: shared Bernoulli(p) mark for [key]. *)
+val hash_bool : t -> int -> p:float -> bool
+
+(** Uniform integer in [0, bound); advances the stream.
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1); advances the stream. *)
+val float : t -> float
+
+(** Bernoulli(p); advances the stream. *)
+val bool : t -> p:float -> bool
+
+(** Number of failures before the first success of a Bernoulli(p) sequence;
+    O(1) regardless of the outcome (inverse-CDF).  Used for subset sampling
+    by skipping. *)
+val geometric : t -> p:float -> int

@@ -1,0 +1,96 @@
+(** Small statistics toolkit for the experiment harness: summary statistics,
+    quantiles, and the log--log least-squares exponent fit used to compare
+    measured communication costs against the paper's asymptotic bounds. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. (n -. 1.0)
+
+let stddev xs = sqrt (variance xs)
+
+(** Empirical quantile with linear interpolation; [q] in [0, 1]. *)
+let quantile q xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      if n = 1 then a.(0)
+      else begin
+        let pos = q *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor pos) in
+        let hi = min (lo + 1) (n - 1) in
+        let frac = pos -. float_of_int lo in
+        (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+      end
+
+let median xs = quantile 0.5 xs
+
+type linfit = { slope : float; intercept : float; r2 : float }
+
+(** Ordinary least squares y = slope*x + intercept. *)
+let linear_fit pts =
+  let n = float_of_int (List.length pts) in
+  if n < 2.0 then { slope = nan; intercept = nan; r2 = nan }
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+    let intercept = (sy -. (slope *. sx)) /. n in
+    let ybar = sy /. n in
+    let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. ybar) ** 2.0)) 0.0 pts in
+    let ss_res =
+      List.fold_left (fun a (x, y) -> a +. ((y -. (slope *. x) -. intercept) ** 2.0)) 0.0 pts
+    in
+    let r2 = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+    { slope; intercept; r2 }
+  end
+
+(** Fit y ~ C * x^e on positive data by regressing log y on log x; the slope
+    is the measured scaling exponent [e]. *)
+let loglog_exponent pts =
+  let logs =
+    List.filter_map
+      (fun (x, y) -> if x > 0.0 && y > 0.0 then Some (log x, log y) else None)
+      pts
+  in
+  linear_fit logs
+
+(** Wilson score interval for a binomial proportion (95% by default). *)
+let wilson_interval ?(z = 1.96) ~successes ~trials () =
+  if trials = 0 then (0.0, 1.0)
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half = z *. sqrt (((p *. (1.0 -. p)) +. (z2 /. (4.0 *. n))) /. n) /. denom in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+  end
+
+(** Pearson chi-squared statistic against a uniform expectation. *)
+let chi2_uniform counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  let cells = Array.length counts in
+  if cells = 0 || total = 0 then nan
+  else begin
+    let expect = float_of_int total /. float_of_int cells in
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expect in
+        acc +. (d *. d /. expect))
+      0.0 counts
+  end

@@ -1,0 +1,35 @@
+(** Statistics for the experiment harness: summaries, quantiles, and the
+    log–log least-squares exponent fit used to compare measured communication
+    costs against the paper's asymptotic bounds. *)
+
+(** Arithmetic mean; [nan] on the empty list. *)
+val mean : float list -> float
+
+(** Unbiased sample variance; 0 for fewer than two points. *)
+val variance : float list -> float
+
+val stddev : float list -> float
+
+(** Empirical quantile with linear interpolation, [q] in [0, 1];
+    [nan] on the empty list. *)
+val quantile : float -> float list -> float
+
+val median : float list -> float
+
+type linfit = { slope : float; intercept : float; r2 : float }
+
+(** Ordinary least squares y = slope·x + intercept; [nan] fields for fewer
+    than two points. *)
+val linear_fit : (float * float) list -> linfit
+
+(** Fit y ~ C·x^e on positive data by regressing log y on log x; [slope] is
+    the measured scaling exponent.  Non-positive points are skipped. *)
+val loglog_exponent : (float * float) list -> linfit
+
+(** Wilson score confidence interval for a binomial proportion (default 95%);
+    [(0, 1)] when [trials = 0]. *)
+val wilson_interval : ?z:float -> successes:int -> trials:int -> unit -> float * float
+
+(** Pearson chi-squared statistic of the counts against a uniform
+    expectation; [nan] for empty input. *)
+val chi2_uniform : int array -> float

@@ -1,0 +1,33 @@
+(** Plain-text table rendering for the experiment harness.  Every experiment
+    prints one of these; EXPERIMENTS.md quotes them. *)
+
+type t = { title : string; header : string list; rows : string list list }
+
+let make ~title ~header rows = { title; header; rows }
+
+let widths t =
+  let ncols = List.length t.header in
+  let w = Array.make ncols 0 in
+  let feed row = List.iteri (fun i cell -> if i < ncols then w.(i) <- max w.(i) (String.length cell)) row in
+  feed t.header;
+  List.iter feed t.rows;
+  w
+
+let render t =
+  let w = widths t in
+  let pad i cell = cell ^ String.make (w.(i) - String.length cell) ' ' in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let sep = "|" ^ String.concat "|" (Array.to_list (Array.map (fun n -> String.make (n + 2) '-') w)) ^ "|" in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("## " ^ t.title ^ "\n");
+  Buffer.add_string buf (line t.header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fcell ?(prec = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" prec x
+
+let icell = string_of_int

@@ -1,0 +1,15 @@
+(** Plain-text (markdown-style) table rendering for the experiment harness. *)
+
+type t = { title : string; header : string list; rows : string list list }
+
+val make : title:string -> header:string list -> string list list -> t
+
+(** Rendered with aligned columns, a title line, and a separator row. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** Fixed-precision float cell (default 2 decimals); "-" for NaN. *)
+val fcell : ?prec:int -> float -> string
+
+val icell : int -> string

@@ -1,0 +1,1 @@
+test/test_blocks.ml: Alcotest Array Cost Float Gen Graph Hashtbl List Option Partition Printf QCheck QCheck_alcotest Queue Rng Runtime Sampling Stats Test Tfree Tfree_comm Tfree_graph Tfree_util

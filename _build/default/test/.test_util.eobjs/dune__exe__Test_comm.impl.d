@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Array Bits Cost Gen Graph List Msg Oneway Option Partition QCheck QCheck_alcotest Rng Runtime Simultaneous Test Tfree_comm Tfree_graph Tfree_util

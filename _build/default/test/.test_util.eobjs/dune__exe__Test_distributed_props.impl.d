@@ -1,0 +1,1 @@
+test/test_distributed_props.ml: Alcotest Array Bits Float Gen Graph List Msg Partition Printf Rng Runtime Tfree Tfree_comm Tfree_congest Tfree_graph Tfree_util Traversal Triangle

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Behrend Bucket Distance Float Format Gen Graph Hashtbl List Partition QCheck QCheck_alcotest Rng Test Tfree_graph Tfree_util Triangle

@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Float List Printf Tfree

@@ -1,0 +1,1 @@
+test/test_proptest.ml: Alcotest Gen Graph List Printf QCheck QCheck_alcotest Query_model Rng Test Testers Tfree_graph Tfree_proptest Tfree_util Triangle

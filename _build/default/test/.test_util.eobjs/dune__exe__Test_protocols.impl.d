@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Bucket Gen Graph Hashtbl List Partition Printf QCheck QCheck_alcotest Rng Test Tfree Tfree_comm Tfree_graph Tfree_util Triangle

@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Bits Bridge Detector Gen Graph List Option Partition Printf QCheck QCheck_alcotest Rng Stream_alg Test Tfree_graph Tfree_streaming Tfree_util Triangle

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Float Gen Hashtbl List QCheck QCheck_alcotest Rng Sampling Seq Stats String Table Test Tfree_util

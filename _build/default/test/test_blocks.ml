@@ -1,0 +1,376 @@
+(* Tests for the §3.1 building blocks and the degree approximation
+   (Theorem 3.1 / Lemma 3.2). *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_comm
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let fixture ?(k = 4) ?(dup = true) ?(n = 60) ?(p = 0.12) seed =
+  let rng = Rng.create seed in
+  let g = Gen.gnp rng ~n ~p in
+  let parts =
+    if dup then Partition.with_duplication rng ~k ~dup_p:0.4 g
+    else Partition.disjoint_random rng ~k g
+  in
+  (g, parts)
+
+(* ----------------------------------------------------------- query_edge *)
+
+let test_query_edge_positive_negative () =
+  let g, parts = fixture 1 in
+  let rt = Runtime.make ~seed:1 parts in
+  let u, v = List.hd (Graph.edges g) in
+  checkb "present edge" true (Tfree.Blocks.query_edge rt (u, v));
+  (* find a non-edge *)
+  let rec non_edge a b = if Graph.mem_edge g a b || a = b then non_edge a ((b + 1) mod 60) else (a, b) in
+  let a, b = non_edge 0 1 in
+  checkb "absent edge" false (Tfree.Blocks.query_edge rt (a, b))
+
+let test_query_edge_cost_linear_in_k () =
+  let g, parts = fixture ~k:8 2 in
+  let rt = Runtime.make ~seed:1 parts in
+  let u, v = List.hd (Graph.edges g) in
+  ignore (Tfree.Blocks.query_edge rt (u, v));
+  (* k response bits + k broadcast bits *)
+  checki "O(k) bits" 16 (Cost.total (Runtime.cost rt))
+
+(* -------------------------------------------------- random_incident_edge *)
+
+let test_random_incident_edge_is_real () =
+  let g, parts = fixture 3 in
+  let rt = Runtime.make ~seed:2 parts in
+  let v = fst (List.hd (Graph.edges g)) in
+  (match Tfree.Blocks.random_incident_edge rt ~key:5 v with
+  | Some (a, b) ->
+      checkb "incident to v" true (a = v || b = v);
+      checkb "real edge" true (Graph.mem_edge g a b)
+  | None -> Alcotest.fail "v has neighbours")
+
+let test_random_incident_edge_isolated () =
+  let parts = [| Graph.empty ~n:10; Graph.empty ~n:10 |] in
+  let rt = Runtime.make ~seed:2 parts in
+  checkb "no edge" true (Tfree.Blocks.random_incident_edge rt ~key:5 3 = None)
+
+let test_random_incident_edge_uniform_despite_duplication () =
+  (* Hub 0 with 5 leaves; edge (0,1) replicated to every player, the rest
+     held once.  The sampled edge must still be uniform over the 5. *)
+  let n = 6 in
+  let star = Gen.star ~n in
+  let heavy = Graph.of_edges ~n [ (0, 1) ] in
+  let parts = [| star; heavy; heavy; heavy |] in
+  let counts = Array.make n 0 in
+  for s = 1 to 2000 do
+    let rt = Runtime.make ~seed:s parts in
+    match Tfree.Blocks.random_incident_edge rt ~key:s 0 with
+    | Some (a, b) ->
+        let other = if a = 0 then b else a in
+        counts.(other) <- counts.(other) + 1
+    | None -> Alcotest.fail "hub has edges"
+  done;
+  (* each leaf expected 400; chi-squared with 4 dof, generous threshold *)
+  let chi2 = Stats.chi2_uniform (Array.sub counts 1 5) in
+  checkb (Printf.sprintf "unbiased (chi2=%.1f)" chi2) true (chi2 < 20.0)
+
+(* ------------------------------------------------------------ random_walk *)
+
+let test_random_walk_follows_edges () =
+  let g, parts = fixture 4 in
+  let rt = Runtime.make ~seed:3 parts in
+  let v = fst (List.hd (Graph.edges g)) in
+  let walk = Tfree.Blocks.random_walk rt ~key:6 v ~steps:5 in
+  checkb "starts at v" true (List.hd walk = v);
+  let rec consecutive = function
+    | a :: b :: rest ->
+        checkb "walk follows real edges" true (Graph.mem_edge g a b);
+        consecutive (b :: rest)
+    | _ -> ()
+  in
+  consecutive walk
+
+let test_random_walk_stops_at_isolated () =
+  let parts = [| Graph.of_edges ~n:5 [] |] in
+  let rt = Runtime.make ~seed:3 parts in
+  Alcotest.(check (list int)) "stays put" [ 2 ] (Tfree.Blocks.random_walk rt ~key:6 2 ~steps:4)
+
+(* ------------------------------------------------------------ random_edge *)
+
+let test_random_edge_is_real () =
+  let g, parts = fixture 5 in
+  let rt = Runtime.make ~seed:4 parts in
+  match Tfree.Blocks.random_edge rt ~key:7 with
+  | Some (u, v) -> checkb "real edge" true (Graph.mem_edge g u v)
+  | None -> Alcotest.fail "graph has edges"
+
+let test_random_edge_empty_graph () =
+  let parts = [| Graph.empty ~n:10; Graph.empty ~n:10 |] in
+  let rt = Runtime.make ~seed:4 parts in
+  checkb "none" true (Tfree.Blocks.random_edge rt ~key:7 = None)
+
+let test_random_edge_uniform_despite_duplication () =
+  (* 4 edges; one replicated everywhere.  Distribution must stay uniform. *)
+  let n = 8 in
+  let base = Graph.of_edges ~n [ (0, 1); (2, 3); (4, 5); (6, 7) ] in
+  let heavy = Graph.of_edges ~n [ (0, 1) ] in
+  let parts = [| base; heavy; heavy |] in
+  let counts = Hashtbl.create 4 in
+  for s = 1 to 2000 do
+    let rt = Runtime.make ~seed:(7 * s) parts in
+    match Tfree.Blocks.random_edge rt ~key:s with
+    | Some e ->
+        let cur = Option.value ~default:0 (Hashtbl.find_opt counts e) in
+        Hashtbl.replace counts e (cur + 1)
+    | None -> Alcotest.fail "edges exist"
+  done;
+  let arr = Array.of_list (List.map snd (List.of_seq (Hashtbl.to_seq counts))) in
+  checki "all four edges appear" 4 (Array.length arr);
+  checkb "roughly uniform" true (Stats.chi2_uniform arr < 20.0)
+
+(* ------------------------------------------------------- induced subgraph *)
+
+let test_induced_subgraph_matches_local () =
+  let g, parts = fixture 6 in
+  let rt = Runtime.make ~seed:5 parts in
+  let vs = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  let got = Tfree.Blocks.induced_subgraph rt vs in
+  checkb "matches centralized induced" true (Graph.equal got (Graph.induced g vs))
+
+(* ---------------------------------------------------------------- BFS *)
+
+let test_bfs_distances () =
+  (* path 0-1-2-3-4 plus isolated 5 *)
+  let g = Gen.path ~n:5 in
+  let g = Graph.of_edges ~n:6 (Graph.edges g) in
+  let rng = Rng.create 11 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let rt = Runtime.make ~seed:6 parts in
+  let dist = Tfree.Blocks.bfs rt 0 in
+  Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4; -1 |] dist
+
+let test_bfs_matches_centralized () =
+  let g, parts = fixture 7 in
+  let rt = Runtime.make ~seed:7 parts in
+  let dist = Tfree.Blocks.bfs rt 0 in
+  (* centralized BFS *)
+  let expect = Array.make (Graph.n g) (-1) in
+  expect.(0) <- 0;
+  let q = Queue.create () in
+  Queue.add 0 q;
+  let rec drain () =
+    if not (Queue.is_empty q) then begin
+      let v = Queue.pop q in
+      Array.iter
+        (fun u ->
+          if expect.(u) < 0 then begin
+            expect.(u) <- expect.(v) + 1;
+            Queue.add u q
+          end)
+        (Graph.neighbors g v);
+      drain ()
+    end
+  in
+  drain ();
+  Alcotest.(check (array int)) "distances agree" expect dist
+
+(* ------------------------------------------------------ degree approx *)
+
+let test_approx_degree_within_factor () =
+  let trials = 30 in
+  let ok = ref 0 in
+  for s = 1 to trials do
+    let rng = Rng.create (100 + s) in
+    let g = Gen.hub_far rng ~n:300 ~hubs:3 ~pairs:60 in
+    let parts = Partition.with_duplication rng ~k:4 ~dup_p:0.4 g in
+    let rt = Runtime.make ~seed:s parts in
+    (* pick the max-degree vertex (a hub) *)
+    let v =
+      fst
+        (List.fold_left
+           (fun (bv, bd) u ->
+             let d = Graph.degree g u in
+             if d > bd then (u, d) else (bv, bd))
+           (0, -1)
+           (List.init 300 (fun i -> i)))
+    in
+    let d = Graph.degree g v in
+    let est = Tfree.Degree_approx.approx_degree rt ~key:1 ~alpha:3.0 ~tau:0.05 ~boost:1.0 v in
+    let ratio = Float.max (float_of_int est /. float_of_int d) (float_of_int d /. float_of_int est) in
+    if ratio <= 3.5 then incr ok
+  done;
+  checkb (Printf.sprintf "approximation within factor on %d/%d" !ok trials) true (!ok >= trials - 4)
+
+let test_approx_degree_zero () =
+  let parts = [| Graph.empty ~n:20; Graph.empty ~n:20 |] in
+  let rt = Runtime.make ~seed:1 parts in
+  checki "degree 0" 0 (Tfree.Degree_approx.approx_degree rt ~key:1 ~alpha:3.0 ~tau:0.05 ~boost:1.0 3)
+
+let test_approx_degree_cheaper_than_exact_transfer () =
+  let rng = Rng.create 200 in
+  let g = Gen.hub_far rng ~n:2000 ~hubs:1 ~pairs:900 in
+  let parts = Partition.with_duplication rng ~k:4 ~dup_p:0.5 g in
+  let rt = Runtime.make ~seed:1 parts in
+  let v =
+    fst
+      (List.fold_left
+         (fun (bv, bd) u ->
+           let d = Graph.degree g u in
+           if d > bd then (u, d) else (bv, bd))
+         (0, -1)
+         (List.init 2000 (fun i -> i)))
+  in
+  ignore (Tfree.Degree_approx.approx_degree rt ~key:1 ~alpha:3.0 ~tau:0.1 ~boost:1.0 v);
+  let approx_bits = Cost.total (Runtime.cost rt) in
+  (* exact answer under duplication needs Ω(k·d(v)) bits (disjointness) *)
+  let exact_bits = 4 * Graph.degree g v in
+  checkb
+    (Printf.sprintf "approx %d bits < exact %d bits" approx_bits exact_bits)
+    true (approx_bits < exact_bits)
+
+let test_approx_nodup_upper_and_ratio () =
+  (* Without duplication the estimate never over-counts and is within alpha. *)
+  let rng = Rng.create 300 in
+  let g = Gen.gnp rng ~n:200 ~p:0.3 in
+  let parts = Partition.disjoint_random rng ~k:5 g in
+  let rt = Runtime.make ~seed:1 parts in
+  for v = 0 to 19 do
+    let d = Graph.degree g v in
+    let est =
+      Tfree.Degree_approx.approx_distinct_nodup rt ~key:1 ~alpha:1.5 ~elements:(fun input ->
+          Array.to_list (Graph.neighbors input v))
+    in
+    checkb "no overcount" true (est <= d);
+    checkb "within factor" true (float_of_int d <= 1.5 *. float_of_int (max est 1) || d <= 5)
+  done
+
+let test_approx_edge_count () =
+  let rng = Rng.create 400 in
+  let g = Gen.gnp rng ~n:300 ~p:0.05 in
+  let parts = Partition.with_duplication rng ~k:3 ~dup_p:0.3 g in
+  let ok = ref 0 in
+  for s = 1 to 10 do
+    let rt = Runtime.make ~seed:s parts in
+    let est = Tfree.Degree_approx.approx_edge_count rt ~key:2 ~alpha:2.0 ~tau:0.05 ~boost:1.0 in
+    let m = Graph.m g in
+    let ratio = Float.max (float_of_int est /. float_of_int m) (float_of_int m /. float_of_int est) in
+    if ratio <= 2.5 then incr ok
+  done;
+  checkb (Printf.sprintf "edge count approx ok %d/10" !ok) true (!ok >= 8)
+
+let test_msb_index () =
+  checki "msb 0" (-1) (Tfree.Degree_approx.msb_index 0);
+  checki "msb 1" 0 (Tfree.Degree_approx.msb_index 1);
+  checki "msb 2" 1 (Tfree.Degree_approx.msb_index 2);
+  checki "msb 255" 7 (Tfree.Degree_approx.msb_index 255);
+  checki "msb 256" 8 (Tfree.Degree_approx.msb_index 256)
+
+let test_thresholds_separate () =
+  let theta, margin = Tfree.Degree_approx.thresholds ~alpha:3.0 in
+  checkb "theta in (0,1)" true (theta > 0.0 && theta < 1.0);
+  checkb "positive margin" true (margin > 0.05)
+
+
+let test_bfs_limited_exhausts_small_component () =
+  let g = Graph.of_edges ~n:10 [ (0, 1); (1, 2); (5, 6) ] in
+  let rng = Rng.create 44 in
+  let parts = Partition.disjoint_random rng ~k:2 g in
+  let rt = Runtime.make ~seed:1 parts in
+  let comp, exhausted = Tfree.Blocks.bfs_limited rt 5 ~max_vertices:100 in
+  checkb "exhausted" true exhausted;
+  Alcotest.(check (list int)) "component" [ 5; 6 ] (List.sort compare comp)
+
+let test_bfs_limited_truncates () =
+  let g = Gen.path ~n:50 in
+  let rng = Rng.create 45 in
+  let parts = Partition.disjoint_random rng ~k:2 g in
+  let rt = Runtime.make ~seed:1 parts in
+  let comp, exhausted = Tfree.Blocks.bfs_limited rt 0 ~max_vertices:5 in
+  checkb "not exhausted" false exhausted;
+  checkb "bounded work" true (List.length comp <= 12)
+
+let test_bfs_limited_isolated () =
+  let parts = [| Graph.empty ~n:5 |] in
+  let rt = Runtime.make ~seed:1 parts in
+  let comp, exhausted = Tfree.Blocks.bfs_limited rt 3 ~max_vertices:10 in
+  checkb "exhausted singleton" true exhausted;
+  Alcotest.(check (list int)) "alone" [ 3 ] comp
+
+(* --------------------------------------------------------------- QCheck *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"query_edge agrees with union graph" ~count:40
+      (pair (int_range 1 500) (int_range 2 20))
+      (fun (seed, k) ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.gnp rng ~n:20 ~p:0.3 in
+        let parts = Partition.with_duplication rng ~k ~dup_p:0.5 g in
+        let rt = Runtime.make ~seed parts in
+        let u = Rng.int rng 20 and v = Rng.int rng 20 in
+        u = v || Tfree.Blocks.query_edge rt (u, v) = Graph.mem_edge g u v);
+    Test.make ~name:"random_edge returns a real edge" ~count:40 (int_range 1 500) (fun seed ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.gnp rng ~n:25 ~p:0.2 in
+        let parts = Partition.disjoint_random rng ~k:3 g in
+        let rt = Runtime.make ~seed parts in
+        match Tfree.Blocks.random_edge rt ~key:seed with
+        | Some (u, v) -> Graph.mem_edge g u v
+        | None -> Graph.m g = 0);
+    Test.make ~name:"induced subgraph matches centralized" ~count:30 (int_range 1 500) (fun seed ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.gnp rng ~n:30 ~p:0.2 in
+        let parts = Partition.with_duplication rng ~k:4 ~dup_p:0.3 g in
+        let rt = Runtime.make ~seed parts in
+        let vs = Sampling.without_replacement rng 30 10 in
+        Graph.equal (Tfree.Blocks.induced_subgraph rt vs) (Graph.induced g vs));
+  ]
+
+let () =
+  Alcotest.run "tfree_blocks"
+    [
+      ( "query_edge",
+        [
+          Alcotest.test_case "positive/negative" `Quick test_query_edge_positive_negative;
+          Alcotest.test_case "O(k) cost" `Quick test_query_edge_cost_linear_in_k;
+        ] );
+      ( "random_incident_edge",
+        [
+          Alcotest.test_case "real edge" `Quick test_random_incident_edge_is_real;
+          Alcotest.test_case "isolated vertex" `Quick test_random_incident_edge_isolated;
+          Alcotest.test_case "unbiased under duplication" `Slow
+            test_random_incident_edge_uniform_despite_duplication;
+        ] );
+      ( "random_walk",
+        [
+          Alcotest.test_case "follows edges" `Quick test_random_walk_follows_edges;
+          Alcotest.test_case "stops at isolated" `Quick test_random_walk_stops_at_isolated;
+        ] );
+      ( "random_edge",
+        [
+          Alcotest.test_case "real edge" `Quick test_random_edge_is_real;
+          Alcotest.test_case "empty graph" `Quick test_random_edge_empty_graph;
+          Alcotest.test_case "unbiased under duplication" `Slow test_random_edge_uniform_despite_duplication;
+        ] );
+      ("induced", [ Alcotest.test_case "matches centralized" `Quick test_induced_subgraph_matches_local ]);
+      ( "bfs",
+        [
+          Alcotest.test_case "path distances" `Quick test_bfs_distances;
+          Alcotest.test_case "matches centralized" `Quick test_bfs_matches_centralized;
+          Alcotest.test_case "limited exhausts" `Quick test_bfs_limited_exhausts_small_component;
+          Alcotest.test_case "limited truncates" `Quick test_bfs_limited_truncates;
+          Alcotest.test_case "limited isolated" `Quick test_bfs_limited_isolated;
+        ] );
+      ( "degree_approx",
+        [
+          Alcotest.test_case "within factor" `Slow test_approx_degree_within_factor;
+          Alcotest.test_case "zero degree" `Quick test_approx_degree_zero;
+          Alcotest.test_case "cheaper than exact" `Quick test_approx_degree_cheaper_than_exact_transfer;
+          Alcotest.test_case "nodup no overcount" `Quick test_approx_nodup_upper_and_ratio;
+          Alcotest.test_case "edge count" `Quick test_approx_edge_count;
+          Alcotest.test_case "msb index" `Quick test_msb_index;
+          Alcotest.test_case "thresholds" `Quick test_thresholds_separate;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,357 @@
+(* Tests for the additional property-testing systems: centralized traversal
+   helpers, the connectivity/bipartiteness protocols, triangle-edge counting,
+   and the CONGEST substrate with its [10]-style tester. *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_comm
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let params = Tfree.Params.practical
+
+(* ------------------------------------------------------------ traversal *)
+
+let test_traversal_bfs () =
+  let g = Gen.path ~n:5 in
+  Alcotest.(check (array int)) "path distances" [| 0; 1; 2; 3; 4 |] (Traversal.bfs g 0)
+
+let test_traversal_components () =
+  let g = Graph.of_edges ~n:7 [ (0, 1); (1, 2); (3, 4) ] in
+  let label, count = Traversal.components g in
+  checki "four components (two isolated)" 4 count;
+  checkb "0,1,2 together" true (label.(0) = label.(1) && label.(1) = label.(2));
+  checkb "3,4 together" true (label.(3) = label.(4));
+  checkb "separate" true (label.(0) <> label.(3) && label.(3) <> label.(5))
+
+let test_traversal_connected () =
+  checkb "path connected" true (Traversal.is_connected (Gen.path ~n:10));
+  checkb "matching disconnected" false
+    (Traversal.is_connected (Graph.of_edges ~n:6 [ (0, 1); (2, 3); (4, 5) ]));
+  checkb "empty trivially connected" true (Traversal.is_connected (Graph.empty ~n:1))
+
+let test_traversal_two_color () =
+  checkb "even cycle bipartite" true (Traversal.is_bipartite (Gen.cycle ~n:8));
+  checkb "odd cycle not" false (Traversal.is_bipartite (Gen.cycle ~n:9));
+  checkb "K33 bipartite" true (Traversal.is_bipartite (Gen.complete_bipartite ~left:3 ~right:3));
+  match Traversal.two_color (Gen.cycle ~n:8) with
+  | Some color ->
+      Graph.iter_edges (Gen.cycle ~n:8) (fun u v -> checkb "proper" true (color.(u) <> color.(v)))
+  | None -> Alcotest.fail "expected coloring"
+
+let test_traversal_odd_cycle_valid () =
+  let check_graph g =
+    match Traversal.odd_cycle g with
+    | Some cycle ->
+        checkb "odd length" true (List.length cycle mod 2 = 1);
+        checkb "length >= 3" true (List.length cycle >= 3);
+        let arr = Array.of_list cycle in
+        let len = Array.length arr in
+        for i = 0 to len - 1 do
+          checkb "cycle edge" true (Graph.mem_edge g arr.(i) arr.((i + 1) mod len))
+        done
+    | None -> checkb "graph was bipartite" true (Traversal.is_bipartite g)
+  in
+  check_graph (Gen.cycle ~n:9);
+  check_graph (Gen.complete ~n:5);
+  let rng = Rng.create 3 in
+  for s = 1 to 20 do
+    check_graph (Gen.gnp (Rng.split rng s) ~n:30 ~p:0.15)
+  done
+
+let test_traversal_odd_cycle_none_on_bipartite () =
+  checkb "none" true (Traversal.odd_cycle (Gen.complete_bipartite ~left:5 ~right:4) = None)
+
+(* --------------------------------------------------------- connectivity *)
+
+let matching_graph ~n =
+  Graph.of_edges ~n (List.init (n / 2) (fun i -> (2 * i, (2 * i) + 1)))
+
+let test_connectivity_rejects_matching () =
+  (* n/2 two-vertex components: maximally far from connected. *)
+  let rng = Rng.create 11 in
+  let g = matching_graph ~n:400 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let rt = Runtime.make ~seed:1 parts in
+  match Tfree.Prop_protocols.test_connectivity rt params ~key:5 with
+  | Tfree.Prop_protocols.Disconnected comp ->
+      (* the witness must be a full small component *)
+      checkb "component size 2" true (List.length comp = 2);
+      let a, b = match comp with [ a; b ] -> (a, b) | _ -> Alcotest.fail "size" in
+      checkb "really an edge" true (Graph.mem_edge g a b)
+  | Tfree.Prop_protocols.Connected_looking -> Alcotest.fail "should detect disconnection"
+
+let test_connectivity_accepts_connected () =
+  let rng = Rng.create 12 in
+  for s = 1 to 5 do
+    let g = Gen.cycle ~n:300 in
+    let parts = Partition.with_duplication rng ~k:3 ~dup_p:0.3 g in
+    let rt = Runtime.make ~seed:s parts in
+    match Tfree.Prop_protocols.test_connectivity rt params ~key:5 with
+    | Tfree.Prop_protocols.Disconnected _ -> Alcotest.fail "false witness on a connected graph"
+    | Tfree.Prop_protocols.Connected_looking -> ()
+  done
+
+let test_connectivity_witness_always_sound () =
+  (* One-sidedness: any Disconnected witness is a full component < V. *)
+  let rng = Rng.create 13 in
+  for s = 1 to 10 do
+    let g = Gen.gnp (Rng.split rng s) ~n:120 ~p:0.01 in
+    let parts = Partition.disjoint_random (Rng.split rng (100 + s)) ~k:3 g in
+    let rt = Runtime.make ~seed:s parts in
+    match Tfree.Prop_protocols.test_connectivity rt params ~key:5 with
+    | Tfree.Prop_protocols.Disconnected comp ->
+        let label, _ = Traversal.components g in
+        let c0 = label.(List.hd comp) in
+        List.iter (fun v -> checki "same component" c0 label.(v)) comp;
+        let full_size =
+          Array.fold_left (fun acc l -> if l = c0 then acc + 1 else acc) 0 label
+        in
+        checki "witness is the whole component" full_size (List.length comp);
+        checkb "smaller than V" true (List.length comp < Graph.n g)
+    | Tfree.Prop_protocols.Connected_looking -> ()
+  done
+
+let test_connectivity_empty_graph () =
+  let parts = [| Graph.empty ~n:10; Graph.empty ~n:10 |] in
+  let rt = Runtime.make ~seed:1 parts in
+  match Tfree.Prop_protocols.test_connectivity rt params ~key:5 with
+  | Tfree.Prop_protocols.Disconnected _ -> ()
+  | Tfree.Prop_protocols.Connected_looking -> Alcotest.fail "empty graph with 10 vertices is disconnected"
+
+(* -------------------------------------------------------- bipartiteness *)
+
+let test_bipartiteness_accepts_bipartite () =
+  let rng = Rng.create 14 in
+  for s = 1 to 5 do
+    let g = Gen.complete_bipartite ~left:40 ~right:40 in
+    let parts = Partition.with_duplication rng ~k:3 ~dup_p:0.3 g in
+    let rt = Runtime.make ~seed:s parts in
+    match Tfree.Prop_protocols.test_bipartiteness rt params ~key:7 with
+    | Tfree.Prop_protocols.Odd_cycle _ -> Alcotest.fail "false odd cycle"
+    | Tfree.Prop_protocols.Bipartite_looking -> ()
+  done
+
+let test_bipartiteness_rejects_far () =
+  (* planted triangles are odd cycles; dense with them = far from bipartite *)
+  let rng = Rng.create 15 in
+  let g = Gen.planted_far rng ~n:200 ~triangles:60 ~noise:0 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let hits = ref 0 in
+  for s = 1 to 10 do
+    let rt = Runtime.make ~seed:s parts in
+    match Tfree.Prop_protocols.test_bipartiteness rt params ~key:7 with
+    | Tfree.Prop_protocols.Odd_cycle cycle ->
+        checkb "odd" true (List.length cycle mod 2 = 1);
+        let arr = Array.of_list cycle in
+        let len = Array.length arr in
+        for i = 0 to len - 1 do
+          checkb "real edge" true (Graph.mem_edge g arr.(i) arr.((i + 1) mod len))
+        done;
+        incr hits
+    | Tfree.Prop_protocols.Bipartite_looking -> ()
+  done;
+  checkb (Printf.sprintf "detected %d/10" !hits) true (!hits >= 6)
+
+(* --------------------------------------------------------------- count *)
+
+let test_is_triangle_edge_distributed () =
+  (* closing pair split across players: local checking would miss it *)
+  let n = 4 in
+  let p1 = Graph.of_edges ~n [ (0, 1); (0, 2) ] in
+  let p2 = Graph.of_edges ~n [ (1, 2) ] in
+  let rt = Runtime.make ~seed:1 [| p1; p2 |] in
+  checkb "detects split triangle" true (Tfree.Count.is_triangle_edge rt ~key:1 (0, 1));
+  let rt2 = Runtime.make ~seed:1 [| p1; Graph.empty ~n |] in
+  checkb "no closing edge" false (Tfree.Count.is_triangle_edge rt2 ~key:1 (0, 1))
+
+let test_is_triangle_edge_matches_centralized () =
+  let rng = Rng.create 16 in
+  let g = Gen.gnp rng ~n:40 ~p:0.15 in
+  let parts = Partition.with_duplication rng ~k:3 ~dup_p:0.4 g in
+  let rt = Runtime.make ~seed:2 parts in
+  List.iteri
+    (fun i e ->
+      if i < 15 then
+        checkb "agrees with Definition 3" true
+          (Tfree.Count.is_triangle_edge rt ~key:(100 + i) e = Triangle.is_triangle_edge g e))
+    (Graph.edges g)
+
+let test_count_zero_on_free () =
+  let rng = Rng.create 17 in
+  let g = Gen.free_with_degree rng ~n:200 ~d:4.0 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let rt = Runtime.make ~seed:3 parts in
+  let est = Tfree.Count.estimate_triangle_edge_fraction rt ~key:9 ~samples:30 in
+  checki "no hits on a free graph" 0 est.Tfree.Count.hits;
+  checkb "fraction zero" true (est.Tfree.Count.fraction = 0.0)
+
+let test_count_estimates_fraction () =
+  let rng = Rng.create 18 in
+  let g = Gen.planted_far rng ~n:300 ~triangles:40 ~noise:120 in
+  let truth = float_of_int (List.length (Triangle.triangle_edges g)) /. float_of_int (Graph.m g) in
+  let parts = Partition.with_duplication rng ~k:3 ~dup_p:0.3 g in
+  let rt = Runtime.make ~seed:4 parts in
+  let est = Tfree.Count.estimate_triangle_edge_fraction rt ~key:9 ~samples:120 in
+  checkb
+    (Printf.sprintf "estimate %.3f vs truth %.3f" est.Tfree.Count.fraction truth)
+    true
+    (Float.abs (est.Tfree.Count.fraction -. truth) < 0.15)
+
+let test_count_empty_graph () =
+  let parts = [| Graph.empty ~n:10 |] in
+  let rt = Runtime.make ~seed:5 parts in
+  let est = Tfree.Count.estimate_triangle_edge_fraction rt ~key:9 ~samples:10 in
+  checki "nothing sampled" 0 est.Tfree.Count.sampled
+
+let test_collect_neighbors_union () =
+  let rng = Rng.create 19 in
+  let g = Gen.gnp rng ~n:50 ~p:0.2 in
+  let parts = Partition.with_duplication rng ~k:4 ~dup_p:0.5 g in
+  let rt = Runtime.make ~seed:6 parts in
+  let got = List.sort compare (Tfree.Count.collect_neighbors rt ~key:1 7) in
+  Alcotest.(check (list int)) "matches true neighbourhood" (Array.to_list (Graph.neighbors g 7)) got
+
+
+let test_count_estimate_scaled () =
+  (* the m-scaled estimator lands near the true triangle-edge count *)
+  let rng = Rng.create 20 in
+  let g = Gen.planted_far rng ~n:300 ~triangles:40 ~noise:120 in
+  let truth = float_of_int (List.length (Triangle.triangle_edges g)) in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let rt = Runtime.make ~seed:6 parts in
+  let est = Tfree.Count.estimate_triangle_edges rt params ~key:13 ~samples:120 in
+  checkb (Printf.sprintf "estimate %.0f vs truth %.0f" est truth) true
+    (est > truth /. 3.0 && est < truth *. 3.0)
+
+(* -------------------------------------------------------------- congest *)
+
+let test_congest_bandwidth_enforced () =
+  let g = Gen.path ~n:4 in
+  let chatty : unit Tfree_congest.Simulator.algorithm =
+    {
+      init = (fun ~n:_ _ _ -> ());
+      round =
+        (fun ~n ~round:_ v () ~rng:_ ~inbox:_ ~neighbors ->
+          ((), Array.to_list (Array.map (fun u -> (u, Msg.vertices ~n [ v; v; v; v; v; v ])) neighbors)));
+    }
+  in
+  checkb "raises on oversized message" true
+    (try
+       ignore (Tfree_congest.Simulator.run g ~b_bits:4 ~rounds:1 ~seed:1 chatty);
+       false
+     with Tfree_congest.Simulator.Bandwidth_exceeded _ -> true)
+
+let test_congest_rejects_nonneighbor_send () =
+  let g = Gen.path ~n:4 in
+  let bad : unit Tfree_congest.Simulator.algorithm =
+    {
+      init = (fun ~n:_ _ _ -> ());
+      round = (fun ~n:_ ~round:_ v () ~rng:_ ~inbox:_ ~neighbors:_ ->
+          ((), if v = 0 then [ (3, Msg.bool true) ] else []));
+    }
+  in
+  Alcotest.check_raises "non-neighbour" (Invalid_argument "Congest.run: send to non-neighbour")
+    (fun () -> ignore (Tfree_congest.Simulator.run g ~b_bits:8 ~rounds:1 ~seed:1 bad))
+
+let test_congest_message_delivery () =
+  (* ping along a path: message sent in round r arrives in round r+1 *)
+  let g = Gen.path ~n:3 in
+  let relay : int Tfree_congest.Simulator.algorithm =
+    {
+      init = (fun ~n:_ v _ -> if v = 0 then 1 else 0);
+      round =
+        (fun ~n:_ ~round:_ v st ~rng:_ ~inbox ~neighbors:_ ->
+          let received = List.fold_left (fun acc (_, m) -> acc + Msg.get_int m) 0 inbox in
+          let st = st + received in
+          let outbox = if st > 0 && v < 2 then [ (v + 1, Msg.nat st) ] else [] in
+          (st, outbox))
+    }
+  in
+  let states, stats = Tfree_congest.Simulator.run g ~b_bits:16 ~rounds:3 ~seed:1 relay in
+  checkb "token reached the end" true (states.(2) > 0);
+  checkb "messages counted" true (stats.Tfree_congest.Simulator.messages >= 2)
+
+let test_congest_tester_one_sided () =
+  let rng = Rng.create 20 in
+  for s = 1 to 6 do
+    let g = Gen.free_with_degree (Rng.split rng s) ~n:300 ~d:5.0 in
+    let r = Tfree_congest.Triangle_tester.test g ~eps:0.1 ~seed:s in
+    checkb "never fabricates" true (r.Tfree_congest.Triangle_tester.triangle = None)
+  done
+
+let test_congest_tester_detects () =
+  let rng = Rng.create 21 in
+  let hits = ref 0 in
+  for s = 1 to 10 do
+    let g = Gen.far_with_degree (Rng.split rng s) ~n:400 ~d:6.0 ~eps:0.1 in
+    let r = Tfree_congest.Triangle_tester.test g ~eps:0.1 ~seed:s in
+    match r.Tfree_congest.Triangle_tester.triangle with
+    | Some t ->
+        checkb "real triangle" true (Triangle.is_triangle g t);
+        incr hits
+    | None -> ()
+  done;
+  checkb (Printf.sprintf "detected %d/10" !hits) true (!hits >= 8)
+
+let test_congest_tester_respects_bandwidth () =
+  let rng = Rng.create 22 in
+  let g = Gen.far_with_degree rng ~n:300 ~d:5.0 ~eps:0.1 in
+  let r = Tfree_congest.Triangle_tester.test g ~eps:0.2 ~seed:1 in
+  checkb "messages within log n + 1" true
+    (r.Tfree_congest.Triangle_tester.stats.Tfree_congest.Simulator.max_message_bits
+    <= 1 + Bits.vertex ~n:300)
+
+let test_congest_rounds_to_detect () =
+  let rng = Rng.create 23 in
+  let g = Gen.far_with_degree rng ~n:400 ~d:6.0 ~eps:0.1 in
+  match Tfree_congest.Triangle_tester.rounds_to_detect g ~seed:2 ~max_rounds:4096 with
+  | Some rounds -> checkb "found within budget" true (rounds <= 4096)
+  | None -> Alcotest.fail "far graph should be detected"
+
+let () =
+  Alcotest.run "tfree_distributed_props"
+    [
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs" `Quick test_traversal_bfs;
+          Alcotest.test_case "components" `Quick test_traversal_components;
+          Alcotest.test_case "connected" `Quick test_traversal_connected;
+          Alcotest.test_case "two color" `Quick test_traversal_two_color;
+          Alcotest.test_case "odd cycle valid" `Quick test_traversal_odd_cycle_valid;
+          Alcotest.test_case "odd cycle none" `Quick test_traversal_odd_cycle_none_on_bipartite;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "rejects matching" `Quick test_connectivity_rejects_matching;
+          Alcotest.test_case "accepts connected" `Quick test_connectivity_accepts_connected;
+          Alcotest.test_case "witness sound" `Quick test_connectivity_witness_always_sound;
+          Alcotest.test_case "empty graph" `Quick test_connectivity_empty_graph;
+        ] );
+      ( "bipartiteness",
+        [
+          Alcotest.test_case "accepts bipartite" `Quick test_bipartiteness_accepts_bipartite;
+          Alcotest.test_case "rejects far" `Quick test_bipartiteness_rejects_far;
+        ] );
+      ( "count",
+        [
+          Alcotest.test_case "split triangle" `Quick test_is_triangle_edge_distributed;
+          Alcotest.test_case "matches centralized" `Quick test_is_triangle_edge_matches_centralized;
+          Alcotest.test_case "zero on free" `Quick test_count_zero_on_free;
+          Alcotest.test_case "estimates fraction" `Slow test_count_estimates_fraction;
+          Alcotest.test_case "empty graph" `Quick test_count_empty_graph;
+          Alcotest.test_case "collect neighbors" `Quick test_collect_neighbors_union;
+          Alcotest.test_case "scaled estimate" `Slow test_count_estimate_scaled;
+        ] );
+      ( "congest",
+        [
+          Alcotest.test_case "bandwidth enforced" `Quick test_congest_bandwidth_enforced;
+          Alcotest.test_case "non-neighbour send" `Quick test_congest_rejects_nonneighbor_send;
+          Alcotest.test_case "message delivery" `Quick test_congest_message_delivery;
+          Alcotest.test_case "one-sided" `Quick test_congest_tester_one_sided;
+          Alcotest.test_case "detects" `Slow test_congest_tester_detects;
+          Alcotest.test_case "bandwidth respected" `Quick test_congest_tester_respects_bandwidth;
+          Alcotest.test_case "rounds to detect" `Quick test_congest_rounds_to_detect;
+        ] );
+    ]

@@ -1,0 +1,393 @@
+(* Tests for Tfree_lowerbound: information theory, the hard distribution µ,
+   the Boolean-Matching reduction, symmetrization, embedding, and the
+   budgeted protocol variants. *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_lowerbound
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let near ?(tol = 1e-9) a b = Float.abs (a -. b) <= tol
+
+(* ----------------------------------------------------------------- Info *)
+
+let test_entropy_basics () =
+  checkb "uniform 2 = 1 bit" true (near (Info.entropy [| 0.5; 0.5 |]) 1.0);
+  checkb "deterministic = 0" true (near (Info.entropy [| 1.0; 0.0 |]) 0.0);
+  checkb "uniform 4 = 2 bits" true (near (Info.entropy [| 0.25; 0.25; 0.25; 0.25 |]) 2.0)
+
+let test_kl_nonnegative_and_zero_iff_equal () =
+  let mu = [| 0.3; 0.7 |] and eta = [| 0.6; 0.4 |] in
+  checkb "positive" true (Info.kl_divergence mu eta > 0.0);
+  checkb "zero on equal" true (near (Info.kl_divergence mu mu) 0.0)
+
+let test_kl_infinite_on_support_mismatch () =
+  checkb "infinite" true (Float.is_integer (Info.kl_divergence [| 0.5; 0.5 |] [| 1.0; 0.0 |]) = false
+                          || Info.kl_divergence [| 0.5; 0.5 |] [| 1.0; 0.0 |] = infinity);
+  checkb "is inf" true (Info.kl_divergence [| 0.5; 0.5 |] [| 1.0; 0.0 |] = infinity)
+
+let test_kl_size_mismatch () =
+  Alcotest.check_raises "size" (Invalid_argument "Info.kl_divergence: size mismatch") (fun () ->
+      ignore (Info.kl_divergence [| 1.0 |] [| 0.5; 0.5 |]))
+
+let test_lemma_4_3_grid () =
+  (* D(q || p) >= q - 2p for p < 1/2, over a dense grid. *)
+  let steps = 60 in
+  for pi = 1 to steps - 1 do
+    let p = 0.5 *. float_of_int pi /. float_of_int steps in
+    for qi = 1 to steps - 1 do
+      let q = float_of_int qi /. float_of_int steps in
+      let d = Info.binary_kl ~q ~p in
+      checkb
+        (Printf.sprintf "D(%.3f||%.3f)=%.4f >= %.4f" q p d (Info.lemma_4_3_bound ~q ~p))
+        true
+        (d >= Info.lemma_4_3_bound ~q ~p -. 1e-9)
+    done
+  done
+
+let test_mutual_information_independent () =
+  (* independent bits: I = 0 *)
+  let j = [| [| 0.25; 0.25 |]; [| 0.25; 0.25 |] |] in
+  checkb "independent" true (near (Info.mutual_information j) 0.0)
+
+let test_mutual_information_identical () =
+  (* Y = X uniform bit: I = 1 *)
+  let j = [| [| 0.5; 0.0 |]; [| 0.0; 0.5 |] |] in
+  checkb "copy channel" true (near (Info.mutual_information j) 1.0)
+
+let test_mutual_information_two_forms_agree () =
+  (* Definition 9's two expressions coincide, on random joints. *)
+  let rng = Rng.create 7 in
+  for _ = 1 to 20 do
+    let raw = Array.init 3 (fun _ -> Array.init 4 (fun _ -> Rng.float rng +. 0.01)) in
+    let total = Array.fold_left (fun a row -> Array.fold_left ( +. ) a row) 0.0 raw in
+    let j = Array.map (Array.map (fun x -> x /. total)) raw in
+    checkb "direct = via KL" true
+      (near ~tol:1e-9 (Info.mutual_information j) (Info.mutual_information_via_kl j))
+  done
+
+let test_mutual_information_bounded_by_entropy () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 20 do
+    let raw = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Rng.float rng +. 0.01)) in
+    let total = Array.fold_left (fun a row -> Array.fold_left ( +. ) a row) 0.0 raw in
+    let j = Array.map (Array.map (fun x -> x /. total)) raw in
+    let i = Info.mutual_information j in
+    checkb "I <= H(X)" true (i <= Info.entropy (Info.marginal_x j) +. 1e-9);
+    checkb "I <= H(Y)" true (i <= Info.entropy (Info.marginal_y j) +. 1e-9)
+  done
+
+let test_superadditivity_lemma_4_2 () =
+  (* X1, X2 independent bits, Y = (X1, X2) jointly: I(X1X2;Y) >= I(X1;Y) +
+     I(X2;Y).  Build empirically from samples of a noisy channel. *)
+  let rng = Rng.create 9 in
+  let samples =
+    List.init 20_000 (fun _ ->
+        let x1 = Rng.int rng 2 and x2 = Rng.int rng 2 in
+        let y = if Rng.bool rng ~p:0.15 then Rng.int rng 4 else (2 * x1) + x2 in
+        (x1, x2, y))
+  in
+  let joint12 = Info.empirical_joint ~nx:4 ~ny:4 (List.map (fun (a, b, y) -> ((2 * a) + b, y)) samples) in
+  let joint1 = Info.empirical_joint ~nx:2 ~ny:4 (List.map (fun (a, _, y) -> (a, y)) samples) in
+  let joint2 = Info.empirical_joint ~nx:2 ~ny:4 (List.map (fun (_, b, y) -> (b, y)) samples) in
+  let lhs = Info.mutual_information joint12 in
+  let rhs = Info.mutual_information joint1 +. Info.mutual_information joint2 in
+  checkb (Printf.sprintf "superadditive (%.4f >= %.4f)" lhs rhs) true (lhs >= rhs -. 0.01)
+
+let test_empirical_joint_normalized () =
+  let j = Info.empirical_joint ~nx:2 ~ny:2 [ (0, 0); (0, 1); (1, 1); (1, 1) ] in
+  checkb "normalized" true
+    (near (Array.fold_left (fun a row -> Array.fold_left ( +. ) a row) 0.0 j) 1.0);
+  checkb "cell" true (near j.(1).(1) 0.5)
+
+(* -------------------------------------------------------------- Mu_dist *)
+
+let test_mu_is_tripartite_split () =
+  let rng = Rng.create 10 in
+  let g, parts = Mu_dist.sample_partition rng ~part:40 ~gamma:2.0 in
+  checki "three players" 3 (Tfree_graph.Partition.k parts);
+  checkb "union is the graph" true (Graph.equal (Tfree_graph.Partition.union parts) g);
+  (* Alice holds only U×V1 edges *)
+  Graph.iter_edges (Tfree_graph.Partition.player parts 0) (fun u v ->
+      checkb "alice side" true (u / 40 = 0 && v / 40 = 1));
+  Graph.iter_edges (Tfree_graph.Partition.player parts 2) (fun u v ->
+      checkb "charlie side" true (u / 40 = 1 && v / 40 = 2))
+
+let test_mu_lemma_4_5 () =
+  let rng = Rng.create 11 in
+  let far_frac, norm_packing = Mu_dist.lemma_4_5_stats rng ~part:60 ~gamma:2.0 ~eps:0.05 ~trials:10 in
+  checkb (Printf.sprintf "far fraction %.2f >= 1/2" far_frac) true (far_frac >= 0.5);
+  checkb (Printf.sprintf "packing/n^1.5 = %.4f constant" norm_packing) true (norm_packing > 0.001)
+
+let test_mu_stats_consistent () =
+  let rng = Rng.create 12 in
+  let g = Mu_dist.sample rng ~part:50 ~gamma:2.0 in
+  let s = Mu_dist.stats g in
+  checkb "packing <= triangles" true (s.Mu_dist.disjoint_triangles <= s.Mu_dist.triangles);
+  checkb "farness consistent" true
+    (near ~tol:1e-9 s.Mu_dist.farness_lb
+       (float_of_int s.Mu_dist.disjoint_triangles /. float_of_int (max 1 s.Mu_dist.m)))
+
+let test_mu_sample_far () =
+  let rng = Rng.create 13 in
+  match Mu_dist.sample_far rng ~part:50 ~gamma:2.0 ~eps:0.05 with
+  | Some g -> checkb "certified" true (Distance.certified_far g ~eps:0.05)
+  | None -> Alcotest.fail "expected a far sample within 200 attempts"
+
+(* ----------------------------------------------------- Boolean matching *)
+
+let test_bm_yes_instance_structure () =
+  let rng = Rng.create 14 in
+  for n = 3 to 12 do
+    let inst = Boolean_matching.generate rng ~n ~target:false in
+    checki "all rows zero" n (Boolean_matching.expected_triangles inst);
+    let g = Boolean_matching.reduction_graph inst in
+    checki "n edge-disjoint triangles" n (List.length (Triangle.greedy_packing g));
+    checki "exactly n triangles" n (Triangle.count g)
+  done
+
+let test_bm_no_instance_triangle_free () =
+  let rng = Rng.create 15 in
+  for n = 3 to 12 do
+    let inst = Boolean_matching.generate rng ~n ~target:true in
+    checki "all rows one" 0 (Boolean_matching.expected_triangles inst);
+    let g = Boolean_matching.reduction_graph inst in
+    checkb "triangle-free" true (Triangle.is_free g)
+  done
+
+let test_bm_partition_union () =
+  let rng = Rng.create 16 in
+  let inst = Boolean_matching.generate rng ~n:8 ~target:false in
+  let parts = Boolean_matching.to_partition inst in
+  checkb "union = reduction graph" true
+    (Graph.equal (Tfree_graph.Partition.union parts) (Boolean_matching.reduction_graph inst));
+  checkb "no duplication" false (Tfree_graph.Partition.has_duplication parts)
+
+let test_bm_constant_degree () =
+  let rng = Rng.create 17 in
+  let inst = Boolean_matching.generate rng ~n:50 ~target:false in
+  let g = Boolean_matching.reduction_graph inst in
+  checkb "average degree O(1)" true (Graph.avg_degree g < 3.0)
+
+let test_bm_yes_is_far () =
+  (* yes-instances: n edge-disjoint triangles over 4n edges = 1/4-far. *)
+  let rng = Rng.create 18 in
+  let inst = Boolean_matching.generate rng ~n:20 ~target:false in
+  let g = Boolean_matching.reduction_graph inst in
+  checkb "1/4-far certified" true (Distance.certified_far g ~eps:0.2)
+
+let test_bm_detectable_by_protocols () =
+  (* Our simultaneous tester distinguishes the two promises (2 players). *)
+  let rng = Rng.create 19 in
+  let yes = Boolean_matching.generate rng ~n:200 ~target:false in
+  let no = Boolean_matching.generate rng ~n:200 ~target:true in
+  let run inst =
+    let parts = Boolean_matching.to_partition inst in
+    let d = Graph.avg_degree (Boolean_matching.reduction_graph inst) in
+    let detected = ref false in
+    for s = 1 to 10 do
+      let r = Tfree.Tester.simultaneous ~seed:s Tfree.Params.practical ~d parts in
+      match r.Tfree.Tester.verdict with Tfree.Tester.Triangle _ -> detected := true | _ -> ()
+    done;
+    !detected
+  in
+  checkb "yes detected" true (run yes);
+  checkb "no never detected" false (run no)
+
+(* -------------------------------------------------------- Symmetrization *)
+
+let test_embed_shape () =
+  let rng = Rng.create 20 in
+  let x = Symmetrization.mu_sampler ~part:20 ~gamma:2.0 rng in
+  let inputs = Symmetrization.embed ~k:6 ~i:1 ~j:3 x in
+  checki "k players" 6 (Array.length inputs);
+  let x1, x2, x3 = x in
+  checkb "player i has X1" true (Graph.equal inputs.(1) x1);
+  checkb "player j has X2" true (Graph.equal inputs.(3) x2);
+  checkb "others have X3" true (Graph.equal inputs.(0) x3 && Graph.equal inputs.(5) x3)
+
+let test_embed_rejects_bad_roles () =
+  let rng = Rng.create 21 in
+  let x = Symmetrization.mu_sampler ~part:10 ~gamma:2.0 rng in
+  Alcotest.check_raises "i=j" (Invalid_argument "Symmetrization.embed: bad player ids") (fun () ->
+      ignore (Symmetrization.embed ~k:5 ~i:2 ~j:2 x));
+  Alcotest.check_raises "role k-1" (Invalid_argument "Symmetrization.embed: bad player ids")
+    (fun () -> ignore (Symmetrization.embed ~k:5 ~i:4 ~j:1 x))
+
+let test_symmetrization_identity () =
+  (* Theorem 4.15's accounting: E|Π'| = (2/k)·CC(Π), measured on the capped
+     sim-low protocol over the lifted µ. *)
+  let rng = Rng.create 22 in
+  let k = 5 in
+  let protocol = Tfree.Sim_low.protocol Tfree.Params.practical ~d:8.0 in
+  let m =
+    Symmetrization.measure_identity rng ~k ~trials:60
+      ~sample_mu:(Symmetrization.mu_sampler ~part:30 ~gamma:2.0)
+      protocol
+  in
+  let rel = Float.abs (m.Symmetrization.lhs_mean -. m.Symmetrization.rhs_mean) /. Float.max 1.0 m.Symmetrization.rhs_mean in
+  checkb
+    (Printf.sprintf "identity holds: lhs=%.1f rhs=%.1f rel=%.3f" m.Symmetrization.lhs_mean
+       m.Symmetrization.rhs_mean rel)
+    true (rel < 0.25)
+
+(* ------------------------------------------------------------ Embedding *)
+
+let test_embedding_parameter_mapping () =
+  (* c = 1/2 family: n' = (d'·n)^{2/3}. *)
+  let n' = Embedding.source_size ~n:10_000 ~d':2.0 ~c:0.5 in
+  checkb "formula" true (abs (n' - int_of_float (Float.round (Float.pow 20_000.0 (2.0 /. 3.0)))) <= 1)
+
+let test_embedding_preserves_triangles () =
+  let rng = Rng.create 23 in
+  let e =
+    Embedding.embed_at_degree rng ~n:2000 ~d':1.0 ~c:0.5 ~k:3
+      ~make:(fun rng n' -> Gen.far_with_degree rng ~n:n' ~d:(sqrt (float_of_int n')) ~eps:0.1)
+      ~split:(fun rng ~k g -> Partition.disjoint_random rng ~k g)
+  in
+  checkb "degree dropped to ~d'" true (e.Embedding.achieved_degree < 3.0);
+  checkb "still has triangles" false (Triangle.is_free e.Embedding.graph);
+  checkb "inputs union to graph" true
+    (Graph.equal (Tfree_graph.Partition.union e.Embedding.inputs) e.Embedding.graph)
+
+(* ------------------------------------------------------------- Budgeted *)
+
+let gen_far_fixture part seed =
+  let rng = Rng.create (1000 + seed) in
+  let g = Gen.far_with_degree rng ~n:(3 * part) ~d:(sqrt (float_of_int (3 * part))) ~eps:0.1 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  (parts, g)
+
+let test_budgeted_success_monotone_in_budget () =
+  let d = sqrt 600.0 in
+  let small =
+    Budgeted.success_rate ~trials:15 ~gen:(gen_far_fixture 200)
+      ~protocol:(Budgeted.sim_high_budgeted ~budget_bits:64 ~d)
+  in
+  let large =
+    Budgeted.success_rate ~trials:15 ~gen:(gen_far_fixture 200)
+      ~protocol:(Budgeted.sim_high_budgeted ~budget_bits:40_000 ~d)
+  in
+  checkb (Printf.sprintf "small=%.2f large=%.2f" small large) true (large >= small);
+  checkb "large budget succeeds" true (large >= 0.8);
+  checkb "starved budget fails" true (small <= 0.4)
+
+let test_budgeted_respects_budget () =
+  let d = sqrt 600.0 in
+  let parts, _ = gen_far_fixture 200 3 in
+  let budget = 2000 in
+  let o = Tfree_comm.Simultaneous.run ~seed:5 (Budgeted.sim_high_budgeted ~budget_bits:budget ~d) parts in
+  Array.iter
+    (fun bits -> checkb "within budget (+prefix)" true (bits <= budget + 64))
+    o.Tfree_comm.Simultaneous.per_player_bits
+
+let test_budgeted_threshold_found () =
+  let d = sqrt 450.0 in
+  let gen = gen_far_fixture 150 in
+  match
+    Budgeted.threshold_budget ~trials:10 ~gen
+      ~protocol_of_budget:(fun b -> Budgeted.sim_high_budgeted ~budget_bits:b ~d)
+      ~target:0.6 ~lo:32 ~hi:1_000_000
+  with
+  | Some (b, rate) ->
+      checkb (Printf.sprintf "threshold %d bits rate %.2f" b rate) true (b > 32 && rate >= 0.6)
+  | None -> Alcotest.fail "threshold not found below cap"
+
+let test_budgeted_oneway_finds_with_big_budget () =
+  let parts, g = gen_far_fixture 200 7 in
+  let chain = Budgeted.oneway_budgeted ~budget_bits:200_000 in
+  let o =
+    Tfree_comm.Oneway.run_chain ~seed:3 chain
+      ~alice_input:(Tfree_graph.Partition.player parts 0)
+      ~bob_input:(Tfree_graph.Partition.player parts 1)
+      ~charlie_input:(Tfree_graph.Partition.player parts 2)
+  in
+  match o.Tfree_comm.Oneway.result with
+  | Some t -> checkb "real triangle" true (Triangle.is_triangle g t)
+  | None -> () (* allowed: randomized *)
+
+
+(* --------------------------------------------------------------- QCheck *)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"BM dichotomy holds for random instances" ~count:25
+      (pair (int_range 3 40) bool)
+      (fun (n, target) ->
+        let rng = Rng.create (n + if target then 1000 else 0) in
+        let inst = Boolean_matching.generate rng ~n ~target in
+        let g = Boolean_matching.reduction_graph inst in
+        if target then Triangle.is_free g
+        else Triangle.count g = n && List.length (Triangle.greedy_packing g) = n);
+    Test.make ~name:"BM rows all equal the target" ~count:25 (pair (int_range 3 40) bool)
+      (fun (n, target) ->
+        let rng = Rng.create (n + if target then 2000 else 3000) in
+        let inst = Boolean_matching.generate rng ~n ~target in
+        List.for_all (fun j -> Boolean_matching.row_value inst j = target) (List.init n (fun j -> j)));
+    Test.make ~name:"embed places inputs correctly" ~count:25 (int_range 4 12) (fun k ->
+        let rng = Rng.create (10 * k) in
+        let ((x1, x2, x3) as x) = Symmetrization.mu_sampler ~part:10 ~gamma:2.0 rng in
+        let i, j = Symmetrization.draw_roles rng ~k in
+        let inputs = Symmetrization.embed ~k ~i ~j x in
+        Graph.equal inputs.(i) x1 && Graph.equal inputs.(j) x2 && Graph.equal inputs.(k - 1) x3);
+    Test.make ~name:"mu samples are tripartite" ~count:20 (int_range 10 40) (fun part ->
+        let rng = Rng.create part in
+        let g = Mu_dist.sample rng ~part ~gamma:2.0 in
+        Graph.fold_edges g ~init:true ~f:(fun acc u v -> acc && u / part <> v / part));
+  ]
+
+let () =
+  Alcotest.run "tfree_lowerbound"
+    [
+      ( "info",
+        [
+          Alcotest.test_case "entropy" `Quick test_entropy_basics;
+          Alcotest.test_case "kl nonnegative" `Quick test_kl_nonnegative_and_zero_iff_equal;
+          Alcotest.test_case "kl infinite support" `Quick test_kl_infinite_on_support_mismatch;
+          Alcotest.test_case "kl size mismatch" `Quick test_kl_size_mismatch;
+          Alcotest.test_case "lemma 4.3 grid" `Quick test_lemma_4_3_grid;
+          Alcotest.test_case "MI independent" `Quick test_mutual_information_independent;
+          Alcotest.test_case "MI copy" `Quick test_mutual_information_identical;
+          Alcotest.test_case "MI two forms" `Quick test_mutual_information_two_forms_agree;
+          Alcotest.test_case "MI bounded" `Quick test_mutual_information_bounded_by_entropy;
+          Alcotest.test_case "superadditivity" `Slow test_superadditivity_lemma_4_2;
+          Alcotest.test_case "empirical joint" `Quick test_empirical_joint_normalized;
+        ] );
+      ( "mu",
+        [
+          Alcotest.test_case "tripartite split" `Quick test_mu_is_tripartite_split;
+          Alcotest.test_case "lemma 4.5" `Slow test_mu_lemma_4_5;
+          Alcotest.test_case "stats consistent" `Quick test_mu_stats_consistent;
+          Alcotest.test_case "sample far" `Quick test_mu_sample_far;
+        ] );
+      ( "boolean-matching",
+        [
+          Alcotest.test_case "yes structure" `Quick test_bm_yes_instance_structure;
+          Alcotest.test_case "no triangle-free" `Quick test_bm_no_instance_triangle_free;
+          Alcotest.test_case "partition union" `Quick test_bm_partition_union;
+          Alcotest.test_case "constant degree" `Quick test_bm_constant_degree;
+          Alcotest.test_case "yes is far" `Quick test_bm_yes_is_far;
+          Alcotest.test_case "protocols distinguish" `Slow test_bm_detectable_by_protocols;
+        ] );
+      ( "symmetrization",
+        [
+          Alcotest.test_case "embed shape" `Quick test_embed_shape;
+          Alcotest.test_case "embed rejects bad roles" `Quick test_embed_rejects_bad_roles;
+          Alcotest.test_case "cost identity" `Slow test_symmetrization_identity;
+        ] );
+      ( "embedding",
+        [
+          Alcotest.test_case "parameter mapping" `Quick test_embedding_parameter_mapping;
+          Alcotest.test_case "preserves triangles" `Quick test_embedding_preserves_triangles;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "budgeted",
+        [
+          Alcotest.test_case "monotone in budget" `Slow test_budgeted_success_monotone_in_budget;
+          Alcotest.test_case "respects budget" `Quick test_budgeted_respects_budget;
+          Alcotest.test_case "threshold found" `Slow test_budgeted_threshold_found;
+          Alcotest.test_case "oneway big budget" `Quick test_budgeted_oneway_finds_with_big_budget;
+        ] );
+    ]

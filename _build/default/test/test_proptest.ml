@@ -1,0 +1,114 @@
+(* Tests for Tfree_proptest: the query-model oracle and the centralized
+   testers used as baselines. *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_proptest
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_oracle_counts () =
+  let g = Gen.complete ~n:5 in
+  let o = Query_model.make g in
+  ignore (Query_model.edge_query o 0 1);
+  ignore (Query_model.edge_query o 0 2);
+  ignore (Query_model.degree_query o 0);
+  ignore (Query_model.neighbor_query o 0 1);
+  checki "edge queries" 2 o.Query_model.edge_queries;
+  checki "degree queries" 1 o.Query_model.degree_queries;
+  checki "neighbor queries" 1 o.Query_model.neighbor_queries;
+  checki "total" 4 (Query_model.total_queries o)
+
+let test_oracle_answers () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (0, 2) ] in
+  let o = Query_model.make g in
+  checkb "edge yes" true (Query_model.edge_query o 0 1);
+  checkb "edge no" false (Query_model.edge_query o 1 2);
+  checki "degree" 2 (Query_model.degree_query o 0);
+  checkb "neighbor 0" true (Query_model.neighbor_query o 0 0 = Some 1);
+  checkb "neighbor out of range" true (Query_model.neighbor_query o 0 5 = None)
+
+let test_dense_tester_one_sided () =
+  let rng = Rng.create 1 in
+  let g = Gen.complete_bipartite ~left:30 ~right:30 in
+  match Testers.dense_tester rng (Query_model.make g) ~trials:500 with
+  | Testers.Found _ -> Alcotest.fail "dense tester fabricated a triangle"
+  | Testers.Not_found_after q -> checkb "queries counted" true (q > 0)
+
+let test_dense_tester_finds_on_dense_far () =
+  (* K30: every triple is a triangle; the dense tester finds one fast. *)
+  let rng = Rng.create 2 in
+  match Testers.dense_tester rng (Query_model.make (Gen.complete ~n:30)) ~trials:200 with
+  | Testers.Found t -> checkb "valid" true (Triangle.is_triangle (Gen.complete ~n:30) t)
+  | Testers.Not_found_after _ -> Alcotest.fail "should find in K30"
+
+let test_general_tester_one_sided () =
+  let rng = Rng.create 3 in
+  let g = Gen.free_with_degree rng ~n:200 ~d:6.0 in
+  match Testers.general_tester rng (Query_model.make g) ~vertex_trials:200 ~c:2.0 with
+  | Testers.Found _ -> Alcotest.fail "general tester fabricated a triangle"
+  | Testers.Not_found_after _ -> ()
+
+let test_general_tester_finds_on_planted () =
+  let rng = Rng.create 4 in
+  let g = Gen.planted_far rng ~n:300 ~triangles:60 ~noise:100 in
+  let hits = ref 0 in
+  for s = 1 to 10 do
+    let r = Rng.create (100 + s) in
+    match Testers.general_tester r (Query_model.make g) ~vertex_trials:150 ~c:3.0 with
+    | Testers.Found t ->
+        checkb "valid" true (Triangle.is_triangle g t);
+        incr hits
+    | Testers.Not_found_after _ -> ()
+  done;
+  checkb (Printf.sprintf "hits %d/10" !hits) true (!hits >= 6)
+
+let test_query_counts_grow_with_work () =
+  let rng = Rng.create 5 in
+  let g = Gen.free_with_degree rng ~n:100 ~d:4.0 in
+  let o1 = Query_model.make g and o2 = Query_model.make g in
+  ignore (Testers.dense_tester rng o1 ~trials:10);
+  ignore (Testers.dense_tester rng o2 ~trials:100);
+  checkb "more trials, more queries" true (Query_model.total_queries o2 > Query_model.total_queries o1)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"oracle agrees with graph" ~count:50 (int_range 1 500) (fun seed ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.gnp rng ~n:25 ~p:0.3 in
+        let o = Query_model.make g in
+        let u = Rng.int rng 25 and v = Rng.int rng 25 in
+        (u = v || Query_model.edge_query o u v = Graph.mem_edge g u v)
+        && Query_model.degree_query o u = Graph.degree g u);
+    Test.make ~name:"testers' witnesses are real" ~count:30 (int_range 1 500) (fun seed ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.gnp rng ~n:40 ~p:0.3 in
+        (match Testers.dense_tester rng (Query_model.make g) ~trials:50 with
+        | Testers.Found t -> Triangle.is_triangle g t
+        | Testers.Not_found_after _ -> true)
+        &&
+        match Testers.general_tester rng (Query_model.make g) ~vertex_trials:30 ~c:2.0 with
+        | Testers.Found t -> Triangle.is_triangle g t
+        | Testers.Not_found_after _ -> true);
+  ]
+
+let () =
+  Alcotest.run "tfree_proptest"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "counts" `Quick test_oracle_counts;
+          Alcotest.test_case "answers" `Quick test_oracle_answers;
+        ] );
+      ( "testers",
+        [
+          Alcotest.test_case "dense one-sided" `Quick test_dense_tester_one_sided;
+          Alcotest.test_case "dense finds" `Quick test_dense_tester_finds_on_dense_far;
+          Alcotest.test_case "general one-sided" `Quick test_general_tester_one_sided;
+          Alcotest.test_case "general finds" `Quick test_general_tester_finds_on_planted;
+          Alcotest.test_case "query counting" `Quick test_query_counts_grow_with_work;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]

@@ -1,0 +1,168 @@
+(* Tests for Tfree_streaming: stream runner, sampling detector, and the
+   one-way ⇄ streaming bridge of §4.2.2. *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_streaming
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* A toy counting algorithm for runner tests: state = edges seen. *)
+let counter : (int, int) Stream_alg.t =
+  {
+    Stream_alg.init = (fun ~n:_ -> 0);
+    step = (fun c _ -> c + 1);
+    finish = (fun c -> c);
+    size_bits = (fun c -> Bits.elias_gamma c);
+  }
+
+let test_run_counts_edges () =
+  let rng = Rng.create 1 in
+  let g = Gen.gnp rng ~n:40 ~p:0.2 in
+  let o = Stream_alg.run counter ~n:40 (Stream_alg.stream_of_graph rng g) in
+  checki "edges seen" (Graph.m g) o.Stream_alg.edges_seen;
+  checki "result" (Graph.m g) o.Stream_alg.result;
+  checkb "space is the high-water mark" true (o.Stream_alg.space_bits >= Bits.elias_gamma (Graph.m g))
+
+let test_stream_of_partition_order () =
+  let rng = Rng.create 2 in
+  let g = Gen.gnp rng ~n:20 ~p:0.3 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let seen = List.of_seq (Stream_alg.stream_of_partition parts) in
+  checki "all edges streamed" (Graph.m g) (List.length seen);
+  (* segment order: first all of player 0's edges, etc. *)
+  let expected =
+    List.concat_map (fun j -> Graph.edges (Partition.player parts j)) [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list (pair int int))) "segment order" expected seen
+
+let test_detector_one_sided () =
+  let rng = Rng.create 3 in
+  let g = Gen.free_with_degree rng ~n:300 ~d:5.0 in
+  for s = 1 to 10 do
+    let det = Detector.make ~seed:s ~p:0.5 in
+    let o = Stream_alg.run det ~n:300 (Stream_alg.stream_of_graph rng g) in
+    checkb "never fabricates a triangle" true (o.Stream_alg.result = None)
+  done
+
+let test_detector_finds_on_far () =
+  let rng = Rng.create 4 in
+  let g = Gen.far_with_degree rng ~n:300 ~d:17.3 ~eps:0.1 in
+  let p = Detector.tuned_p ~n:300 ~d:17.3 ~eps:0.1 ~c:3.0 in
+  let hits = ref 0 in
+  for s = 1 to 20 do
+    let det = Detector.make ~seed:s ~p in
+    let o = Stream_alg.run det ~n:300 (Stream_alg.stream_of_graph rng g) in
+    match o.Stream_alg.result with
+    | Some t ->
+        checkb "real triangle" true (Triangle.is_triangle g t);
+        incr hits
+    | None -> ()
+  done;
+  checkb (Printf.sprintf "hits %d/20" !hits) true (!hits >= 10)
+
+let test_detector_space_scales_with_p () =
+  let rng = Rng.create 5 in
+  let g = Gen.gnp rng ~n:400 ~p:0.05 in
+  let space p =
+    let det = Detector.make ~seed:1 ~p in
+    (Stream_alg.run det ~n:400 (Stream_alg.stream_of_graph rng g)).Stream_alg.space_bits
+  in
+  checkb "smaller p, less space" true (space 0.1 <= space 0.9)
+
+let test_bridge_messages_within_space () =
+  let rng = Rng.create 6 in
+  let g = Gen.far_with_degree rng ~n:300 ~d:10.0 ~eps:0.1 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let det = Detector.make ~seed:2 ~p:0.3 in
+  let b = Bridge.oneway_of_streaming det ~inputs:parts in
+  let a_bits, b_bits = b.Bridge.message_bits in
+  checkb "alice message <= space" true (a_bits <= b.Bridge.space_bits);
+  checkb "bob message <= space" true (b_bits <= b.Bridge.space_bits);
+  checkb "messages grow along the stream" true (a_bits <= b_bits)
+
+let test_bridge_agrees_with_direct_run () =
+  (* Running the streaming algorithm through the bridge equals running it
+     directly on the concatenated stream. *)
+  let rng = Rng.create 7 in
+  let g = Gen.far_with_degree rng ~n:200 ~d:8.0 ~eps:0.1 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let det = Detector.make ~seed:3 ~p:0.4 in
+  let direct = Stream_alg.run det ~n:200 (Stream_alg.stream_of_partition parts) in
+  let bridged = Bridge.oneway_of_streaming det ~inputs:parts in
+  checkb "same verdict" true (direct.Stream_alg.result = bridged.Bridge.result);
+  checki "same space" direct.Stream_alg.space_bits bridged.Bridge.space_bits
+
+let test_bridge_needs_three_players () =
+  let rng = Rng.create 8 in
+  let g = Gen.gnp rng ~n:20 ~p:0.2 in
+  let parts = Partition.disjoint_random rng ~k:2 g in
+  Alcotest.check_raises "k=3 required"
+    (Invalid_argument "Bridge.oneway_of_streaming: needs 3 players") (fun () ->
+      ignore (Bridge.oneway_of_streaming (Detector.make ~seed:1 ~p:0.5) ~inputs:parts))
+
+let test_detector_respects_sample () =
+  (* Retained edges have both endpoints in the sample. *)
+  let rng = Rng.create 9 in
+  let g = Gen.gnp rng ~n:100 ~p:0.1 in
+  let det = Detector.make ~seed:4 ~p:0.3 in
+  let st0 = det.Stream_alg.init ~n:100 in
+  let final = List.fold_left det.Stream_alg.step st0 (Graph.edges g) in
+  List.iter
+    (fun (u, v) -> checkb "kept endpoints sampled" true (final.Detector.keep u && final.Detector.keep v))
+    final.Detector.edges
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"stream runner sees every edge exactly once" ~count:50 (int_range 1 500)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.gnp rng ~n:30 ~p:0.2 in
+        let o = Stream_alg.run counter ~n:30 (Stream_alg.stream_of_graph rng g) in
+        o.Stream_alg.edges_seen = Graph.m g);
+    Test.make ~name:"detector never fabricates on free graphs" ~count:30 (int_range 1 500)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.free_with_degree rng ~n:100 ~d:4.0 in
+        let det = Detector.make ~seed ~p:0.6 in
+        (Stream_alg.run det ~n:100 (Stream_alg.stream_of_graph rng g)).Stream_alg.result = None);
+    Test.make ~name:"detector result independent of stream order" ~count:30 (int_range 1 500)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.gnp rng ~n:60 ~p:0.15 in
+        let det = Detector.make ~seed ~p:0.5 in
+        let r1 =
+          (Stream_alg.run det ~n:60 (Stream_alg.stream_of_graph (Rng.create 1) g)).Stream_alg.result
+        in
+        let r2 =
+          (Stream_alg.run det ~n:60 (Stream_alg.stream_of_graph (Rng.create 2) g)).Stream_alg.result
+        in
+        (* the retained edge set is order-independent, so found-vs-not is too *)
+        Option.is_some r1 = Option.is_some r2);
+  ]
+
+let () =
+  Alcotest.run "tfree_streaming"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "counts edges" `Quick test_run_counts_edges;
+          Alcotest.test_case "partition stream order" `Quick test_stream_of_partition_order;
+        ] );
+      ( "detector",
+        [
+          Alcotest.test_case "one-sided" `Quick test_detector_one_sided;
+          Alcotest.test_case "finds on far" `Slow test_detector_finds_on_far;
+          Alcotest.test_case "space scales" `Quick test_detector_space_scales_with_p;
+          Alcotest.test_case "respects sample" `Quick test_detector_respects_sample;
+        ] );
+      ( "bridge",
+        [
+          Alcotest.test_case "messages within space" `Quick test_bridge_messages_within_space;
+          Alcotest.test_case "agrees with direct run" `Quick test_bridge_agrees_with_direct_run;
+          Alcotest.test_case "needs three players" `Quick test_bridge_needs_three_players;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]
