@@ -1,0 +1,67 @@
+(* Validator behind the @bench-smoke alias: parse BENCH_results.json back and
+   check the tfree-bench/v1 shape, so a malformed emitter fails the build
+   rather than silently producing an unreadable baseline. *)
+
+open Tfree_util
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("check_json: " ^ msg); exit 1) fmt
+
+let require name = function Some v -> v | None -> fail "missing field %S" name
+
+let field doc name = require name (Jsonout.member name doc)
+
+let float_field doc name =
+  match Jsonout.to_float (field doc name) with
+  | Some x -> x
+  | None -> fail "field %S is not a number" name
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json" in
+  let content =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg -> fail "%s" msg
+  in
+  let doc =
+    match Jsonout.parse content with
+    | Ok v -> v
+    | Error msg -> fail "%s: invalid JSON: %s" path msg
+  in
+  (match field doc "schema" with
+  | Str "tfree-bench/v1" -> ()
+  | Str other -> fail "unexpected schema %S" other
+  | _ -> fail "schema is not a string");
+  let harness = field doc "harness" in
+  let w1 = float_field harness "wall_s_jobs1" in
+  let wn = float_field harness "wall_s_jobsN" in
+  if w1 <= 0.0 || wn <= 0.0 then fail "non-positive harness wall-clock";
+  ignore (float_field harness "speedup");
+  (match field harness "tables_identical" with
+  | Bool true -> ()
+  | Bool false -> fail "harness tables differ between job counts"
+  | _ -> fail "tables_identical is not a bool");
+  let experiments =
+    match Jsonout.to_list (field harness "experiments") with
+    | Some (_ :: _ as l) -> l
+    | Some [] -> fail "empty experiments list"
+    | None -> fail "experiments is not a list"
+  in
+  List.iter
+    (fun e ->
+      (match field e "id" with Jsonout.Str _ -> () | _ -> fail "experiment id is not a string");
+      ignore (float_field e "wall_s_jobs1");
+      ignore (float_field e "wall_s_jobsN"))
+    experiments;
+  let micro =
+    match Jsonout.to_list (field doc "micro") with
+    | Some (_ :: _ as l) -> l
+    | Some [] -> fail "empty micro list"
+    | None -> fail "micro is not a list"
+  in
+  List.iter
+    (fun m ->
+      (match field m "name" with Jsonout.Str _ -> () | _ -> fail "micro name is not a string");
+      ignore (Jsonout.member "ns_per_run" m);
+      ignore (Jsonout.member "r2" m))
+    micro;
+  Printf.printf "check_json: %s ok (%d experiments, %d micro rows)\n" path (List.length experiments)
+    (List.length micro)

@@ -5,24 +5,76 @@
       at Small scale and prints its table (these are the numbers EXPERIMENTS.md
       quotes).
    2. Bechamel micro-benchmarks: one Test.make per Table-1 protocol row (plus
-      the substrate hot paths), timing a single representative run. *)
+      the substrate hot paths), timing a single representative run.
+
+   Modes (parsed from argv, no cmdliner here to keep bench standalone):
+     (default)      print part 1 then part 2, as always
+     --json         additionally run part 1 at jobs=1 and at jobs=N, verify
+                    the rendered tables are identical, and write
+                    BENCH_results.json (schema documented in EXPERIMENTS.md)
+     --jobs N       request N pool workers (same semantics as the CLI flag:
+                    a ceiling, capped at the hardware core count)
+     --smoke        shrink the bechamel quota so --json finishes quickly;
+                    used by the @bench-smoke dune alias *)
 
 open Tfree_util
 open Tfree_graph
 open Bechamel
 open Toolkit
 
+(* ------------------------------------------------------------ argv *)
+
+type opts = { json : bool; smoke : bool; jobs : int option }
+
+let opts =
+  let o = ref { json = false; smoke = false; jobs = None } in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+        o := { !o with json = true };
+        parse rest
+    | "--smoke" :: rest ->
+        o := { !o with smoke = true };
+        parse rest
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 ->
+            o := { !o with jobs = Some j };
+            parse rest
+        | _ ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2)
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %s (expected --json, --smoke, --jobs N)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  !o
+
 (* ------------------------------------------------ part 1: experiments *)
 
-let run_experiments () =
-  print_endline "# Table 1 reproduction (Small scale; see EXPERIMENTS.md)";
-  print_newline ();
-  List.iter
-    (fun (e : Tfree_experiments.Registry.entry) ->
-      Printf.printf "### %s [%s]\n%!" e.Tfree_experiments.Registry.title e.Tfree_experiments.Registry.id;
-      Tfree_experiments.Registry.run_and_print ~scale:Tfree_experiments.Common.Small e;
-      print_newline ())
-    Tfree_experiments.Registry.all
+(* Render the whole Table-1 harness to a string, timing each experiment.
+   Keeping the output as a string serves two purposes: the --json mode diffs
+   the jobs=1 and jobs=N renderings to certify determinism, and the default
+   mode prints it verbatim (byte-identical to the historical output). *)
+let render_experiments () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "# Table 1 reproduction (Small scale; see EXPERIMENTS.md)\n\n";
+  let t0 = Unix.gettimeofday () in
+  let timings =
+    List.map
+      (fun (e : Tfree_experiments.Registry.entry) ->
+        Printf.ksprintf (Buffer.add_string buf) "### %s [%s]\n" e.title e.id;
+        let t = Unix.gettimeofday () in
+        let tables = Tfree_experiments.Registry.run ~scale:Tfree_experiments.Common.Small e in
+        let dt = Unix.gettimeofday () -. t in
+        List.iter (fun tbl -> Buffer.add_string buf (Table.render tbl)) tables;
+        Buffer.add_char buf '\n';
+        (e.id, dt))
+      Tfree_experiments.Registry.all
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (Buffer.contents buf, timings, wall)
 
 (* -------------------------------------------- part 2: bechamel micro *)
 
@@ -83,9 +135,10 @@ let micro_tests =
                (Tfree_streaming.Stream_alg.stream_of_graph rng g_low)));
     ]
 
-let run_micro () =
-  print_endline "# Bechamel micro-benchmarks (one Test.make per protocol row)";
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+(* Run bechamel and return (name, ns/run, r²) rows, sorted by name. *)
+let measure_micro () =
+  let quota, limit = if opts.smoke then (0.05, 50) else (0.5, 300) in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] micro_tests in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -97,7 +150,10 @@ let run_micro () =
         (name, est, r2) :: acc)
       results []
   in
-  let rows = List.sort compare rows in
+  List.sort compare rows
+
+let print_micro rows =
+  print_endline "# Bechamel micro-benchmarks (one Test.make per protocol row)";
   let table =
     Table.make ~title:"wall-clock per run"
       ~header:[ "benchmark"; "time/run"; "r²" ]
@@ -115,7 +171,71 @@ let run_micro () =
   in
   Table.print table
 
+(* ------------------------------------------------------- json output *)
+
+let json_file = "BENCH_results.json"
+
+(* The baseline document consumed by @bench-smoke and by regression tooling.
+   Schema "tfree-bench/v1" (documented in EXPERIMENTS.md):
+     harness runs are the full Table-1 loop at jobs=1 and at the requested
+     job count, with per-experiment wall-clock and a byte-identity check of
+     the rendered tables; micro rows are bechamel OLS estimates. *)
+let run_json () =
+  let requested = match opts.jobs with Some j -> j | None -> Pool.jobs () in
+  Pool.set_jobs 1;
+  let out1, timings1, wall1 = render_experiments () in
+  Pool.set_jobs requested;
+  let effective = Pool.jobs () in
+  let outn, timingsn, walln = render_experiments () in
+  let identical = String.equal out1 outn in
+  print_string outn;
+  let micro = measure_micro () in
+  print_micro micro;
+  let experiments =
+    List.map2
+      (fun (id, dt1) (id', dtn) ->
+        assert (String.equal id id');
+        Jsonout.Obj
+          [ ("id", Str id); ("wall_s_jobs1", Num dt1); ("wall_s_jobsN", Num dtn) ])
+      timings1 timingsn
+  in
+  let doc =
+    Jsonout.Obj
+      [
+        ("schema", Str "tfree-bench/v1");
+        ("scale", Str "small");
+        ("jobs", Obj [ ("requested", Num (float_of_int requested)); ("effective", Num (float_of_int effective)) ]);
+        ( "harness",
+          Obj
+            [
+              ("wall_s_jobs1", Num wall1);
+              ("wall_s_jobsN", Num walln);
+              ("speedup", Num (wall1 /. walln));
+              ("tables_identical", Bool identical);
+              ("experiments", List experiments);
+            ] );
+        ( "micro",
+          List
+            (List.map
+               (fun (name, est, r2) ->
+                 Jsonout.Obj [ ("name", Str name); ("ns_per_run", Num est); ("r2", Num r2) ])
+               micro) );
+      ]
+  in
+  let oc = open_out json_file in
+  output_string oc (Jsonout.to_string doc);
+  close_out oc;
+  Printf.printf "wrote %s (jobs %d/%d, harness %.2fs vs %.2fs, tables %s)\n" json_file requested
+    effective wall1 walln
+    (if identical then "identical" else "DIFFER");
+  if not identical then exit 1
+
 let () =
-  run_experiments ();
-  run_micro ();
-  print_endline "done."
+  Option.iter Pool.set_jobs opts.jobs;
+  if opts.json then run_json ()
+  else begin
+    let out, _, _ = render_experiments () in
+    print_string out;
+    print_micro (measure_micro ());
+    print_endline "done."
+  end

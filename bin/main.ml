@@ -49,6 +49,16 @@ let blackboard_arg =
 
 let big_arg = Arg.(value & flag & info [ "big" ] ~doc:"Run the experiment at Big scale (minutes instead of seconds).")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the measurement sweeps (default: the TFREE_JOBS environment variable, \
+     then the hardware core count). Results are identical at every job count; only wall-clock \
+     changes."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
+let set_jobs jobs = Option.iter Pool.set_jobs jobs
+
 (* ------------------------------------------------------------- builders *)
 
 let build_instance family rng ~n ~d ~eps =
@@ -111,7 +121,8 @@ let run_cmd =
 (* ----------------------------------------------------------- experiment *)
 
 let experiment_cmd =
-  let run id big =
+  let run id big jobs =
+    set_jobs jobs;
     match Tfree_experiments.Registry.find id with
     | Some e ->
         let scale = if big then Tfree_experiments.Common.Big else Tfree_experiments.Common.Small in
@@ -123,7 +134,7 @@ let experiment_cmd =
   let id_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one reproduction experiment and print its table(s).")
-    Term.(const run $ id_arg $ big_arg)
+    Term.(const run $ id_arg $ big_arg $ jobs_arg)
 
 let list_cmd =
   let run () =

@@ -21,15 +21,20 @@ let e11_blackboard scale =
            the theorem's k-factor lives in the broadcast stage, which is a
            minority of the total at low degree. *)
         let run mode =
+          let samples =
+            Common.seed_samples ~reps (fun s ->
+                let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+                let rt = Tfree_comm.Runtime.make ~mode ~seed:s parts in
+                ignore (Tfree.Unrestricted.find_triangle rt params);
+                let c = Tfree_comm.Runtime.cost rt in
+                (float_of_int (Tfree_comm.Cost.total c), float_of_int c.Tfree_comm.Cost.to_players))
+          in
           let totals = ref [] and down = ref [] in
-          for s = 1 to reps do
-            let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-            let rt = Tfree_comm.Runtime.make ~mode ~seed:s parts in
-            ignore (Tfree.Unrestricted.find_triangle rt params);
-            let c = Tfree_comm.Runtime.cost rt in
-            totals := float_of_int (Tfree_comm.Cost.total c) :: !totals;
-            down := float_of_int c.Tfree_comm.Cost.to_players :: !down
-          done;
+          Array.iter
+            (fun (t, dn) ->
+              totals := t :: !totals;
+              down := dn :: !down)
+            samples;
           (Stats.mean !totals, Stats.mean !down)
         in
         let coord_total, coord_down = run Tfree_comm.Runtime.Coordinator in
@@ -91,28 +96,32 @@ let e13_degree_approx scale =
   let rows =
     List.map
       (fun pairs ->
+        let samples =
+          Common.seed_samples ~reps (fun s ->
+              let rng = Rng.create (99_000 + (31 * s) + pairs) in
+              let g = Gen.hub_far rng ~n:(4 * pairs) ~hubs:1 ~pairs in
+              let parts = Partition.with_duplication rng ~k ~dup_p:0.4 g in
+              let rt = Tfree_comm.Runtime.make ~seed:s parts in
+              let v =
+                fst
+                  (List.fold_left
+                     (fun (bv, bd) u ->
+                       let du = Graph.degree g u in
+                       if du > bd then (u, du) else (bv, bd))
+                     (0, -1)
+                     (List.init (Graph.n g) (fun i -> i)))
+              in
+              let d = Graph.degree g v in
+              let est = Tfree.Degree_approx.approx_degree rt ~key:1 ~alpha:3.0 ~tau:0.1 ~boost:1.0 v in
+              ( float_of_int (Tfree_comm.Cost.total (Tfree_comm.Runtime.cost rt)),
+                Float.max (float_of_int est /. float_of_int d) (float_of_int d /. float_of_int est) ))
+        in
         let bits = ref [] and ratios = ref [] in
-        for s = 1 to reps do
-          let rng = Rng.create (99_000 + (31 * s) + pairs) in
-          let g = Gen.hub_far rng ~n:(4 * pairs) ~hubs:1 ~pairs in
-          let parts = Partition.with_duplication rng ~k ~dup_p:0.4 g in
-          let rt = Tfree_comm.Runtime.make ~seed:s parts in
-          let v =
-            fst
-              (List.fold_left
-                 (fun (bv, bd) u ->
-                   let du = Graph.degree g u in
-                   if du > bd then (u, du) else (bv, bd))
-                 (0, -1)
-                 (List.init (Graph.n g) (fun i -> i)))
-          in
-          let d = Graph.degree g v in
-          let est = Tfree.Degree_approx.approx_degree rt ~key:1 ~alpha:3.0 ~tau:0.1 ~boost:1.0 v in
-          bits := float_of_int (Tfree_comm.Cost.total (Tfree_comm.Runtime.cost rt)) :: !bits;
-          ratios :=
-            Float.max (float_of_int est /. float_of_int d) (float_of_int d /. float_of_int est)
-            :: !ratios
-        done;
+        Array.iter
+          (fun (b, r) ->
+            bits := b :: !bits;
+            ratios := r :: !ratios)
+          samples;
         let d_v = 2 * pairs in
         [
           string_of_int d_v;

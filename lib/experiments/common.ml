@@ -13,16 +13,48 @@ type scale = Small | Big
 
 let reps = function Small -> 5 | Big -> 15
 
-(** Mean communication bits of [run : seed -> int] over [reps] seeds, with
-    the detection count (every experiment also tracks correctness). *)
-let mean_bits ~reps run =
+(** Per-seed samples of [run : seed -> 'a] for seeds [1 .. reps], computed on
+    the domain pool ({!Tfree_util.Pool}) and returned in seed order.  Every
+    experiment cell derives all of its state (instance, partition, runtime)
+    from the seed alone, so fanning the seeds over domains changes nothing
+    but wall-clock. *)
+let seed_samples ~reps run = Pool.parallel_init reps (fun i -> run (i + 1))
+
+(* Aggregate (bits, found) cells exactly as the historical sequential loop
+   did — pushing seed 1 first so the mean sums in the identical float order —
+   keeping harness output byte-identical at every job count. *)
+let mean_of_cells cells =
   let bits = ref [] and hits = ref 0 in
-  for s = 1 to reps do
-    let b, found = run s in
-    bits := float_of_int b :: !bits;
-    if found then incr hits
-  done;
-  (Stats.mean !bits, float_of_int !hits /. float_of_int reps)
+  Array.iter
+    (fun (b, found) ->
+      bits := float_of_int b :: !bits;
+      if found then incr hits)
+    cells;
+  (Stats.mean !bits, float_of_int !hits /. float_of_int (Array.length cells))
+
+(** Mean communication bits of [run : seed -> int] over [reps] seeds, with
+    the detection count (every experiment also tracks correctness).  Trials
+    run in parallel on the pool. *)
+let mean_bits ~reps run = mean_of_cells (seed_samples ~reps run)
+
+(** [cells ~reps items run] evaluates [run item seed] for every
+    [(item, seed)] measurement cell of a scaling sweep as one flat parallel
+    batch — the finest useful grain, so a sweep saturates the pool even when
+    its largest row dominates.  Per-item cell arrays come back in item order,
+    seeds in [1 .. reps] order within each. *)
+let cells ~reps items run =
+  let arr = Array.of_list items in
+  let ni = Array.length arr in
+  let flat =
+    Pool.parallel_init (ni * reps) (fun idx -> run arr.(idx / reps) ((idx mod reps) + 1))
+  in
+  List.init ni (fun i -> (arr.(i), Array.sub flat (i * reps) reps))
+
+(** [sweep ~reps items run] is the common one-protocol scaling sweep:
+    [(item, (mean bits, success rate))] per item, cells computed in
+    parallel, aggregation identical to the sequential loop. *)
+let sweep ~reps items run =
+  List.map (fun (x, cs) -> (x, mean_of_cells cs)) (cells ~reps items run)
 
 let found_of_report (r : Tfree.Tester.report) =
   match r.Tfree.Tester.verdict with Tfree.Tester.Triangle _ -> true | Tfree.Tester.Triangle_free -> false

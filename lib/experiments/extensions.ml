@@ -21,14 +21,22 @@ let e16_subgraph scale =
     let copies = max 2 (int_of_float (copies_frac *. float_of_int n)) in
     let g = Gen.planted_pattern_far rng ~n ~pattern ~copies ~noise:(n / 8) in
     let parts = Partition.with_duplication rng ~k:4 ~dup_p:0.3 g in
+    let samples =
+      Common.seed_samples ~reps (fun s ->
+          let o = Tfree.Sim_subgraph.run ~seed:s params ~d:(Graph.avg_degree g) pattern parts in
+          let hit =
+            match o.Tfree_comm.Simultaneous.result with
+            | Some a -> Subgraph.is_embedding g pattern a
+            | None -> false
+          in
+          (float_of_int o.Tfree_comm.Simultaneous.total_bits, hit))
+    in
     let bits = ref [] and hits = ref 0 in
-    for s = 1 to reps do
-      let o = Tfree.Sim_subgraph.run ~seed:s params ~d:(Graph.avg_degree g) pattern parts in
-      bits := float_of_int o.Tfree_comm.Simultaneous.total_bits :: !bits;
-      match o.Tfree_comm.Simultaneous.result with
-      | Some a -> if Subgraph.is_embedding g pattern a then incr hits
-      | None -> ()
-    done;
+    Array.iter
+      (fun (b, hit) ->
+        bits := b :: !bits;
+        if hit then incr hits)
+      samples;
     (Stats.mean !bits, float_of_int !hits /. float_of_int reps)
   in
   let rows =
@@ -56,19 +64,15 @@ let e17_eps_sweep scale =
   let reps = Common.reps scale in
   let rows =
     List.map
-      (fun eps ->
-        let p = Tfree.Params.(with_eps practical eps) in
-        let bits = ref [] and hits = ref 0 in
-        for s = 1 to reps do
-          let rng = Rng.create (123_000 + s) in
-          let g = Gen.far_with_degree rng ~n ~d:6.0 ~eps in
-          let parts = Partition.disjoint_random rng ~k g in
-          let o = Tfree.Sim_low.run ~seed:s p ~d:(Graph.avg_degree g) parts in
-          bits := float_of_int o.Tfree_comm.Simultaneous.total_bits :: !bits;
-          if Option.is_some o.Tfree_comm.Simultaneous.result then incr hits
-        done;
-        [ Table.fcell eps; Table.fcell ~prec:0 (Stats.mean !bits); Table.fcell (float_of_int !hits /. float_of_int reps) ])
-      [ 0.2; 0.1; 0.05; 0.025 ]
+      (fun (eps, (mean, succ)) ->
+        [ Table.fcell eps; Table.fcell ~prec:0 mean; Table.fcell succ ])
+      (Common.sweep ~reps [ 0.2; 0.1; 0.05; 0.025 ] (fun eps s ->
+           let p = Tfree.Params.(with_eps practical eps) in
+           let rng = Rng.create (123_000 + s) in
+           let g = Gen.far_with_degree rng ~n ~d:6.0 ~eps in
+           let parts = Partition.disjoint_random rng ~k g in
+           let o = Tfree.Sim_low.run ~seed:s p ~d:(Graph.avg_degree g) parts in
+           (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result)))
   in
   [ Table.make
       ~title:"E17 ǫ-sensitivity of sim-low at n=2000, d=6 (cost grows as ǫ shrinks; detection maintained)"
@@ -85,14 +89,16 @@ let e19_congest scale =
   (* Diluted instances: farness ≈ 1/(3·(D+1)) and each corner's probe hits
      with probability ~2/D², isolating the 1/ǫ² round dependence. *)
   let median_rounds ~triangles ~extra_degree =
+    let samples =
+      Common.seed_samples ~reps (fun s ->
+          let rng = Rng.create (134_000 + (7 * s) + extra_degree) in
+          let g = Gen.diluted_far rng ~triangles ~extra_degree in
+          Tfree_congest.Triangle_tester.rounds_to_detect g ~seed:s ~max_rounds:262_144)
+    in
     let rounds = ref [] in
-    for s = 1 to reps do
-      let rng = Rng.create (134_000 + (7 * s) + extra_degree) in
-      let g = Gen.diluted_far rng ~triangles ~extra_degree in
-      match Tfree_congest.Triangle_tester.rounds_to_detect g ~seed:s ~max_rounds:262_144 with
-      | Some r -> rounds := float_of_int r :: !rounds
-      | None -> ()
-    done;
+    Array.iter
+      (function Some r -> rounds := float_of_int r :: !rounds | None -> ())
+      samples;
     Stats.median !rounds
   in
   let rows = ref [] and pts = ref [] in

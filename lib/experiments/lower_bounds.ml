@@ -136,12 +136,17 @@ let e9_boolean_matching scale =
       let d = Graph.avg_degree gy in
       (* median, not mean: Alice's hub lands in R rarely but then dominates
          the message, which makes the mean very noisy at few repetitions. *)
+      let samples =
+        Common.seed_samples ~reps:12 (fun s ->
+            let r = Tfree.Tester.simultaneous ~seed:s Tfree.Params.practical ~d parts in
+            (float_of_int r.Tfree.Tester.bits, Common.found_of_report r))
+      in
       let bits = ref [] and hit = ref 0 in
-      for s = 1 to 12 do
-        let r = Tfree.Tester.simultaneous ~seed:s Tfree.Params.practical ~d parts in
-        bits := float_of_int r.Tfree.Tester.bits :: !bits;
-        if Common.found_of_report r then incr hit
-      done;
+      Array.iter
+        (fun (b, found) ->
+          bits := b :: !bits;
+          if found then incr hit)
+        samples;
       let mean = Stats.median !bits in
       rows :=
         [

@@ -22,35 +22,33 @@ let sizes_dense = function Common.Small -> [ 400; 800; 1600 ] | Common.Big -> [ 
 let e1_unrestricted scale =
   let k = 4 and d = 4.0 in
   let reps = Common.reps scale in
-  let rows = ref [] and pts = ref [] in
-  List.iter
-    (fun n ->
-      let mean, succ =
-        Common.mean_bits ~reps (fun s ->
-            let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-            let r = Tfree.Tester.unrestricted ~seed:s params parts in
-            (r.Tfree.Tester.bits, Common.found_of_report r))
-      in
-      rows := [ string_of_int n; Table.fcell d; string_of_int k; Table.fcell ~prec:0 mean; Table.fcell succ ] :: !rows;
-      pts := (float_of_int n, mean) :: !pts)
-    (sizes_low scale);
+  let n_sweep =
+    Common.sweep ~reps (sizes_low scale) (fun n s ->
+        let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+        let r = Tfree.Tester.unrestricted ~seed:s params parts in
+        (r.Tfree.Tester.bits, Common.found_of_report r))
+  in
+  let rows =
+    List.map
+      (fun (n, (mean, succ)) ->
+        [ string_of_int n; Table.fcell d; string_of_int k; Table.fcell ~prec:0 mean; Table.fcell succ ])
+      n_sweep
+  in
+  let pts = List.map (fun (n, (mean, _)) -> (float_of_int n, mean)) n_sweep in
   let n_table =
     Common.scaling_table ~title:"E1a unrestricted: bits vs n at d=Θ(1) (paper: O~(k·(nd)^1/4+k²) → n^0.25·polylog)"
-      ~claim:"paper n^0.25+polylog" (List.rev !rows, List.rev !pts)
+      ~claim:"paper n^0.25+polylog" (rows, pts)
   in
   (* k sweep at fixed n: expect roughly linear in k plus the k² term. *)
   let n = List.nth (sizes_low scale) 1 in
   let krows =
     List.map
-      (fun k ->
-        let mean, succ =
-          Common.mean_bits ~reps (fun s ->
-              let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-              let r = Tfree.Tester.unrestricted ~seed:s params parts in
-              (r.Tfree.Tester.bits, Common.found_of_report r))
-        in
+      (fun (k, (mean, succ)) ->
         [ string_of_int n; Table.fcell d; string_of_int k; Table.fcell ~prec:0 mean; Table.fcell succ ])
-      [ 2; 4; 8; 16 ]
+      (Common.sweep ~reps [ 2; 4; 8; 16 ] (fun k s ->
+           let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+           let r = Tfree.Tester.unrestricted ~seed:s params parts in
+           (r.Tfree.Tester.bits, Common.found_of_report r)))
   in
   let k_table =
     Table.make ~title:"E1b unrestricted: bits vs k at fixed n (paper: ≥ linear in k, + k² term)"
@@ -63,45 +61,54 @@ let e1_unrestricted scale =
      as detection gets easier), and the full-scan cost on triangle-free
      inputs of the same degree profile, which is where the worst-case
      (nd)^{1/4} = n^{3/8} term lives. *)
-  let rows_dense = ref [] and pts_far = ref [] and pts_free = ref [] in
-  List.iter
-    (fun n ->
-      let d = sqrt (float_of_int n) in
-      let far_mean, succ =
-        Common.mean_bits ~reps (fun s ->
-            let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-            let r = Tfree.Tester.unrestricted ~seed:s params parts in
-            (r.Tfree.Tester.bits, Common.found_of_report r))
-      in
-      let free_mean, _ =
-        Common.mean_bits ~reps (fun s ->
-            let rng = Tfree_util.Rng.create (515_131 * s) in
-            let g = Gen.free_with_degree rng ~n ~d in
-            let parts = Partition.with_duplication rng ~k ~dup_p:0.3 g in
-            let r = Tfree.Tester.unrestricted ~seed:s params parts in
-            (r.Tfree.Tester.bits, false))
-      in
-      rows_dense :=
+  let dense =
+    Common.cells ~reps (sizes_dense scale) (fun n s ->
+        let d = sqrt (float_of_int n) in
+        let far =
+          let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+          let r = Tfree.Tester.unrestricted ~seed:s params parts in
+          (r.Tfree.Tester.bits, Common.found_of_report r)
+        in
+        let free =
+          let rng = Tfree_util.Rng.create (515_131 * s) in
+          let g = Gen.free_with_degree rng ~n ~d in
+          let parts = Partition.with_duplication rng ~k ~dup_p:0.3 g in
+          let r = Tfree.Tester.unrestricted ~seed:s params parts in
+          (r.Tfree.Tester.bits, false)
+        in
+        (far, free))
+  in
+  let dense =
+    List.map
+      (fun (n, cs) ->
+        (n, Common.mean_of_cells (Array.map fst cs), Common.mean_of_cells (Array.map snd cs)))
+      dense
+  in
+  let rows_dense =
+    List.map
+      (fun (n, (far_mean, succ), (free_mean, _)) ->
         [
           string_of_int n;
-          Table.fcell d;
+          Table.fcell (sqrt (float_of_int n));
           Table.fcell ~prec:0 far_mean;
           Table.fcell succ;
           Table.fcell ~prec:0 free_mean;
-        ]
-        :: !rows_dense;
-      pts_far := (float_of_int n, far_mean) :: !pts_far;
-      pts_free := (float_of_int n, free_mean) :: !pts_free)
-    (sizes_dense scale);
-  let fit_far = Common.exponent (List.rev !pts_far) in
-  let fit_free = Common.exponent (List.rev !pts_free) in
+        ])
+      dense
+  in
+  let fit_far =
+    Common.exponent (List.map (fun (n, (far_mean, _), _) -> (float_of_int n, far_mean)) dense)
+  in
+  let fit_free =
+    Common.exponent (List.map (fun (n, _, (free_mean, _)) -> (float_of_int n, free_mean)) dense)
+  in
   let dense_table =
     Table.make
       ~title:
         "E1c unrestricted at d=Θ(√n): realized cost on far inputs (w.h.p. bound, early exit) vs \
          full-scan cost on free inputs (worst case, paper (nd)^1/4 = n^0.375 + k²·polylog)"
       ~header:[ "n"; "d"; "far bits"; "success"; "free bits (full scan)" ]
-      (List.rev !rows_dense
+      (rows_dense
       @ [
           [
             "fit";
@@ -121,20 +128,21 @@ let e1_unrestricted scale =
 let e2_sim_low scale =
   let k = 4 and d = 4.0 in
   let reps = Common.reps scale in
-  let rows = ref [] and pts = ref [] in
-  List.iter
-    (fun n ->
-      let mean, succ =
-        Common.mean_bits ~reps (fun s ->
-            let g, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-            let o = Tfree.Sim_low.run ~seed:s params ~d:(Graph.avg_degree g) parts in
-            (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result))
-      in
-      rows := [ string_of_int n; Table.fcell d; string_of_int k; Table.fcell ~prec:0 mean; Table.fcell succ ] :: !rows;
-      pts := (float_of_int n, mean) :: !pts)
-    (sizes_low scale);
+  let results =
+    Common.sweep ~reps (sizes_low scale) (fun n s ->
+        let g, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+        let o = Tfree.Sim_low.run ~seed:s params ~d:(Graph.avg_degree g) parts in
+        (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result))
+  in
+  let rows =
+    List.map
+      (fun (n, (mean, succ)) ->
+        [ string_of_int n; Table.fcell d; string_of_int k; Table.fcell ~prec:0 mean; Table.fcell succ ])
+      results
+  in
+  let pts = List.map (fun (n, (mean, _)) -> (float_of_int n, mean)) results in
   [ Common.scaling_table ~title:"E2 simultaneous low degree: bits vs n at d=Θ(1) (paper: O~(k·√n) → n^0.5·polylog)"
-      ~claim:"paper n^0.5+polylog" (List.rev !rows, List.rev !pts) ]
+      ~claim:"paper n^0.5+polylog" (rows, pts) ]
 
 (* ------------------------------------------------------------------- E3 *)
 
@@ -143,24 +151,24 @@ let e2_sim_low scale =
 let e3_sim_high scale =
   let k = 4 in
   let reps = Common.reps scale in
-  let rows = ref [] and pts = ref [] in
-  List.iter
-    (fun n ->
-      let d = sqrt (float_of_int n) *. 1.5 in
-      let mean, succ =
-        Common.mean_bits ~reps (fun s ->
-            let g, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-            let o = Tfree.Sim_high.run ~seed:s params ~d:(Graph.avg_degree g) parts in
-            (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result))
-      in
-      rows :=
-        [ string_of_int n; Table.fcell d; string_of_int k; Table.fcell ~prec:0 mean; Table.fcell succ ]
-        :: !rows;
-      pts := (float_of_int n, mean) :: !pts)
-    (sizes_dense scale);
+  let results =
+    Common.sweep ~reps (sizes_dense scale) (fun n s ->
+        let d = sqrt (float_of_int n) *. 1.5 in
+        let g, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+        let o = Tfree.Sim_high.run ~seed:s params ~d:(Graph.avg_degree g) parts in
+        (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result))
+  in
+  let rows =
+    List.map
+      (fun (n, (mean, succ)) ->
+        let d = sqrt (float_of_int n) *. 1.5 in
+        [ string_of_int n; Table.fcell d; string_of_int k; Table.fcell ~prec:0 mean; Table.fcell succ ])
+      results
+  in
+  let pts = List.map (fun (n, (mean, _)) -> (float_of_int n, mean)) results in
   [ Common.scaling_table
       ~title:"E3 simultaneous high degree: bits vs n at d=Θ(√n) (paper: O~(k·(nd)^1/3) → n^0.5·polylog)"
-      ~claim:"paper n^0.5+polylog" (List.rev !rows, List.rev !pts) ]
+      ~claim:"paper n^0.5+polylog" (rows, pts) ]
 
 (* ------------------------------------------------------------------- E4 *)
 
@@ -172,19 +180,9 @@ let e4_oblivious scale =
   let reps = Common.reps scale in
   let rows =
     List.map
-      (fun n ->
-        let aware, succ_a =
-          Common.mean_bits ~reps (fun s ->
-              let g, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-              let o = Tfree.Sim_low.run ~seed:s params ~d:(Graph.avg_degree g) parts in
-              (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result))
-        in
-        let obliv, succ_o =
-          Common.mean_bits ~reps (fun s ->
-              let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-              let o = Tfree.Sim_oblivious.run ~seed:s params parts in
-              (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result))
-        in
+      (fun (n, cs) ->
+        let aware, succ_a = Common.mean_of_cells (Array.map fst cs) in
+        let obliv, succ_o = Common.mean_of_cells (Array.map snd cs) in
         [
           string_of_int n;
           Table.fcell ~prec:0 aware;
@@ -193,7 +191,18 @@ let e4_oblivious scale =
           Table.fcell succ_a;
           Table.fcell succ_o;
         ])
-      (sizes_low scale)
+      (Common.cells ~reps (sizes_low scale) (fun n s ->
+           let aware =
+             let g, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+             let o = Tfree.Sim_low.run ~seed:s params ~d:(Graph.avg_degree g) parts in
+             (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result)
+           in
+           let obliv =
+             let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+             let o = Tfree.Sim_oblivious.run ~seed:s params parts in
+             (o.Tfree_comm.Simultaneous.total_bits, Option.is_some o.Tfree_comm.Simultaneous.result)
+           in
+           (aware, obliv)))
   in
   [ Table.make
       ~title:"E4 degree-oblivious overhead (paper: polylog factor, Theorem 3.32)"
@@ -209,24 +218,14 @@ let e5_exact_gap scale =
   let reps = Common.reps scale in
   let rows =
     List.map
-      (fun n ->
+      (fun (n, cs) ->
         let exact, _ =
           Common.mean_bits ~reps:1 (fun s ->
               let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
               (Tfree.Exact_baseline.cost parts, true))
         in
-        let testing, succ =
-          Common.mean_bits ~reps (fun s ->
-              let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-              let r = Tfree.Tester.unrestricted ~seed:s params parts in
-              (r.Tfree.Tester.bits, Common.found_of_report r))
-        in
-        let sim, _ =
-          Common.mean_bits ~reps (fun s ->
-              let g, parts = Common.far_instance ~n ~d ~k ~dup:true s in
-              let o = Tfree.Sim_low.run ~seed:s params ~d:(Graph.avg_degree g) parts in
-              (o.Tfree_comm.Simultaneous.total_bits, true))
-        in
+        let testing, succ = Common.mean_of_cells (Array.map fst cs) in
+        let sim, _ = Common.mean_of_cells (Array.map snd cs) in
         [
           string_of_int n;
           Table.fcell ~prec:0 exact;
@@ -236,7 +235,18 @@ let e5_exact_gap scale =
           Table.fcell (exact /. Float.max 1.0 sim);
           Table.fcell succ;
         ])
-      (sizes_low scale)
+      (Common.cells ~reps (sizes_low scale) (fun n s ->
+           let testing =
+             let _, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+             let r = Tfree.Tester.unrestricted ~seed:s params parts in
+             (r.Tfree.Tester.bits, Common.found_of_report r)
+           in
+           let sim =
+             let g, parts = Common.far_instance ~n ~d ~k ~dup:true s in
+             let o = Tfree.Sim_low.run ~seed:s params ~d:(Graph.avg_degree g) parts in
+             (o.Tfree_comm.Simultaneous.total_bits, true)
+           in
+           (testing, sim)))
   in
   [ Table.make
       ~title:"E5 exact [38] vs testing (paper: Θ(knd) vs O~(k(nd)^1/4); gap grows with n)"

@@ -7,38 +7,48 @@ let normalize_edge (u, v) = if u <= v then (u, v) else (v, u)
 let check_vertex n v =
   if v < 0 || v >= n then invalid_arg (Printf.sprintf "Graph: vertex %d out of range [0,%d)" v n)
 
+(* Two-pass count-then-fill: exact-size adjacency arrays with no per-edge
+   list cells, then an in-place sort + dedup per vertex. *)
 let of_edges ~n edges =
-  let buckets = Array.make n [] in
+  let deg = Array.make n 0 in
   List.iter
     (fun (u, v) ->
       check_vertex n u;
       check_vertex n v;
       if u <> v then begin
-        let u, v = normalize_edge (u, v) in
-        buckets.(u) <- v :: buckets.(u);
-        buckets.(v) <- u :: buckets.(v)
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
       end)
     edges;
-  let dedup_sorted l =
-    let a = Array.of_list l in
-    Array.sort compare a;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        adj.(u).(fill.(u)) <- v;
+        fill.(u) <- fill.(u) + 1;
+        adj.(v).(fill.(v)) <- u;
+        fill.(v) <- fill.(v) + 1
+      end)
+    edges;
+  let deg_sum = ref 0 in
+  for v = 0 to n - 1 do
+    let a = adj.(v) in
     let len = Array.length a in
-    if len = 0 then [||]
-    else begin
-      let out = Array.make len a.(0) in
+    if len > 0 then begin
+      Array.sort (fun (x : int) y -> compare x y) a;
       let k = ref 1 in
       for i = 1 to len - 1 do
-        if a.(i) <> a.(i - 1) then begin
-          out.(!k) <- a.(i);
+        if a.(i) <> a.(!k - 1) then begin
+          a.(!k) <- a.(i);
           incr k
         end
       done;
-      Array.sub out 0 !k
+      if !k < len then adj.(v) <- Array.sub a 0 !k;
+      deg_sum := !deg_sum + !k
     end
-  in
-  let adj = Array.map dedup_sorted buckets in
-  let deg_sum = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj in
-  { n; adj; m = deg_sum / 2 }
+  done;
+  { n; adj; m = !deg_sum / 2 }
 
 let empty ~n = { n; adj = Array.make n [||]; m = 0 }
 
@@ -67,13 +77,14 @@ let mem_sorted a x =
   in
   go 0 (Array.length a)
 
+(* Hot path for every referee and triangle kernel: bounds come from the array
+   accesses themselves, and the probe goes straight to the shorter sorted
+   adjacency without separate [degree] calls. *)
 let mem_edge g u v =
-  check_vertex g.n u;
-  check_vertex g.n v;
   if u = v then false
   else begin
-    (* Probe the smaller adjacency list. *)
-    let a, x = if degree g u <= degree g v then (g.adj.(u), v) else (g.adj.(v), u) in
+    let au = g.adj.(u) and av = g.adj.(v) in
+    let a, x = if Array.length au <= Array.length av then (au, v) else (av, u) in
     mem_sorted a x
   end
 
@@ -89,9 +100,55 @@ let fold_edges g ~init ~f =
 
 let edges g = List.rev (fold_edges g ~init:[] ~f:(fun acc u v -> (u, v) :: acc))
 
+(* Merge the sorted adjacency arrays directly instead of rebuilding from the
+   concatenated edge lists (no list materialization, no re-sort). *)
 let union g1 g2 =
   if g1.n <> g2.n then invalid_arg "Graph.union: vertex counts differ";
-  of_edges ~n:g1.n (edges g1 @ edges g2)
+  let merge a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let out = Array.make (la + lb) 0 in
+      let i = ref 0 and j = ref 0 and k = ref 0 in
+      while !i < la && !j < lb do
+        let x = a.(!i) and y = b.(!j) in
+        if x < y then begin
+          out.(!k) <- x;
+          incr i
+        end
+        else if y < x then begin
+          out.(!k) <- y;
+          incr j
+        end
+        else begin
+          out.(!k) <- x;
+          incr i;
+          incr j
+        end;
+        incr k
+      done;
+      while !i < la do
+        out.(!k) <- a.(!i);
+        incr i;
+        incr k
+      done;
+      while !j < lb do
+        out.(!k) <- b.(!j);
+        incr j;
+        incr k
+      done;
+      if !k < la + lb then Array.sub out 0 !k else out
+    end
+  in
+  let deg_sum = ref 0 in
+  let adj =
+    Array.init g1.n (fun v ->
+        let a = merge g1.adj.(v) g2.adj.(v) in
+        deg_sum := !deg_sum + Array.length a;
+        a)
+  in
+  { n = g1.n; adj; m = !deg_sum / 2 }
 
 let union_list ~n gs = of_edges ~n (List.concat_map edges gs)
 

@@ -35,6 +35,8 @@ val degree : t -> int -> int
 (** Sorted array of neighbours; physically shared, do not mutate. *)
 val neighbors : t -> int -> int array
 
+(** O(log min-degree) membership probe of the shorter sorted adjacency;
+    both vertices must be in range. *)
 val mem_edge : t -> int -> int -> bool
 
 (** All edges, each once, normalized, in lexicographic order. *)
@@ -44,7 +46,8 @@ val iter_edges : t -> (int -> int -> unit) -> unit
 
 val fold_edges : t -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
 
-(** Union of edge sets (same [n] required). *)
+(** Union of edge sets (same [n] required); linear merge of the sorted
+    adjacency arrays. *)
 val union : t -> t -> t
 
 val union_list : n:int -> t list -> t

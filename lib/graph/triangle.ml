@@ -17,50 +17,121 @@ let is_triangle g (a, b, c) =
   a <> b && b <> c && a <> c && Graph.mem_edge g a b && Graph.mem_edge g b c && Graph.mem_edge g a c
 
 (* Rank vertices by (degree, id); the forward algorithm directs each edge from
-   lower to higher rank and intersects out-neighbourhoods. *)
+   lower to higher rank and intersects out-neighbourhoods.  Counting sort on
+   degrees — O(n + max degree), no comparison sort — filled in vertex-id order
+   so it is stable, i.e. identical to sorting by (degree, id). *)
 let degree_order g =
   let n = Graph.n g in
-  let order = Array.init n (fun v -> v) in
-  Array.sort
-    (fun u v ->
-      let c = compare (Graph.degree g u) (Graph.degree g v) in
-      if c <> 0 then c else compare u v)
-    order;
+  let maxd = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    if d > !maxd then maxd := d
+  done;
+  let start = Array.make (!maxd + 1) 0 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    start.(d) <- start.(d) + 1
+  done;
+  let acc = ref 0 in
+  for d = 0 to !maxd do
+    let c = start.(d) in
+    start.(d) <- !acc;
+    acc := !acc + c
+  done;
   let rank = Array.make n 0 in
-  Array.iteri (fun i v -> rank.(v) <- i) order;
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    rank.(v) <- start.(d);
+    start.(d) <- start.(d) + 1
+  done;
   rank
+
+(* CSR of the higher-rank out-adjacency: the out-neighbours of [v] are
+   [csr.(off.(v)) .. csr.(off.(v + 1) - 1)], sorted by vertex id (adjacency
+   arrays are already sorted, and filtering preserves order — no sort, no
+   intermediate lists).  Flat layout keeps the whole structure in two
+   allocations and the intersections cache-friendly. *)
+let build_out_csr g rank =
+  let n = Graph.n g in
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    let nbrs = Graph.neighbors g v in
+    let rv = rank.(v) in
+    let c = ref 0 in
+    for i = 0 to Array.length nbrs - 1 do
+      if rank.(nbrs.(i)) > rv then incr c
+    done;
+    off.(v + 1) <- !c
+  done;
+  for v = 1 to n do
+    off.(v) <- off.(v) + off.(v - 1)
+  done;
+  let csr = Array.make (max 1 off.(n)) 0 in
+  let cursor = Array.make n 0 in
+  for v = 0 to n - 1 do
+    cursor.(v) <- off.(v)
+  done;
+  for v = 0 to n - 1 do
+    let nbrs = Graph.neighbors g v in
+    let rv = rank.(v) in
+    for i = 0 to Array.length nbrs - 1 do
+      let u = nbrs.(i) in
+      if rank.(u) > rv then begin
+        csr.(cursor.(v)) <- u;
+        cursor.(v) <- cursor.(v) + 1
+      end
+    done
+  done;
+  (off, csr)
+
+exception Stop
+
+(* Forward algorithm over the CSR.  [f] returns [true] to stop enumeration;
+   the function returns whether it was stopped early.  Triangles are reported
+   in the same order as the historical array-of-arrays implementation:
+   ascending [u], then ascending [v] within [u], then ascending [w]. *)
+let forward g f =
+  let n = Graph.n g in
+  if n = 0 then false
+  else begin
+    let rank = degree_order g in
+    let off, csr = build_out_csr g rank in
+    try
+      for u = 0 to n - 1 do
+        let ulo = off.(u) and uhi = off.(u + 1) in
+        for i = ulo to uhi - 1 do
+          let v = csr.(i) in
+          let vhi = off.(v + 1) in
+          let p = ref ulo and q = ref off.(v) in
+          while !p < uhi && !q < vhi do
+            let a = csr.(!p) and b = csr.(!q) in
+            if a = b then begin
+              if f u v a then raise_notrace Stop;
+              incr p;
+              incr q
+            end
+            else if a < b then incr p
+            else incr q
+          done
+        done
+      done;
+      false
+    with Stop -> true
+  end
 
 (** [iter g f] calls [f a b c] once per triangle, with [rank a < rank b <
     rank c] in the degree order (vertex ids in unspecified order otherwise). *)
 let iter g f =
-  let rank = degree_order g in
-  let n = Graph.n g in
-  (* out.(v) = neighbours of v with higher rank, sorted by vertex id. *)
-  let out = Array.make n [||] in
-  for v = 0 to n - 1 do
-    let higher = Array.of_list (List.filter (fun u -> rank.(u) > rank.(v)) (Array.to_list (Graph.neighbors g v))) in
-    Array.sort compare higher;
-    out.(v) <- higher
-  done;
-  let intersect_iter a b k =
-    let la = Array.length a and lb = Array.length b in
-    let rec go i j =
-      if i < la && j < lb then begin
-        if a.(i) = b.(j) then begin
-          k a.(i);
-          go (i + 1) (j + 1)
-        end
-        else if a.(i) < b.(j) then go (i + 1) j
-        else go i (j + 1)
-      end
-    in
-    go 0 0
-  in
-  for u = 0 to n - 1 do
-    Array.iter
-      (fun v -> intersect_iter out.(u) out.(v) (fun w -> f u v w))
-      out.(u)
-  done
+  ignore
+    (forward g (fun a b c ->
+         f a b c;
+         false))
+
+(** [iter_until g f] enumerates like {!iter} but stops as soon as [f] returns
+    [true]; the result says whether it stopped.  This is the early-exit path
+    under {!find}/{!is_free}: referees only need one witness, so there is no
+    reason to walk the remaining intersections. *)
+let iter_until g f = forward g f
 
 let count g =
   let c = ref 0 in
@@ -74,13 +145,14 @@ let enumerate g =
 
 (** First triangle found, if any — the referee's final check in every
     protocol.  One-sided error hinges on this returning only real triangles,
-    which [iter] guarantees. *)
+    which [iter_until] guarantees; enumeration stops at the first witness. *)
 let find g =
-  let exception Found of triangle in
-  try
-    iter g (fun a b c -> raise (Found (normalize (a, b, c))));
-    None
-  with Found t -> Some t
+  let result = ref None in
+  ignore
+    (iter_until g (fun a b c ->
+         result := Some (normalize (a, b, c));
+         true));
+  !result
 
 let is_free g = Option.is_none (find g)
 

@@ -15,6 +15,11 @@ val is_triangle : Graph.t -> triangle -> bool
 (** [iter g f] calls [f a b c] exactly once per triangle of [g]. *)
 val iter : Graph.t -> (int -> int -> int -> unit) -> unit
 
+(** [iter_until g f] enumerates like {!iter} but stops as soon as [f] returns
+    [true]; returns whether enumeration stopped early.  The early-exit path
+    behind {!find}/{!is_free}. *)
+val iter_until : Graph.t -> (int -> int -> int -> bool) -> bool
+
 val count : Graph.t -> int
 
 (** All triangles, normalized, each once. *)

@@ -1,0 +1,29 @@
+(** Minimal JSON support for the bench harness — enough to emit
+    [BENCH_results.json] and validate it back ([@bench-smoke]), with no
+    dependency outside the stdlib.
+
+    The emitter covers the full JSON value space; the parser accepts what the
+    emitter produces (plus ordinary whitespace) and is used only for
+    round-trip validation, not as a general-purpose JSON reader. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Render with a trailing newline.  Integral floats print without a decimal
+    point; NaN prints as [null] (JSON has no NaN). *)
+val to_string : ?indent:int -> t -> string
+
+(** Parse a complete JSON document.  [Error msg] carries a byte offset. *)
+val parse : string -> (t, string) result
+
+(** [member k v] is the field [k] of object [v], if any. *)
+val member : string -> t -> t option
+
+val to_float : t -> float option
+
+val to_list : t -> t list option

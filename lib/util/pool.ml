@@ -1,0 +1,188 @@
+(** Fixed-size domain pool for the experiment harness (see pool.mli).
+
+    Implementation notes.  Worker domains are spawned lazily on first use and
+    kept for the life of the process (spawning a domain costs tens of
+    microseconds, which would otherwise be paid on every [parallel_map] of the
+    harness's thousands of measurement cells).  A batch is executed by [jobs]
+    {e runners}: [jobs - 1] tasks pushed onto the shared queue plus the
+    calling domain itself.  Runners claim contiguous index chunks from an
+    atomic cursor, so scheduling is dynamic (good load balance when cells have
+    uneven cost) while every index is computed exactly once into its slot of
+    the result array — making the result independent of scheduling order. *)
+
+(* ------------------------------------------------------------ job count *)
+
+let max_jobs = 64
+
+let clamp j = if j < 1 then 1 else if j > max_jobs then max_jobs else j
+
+(* Explicit override (the CLI's --jobs) wins over the TFREE_JOBS environment
+   variable, which wins over the hardware default. *)
+let override = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "TFREE_JOBS" with
+  | None -> None
+  | Some s -> Option.map clamp (int_of_string_opt (String.trim s))
+
+(* The requested count is a ceiling, not a target: OCaml 5 domains share one
+   stop-the-world minor collector, and running more domains than cores turns
+   every collection into a cross-domain scheduling stall (measured 4-5× TOTAL
+   slowdown of the harness on a 1-core host at TFREE_JOBS=4).  Capping at the
+   hardware count makes oversubscribed settings degrade to parity instead. *)
+let jobs () =
+  let requested =
+    match !override with
+    | Some j -> j
+    | None -> (
+        match env_jobs () with
+        | Some j -> j
+        | None -> clamp (Domain.recommended_domain_count ()))
+  in
+  min requested (clamp (Domain.recommended_domain_count ()))
+
+let set_jobs j = override := Some (clamp j)
+
+(* ------------------------------------------------------------- the pool *)
+
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let pool =
+  {
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    queue = Queue.create ();
+    stop = false;
+    workers = [];
+  }
+
+(* Set in every pool worker (and in the caller while it participates in a
+   batch): parallel calls made from inside a task run sequentially instead of
+   deadlocking on or oversubscribing the pool. *)
+let inside = Domain.DLS.new_key (fun () -> false)
+
+let rec worker_loop () =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stop do
+    Condition.wait pool.work pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stopping *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop ()
+  end
+
+let shutdown () =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+(* All domains synchronize on every minor collection; at the default
+   256k-word minor heap those stop-the-world barriers dominate the run as
+   soon as there are more domains than cores (measured 5× slowdown on an
+   allocation-heavy harness).  A few megawords per domain makes the barriers
+   rare enough to be negligible, and new domains inherit the setting. *)
+let raise_minor_heap () =
+  let g = Gc.get () in
+  let want = 4 * 1024 * 1024 in
+  if g.Gc.minor_heap_size < want then Gc.set { g with Gc.minor_heap_size = want }
+
+(* Must only be called from the main domain (parallel entry points are
+   sequential when [inside] is set, so this holds by construction). *)
+let ensure_workers count =
+  let have = List.length pool.workers in
+  if have < count then begin
+    if have = 0 then begin
+      at_exit shutdown;
+      raise_minor_heap ()
+    end;
+    pool.stop <- false (* revive after an explicit shutdown *);
+    for _ = have + 1 to count do
+      let d =
+        Domain.spawn (fun () ->
+            Domain.DLS.set inside true;
+            worker_loop ())
+      in
+      pool.workers <- d :: pool.workers
+    done
+  end
+
+(* ---------------------------------------------------------------- batch *)
+
+type batch = {
+  bmutex : Mutex.t;
+  finished : Condition.t;
+  mutable live : int; (* runners still to finish *)
+  mutable failure : exn option; (* first exception raised by a cell *)
+}
+
+let parallel_init ?jobs:requested n f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative size";
+  let j = match requested with Some j -> clamp j | None -> jobs () in
+  let j = min j n in
+  if j <= 1 || Domain.DLS.get inside then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    (* Small chunks keep runners balanced when cell costs vary; the atomic
+       claim is negligible next to any real measurement cell. *)
+    let chunk = max 1 (n / (j * 8)) in
+    let batch =
+      { bmutex = Mutex.create (); finished = Condition.create (); live = j; failure = None }
+    in
+    let runner () =
+      let rec claim () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n then begin
+          (try
+             for i = start to min n (start + chunk) - 1 do
+               results.(i) <- Some (f i)
+             done
+           with e ->
+             Mutex.lock batch.bmutex;
+             if batch.failure = None then batch.failure <- Some e;
+             Mutex.unlock batch.bmutex);
+          claim ()
+        end
+      in
+      claim ();
+      Mutex.lock batch.bmutex;
+      batch.live <- batch.live - 1;
+      if batch.live = 0 then Condition.broadcast batch.finished;
+      Mutex.unlock batch.bmutex
+    in
+    ensure_workers (j - 1);
+    Mutex.lock pool.mutex;
+    for _ = 1 to j - 1 do
+      Queue.add runner pool.queue
+    done;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    (* The caller is the j-th runner; flag it so cells that themselves call
+       into the pool fall back to sequential execution. *)
+    Domain.DLS.set inside true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set inside false) runner;
+    Mutex.lock batch.bmutex;
+    while batch.live > 0 do
+      Condition.wait batch.finished batch.bmutex
+    done;
+    let failure = batch.failure in
+    Mutex.unlock batch.bmutex;
+    (match failure with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_map ?jobs f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (parallel_init ?jobs (Array.length arr) (fun i -> f arr.(i)))

@@ -1,0 +1,243 @@
+(* Tests for the domain pool and for the CSR triangle kernels against
+   straightforward reference implementations.
+
+   The pool's contract is that parallel execution is observationally identical
+   to sequential: same results, same order, exceptions re-raised.  The [?jobs]
+   argument is passed explicitly here so the tests exercise true multi-domain
+   execution even on hosts where the hardware cap would clamp the pool to one
+   worker. *)
+
+open Tfree_util
+open Tfree_graph
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ----------------------------------------------------------------- pool *)
+
+let test_parallel_init_matches_array_init () =
+  let f i = (i * 7919) mod 1024 in
+  Alcotest.(check (array int)) "jobs=4" (Array.init 1000 f) (Pool.parallel_init ~jobs:4 1000 f);
+  Alcotest.(check (array int)) "jobs=1" (Array.init 1000 f) (Pool.parallel_init ~jobs:1 1000 f);
+  Alcotest.(check (array int)) "empty" [||] (Pool.parallel_init ~jobs:4 0 f)
+
+let test_parallel_map_matches_list_map () =
+  let xs = List.init 257 (fun i -> i - 128) in
+  let f x = (x * x) + x in
+  Alcotest.(check (list int)) "jobs=4" (List.map f xs) (Pool.parallel_map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "jobs=1" (List.map f xs) (Pool.parallel_map ~jobs:1 f xs)
+
+let test_parallel_init_allocating_cells () =
+  (* Cells that allocate (the realistic harness shape: fresh rng + graph per
+     cell) must still come back deterministic and in index order. *)
+  let cell i =
+    let rng = Rng.create (914_771 * (i + 1)) in
+    let g = Gen.gnp rng ~n:40 ~p:0.15 in
+    (Graph.m g, Triangle.count g)
+  in
+  let seq = Array.init 64 cell in
+  let par = Pool.parallel_init ~jobs:4 64 cell in
+  checkb "identical" true (seq = par)
+
+let test_parallel_init_exception_propagates () =
+  Alcotest.check_raises "re-raised" (Failure "boom") (fun () ->
+      ignore (Pool.parallel_init ~jobs:4 100 (fun i -> if i = 37 then failwith "boom" else i)))
+
+let test_nested_calls_fall_back_sequential () =
+  (* A cell that itself calls the pool must not deadlock: inner calls detect
+     they are on a worker domain and run sequentially. *)
+  let outer =
+    Pool.parallel_init ~jobs:4 8 (fun i ->
+        Array.fold_left ( + ) 0 (Pool.parallel_init 16 (fun j -> (i * 16) + j)))
+  in
+  let expect = Array.init 8 (fun i -> Array.fold_left ( + ) 0 (Array.init 16 (fun j -> (i * 16) + j))) in
+  Alcotest.(check (array int)) "nested" expect outer
+
+let test_jobs_clamped () =
+  checkb "at least one" true (Pool.jobs () >= 1);
+  Pool.set_jobs 0;
+  checkb "clamped below" true (Pool.jobs () >= 1);
+  Pool.set_jobs 1000;
+  checkb "clamped above" true (Pool.jobs () <= 64);
+  Pool.set_jobs 1
+
+(* -------------------------------- reference triangle kernels (pre-CSR) *)
+
+(* The straightforward forward algorithm the CSR kernels replaced: rank by a
+   comparison sort on (degree, id), filter each sorted adjacency into a
+   higher-rank out-neighbour array, intersect.  Enumeration order is the
+   contract — ascending u, ascending v within u, ascending common neighbour —
+   so order-sensitive consumers (greedy_packing) must agree exactly. *)
+let ref_iter g f =
+  let n = Graph.n g in
+  let order =
+    List.sort
+      (fun u v -> compare (Graph.degree g u, u) (Graph.degree g v, v))
+      (List.init n (fun v -> v))
+  in
+  let rank = Array.make (max 1 n) 0 in
+  List.iteri (fun i v -> rank.(v) <- i) order;
+  let out =
+    Array.init n (fun v ->
+        Array.of_list
+          (List.filter (fun u -> rank.(u) > rank.(v)) (Array.to_list (Graph.neighbors g v))))
+  in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v ->
+        let a = out.(u) and b = out.(v) in
+        let p = ref 0 and q = ref 0 in
+        while !p < Array.length a && !q < Array.length b do
+          if a.(!p) = b.(!q) then begin
+            f u v a.(!p);
+            incr p;
+            incr q
+          end
+          else if a.(!p) < b.(!q) then incr p
+          else incr q
+        done)
+      out.(u)
+  done
+
+let ref_enumerate g =
+  let acc = ref [] in
+  ref_iter g (fun a b c -> acc := Triangle.normalize (a, b, c) :: !acc);
+  List.rev !acc
+
+let ref_count g = List.length (ref_enumerate g)
+
+let ref_find g = match ref_enumerate g with [] -> None | t :: _ -> Some t
+
+let ref_greedy_packing g =
+  let used : (Graph.edge, unit) Hashtbl.t = Hashtbl.create 64 in
+  let free e = not (Hashtbl.mem used e) in
+  let acc = ref [] in
+  ref_iter g (fun a b c ->
+      let e1 = Graph.normalize_edge (a, b)
+      and e2 = Graph.normalize_edge (b, c)
+      and e3 = Graph.normalize_edge (a, c) in
+      if free e1 && free e2 && free e3 then begin
+        Hashtbl.replace used e1 ();
+        Hashtbl.replace used e2 ();
+        Hashtbl.replace used e3 ();
+        acc := Triangle.normalize (a, b, c) :: !acc
+      end);
+  List.rev !acc
+
+let test_iter_until_stops_early () =
+  let g = Gen.complete ~n:8 in
+  let calls = ref 0 in
+  let stopped =
+    Triangle.iter_until g (fun _ _ _ ->
+        incr calls;
+        true)
+  in
+  checkb "stopped" true stopped;
+  checki "single callback" 1 !calls;
+  let free = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  checkb "no stop on free" false (Triangle.iter_until free (fun _ _ _ -> true))
+
+let test_find_early_exit_agrees () =
+  let rng = Rng.create 97 in
+  let g = Gen.far_with_degree rng ~n:120 ~d:6.0 ~eps:0.05 in
+  checkb "find = reference find" true (Triangle.find g = ref_find g)
+
+(* --------------------------------------------------------------- QCheck *)
+
+let graph_gen =
+  QCheck.Gen.(
+    int_range 2 60 >>= fun n ->
+    int_range 0 10_000 >|= fun seed ->
+    let rng = Rng.create seed in
+    Gen.gnp rng ~n ~p:0.2)
+
+let arb_graph = QCheck.make ~print:(fun g -> Format.asprintf "%a" Graph.pp g) graph_gen
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"parallel_map jobs=4 = List.map" ~count:50
+      (pair (list small_int) (int_range 1 100))
+      (fun (xs, salt) ->
+        let f x = (x * salt) + (x mod 7) in
+        Pool.parallel_map ~jobs:4 f xs = List.map f xs);
+    Test.make ~name:"parallel_init jobs=3 = Array.init" ~count:50
+      (pair (int_range 0 500) (int_range 1 100))
+      (fun (n, salt) ->
+        let f i = i * salt in
+        Pool.parallel_init ~jobs:3 n f = Array.init n f);
+    Test.make ~name:"count = reference count" ~count:100 arb_graph (fun g ->
+        Triangle.count g = ref_count g);
+    Test.make ~name:"enumerate = reference enumerate" ~count:100 arb_graph (fun g ->
+        Triangle.enumerate g = ref_enumerate g);
+    Test.make ~name:"find = reference find" ~count:100 arb_graph (fun g ->
+        Triangle.find g = ref_find g);
+    Test.make ~name:"greedy_packing = reference (order-sensitive)" ~count:100 arb_graph (fun g ->
+        Triangle.greedy_packing g = ref_greedy_packing g);
+    Test.make ~name:"of_edges = naive membership" ~count:100
+      (pair (int_range 2 30) (list (pair (int_range 0 29) (int_range 0 29))))
+      (fun (n, raw) ->
+        let edges = List.filter (fun (u, v) -> u < n && v < n) raw in
+        let g = Graph.of_edges ~n edges in
+        let set =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (u, v) -> if u = v then None else Some (Graph.normalize_edge (u, v)))
+               edges)
+        in
+        Graph.edges g = set
+        && List.for_all (fun (u, v) -> Graph.mem_edge g u v && Graph.mem_edge g v u) set
+        && Graph.m g = List.length set);
+    Test.make ~name:"union = of_edges on concatenated edges" ~count:100 (pair arb_graph arb_graph)
+      (fun (g1, g2) ->
+        let n = max (Graph.n g1) (Graph.n g2) in
+        let lift g = Graph.of_edges ~n (Graph.edges g) in
+        let g1 = lift g1 and g2 = lift g2 in
+        Graph.equal (Graph.union g1 g2) (Graph.of_edges ~n (Graph.edges g1 @ Graph.edges g2)));
+  ]
+
+(* ------------------------------------------------- harness determinism *)
+
+(* Render a real experiment's tables under two job settings and require the
+   strings to be byte-identical — the end-to-end determinism guarantee the
+   docs advertise.  On single-core hosts both settings clamp to one worker
+   and the check is trivially true; on multicore it exercises the full
+   parallel path. *)
+let test_harness_tables_jobs_invariant () =
+  let entry =
+    match Tfree_experiments.Registry.find "table1/sim-low" with
+    | Some e -> e
+    | None -> Alcotest.fail "table1/sim-low not registered"
+  in
+  let render () =
+    String.concat ""
+      (List.map Table.render (Tfree_experiments.Registry.run ~scale:Tfree_experiments.Common.Small entry))
+  in
+  Pool.set_jobs 1;
+  let seq = render () in
+  Pool.set_jobs 4;
+  let par = render () in
+  Pool.set_jobs 1;
+  Alcotest.(check string) "tables identical across job counts" seq par
+
+let () =
+  Alcotest.run "tfree_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_init = Array.init" `Quick test_parallel_init_matches_array_init;
+          Alcotest.test_case "parallel_map = List.map" `Quick test_parallel_map_matches_list_map;
+          Alcotest.test_case "allocating cells deterministic" `Quick test_parallel_init_allocating_cells;
+          Alcotest.test_case "exception propagates" `Quick test_parallel_init_exception_propagates;
+          Alcotest.test_case "nested falls back" `Quick test_nested_calls_fall_back_sequential;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "iter_until stops early" `Quick test_iter_until_stops_early;
+          Alcotest.test_case "find early-exit agrees" `Quick test_find_early_exit_agrees;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "harness",
+        [ Alcotest.test_case "tables invariant under jobs" `Slow test_harness_tables_jobs_invariant ] );
+    ]

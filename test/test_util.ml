@@ -279,6 +279,52 @@ let test_table_fcell () =
   Alcotest.(check string) "nan" "-" (Table.fcell Float.nan);
   Alcotest.(check string) "prec" "1.234" (Table.fcell ~prec:3 1.2341)
 
+(* ------------------------------------------------------------- Jsonout *)
+
+let test_jsonout_roundtrip () =
+  let doc =
+    Jsonout.Obj
+      [
+        ("schema", Str "tfree-bench/v1");
+        ("n", Num 42.0);
+        ("pi", Num 3.5);
+        ("flag", Bool true);
+        ("nothing", Null);
+        ("rows", List [ Num 1.0; Num 2.0; Obj [] ]);
+        ("empty", List []);
+      ]
+  in
+  match Jsonout.parse (Jsonout.to_string doc) with
+  | Ok v -> checkb "roundtrip" true (v = doc)
+  | Error msg -> Alcotest.fail msg
+
+let test_jsonout_escaping () =
+  let doc = Jsonout.Obj [ ("k\"ey", Str "line\nbreak\tand \\ quote \"") ] in
+  match Jsonout.parse (Jsonout.to_string doc) with
+  | Ok v -> checkb "escaped roundtrip" true (v = doc)
+  | Error msg -> Alcotest.fail msg
+
+let test_jsonout_integral_floats () =
+  checkb "42 bare" true (contains_substring (Jsonout.to_string (Jsonout.Num 42.0)) "42");
+  checkb "no decimal point" false (contains_substring (Jsonout.to_string (Jsonout.Num 42.0)) ".");
+  (* NaN has no JSON encoding; it must degrade to null, not emit "nan". *)
+  checkb "nan -> null" true (contains_substring (Jsonout.to_string (Jsonout.Num Float.nan)) "null")
+
+let test_jsonout_rejects_garbage () =
+  let bad s = match Jsonout.parse s with Ok _ -> false | Error _ -> true in
+  checkb "unterminated" true (bad "{\"a\": 1");
+  checkb "trailing" true (bad "{} {}");
+  checkb "bare word" true (bad "bogus");
+  checkb "empty" true (bad "")
+
+let test_jsonout_member () =
+  let doc = Jsonout.Obj [ ("a", Num 1.0); ("b", Bool false) ] in
+  checkb "present" true (Jsonout.member "a" doc = Some (Jsonout.Num 1.0));
+  checkb "absent" true (Jsonout.member "z" doc = None);
+  checkb "non-object" true (Jsonout.member "a" (Jsonout.Num 1.0) = None);
+  checkb "to_float" true (Jsonout.to_float (Jsonout.Num 1.5) = Some 1.5);
+  checkb "to_list" true (Jsonout.to_list (Jsonout.List []) = Some [])
+
 (* -------------------------------------------------------------- QCheck *)
 
 let qcheck_props =
@@ -375,6 +421,14 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "fcell" `Quick test_table_fcell;
+        ] );
+      ( "jsonout",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonout_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_jsonout_escaping;
+          Alcotest.test_case "integral floats" `Quick test_jsonout_integral_floats;
+          Alcotest.test_case "rejects garbage" `Quick test_jsonout_rejects_garbage;
+          Alcotest.test_case "member/accessors" `Quick test_jsonout_member;
         ] );
       ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
     ]
