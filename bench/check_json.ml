@@ -30,6 +30,16 @@ let () =
   | Str "tfree-bench/v1" -> ()
   | Str other -> fail "unexpected schema %S" other
   | _ -> fail "schema is not a string");
+  (* A document produced with --only ID carries that id and covers only the
+     matching experiment; micro rows are absent from filtered runs. *)
+  let only =
+    match Jsonout.member "only" doc with
+    | None -> None
+    | Some (Str id) ->
+        if Tfree_experiments.Registry.find id = None then fail "only names unknown experiment %S" id;
+        Some id
+    | Some _ -> fail "only is not a string"
+  in
   let harness = field doc "harness" in
   let w1 = float_field harness "wall_s_jobs1" in
   let wn = float_field harness "wall_s_jobsN" in
@@ -45,16 +55,27 @@ let () =
     | Some [] -> fail "empty experiments list"
     | None -> fail "experiments is not a list"
   in
-  List.iter
-    (fun e ->
-      (match field e "id" with Jsonout.Str _ -> () | _ -> fail "experiment id is not a string");
-      ignore (float_field e "wall_s_jobs1");
-      ignore (float_field e "wall_s_jobsN"))
-    experiments;
+  let ids =
+    List.map
+      (fun e ->
+        let id =
+          match field e "id" with
+          | Jsonout.Str id -> id
+          | _ -> fail "experiment id is not a string"
+        in
+        if Tfree_experiments.Registry.find id = None then fail "unknown experiment id %S" id;
+        ignore (float_field e "wall_s_jobs1");
+        ignore (float_field e "wall_s_jobsN");
+        id)
+      experiments
+  in
+  (match only with
+  | Some id when ids <> [ id ] -> fail "document filtered to %S but covers other experiments" id
+  | _ -> ());
   let micro =
     match Jsonout.to_list (field doc "micro") with
     | Some (_ :: _ as l) -> l
-    | Some [] -> fail "empty micro list"
+    | Some [] -> if only = None then fail "empty micro list" else []
     | None -> fail "micro is not a list"
   in
   List.iter

@@ -15,7 +15,10 @@
      --jobs N       request N pool workers (same semantics as the CLI flag:
                     a ceiling, capped at the hardware core count)
      --smoke        shrink the bechamel quota so --json finishes quickly;
-                    used by the @bench-smoke dune alias *)
+                    used by the @bench-smoke dune alias
+     --only ID      run a single registered experiment instead of the whole
+                    harness; bechamel micro-benchmarks are skipped and the
+                    JSON document records the filter in its "only" field *)
 
 open Tfree_util
 open Tfree_graph
@@ -24,10 +27,10 @@ open Toolkit
 
 (* ------------------------------------------------------------ argv *)
 
-type opts = { json : bool; smoke : bool; jobs : int option }
+type opts = { json : bool; smoke : bool; jobs : int option; only : string option }
 
 let opts =
-  let o = ref { json = false; smoke = false; jobs = None } in
+  let o = ref { json = false; smoke = false; jobs = None; only = None } in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
@@ -44,12 +47,28 @@ let opts =
         | _ ->
             prerr_endline "bench: --jobs expects a positive integer";
             exit 2)
+    | "--only" :: id :: rest ->
+        o := { !o with only = Some id };
+        parse rest
     | arg :: _ ->
-        Printf.eprintf "bench: unknown argument %s (expected --json, --smoke, --jobs N)\n" arg;
+        Printf.eprintf "bench: unknown argument %s (expected --json, --smoke, --jobs N, --only ID)\n"
+          arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   !o
+
+(* The experiments this invocation runs: the full registry, or the single
+   entry named by --only. *)
+let entries =
+  match opts.only with
+  | None -> Tfree_experiments.Registry.all
+  | Some id -> (
+      match Tfree_experiments.Registry.find id with
+      | Some e -> [ e ]
+      | None ->
+          Printf.eprintf "bench: unknown experiment id %S (try `tfree list`)\n" id;
+          exit 2)
 
 (* ------------------------------------------------ part 1: experiments *)
 
@@ -71,7 +90,7 @@ let render_experiments () =
         List.iter (fun tbl -> Buffer.add_string buf (Table.render tbl)) tables;
         Buffer.add_char buf '\n';
         (e.id, dt))
-      Tfree_experiments.Registry.all
+      entries
   in
   let wall = Unix.gettimeofday () -. t0 in
   (Buffer.contents buf, timings, wall)
@@ -189,8 +208,11 @@ let run_json () =
   let outn, timingsn, walln = render_experiments () in
   let identical = String.equal out1 outn in
   print_string outn;
-  let micro = measure_micro () in
-  print_micro micro;
+  (* A filtered run regenerates only the requested experiment's tables; the
+     bechamel micro suite covers the whole protocol zoo, so it only runs
+     with the full harness. *)
+  let micro = if opts.only = None then measure_micro () else [] in
+  if opts.only = None then print_micro micro;
   let experiments =
     List.map2
       (fun (id, dt1) (id', dtn) ->
@@ -201,9 +223,12 @@ let run_json () =
   in
   let doc =
     Jsonout.Obj
-      [
-        ("schema", Str "tfree-bench/v1");
-        ("scale", Str "small");
+      ([
+         ("schema", Jsonout.Str "tfree-bench/v1");
+         ("scale", Jsonout.Str "small");
+       ]
+      @ (match opts.only with Some id -> [ ("only", Jsonout.Str id) ] | None -> [])
+      @ [
         ("jobs", Obj [ ("requested", Num (float_of_int requested)); ("effective", Num (float_of_int effective)) ]);
         ( "harness",
           Obj
@@ -220,7 +245,7 @@ let run_json () =
                (fun (name, est, r2) ->
                  Jsonout.Obj [ ("name", Str name); ("ns_per_run", Num est); ("r2", Num r2) ])
                micro) );
-      ]
+      ])
   in
   let oc = open_out json_file in
   output_string oc (Jsonout.to_string doc);
@@ -236,6 +261,6 @@ let () =
   else begin
     let out, _, _ = render_experiments () in
     print_string out;
-    print_micro (measure_micro ());
+    if opts.only = None then print_micro (measure_micro ());
     print_endline "done."
   end

@@ -1,0 +1,66 @@
+(* Smoke test behind the @wire-smoke alias: fork a tfree-serve daemon on a
+   temporary Unix-domain socket, query it once per protocol, and check that
+
+     - the reply reconciles: wire_bytes*8 - framing_overhead_bits equals the
+       accounted bits, exactly;
+     - the served response is byte-identical to computing the same request
+       locally (the service is deterministic in the request's seed);
+
+   then shut the daemon down and insist it exits cleanly. *)
+
+module Service = Tfree_wire.Service
+module Wire = Tfree_wire.Wire_runtime
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("wire_smoke: " ^ msg); exit 1) fmt
+
+let requests =
+  List.map
+    (fun (protocol, transport) -> { Service.default_request with protocol; n = 200; transport })
+    [
+      (Service.Oblivious, Wire.Socketpair);
+      (Service.Exact, Wire.Pipe);
+      (Service.Sim, Wire.Socketpair);
+      (Service.Unrestricted, Wire.Pipe);
+    ]
+
+let () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tfree-wire-smoke-%d.sock" (Unix.getpid ()))
+  in
+  match Unix.fork () with
+  | 0 ->
+      (* child: serve until the shutdown command *)
+      exit (if Service.serve ~path () = List.length requests then 0 else 1)
+  | server ->
+      let rec await tries =
+        if not (Sys.file_exists path) then
+          if tries = 0 then (
+            Unix.kill server Sys.sigkill;
+            fail "server socket %s never appeared" path)
+          else (
+            Unix.sleepf 0.05;
+            await (tries - 1))
+      in
+      await 100;
+      List.iter
+        (fun req ->
+          let name = Service.protocol_to_string req.Service.protocol in
+          match Service.client_query ~path req with
+          | Error msg -> fail "%s: %s" name msg
+          | Ok resp ->
+              if not (Wire.reconciles resp.Service.wire) then
+                fail "%s does not reconcile: %s" name (Wire.report_summary resp.Service.wire);
+              let local = Service.run_request req in
+              if
+                Service.response_to_json resp <> Service.response_to_json local
+              then fail "%s: served response differs from local computation" name;
+              Printf.printf "wire_smoke: %-12s ok (%s)\n" name
+                (Wire.report_summary resp.Service.wire))
+        requests;
+      Service.client_shutdown ~path;
+      (match Unix.waitpid [] server with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> fail "server did not exit cleanly");
+      if Sys.file_exists path then fail "server left its socket behind";
+      print_endline "wire_smoke: ok"

@@ -4,11 +4,15 @@
      run         test a generated distributed instance with a chosen protocol
      experiment  run a named reproduction experiment (see `tfree list`)
      list        list the reproduction experiments
-     inspect     generate an instance and print its triangle statistics *)
+     inspect     generate an instance and print its triangle statistics
+     serve       answer queries over a Unix-domain socket (tfree-serve)
+     client      query a running tfree-serve daemon *)
 
 open Cmdliner
 open Tfree_util
 open Tfree_graph
+module Service = Tfree_wire.Service
+module Wire = Tfree_wire.Wire_runtime
 
 (* ----------------------------------------------------------- common args *)
 
@@ -27,21 +31,31 @@ let instance_arg =
   Arg.(value
        & opt
            (enum
-              [ ("far", `Far); ("free", `Free); ("hub", `Hub); ("mu", `Mu); ("gnp", `Gnp);
-                ("behrend", `Behrend); ("diluted", `Diluted) ])
-           `Far
+              [ ("far", Service.Far); ("free", Service.Free); ("hub", Service.Hub);
+                ("mu", Service.Mu); ("gnp", Service.Gnp); ("behrend", Service.Behrend);
+                ("diluted", Service.Diluted) ])
+           Service.Far
        & info [ "instance" ] ~docv:"FAMILY" ~doc)
 
 let partition_arg =
   let doc = "Edge partition: disjoint, dup (30% duplication), replicate, skewed, hash." in
   Arg.(value
-       & opt (enum [ ("disjoint", `Disjoint); ("dup", `Dup); ("replicate", `Replicate); ("skewed", `Skewed); ("hash", `Hash) ]) `Dup
+       & opt
+           (enum
+              [ ("disjoint", Service.Disjoint); ("dup", Service.Dup);
+                ("replicate", Service.Replicate); ("skewed", Service.Skewed);
+                ("hash", Service.Hash) ])
+           Service.Dup
        & info [ "partition" ] ~docv:"PART" ~doc)
 
 let protocol_arg =
   let doc = "Protocol: unrestricted (§3.3), sim (§3.4, d known), oblivious (Alg 11), exact ([38] baseline)." in
   Arg.(value
-       & opt (enum [ ("unrestricted", `Unrestricted); ("sim", `Sim); ("oblivious", `Oblivious); ("exact", `Exact) ]) `Oblivious
+       & opt
+           (enum
+              [ ("unrestricted", Service.Unrestricted); ("sim", Service.Sim);
+                ("oblivious", Service.Oblivious); ("exact", Service.Exact) ])
+           Service.Oblivious
        & info [ "protocol" ] ~docv:"PROTO" ~doc)
 
 let blackboard_arg =
@@ -59,62 +73,65 @@ let jobs_arg =
 
 let set_jobs jobs = Option.iter Pool.set_jobs jobs
 
-(* ------------------------------------------------------------- builders *)
+let socket_arg =
+  Arg.(required
+       & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
-let build_instance family rng ~n ~d ~eps =
-  match family with
-  | `Far -> Gen.far_with_degree rng ~n ~d ~eps
-  | `Free -> Gen.free_with_degree rng ~n ~d
-  | `Hub -> Gen.hub_far rng ~n ~hubs:(max 1 (n / 400)) ~pairs:(max 1 (int_of_float (eps *. float_of_int n *. d /. 2.0)))
-  | `Mu -> Tfree_lowerbound.Mu_dist.sample rng ~part:(n / 3) ~gamma:2.0
-  | `Gnp -> Gen.gnp rng ~n ~p:(Float.min 1.0 (d /. float_of_int n))
-  | `Behrend ->
-      (* pick digits/base so 6·(2·base)^digits is near n *)
-      let base = max 2 (int_of_float (sqrt (float_of_int n /. 24.0))) in
-      (Tfree_graph.Behrend.instance ~rng ~base ~digits:2 ()).Tfree_graph.Behrend.graph
-  | `Diluted ->
-      let extra = max 1 (int_of_float (1.0 /. (3.0 *. eps)) - 1) in
-      let triangles = max 1 (n / (3 * (1 + extra))) in
-      Gen.diluted_far rng ~triangles ~extra_degree:extra
-
-let build_partition kind rng ~k g =
-  match kind with
-  | `Disjoint -> Partition.disjoint_random rng ~k g
-  | `Dup -> Partition.with_duplication rng ~k ~dup_p:0.3 g
-  | `Replicate -> Partition.replicate ~k g
-  | `Skewed -> Partition.skewed rng ~k ~bias:0.8 g
-  | `Hash -> Partition.by_endpoint_hash rng ~k g
+let transport_arg =
+  let doc = "Byte transport behind the wire runtime: pipe (in-memory) or socketpair (Unix sockets)." in
+  Arg.(value
+       & opt (enum [ ("pipe", Wire.Pipe); ("socketpair", Wire.Socketpair) ]) Wire.Pipe
+       & info [ "transport" ] ~docv:"KIND" ~doc)
 
 (* ------------------------------------------------------------------ run *)
 
+let print_report g (report : Tfree.Tester.report) =
+  (match (report.Tfree.Tester.verdict, g) with
+  | Tfree.Tester.Triangle (a, b, c), Some g ->
+      Printf.printf "verdict: TRIANGLE (%d,%d,%d) — verified real: %b\n" a b c
+        (Triangle.is_triangle g (a, b, c))
+  | Tfree.Tester.Triangle (a, b, c), None -> Printf.printf "verdict: TRIANGLE (%d,%d,%d)\n" a b c
+  | Tfree.Tester.Triangle_free, _ -> print_endline "verdict: no triangle found");
+  Printf.printf "communication: %d bits over %d round(s); max single message %d bits\n"
+    report.Tfree.Tester.bits report.Tfree.Tester.rounds report.Tfree.Tester.max_message
+
 let run_cmd =
-  let run seed n d k eps family part proto blackboard =
+  let run seed n d k eps family part proto blackboard wire transport =
     let rng = Rng.create seed in
-    let g = build_instance family rng ~n ~d ~eps in
-    let inputs = build_partition part rng ~k g in
+    let g = Service.build_instance family rng ~n ~d ~eps in
+    let inputs = Service.build_partition part rng ~k g in
     Printf.printf "instance: n=%d m=%d avg degree %.2f; k=%d players (duplication %b)\n" (Graph.n g)
       (Graph.m g) (Graph.avg_degree g) k (Partition.has_duplication inputs);
     let params = Tfree.Params.(with_eps practical eps) in
+    let net = if wire then Some (Wire.create ~transport ~k ()) else None in
+    let tap = Option.map Wire.tap net in
     let report =
       match proto with
-      | `Unrestricted ->
+      | Service.Unrestricted ->
           let mode = if blackboard then Tfree_comm.Runtime.Blackboard else Tfree_comm.Runtime.Coordinator in
-          Tfree.Tester.unrestricted ~mode ~seed params inputs
-      | `Sim -> Tfree.Tester.simultaneous ~seed params ~d:(Graph.avg_degree g) inputs
-      | `Oblivious -> Tfree.Tester.simultaneous_oblivious ~seed params inputs
-      | `Exact -> Tfree.Tester.exact ~seed inputs
+          Tfree.Tester.unrestricted ~mode ?tap ~seed params inputs
+      | Service.Sim -> Tfree.Tester.simultaneous ?tap ~seed params ~d:(Graph.avg_degree g) inputs
+      | Service.Oblivious -> Tfree.Tester.simultaneous_oblivious ?tap ~seed params inputs
+      | Service.Exact -> Tfree.Tester.exact ?tap ~seed inputs
     in
-    (match report.Tfree.Tester.verdict with
-    | Tfree.Tester.Triangle (a, b, c) ->
-        Printf.printf "verdict: TRIANGLE (%d,%d,%d) — verified real: %b\n" a b c
-          (Triangle.is_triangle g (a, b, c))
-    | Tfree.Tester.Triangle_free -> print_endline "verdict: no triangle found");
-    Printf.printf "communication: %d bits over %d round(s); max single message %d bits\n"
-      report.Tfree.Tester.bits report.Tfree.Tester.rounds report.Tfree.Tester.max_message
+    print_report (Some g) report;
+    Option.iter
+      (fun net ->
+        let r = Wire.report net ~accounted_bits:report.Tfree.Tester.bits in
+        Printf.printf "wire (%s): %s\n" (Wire.kind_to_string (Wire.transport_kind net))
+          (Wire.report_summary r);
+        Wire.close net)
+      net
+  in
+  let wire_arg =
+    Arg.(value & flag
+         & info [ "wire" ]
+             ~doc:"Run the protocol over a real byte transport and print the wire-vs-model reconciliation.")
   in
   let term =
     Term.(const run $ seed_arg $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg
-          $ protocol_arg $ blackboard_arg)
+          $ protocol_arg $ blackboard_arg $ wire_arg $ transport_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Test a generated distributed instance with a chosen protocol.") term
 
@@ -150,7 +167,7 @@ let list_cmd =
 let inspect_cmd =
   let run seed n d eps family =
     let rng = Rng.create seed in
-    let g = build_instance family rng ~n ~d ~eps in
+    let g = Service.build_instance family rng ~n ~d ~eps in
     let lo, hi = Distance.farness_interval g in
     Printf.printf "n=%d m=%d avg degree %.2f\n" (Graph.n g) (Graph.m g) (Graph.avg_degree g);
     Printf.printf "triangles: %d; greedy edge-disjoint packing: %d; triangle edges: %d\n"
@@ -169,6 +186,62 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Generate an instance and print its triangle statistics.")
     Term.(const run $ seed_arg $ n_arg $ d_arg $ eps_arg $ instance_arg)
 
+(* ------------------------------------------------------- serve / client *)
+
+let serve_cmd =
+  let run path max_requests =
+    Printf.printf "tfree-serve: listening on %s\n%!" path;
+    let served = Service.serve ?max_requests ~path () in
+    Printf.printf "tfree-serve: served %d request(s); bye\n" served
+  in
+  let max_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Exit after N queries (default: run until a shutdown command).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Answer triangle-freeness queries over a Unix-domain socket (one JSON value per \
+             line; requests name an instance family, a partition and a protocol).")
+    Term.(const run $ socket_arg $ max_arg)
+
+let client_cmd =
+  let run path shutdown as_json seed n d k eps family part proto transport =
+    if shutdown then (
+      Service.client_shutdown ~path;
+      print_endline "shutdown sent")
+    else
+      let req =
+        { Service.family; partition = part; protocol = proto; n; d; k; eps; seed; transport }
+      in
+      match Service.client_query ~path req with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      | Ok resp ->
+          if as_json then print_endline (Jsonout.to_line (Service.response_to_json resp))
+          else (
+            print_report None
+              {
+                Tfree.Tester.verdict = resp.Service.verdict;
+                bits = resp.Service.bits;
+                rounds = resp.Service.rounds;
+                max_message = resp.Service.max_message;
+              };
+            Printf.printf "wire: %s\n" (Wire.report_summary resp.Service.wire))
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down instead of querying.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print the server's raw JSON reply.") in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Query a running tfree-serve daemon.")
+    Term.(const run $ socket_arg $ shutdown_arg $ json_arg $ seed_arg $ n_arg $ d_arg $ k_arg
+          $ eps_arg $ instance_arg $ partition_arg $ protocol_arg $ transport_arg)
+
 let () =
   let doc = "multiparty communication-complexity testers for triangle-freeness (PODC'17 reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "tfree" ~doc) [ run_cmd; experiment_cmd; list_cmd; inspect_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "tfree" ~doc)
+          [ run_cmd; experiment_cmd; list_cmd; inspect_cmd; serve_cmd; client_cmd ]))

@@ -1,0 +1,27 @@
+(** Channels and transport taps.
+
+    The runtimes ({!Runtime}, {!Simultaneous}) account costs by declaration:
+    whenever a message crosses a channel they charge its {!Msg.bits}.  A
+    {e tap} is an optional hook invoked at exactly those crossing points; it
+    receives the message and the channel it crosses, and returns the message
+    the receiving side observes.  The identity tap reproduces the pure
+    accounting model.  The wire subsystem ([Tfree_wire]) installs a tap that
+    encodes the message, moves the bytes through a real transport, decodes
+    them on the far side and returns the decoded copy — so everything a
+    protocol learns through a tapped runtime has physically round-tripped,
+    and the declared cost can be reconciled against measured wire bytes. *)
+
+type t =
+  | To_player of int  (** coordinator (or referee) -> player [j] *)
+  | From_player of int  (** player [j] -> coordinator/referee *)
+  | Board  (** a broadcast posting, visible to all parties *)
+
+type tap = { deliver : t -> Msg.t -> Msg.t }
+
+(** The pure-model tap: messages arrive untouched. *)
+let identity = { deliver = (fun _ msg -> msg) }
+
+let describe = function
+  | To_player j -> Printf.sprintf "coord->p%d" j
+  | From_player j -> Printf.sprintf "p%d->coord" j
+  | Board -> "board"

@@ -1,0 +1,18 @@
+(** Channels and transport taps: a tap is a hook invoked at every point
+    where a runtime charges communication, receiving the crossing message
+    and returning the copy the receiver observes.  The identity tap is the
+    pure accounting model; the wire subsystem installs a tap that moves the
+    message through a real byte transport and returns the decoded copy. *)
+
+type t =
+  | To_player of int  (** coordinator (or referee) -> player [j] *)
+  | From_player of int  (** player [j] -> coordinator/referee *)
+  | Board  (** a broadcast posting, visible to all parties *)
+
+type tap = { deliver : t -> Msg.t -> Msg.t }
+
+(** The pure-model tap: messages arrive untouched. *)
+val identity : tap
+
+(** Human-readable channel name ("coord->p3", "p3->coord", "board"). *)
+val describe : t -> string

@@ -5,7 +5,14 @@
     {!Tfree_util.Bits} (a vertex costs ceil(log2 n), an edge twice that, a
     list additionally carries a self-delimiting length).  Protocols construct
     messages only through the smart constructors here, so the cost model is
-    centralized and auditable. *)
+    centralized and auditable.
+
+    Each message also records its {!layout}: the exact bit-level encoding its
+    constructor committed to (field widths, length prefixes, flag bits).  The
+    layout is what lets the wire subsystem ([Tfree_wire.Codec]) serialize the
+    payload into exactly [bits] physical bits and decode it back — the cost
+    model and the wire format are the same schema by construction, not two
+    schemas kept in sync by hand. *)
 
 open Tfree_util
 
@@ -20,44 +27,84 @@ type value =
   | Edges of (int * int) list
   | Tuple of value list
 
-type t = { value : value; bits : int }
+type layout =
+  | L_unit
+  | L_bool
+  | L_int_in of { lo : int; hi : int }
+  | L_nat
+  | L_vertex of { n : int }
+  | L_vertex_opt of { n : int }
+  | L_edge of { n : int }
+  | L_vertices of { n : int }
+  | L_edges of { n : int }
+  | L_tuple of layout list
+
+type t = { value : value; bits : int; layout : layout }
 
 let bits t = t.bits
 let value t = t.value
+let layout t = t.layout
 
-let empty = { value = Unit; bits = 0 }
+(* The single source of truth for cost: the bit-length of [value] encoded
+   under [layout].  Every smart constructor goes through here, so [bits] can
+   never drift from what the wire codec emits. *)
+let rec measure layout value =
+  match (layout, value) with
+  | L_unit, Unit -> 0
+  | L_bool, Bool _ -> 1
+  | L_int_in { lo; hi }, Int v ->
+      if v < lo || v > hi then invalid_arg "Msg.int_in: out of declared range";
+      Bits.int_in_range ~lo ~hi
+  | L_nat, Int v -> Bits.elias_gamma v
+  | L_vertex { n }, Vertex _ -> Bits.vertex ~n
+  | L_vertex_opt _, No_vertex -> 1
+  | L_vertex_opt { n }, Vertex _ -> 1 + Bits.vertex ~n
+  | L_edge { n }, Edge _ -> Bits.edge ~n
+  | L_vertices { n }, Vertices vs ->
+      Bits.elias_gamma (List.length vs) + (List.length vs * Bits.vertex ~n)
+  | L_edges { n }, Edges es ->
+      Bits.elias_gamma (List.length es) + (List.length es * Bits.edge ~n)
+  | L_tuple ls, Tuple vs ->
+      if List.length ls <> List.length vs then invalid_arg "Msg.measure: tuple arity mismatch";
+      List.fold_left2 (fun acc l v -> acc + measure l v) 0 ls vs
+  | _ -> invalid_arg "Msg.measure: value does not fit layout"
 
-let bool b = { value = Bool b; bits = 1 }
+(** Rebuild a message from its layout and payload — the decoder's
+    constructor.  The bit count is recomputed from the layout, so a decoded
+    message is indistinguishable from the original (same value, bits,
+    layout); a value/layout mismatch is a codec bug and fails loudly. *)
+let of_layout layout value = { value; bits = measure layout value; layout }
+
+let empty = of_layout L_unit Unit
+
+let bool b = of_layout L_bool (Bool b)
 
 (** Integer known by both sides to lie in [lo, hi]. *)
-let int_in ~lo ~hi v =
-  if v < lo || v > hi then invalid_arg "Msg.int_in: out of declared range";
-  { value = Int v; bits = Bits.int_in_range ~lo ~hi }
+let int_in ~lo ~hi v = of_layout (L_int_in { lo; hi }) (Int v)
 
 (** Nonnegative integer with a self-delimiting code. *)
-let nat v = { value = Int v; bits = Bits.elias_gamma v }
+let nat v = of_layout L_nat (Int v)
 
-let vertex ~n v = { value = Vertex v; bits = Bits.vertex ~n }
+let vertex ~n v = of_layout (L_vertex { n }) (Vertex v)
 
 (** Optional vertex: 1 flag bit plus the identifier when present. *)
 let vertex_opt ~n vo =
   match vo with
-  | None -> { value = No_vertex; bits = 1 }
-  | Some v -> { value = Vertex v; bits = 1 + Bits.vertex ~n }
+  | None -> of_layout (L_vertex_opt { n }) No_vertex
+  | Some v -> of_layout (L_vertex_opt { n }) (Vertex v)
 
-let edge ~n (u, v) = { value = Edge (u, v); bits = Bits.edge ~n }
+let edge ~n (u, v) = of_layout (L_edge { n }) (Edge (u, v))
 
 (** Length-prefixed vertex list. *)
-let vertices ~n vs =
-  { value = Vertices vs; bits = Bits.elias_gamma (List.length vs) + (List.length vs * Bits.vertex ~n) }
+let vertices ~n vs = of_layout (L_vertices { n }) (Vertices vs)
 
 (** Length-prefixed edge list — the dominant message type in every protocol. *)
-let edges ~n es =
-  { value = Edges es; bits = Bits.elias_gamma (List.length es) + (List.length es * Bits.edge ~n) }
+let edges ~n es = of_layout (L_edges { n }) (Edges es)
 
 let tuple parts =
   { value = Tuple (List.map (fun p -> p.value) parts);
-    bits = List.fold_left (fun acc p -> acc + p.bits) 0 parts }
+    bits = List.fold_left (fun acc p -> acc + p.bits) 0 parts;
+    layout = L_tuple (List.map (fun p -> p.layout) parts) }
 
 (* Extraction: a mismatch is a protocol bug, so we fail loudly. *)
 
@@ -78,6 +125,7 @@ let get_vertices t = match t.value with Vertices vs -> vs | _ -> invalid_arg "Ms
 let get_edges t = match t.value with Edges es -> es | _ -> invalid_arg "Msg.get_edges"
 
 let get_tuple t =
-  match t.value with
-  | Tuple vs -> List.map (fun v -> { value = v; bits = 0 }) vs
+  match (t.value, t.layout) with
+  | Tuple vs, L_tuple ls when List.length vs = List.length ls ->
+      List.map2 (fun l v -> of_layout l v) ls vs
   | _ -> invalid_arg "Msg.get_tuple"

@@ -1,7 +1,13 @@
 (** Messages with exact bit accounting.  Every value crossing a channel in
     any model is a [Msg.t]: a typed payload plus its cost under the
     {!Tfree_util.Bits} schema.  Protocols construct messages only through the
-    smart constructors, keeping the cost model centralized and auditable. *)
+    smart constructors, keeping the cost model centralized and auditable.
+
+    Every message also carries its {!layout} — the exact bit-level encoding
+    (field widths, length prefixes, flag bits) that its constructor committed
+    to.  The wire codec ([Tfree_wire.Codec]) serializes payloads from the
+    layout, so an encoded message occupies exactly {!bits} physical bits:
+    the cost model and the wire format are one schema. *)
 
 type value =
   | Unit
@@ -14,12 +20,36 @@ type value =
   | Edges of (int * int) list
   | Tuple of value list
 
+(** Bit-level encoding schema of a message.  [n] fixes the vertex-identifier
+    width ceil(log2 n); [lo, hi] fix a range-coded integer's width; lists are
+    length-prefixed with an Elias-gamma code. *)
+type layout =
+  | L_unit
+  | L_bool
+  | L_int_in of { lo : int; hi : int }
+  | L_nat
+  | L_vertex of { n : int }
+  | L_vertex_opt of { n : int }
+  | L_edge of { n : int }
+  | L_vertices of { n : int }
+  | L_edges of { n : int }
+  | L_tuple of layout list
+
 type t
 
 (** Cost in bits. *)
 val bits : t -> int
 
 val value : t -> value
+
+(** The encoding schema committed to by the constructor. *)
+val layout : t -> layout
+
+(** Rebuild a message from a layout and a payload value; [bits] is
+    recomputed from the layout, so a decoded message equals the original.
+    @raise Invalid_argument if the value does not fit the layout (a codec
+    bug, not a recoverable condition). *)
+val of_layout : layout -> value -> t
 
 (** Zero-bit placeholder (structurally implied requests). *)
 val empty : t
@@ -61,5 +91,5 @@ val get_edge : t -> int * int
 val get_vertices : t -> int list
 val get_edges : t -> (int * int) list
 
-(** Parts of a tuple (bit counts of the parts are not preserved). *)
+(** Parts of a tuple, each carrying its own layout and bit count. *)
 val get_tuple : t -> t list

@@ -10,7 +10,15 @@
     of the player's own input (and the shared randomness); the runtime merely
     invokes it and charges the declared size of whatever it returns.  This is
     the standard way to measure communication complexity — the model is the
-    accounting, not process isolation. *)
+    accounting, not process isolation.
+
+    A {!Channel.tap} can be installed at construction time: it is invoked at
+    exactly the points where the ledger charges bits, once per physical
+    channel crossing (so a k-fold coordinator broadcast taps k times while
+    being charged in one ledger entry, and a blackboard posting taps once).
+    Replies flow back to the protocol {e through} the tap's return value, so
+    a byte-moving tap (the wire subsystem) puts every protocol-visible datum
+    through its codec and transport. *)
 
 open Tfree_util
 open Tfree_graph
@@ -25,9 +33,10 @@ type t = {
   private_rngs : Rng.t array;
   cost : Cost.t;
   mode : mode;
+  tap : Channel.tap;
 }
 
-let make ?(mode = Coordinator) ~seed inputs =
+let make ?(mode = Coordinator) ?(tap = Channel.identity) ~seed inputs =
   let k = Partition.k inputs in
   let root = Rng.create seed in
   {
@@ -38,6 +47,7 @@ let make ?(mode = Coordinator) ~seed inputs =
     private_rngs = Array.init k (fun j -> Rng.split root (j + 1));
     cost = Cost.create ~k;
     mode;
+    tap;
   }
 
 let k t = t.k
@@ -52,15 +62,26 @@ let shared_rng t ~key = Rng.split t.shared key
 
 let private_rng t j = t.private_rngs.(j)
 
+(* Send [req] down every player channel (private mode) or post it once
+   (blackboard); mirrors the ledger's k-vs-1 charging of broadcasts. *)
+let deliver_request t req =
+  match t.mode with
+  | Coordinator ->
+      for j = 0 to t.k - 1 do
+        ignore (t.tap.Channel.deliver (Channel.To_player j) req)
+      done
+  | Blackboard -> ignore (t.tap.Channel.deliver Channel.Board req)
+
 (** One communication round in which the coordinator sends [req] to player
     [j] and the player answers with [respond input].  Charges both
     directions. *)
 let query t j ~req respond =
   Cost.next_round t.cost;
   Cost.charge_to_player t.cost (Msg.bits req);
+  ignore (t.tap.Channel.deliver (Channel.To_player j) req);
   let reply = respond (input t j) in
   Cost.charge_from_player t.cost j (Msg.bits reply);
-  reply
+  t.tap.Channel.deliver (Channel.From_player j) reply
 
 (** One parallel round: the same request to every player, one response each.
     In blackboard mode the request is posted once. *)
@@ -70,10 +91,11 @@ let ask_all t ~req respond =
   (match t.mode with
   | Coordinator -> if req_bits > 0 then Cost.charge_to_player t.cost (t.k * req_bits)
   | Blackboard -> if req_bits > 0 then Cost.charge_to_player t.cost req_bits);
+  if req_bits > 0 then deliver_request t req;
   Array.init t.k (fun j ->
       let reply = respond j (input t j) in
       Cost.charge_from_player t.cost j (Msg.bits reply);
-      reply)
+      t.tap.Channel.deliver (Channel.From_player j) reply)
 
 (** Like {!ask_all}, but in blackboard mode each player also sees the replies
     of the players before it (they are posted publicly, §2) — the mechanism
@@ -86,6 +108,7 @@ let ask_all_visible t ~req respond =
   (match t.mode with
   | Coordinator -> if req_bits > 0 then Cost.charge_to_player t.cost (t.k * req_bits)
   | Blackboard -> if req_bits > 0 then Cost.charge_to_player t.cost req_bits);
+  if req_bits > 0 then deliver_request t req;
   let replies = Array.make t.k Msg.empty in
   for j = 0 to t.k - 1 do
     let visible =
@@ -95,7 +118,9 @@ let ask_all_visible t ~req respond =
     in
     let reply = respond j (input t j) visible in
     Cost.charge_from_player t.cost j (Msg.bits reply);
-    replies.(j) <- reply
+    (* Later players' [visible] lists read back the delivered copy — on a
+       blackboard what they see is what was posted, not what was meant. *)
+    replies.(j) <- t.tap.Channel.deliver (Channel.From_player j) reply
   done;
   replies
 
@@ -105,9 +130,10 @@ let mode t = t.mode
 let tell_all t msg =
   Cost.next_round t.cost;
   let bits = Msg.bits msg in
-  match t.mode with
+  (match t.mode with
   | Coordinator -> Cost.charge_to_player t.cost (t.k * bits)
-  | Blackboard -> Cost.charge_to_player t.cost bits
+  | Blackboard -> Cost.charge_to_player t.cost bits);
+  deliver_request t msg
 
 (** OR over one bit per player — the "does anyone have it" idiom used by the
     edge-query building block and the degree-approximation experiments. *)

@@ -6,7 +6,12 @@
     All parties run in one process; player code is a function of the
     player's own input and the shared randomness, and the runtime charges
     the declared size of everything that crosses a channel.  The model is
-    the accounting. *)
+    the accounting.
+
+    An optional {!Channel.tap} is invoked once per physical channel crossing
+    at exactly the charging points; replies flow back to the protocol through
+    the tap's return value, so a byte-moving tap (the wire subsystem) routes
+    every protocol-visible datum through its codec and transport. *)
 
 open Tfree_graph
 
@@ -14,7 +19,7 @@ type mode = Coordinator | Blackboard
 
 type t
 
-val make : ?mode:mode -> seed:int -> Partition.t -> t
+val make : ?mode:mode -> ?tap:Channel.tap -> seed:int -> Partition.t -> t
 
 val k : t -> int
 val n : t -> int

@@ -26,10 +26,15 @@ type 'r outcome = {
   per_player_bits : int array;
 }
 
-let run ~seed protocol inputs =
+(* With a tap installed, each player's single message crosses its channel to
+   the referee physically: the referee decides on the delivered copies. *)
+let run ?(tap = Channel.identity) ~seed protocol inputs =
   let k = Partition.k inputs in
   let ctx = { k; n = Partition.n inputs; shared = Rng.split (Rng.create seed) 0 } in
-  let messages = Array.init k (fun j -> protocol.player ctx j (Partition.player inputs j)) in
+  let messages =
+    Array.init k (fun j ->
+        tap.Channel.deliver (Channel.From_player j) (protocol.player ctx j (Partition.player inputs j)))
+  in
   let per_player_bits = Array.map Msg.bits messages in
   {
     result = protocol.referee ctx messages;

@@ -23,4 +23,7 @@ type 'r outcome = {
   per_player_bits : int array;
 }
 
-val run : seed:int -> 'r protocol -> Partition.t -> 'r outcome
+(** Run the protocol.  With a {!Channel.tap}, each player's one message is
+    delivered through it (channel [From_player j]) and the referee receives
+    the delivered copies. *)
+val run : ?tap:Channel.tap -> seed:int -> 'r protocol -> Partition.t -> 'r outcome

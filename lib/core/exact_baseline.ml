@@ -21,7 +21,7 @@ let protocol =
         Triangle.find union);
   }
 
-let run ~seed inputs = Simultaneous.run ~seed protocol inputs
+let run ?tap ~seed inputs = Simultaneous.run ?tap ~seed protocol inputs
 
 (** Exact bit cost of the baseline on a given partition (no randomness). *)
 let cost inputs =

@@ -8,7 +8,11 @@ open Tfree_graph
 
 val protocol : Triangle.triangle option Simultaneous.protocol
 
-val run : seed:int -> Partition.t -> Triangle.triangle option Simultaneous.outcome
+val run :
+  ?tap:Tfree_comm.Channel.tap ->
+  seed:int ->
+  Partition.t ->
+  Triangle.triangle option Simultaneous.outcome
 
 (** Deterministic bit cost of the baseline on the given partition. *)
 val cost : Partition.t -> int

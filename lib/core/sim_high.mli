@@ -15,6 +15,7 @@ val edge_cap : Params.t -> n:int -> d:float -> s:int -> int
 val protocol : ?capped:bool -> Params.t -> d:float -> Triangle.triangle option Simultaneous.protocol
 
 val run :
+  ?tap:Tfree_comm.Channel.tap ->
   ?capped:bool ->
   seed:int ->
   Params.t ->

@@ -43,5 +43,5 @@ let referee ctx messages =
 let protocol ?(capped = true) (p : Params.t) ~d =
   { Simultaneous.player = player_message p ~d ~capped; referee }
 
-let run ?(capped = true) ~seed (p : Params.t) ~d inputs =
-  Simultaneous.run ~seed (protocol ~capped p ~d) inputs
+let run ?tap ?(capped = true) ~seed (p : Params.t) ~d inputs =
+  Simultaneous.run ?tap ~seed (protocol ~capped p ~d) inputs

@@ -22,6 +22,7 @@ val edge_cap : Params.t -> n:int -> d:float -> int
 val protocol : ?capped:bool -> Params.t -> d:float -> Triangle.triangle option Simultaneous.protocol
 
 val run :
+  ?tap:Tfree_comm.Channel.tap ->
   ?capped:bool ->
   seed:int ->
   Params.t ->

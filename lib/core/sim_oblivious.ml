@@ -116,4 +116,4 @@ let referee ctx messages =
 
 let protocol (p : Params.t) = { Simultaneous.player = player_message p; referee }
 
-let run ~seed (p : Params.t) inputs = Simultaneous.run ~seed (protocol p) inputs
+let run ?tap ~seed (p : Params.t) inputs = Simultaneous.run ?tap ~seed (protocol p) inputs

@@ -20,4 +20,9 @@ val cap_low : Params.t -> k:int -> n:int -> int
 
 val protocol : Params.t -> Triangle.triangle option Simultaneous.protocol
 
-val run : seed:int -> Params.t -> Partition.t -> Triangle.triangle option Simultaneous.outcome
+val run :
+  ?tap:Tfree_comm.Channel.tap ->
+  seed:int ->
+  Params.t ->
+  Partition.t ->
+  Triangle.triangle option Simultaneous.outcome

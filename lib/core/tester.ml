@@ -23,8 +23,8 @@ type report = {
 
 (** Unrestricted-communication tester (§3.3), degree-oblivious.  O~(k·(nd)^¼
     + k²) bits. *)
-let unrestricted ?(mode = Runtime.Coordinator) ~seed (p : Params.t) inputs =
-  let rt = Runtime.make ~mode ~seed inputs in
+let unrestricted ?(mode = Runtime.Coordinator) ?tap ~seed (p : Params.t) inputs =
+  let rt = Runtime.make ~mode ?tap ~seed inputs in
   let result, _stats = Unrestricted.find_triangle rt p in
   let cost = Runtime.cost rt in
   {
@@ -44,20 +44,20 @@ let of_sim_outcome (o : Triangle.triangle option Simultaneous.outcome) =
 
 (** Simultaneous tester for known average degree [d]: Algorithm 8 when
     d = O(√n), Algorithm 7 otherwise (they coincide at d = Θ(√n), §3.4.2). *)
-let simultaneous ~seed (p : Params.t) ~d inputs =
+let simultaneous ?tap ~seed (p : Params.t) ~d inputs =
   let n = Partition.n inputs in
   let outcome =
-    if d <= sqrt (float_of_int n) then Sim_low.run ~seed p ~d inputs
-    else Sim_high.run ~seed p ~d inputs
+    if d <= sqrt (float_of_int n) then Sim_low.run ?tap ~seed p ~d inputs
+    else Sim_high.run ?tap ~seed p ~d inputs
   in
   of_sim_outcome outcome
 
 (** Degree-oblivious simultaneous tester (Algorithm 11). *)
-let simultaneous_oblivious ~seed (p : Params.t) inputs =
-  of_sim_outcome (Sim_oblivious.run ~seed p inputs)
+let simultaneous_oblivious ?tap ~seed (p : Params.t) inputs =
+  of_sim_outcome (Sim_oblivious.run ?tap ~seed p inputs)
 
 (** Exact baseline [38]: always correct, Θ(k·n·d) bits. *)
-let exact ~seed inputs = of_sim_outcome (Exact_baseline.run ~seed inputs)
+let exact ?tap ~seed inputs = of_sim_outcome (Exact_baseline.run ?tap ~seed inputs)
 
 (** Error amplification: repeat a randomized tester [reps] times with
     independent seeds; any found triangle wins (one-sidedness makes this

@@ -20,18 +20,24 @@ type report = {
 
 (** Unrestricted-communication tester (§3.3), degree-oblivious:
     O~(k·(nd)^¼ + k²) bits. *)
-val unrestricted : ?mode:Runtime.mode -> seed:int -> Params.t -> Partition.t -> report
+val unrestricted :
+  ?mode:Runtime.mode -> ?tap:Channel.tap -> seed:int -> Params.t -> Partition.t -> report
 
 (** Simultaneous tester for known average degree [d]: Algorithm 8 when
     d <= √n, Algorithm 7 otherwise (§3.4.2: they coincide at d = Θ(√n)). *)
-val simultaneous : seed:int -> Params.t -> d:float -> Partition.t -> report
+val simultaneous : ?tap:Channel.tap -> seed:int -> Params.t -> d:float -> Partition.t -> report
 
 (** Degree-oblivious simultaneous tester (Algorithm 11). *)
-val simultaneous_oblivious : seed:int -> Params.t -> Partition.t -> report
+val simultaneous_oblivious : ?tap:Channel.tap -> seed:int -> Params.t -> Partition.t -> report
 
 (** Exact baseline [38]: always correct, Θ(k·n·d) bits. *)
-val exact : seed:int -> Partition.t -> report
+val exact : ?tap:Channel.tap -> seed:int -> Partition.t -> report
 
-(** Repeat a randomized tester with independent seeds; any found triangle
+(** All tester entry points accept an optional {!Channel.tap}: with a
+    byte-moving tap installed (see [Tfree_wire]) every charged message also
+    crosses a real transport and the protocol consumes the decoded copies,
+    so verdict and bits can be reconciled wire-vs-model.
+
+    Repeat a randomized tester with independent seeds; any found triangle
     wins (sound by one-sidedness).  Bits are summed over the runs made. *)
 val amplify : reps:int -> seed:int -> (seed:int -> report) -> report

@@ -27,6 +27,7 @@ let all : entry list =
     { id = "ablation/profiles"; title = "E18 paper-vs-practical constants"; run = Extensions.e18_profiles };
     { id = "extension/congest"; title = "E19 CONGEST tester rounds"; run = Extensions.e19_congest };
     { id = "extension/behrend"; title = "E20 Behrend instances"; run = Extensions.e20_behrend };
+    { id = "wire/overhead"; title = "E21 wire overhead"; run = Wire_overhead.e21_wire };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

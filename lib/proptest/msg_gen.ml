@@ -1,0 +1,65 @@
+(** Random message generation for wire-codec property tests: a QCheck
+    arbitrary covering every {!Tfree_comm.Msg} smart constructor, nested
+    tuples included, with the layout parameters (n, [lo, hi] ranges, list
+    lengths) themselves randomized. *)
+
+open Tfree_comm
+
+let rec value_to_string = function
+  | Msg.Unit -> "()"
+  | Msg.Bool b -> string_of_bool b
+  | Msg.Int v -> string_of_int v
+  | Msg.Vertex v -> Printf.sprintf "v%d" v
+  | Msg.No_vertex -> "v-"
+  | Msg.Edge (u, v) -> Printf.sprintf "(%d,%d)" u v
+  | Msg.Vertices vs -> "[" ^ String.concat ";" (List.map string_of_int vs) ^ "]"
+  | Msg.Edges es ->
+      "[" ^ String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) es) ^ "]"
+  | Msg.Tuple parts -> "<" ^ String.concat ", " (List.map value_to_string parts) ^ ">"
+
+let print msg = Printf.sprintf "%s (%d bits)" (value_to_string (Msg.value msg)) (Msg.bits msg)
+
+let gen : Msg.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let gen_n = int_range 2 5000 in
+  let vertex_in n = int_range 0 (n - 1) in
+  let leaf =
+    frequency
+      [
+        (1, return Msg.empty);
+        (2, map Msg.bool bool);
+        ( 3,
+          (* range-coded integer; lo may be negative, span may be 0 *)
+          int_range (-1000) 1000 >>= fun lo ->
+          int_range 0 1000 >>= fun span ->
+          let hi = lo + span in
+          int_range lo hi >>= fun v -> return (Msg.int_in ~lo ~hi v) );
+        (2, map Msg.nat (int_range 0 1_000_000));
+        (3, gen_n >>= fun n -> vertex_in n >>= fun v -> return (Msg.vertex ~n v));
+        ( 2,
+          gen_n >>= fun n ->
+          opt (vertex_in n) >>= fun v -> return (Msg.vertex_opt ~n v) );
+        ( 3,
+          gen_n >>= fun n ->
+          pair (vertex_in n) (vertex_in n) >>= fun e -> return (Msg.edge ~n e) );
+        ( 2,
+          gen_n >>= fun n ->
+          list_size (int_range 0 40) (vertex_in n) >>= fun vs -> return (Msg.vertices ~n vs) );
+        ( 2,
+          gen_n >>= fun n ->
+          list_size (int_range 0 40) (pair (vertex_in n) (vertex_in n)) >>= fun es ->
+          return (Msg.edges ~n es) );
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (4, leaf);
+          (1, list_size (int_range 0 4) (go (depth - 1)) >>= fun parts -> return (Msg.tuple parts));
+        ]
+  in
+  go 2
+
+let arbitrary : Msg.t QCheck.arbitrary = QCheck.make ~print gen

@@ -1,0 +1,13 @@
+(** Random {!Tfree_comm.Msg.t} generation for wire-codec property tests:
+    covers every smart constructor (nested tuples included) with randomized
+    layout parameters. *)
+
+open Tfree_comm
+
+(** Readable rendering of a message's value and bit count (the QCheck
+    counterexample printer). *)
+val print : Msg.t -> string
+
+val gen : Msg.t QCheck.Gen.t
+
+val arbitrary : Msg.t QCheck.arbitrary

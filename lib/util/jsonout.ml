@@ -75,6 +75,42 @@ let to_string ?(indent = 2) v =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* One value per line: the framing of the tfree-serve socket protocol, where
+   a newline terminates a request or response. *)
+let to_line v =
+  let b = Buffer.create 256 in
+  let rec emit v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Num x -> Buffer.add_string b (num_to_string x)
+    | Str s ->
+        Buffer.add_char b '"';
+        escape b s;
+        Buffer.add_char b '"'
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            emit x)
+          xs;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            escape b k;
+            Buffer.add_string b "\":";
+            emit x)
+          kvs;
+        Buffer.add_char b '}'
+  in
+  emit v;
+  Buffer.contents b
+
 (* --------------------------------------------------------------- parse *)
 
 exception Bad of string

@@ -18,6 +18,10 @@ type t =
     point; NaN prints as [null] (JSON has no NaN). *)
 val to_string : ?indent:int -> t -> string
 
+(** Render on a single line, no trailing newline — the framing of the
+    tfree-serve socket protocol (one JSON value per line). *)
+val to_line : t -> string
+
 (** Parse a complete JSON document.  [Error msg] carries a byte offset. *)
 val parse : string -> (t, string) result
 

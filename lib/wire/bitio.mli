@@ -1,0 +1,33 @@
+(** Bit-granular I/O over byte buffers: MSB-first bit packing, so the codec
+    can emit exactly the bit counts the cost model charges.  Byte-boundary
+    padding happens once per frame at {!to_bytes} and is the caller's
+    framing overhead, never part of the payload. *)
+
+type writer
+
+val writer : unit -> writer
+
+(** Total bits written so far (excluding any final padding). *)
+val bits_written : writer -> int
+
+val put_bit : writer -> bool -> unit
+
+(** Write [v] in exactly [width] bits, most significant first.
+    @raise Invalid_argument if [v] does not fit. *)
+val put_bits : writer -> width:int -> int -> unit
+
+(** Elias-gamma code: exactly {!Tfree_util.Bits.elias_gamma}[ v] bits. *)
+val put_gamma : writer -> int -> unit
+
+(** Flush, zero-padding the final partial byte on the right. *)
+val to_bytes : writer -> Bytes.t
+
+type reader
+
+(** Read bits from [len] bytes of [data] starting at byte [off]. *)
+val reader : ?off:int -> ?len:int -> Bytes.t -> reader
+
+val bits_read : reader -> int
+val get_bit : reader -> bool
+val get_bits : reader -> width:int -> int
+val get_gamma : reader -> int

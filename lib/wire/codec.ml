@@ -1,0 +1,186 @@
+(** Self-delimiting binary codec for {!Tfree_comm.Msg} values.
+
+    The payload encoding is driven by the message's {!Msg.layout} — the same
+    schema {!Tfree_util.Bits} charges — so an encoded payload occupies
+    {e exactly} [Msg.bits] bits; {!encode_payload} asserts this on every
+    message, making "wire bytes reconcile with the cost model" a checked
+    invariant rather than a hope.
+
+    The layout descriptor itself is serialized separately ({!layout_to_bytes},
+    byte-aligned tag + varint form).  On the wire it travels in the frame
+    header and is accounted as framing overhead: the model charges for the
+    payload because both parties know the protocol structure; the descriptor
+    is what a byte transport needs to be self-delimiting without that shared
+    knowledge. *)
+
+open Tfree_comm
+
+(* ------------------------------------------------------------- payload *)
+
+let rec encode_value w layout (value : Msg.value) =
+  match (layout, value) with
+  | Msg.L_unit, Msg.Unit -> ()
+  | Msg.L_bool, Msg.Bool b -> Bitio.put_bit w b
+  | Msg.L_int_in { lo; hi }, Msg.Int v ->
+      Bitio.put_bits w ~width:(Tfree_util.Bits.int_in_range ~lo ~hi) (v - lo)
+  | Msg.L_nat, Msg.Int v -> Bitio.put_gamma w v
+  | Msg.L_vertex { n }, Msg.Vertex v -> Bitio.put_bits w ~width:(Tfree_util.Bits.vertex ~n) v
+  | Msg.L_vertex_opt _, Msg.No_vertex -> Bitio.put_bit w false
+  | Msg.L_vertex_opt { n }, Msg.Vertex v ->
+      Bitio.put_bit w true;
+      Bitio.put_bits w ~width:(Tfree_util.Bits.vertex ~n) v
+  | Msg.L_edge { n }, Msg.Edge (u, v) ->
+      let width = Tfree_util.Bits.vertex ~n in
+      Bitio.put_bits w ~width u;
+      Bitio.put_bits w ~width v
+  | Msg.L_vertices { n }, Msg.Vertices vs ->
+      let width = Tfree_util.Bits.vertex ~n in
+      Bitio.put_gamma w (List.length vs);
+      List.iter (fun v -> Bitio.put_bits w ~width v) vs
+  | Msg.L_edges { n }, Msg.Edges es ->
+      let width = Tfree_util.Bits.vertex ~n in
+      Bitio.put_gamma w (List.length es);
+      List.iter
+        (fun (u, v) ->
+          Bitio.put_bits w ~width u;
+          Bitio.put_bits w ~width v)
+        es
+  | Msg.L_tuple ls, Msg.Tuple vs ->
+      if List.length ls <> List.length vs then invalid_arg "Codec.encode_value: tuple arity";
+      List.iter2 (encode_value w) ls vs
+  | _ -> invalid_arg "Codec.encode_value: value does not fit layout"
+
+let rec decode_value r layout : Msg.value =
+  match layout with
+  | Msg.L_unit -> Msg.Unit
+  | Msg.L_bool -> Msg.Bool (Bitio.get_bit r)
+  | Msg.L_int_in { lo; hi } ->
+      Msg.Int (lo + Bitio.get_bits r ~width:(Tfree_util.Bits.int_in_range ~lo ~hi))
+  | Msg.L_nat -> Msg.Int (Bitio.get_gamma r)
+  | Msg.L_vertex { n } -> Msg.Vertex (Bitio.get_bits r ~width:(Tfree_util.Bits.vertex ~n))
+  | Msg.L_vertex_opt { n } ->
+      if Bitio.get_bit r then Msg.Vertex (Bitio.get_bits r ~width:(Tfree_util.Bits.vertex ~n))
+      else Msg.No_vertex
+  | Msg.L_edge { n } ->
+      let width = Tfree_util.Bits.vertex ~n in
+      let u = Bitio.get_bits r ~width in
+      Msg.Edge (u, Bitio.get_bits r ~width)
+  | Msg.L_vertices { n } ->
+      let width = Tfree_util.Bits.vertex ~n in
+      let len = Bitio.get_gamma r in
+      Msg.Vertices (List.init len (fun _ -> Bitio.get_bits r ~width))
+  | Msg.L_edges { n } ->
+      let width = Tfree_util.Bits.vertex ~n in
+      let len = Bitio.get_gamma r in
+      Msg.Edges
+        (List.init len (fun _ ->
+             let u = Bitio.get_bits r ~width in
+             (u, Bitio.get_bits r ~width)))
+  | Msg.L_tuple ls -> Msg.Tuple (List.map (decode_value r) ls)
+
+(** Encode a message's payload: returns the (right-padded) payload bytes and
+    the exact bit count, which is asserted equal to [Msg.bits] — the codec's
+    central contract. *)
+let encode_payload msg =
+  let w = Bitio.writer () in
+  encode_value w (Msg.layout msg) (Msg.value msg);
+  let emitted = Bitio.bits_written w in
+  if emitted <> Msg.bits msg then
+    invalid_arg
+      (Printf.sprintf "Codec.encode_payload: emitted %d bits but the cost model charges %d" emitted
+         (Msg.bits msg));
+  (Bitio.to_bytes w, emitted)
+
+(** Decode a payload of [bits] bits under [layout]; asserts the decoder
+    consumed exactly [bits]. *)
+let decode_payload layout ?(off = 0) ~bits data =
+  let r = Bitio.reader ~off data in
+  let value = decode_value r layout in
+  if Bitio.bits_read r <> bits then
+    invalid_arg
+      (Printf.sprintf "Codec.decode_payload: consumed %d bits of a %d-bit payload" (Bitio.bits_read r)
+         bits);
+  Msg.of_layout layout value
+
+(* ---------------------------------------------------- layout descriptor *)
+
+(* Unsigned LEB128. *)
+let put_varint b v =
+  if v < 0 then invalid_arg "Codec.put_varint: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char b (Char.chr v)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (v land 0x7f)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+let get_varint data pos =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !pos >= Bytes.length data then invalid_arg "Codec.get_varint: truncated";
+    let byte = Char.code (Bytes.get data !pos) in
+    incr pos;
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := byte land 0x80 <> 0
+  done;
+  !v
+
+(* Zigzag for possibly-negative range bounds. *)
+let zigzag v = if v >= 0 then 2 * v else (-2 * v) - 1
+let unzigzag z = if z land 1 = 0 then z / 2 else -((z + 1) / 2)
+
+let rec put_layout b (l : Msg.layout) =
+  match l with
+  | Msg.L_unit -> put_varint b 0
+  | Msg.L_bool -> put_varint b 1
+  | Msg.L_int_in { lo; hi } ->
+      put_varint b 2;
+      put_varint b (zigzag lo);
+      put_varint b (zigzag hi)
+  | Msg.L_nat -> put_varint b 3
+  | Msg.L_vertex { n } ->
+      put_varint b 4;
+      put_varint b n
+  | Msg.L_vertex_opt { n } ->
+      put_varint b 5;
+      put_varint b n
+  | Msg.L_edge { n } ->
+      put_varint b 6;
+      put_varint b n
+  | Msg.L_vertices { n } ->
+      put_varint b 7;
+      put_varint b n
+  | Msg.L_edges { n } ->
+      put_varint b 8;
+      put_varint b n
+  | Msg.L_tuple ls ->
+      put_varint b 9;
+      put_varint b (List.length ls);
+      List.iter (put_layout b) ls
+
+let rec get_layout data pos : Msg.layout =
+  match get_varint data pos with
+  | 0 -> Msg.L_unit
+  | 1 -> Msg.L_bool
+  | 2 ->
+      let lo = unzigzag (get_varint data pos) in
+      let hi = unzigzag (get_varint data pos) in
+      Msg.L_int_in { lo; hi }
+  | 3 -> Msg.L_nat
+  | 4 -> Msg.L_vertex { n = get_varint data pos }
+  | 5 -> Msg.L_vertex_opt { n = get_varint data pos }
+  | 6 -> Msg.L_edge { n = get_varint data pos }
+  | 7 -> Msg.L_vertices { n = get_varint data pos }
+  | 8 -> Msg.L_edges { n = get_varint data pos }
+  | 9 ->
+      let len = get_varint data pos in
+      Msg.L_tuple (List.init len (fun _ -> get_layout data pos))
+  | tag -> invalid_arg (Printf.sprintf "Codec.get_layout: unknown tag %d" tag)
+
+let layout_to_bytes l =
+  let b = Buffer.create 8 in
+  put_layout b l;
+  Buffer.to_bytes b

@@ -1,0 +1,30 @@
+(** Self-delimiting binary codec for {!Tfree_comm.Msg} values, driven by the
+    message {!Tfree_comm.Msg.layout}: the encoded payload occupies exactly
+    [Msg.bits] bits (asserted), so wire bytes reconcile with the cost model
+    by construction.  The layout descriptor serializes separately and is
+    framing overhead, never payload. *)
+
+open Tfree_comm
+
+(** Payload bytes (right-padded to a byte boundary) and the exact payload
+    bit count.  @raise Invalid_argument if the emitted bit count disagrees
+    with [Msg.bits] — a codec/cost-model divergence, the bug this subsystem
+    exists to catch. *)
+val encode_payload : Msg.t -> Bytes.t * int
+
+(** Decode a payload of [bits] bits under [layout], rebuilding the message
+    via {!Msg.of_layout}.  @raise Invalid_argument if the decoder does not
+    consume exactly [bits]. *)
+val decode_payload : Msg.layout -> ?off:int -> bits:int -> Bytes.t -> Msg.t
+
+(** Byte-aligned layout descriptor (tags + LEB128 varints, zigzag for the
+    possibly-negative range bounds). *)
+val layout_to_bytes : Msg.layout -> Bytes.t
+
+(** Parse a descriptor from [data] starting at [!pos], advancing [pos]. *)
+val get_layout : Bytes.t -> int ref -> Msg.layout
+
+(** Unsigned LEB128 varint, shared with the frame header. *)
+val put_varint : Buffer.t -> int -> unit
+
+val get_varint : Bytes.t -> int ref -> int

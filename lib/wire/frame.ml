@@ -1,0 +1,89 @@
+(** Length-prefixed message framing.
+
+    Frame format, all framing fields byte-aligned:
+
+    {v
+    varint  L              length in bytes of everything after this varint
+    varint  payload_bits   exact payload length in bits
+    layout  descriptor     self-delimiting (Codec.layout_to_bytes)
+    payload bytes          ceil(payload_bits / 8), right-padded
+    v}
+
+    The payload occupies exactly [Msg.bits] bits ({!Codec.encode_payload}
+    asserts it); everything else — length prefix, bit count, descriptor,
+    final padding — is framing overhead.  Per frame,
+    [8 * total_bytes - payload_bits] is that overhead, so over a run
+    [wire_bytes * 8 - framing_overhead_bits = accounted_bits] holds exactly
+    when the ledger and the transport agree. *)
+
+open Tfree_comm
+
+(** The whole frame for [msg]. *)
+let encode msg =
+  let payload, payload_bits = Codec.encode_payload msg in
+  let layout = Codec.layout_to_bytes (Msg.layout msg) in
+  let body = Buffer.create (Bytes.length payload + Bytes.length layout + 4) in
+  Codec.put_varint body payload_bits;
+  Buffer.add_bytes body layout;
+  Buffer.add_bytes body payload;
+  let frame = Buffer.create (Buffer.length body + 2) in
+  Codec.put_varint frame (Buffer.length body);
+  Buffer.add_buffer frame body;
+  Buffer.to_bytes frame
+
+(** Parse one frame from [data] at [!pos]; advances [pos] past it. *)
+let decode data pos =
+  let body_len = Codec.get_varint data pos in
+  let body_end = !pos + body_len in
+  if body_end > Bytes.length data then invalid_arg "Frame.decode: truncated frame";
+  let payload_bits = Codec.get_varint data pos in
+  let layout = Codec.get_layout data pos in
+  let payload_bytes = (payload_bits + 7) / 8 in
+  if !pos + payload_bytes <> body_end then invalid_arg "Frame.decode: inconsistent frame lengths";
+  let msg = Codec.decode_payload layout ~off:!pos ~bits:payload_bits data in
+  pos := body_end;
+  msg
+
+(** Overhead of the frame [bytes] carrying a [payload_bits]-bit payload. *)
+let overhead_bits ~frame_bytes ~payload_bits = (8 * frame_bytes) - payload_bits
+
+(** Send one frame; returns the frame size in bytes. *)
+let write tr msg =
+  let frame = encode msg in
+  Transport.send tr frame;
+  Bytes.length frame
+
+(* Read the length varint one byte at a time (a stream has no lookahead),
+   then the body in one recv. *)
+let read_varint tr =
+  let v = ref 0 and shift = ref 0 and continue = ref true and consumed = ref 0 in
+  while !continue do
+    let byte = Char.code (Bytes.get (Transport.recv tr 1) 0) in
+    incr consumed;
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := byte land 0x80 <> 0
+  done;
+  (!v, !consumed)
+
+(** Receive one frame; returns the message and the frame size in bytes. *)
+let read tr =
+  let body_len, prefix_len = read_varint tr in
+  let body = Transport.recv tr body_len in
+  let pos = ref 0 in
+  let payload_bits = Codec.get_varint body pos in
+  let layout = Codec.get_layout body pos in
+  let payload_bytes = (payload_bits + 7) / 8 in
+  if !pos + payload_bytes <> body_len then invalid_arg "Frame.read: inconsistent frame lengths";
+  let msg = Codec.decode_payload layout ~off:!pos ~bits:payload_bits body in
+  (msg, prefix_len + body_len)
+
+(** Loopback round trip: the frame crosses the transport and comes back
+    decoded.  Returns the delivered message and the frame size. *)
+let exchange tr msg =
+  let frame = encode msg in
+  let back = Transport.exchange tr frame in
+  let pos = ref 0 in
+  let msg' = decode back pos in
+  if !pos <> Bytes.length back then invalid_arg "Frame.exchange: trailing bytes";
+  (msg', Bytes.length frame)

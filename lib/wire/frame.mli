@@ -1,0 +1,25 @@
+(** Length-prefixed framing over a {!Transport}: varint length, varint
+    payload bit count, layout descriptor, then a payload of exactly
+    [Msg.bits] bits.  Everything except the payload bits is framing
+    overhead, so [8 * frame_bytes - payload_bits] per frame reconciles wire
+    bytes against the cost ledger. *)
+
+open Tfree_comm
+
+(** The whole frame for a message. *)
+val encode : Msg.t -> Bytes.t
+
+(** Parse one frame from a buffer at [!pos]; advances [pos] past it. *)
+val decode : Bytes.t -> int ref -> Msg.t
+
+val overhead_bits : frame_bytes:int -> payload_bits:int -> int
+
+(** Send one frame; returns its size in bytes. *)
+val write : Transport.t -> Msg.t -> int
+
+(** Receive one frame; returns the message and its size in bytes. *)
+val read : Transport.t -> Msg.t * int
+
+(** Loopback round trip: write the frame, read it back from the same
+    stream, decode.  Returns the delivered message and the frame size. *)
+val exchange : Transport.t -> Msg.t -> Msg.t * int

@@ -1,0 +1,398 @@
+(* tfree-serve — a query service over Unix-domain sockets.
+
+   Protocol: one JSON value per line, both directions.  A request names an
+   instance family, an edge partition and a protocol (the same enums the
+   tfree CLI exposes) plus size parameters; the server builds the instance,
+   runs the protocol through a {!Wire_runtime} network — so every charged
+   message crosses a real transport — and replies with the verdict, the
+   accounted bits and the measured wire traffic, reconciled.
+
+   A request of the form [{"cmd": "shutdown"}] stops the server after the
+   acknowledgement is written. *)
+
+open Tfree_util
+open Tfree_graph
+
+(* ------------------------------------------------------ the CLI's enums *)
+
+type family = Far | Free | Hub | Mu | Gnp | Behrend | Diluted
+type partition_kind = Disjoint | Dup | Replicate | Skewed | Hash
+type protocol = Unrestricted | Sim | Oblivious | Exact
+
+let family_to_string = function
+  | Far -> "far"
+  | Free -> "free"
+  | Hub -> "hub"
+  | Mu -> "mu"
+  | Gnp -> "gnp"
+  | Behrend -> "behrend"
+  | Diluted -> "diluted"
+
+let family_of_string = function
+  | "far" -> Some Far
+  | "free" -> Some Free
+  | "hub" -> Some Hub
+  | "mu" -> Some Mu
+  | "gnp" -> Some Gnp
+  | "behrend" -> Some Behrend
+  | "diluted" -> Some Diluted
+  | _ -> None
+
+let partition_to_string = function
+  | Disjoint -> "disjoint"
+  | Dup -> "dup"
+  | Replicate -> "replicate"
+  | Skewed -> "skewed"
+  | Hash -> "hash"
+
+let partition_of_string = function
+  | "disjoint" -> Some Disjoint
+  | "dup" -> Some Dup
+  | "replicate" -> Some Replicate
+  | "skewed" -> Some Skewed
+  | "hash" -> Some Hash
+  | _ -> None
+
+let protocol_to_string = function
+  | Unrestricted -> "unrestricted"
+  | Sim -> "sim"
+  | Oblivious -> "oblivious"
+  | Exact -> "exact"
+
+let protocol_of_string = function
+  | "unrestricted" -> Some Unrestricted
+  | "sim" -> Some Sim
+  | "oblivious" -> Some Oblivious
+  | "exact" -> Some Exact
+  | _ -> None
+
+(* ------------------------------------------------------------- builders *)
+
+let build_instance family rng ~n ~d ~eps =
+  match family with
+  | Far -> Gen.far_with_degree rng ~n ~d ~eps
+  | Free -> Gen.free_with_degree rng ~n ~d
+  | Hub ->
+      Gen.hub_far rng ~n ~hubs:(max 1 (n / 400))
+        ~pairs:(max 1 (int_of_float (eps *. float_of_int n *. d /. 2.0)))
+  | Mu -> Tfree_lowerbound.Mu_dist.sample rng ~part:(n / 3) ~gamma:2.0
+  | Gnp -> Gen.gnp rng ~n ~p:(Float.min 1.0 (d /. float_of_int n))
+  | Behrend ->
+      (* pick digits/base so 6·(2·base)^digits is near n *)
+      let base = max 2 (int_of_float (sqrt (float_of_int n /. 24.0))) in
+      (Behrend.instance ~rng ~base ~digits:2 ()).Behrend.graph
+  | Diluted ->
+      let extra = max 1 (int_of_float (1.0 /. (3.0 *. eps)) - 1) in
+      let triangles = max 1 (n / (3 * (1 + extra))) in
+      Gen.diluted_far rng ~triangles ~extra_degree:extra
+
+let build_partition kind rng ~k g =
+  match kind with
+  | Disjoint -> Partition.disjoint_random rng ~k g
+  | Dup -> Partition.with_duplication rng ~k ~dup_p:0.3 g
+  | Replicate -> Partition.replicate ~k g
+  | Skewed -> Partition.skewed rng ~k ~bias:0.8 g
+  | Hash -> Partition.by_endpoint_hash rng ~k g
+
+(* ------------------------------------------------------------- requests *)
+
+type request = {
+  family : family;
+  partition : partition_kind;
+  protocol : protocol;
+  n : int;
+  d : float;
+  k : int;
+  eps : float;
+  seed : int;
+  transport : Wire_runtime.kind;
+}
+
+let default_request =
+  {
+    family = Far;
+    partition = Dup;
+    protocol = Oblivious;
+    n = 300;
+    d = 6.0;
+    k = 4;
+    eps = 0.1;
+    seed = 1;
+    transport = Wire_runtime.Pipe;
+  }
+
+type response = {
+  verdict : Tfree.Tester.verdict;
+  bits : int;
+  rounds : int;
+  max_message : int;
+  wire : Wire_runtime.report;
+}
+
+(* ----------------------------------------------------------------- JSON *)
+
+let request_to_json r =
+  Jsonout.Obj
+    [
+      ("family", Jsonout.Str (family_to_string r.family));
+      ("partition", Jsonout.Str (partition_to_string r.partition));
+      ("protocol", Jsonout.Str (protocol_to_string r.protocol));
+      ("n", Jsonout.Num (float_of_int r.n));
+      ("d", Jsonout.Num r.d);
+      ("k", Jsonout.Num (float_of_int r.k));
+      ("eps", Jsonout.Num r.eps);
+      ("seed", Jsonout.Num (float_of_int r.seed));
+      ("transport", Jsonout.Str (Wire_runtime.kind_to_string r.transport));
+    ]
+
+exception Bad of string
+
+let num_field j k default =
+  match Jsonout.member k j with
+  | None -> default
+  | Some v -> (
+      match Jsonout.to_float v with
+      | Some f -> f
+      | None -> raise (Bad (Printf.sprintf "field %S must be a number" k)))
+
+let int_field j k default = int_of_float (num_field j k (float_of_int default))
+
+let enum_field j k of_string default =
+  match Jsonout.member k j with
+  | None -> default
+  | Some (Jsonout.Str s) -> (
+      match of_string s with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "unknown %s %S" k s)))
+  | Some _ -> raise (Bad (Printf.sprintf "field %S must be a string" k))
+
+let request_of_json j =
+  try
+    let r = default_request in
+    Ok
+      {
+        family = enum_field j "family" family_of_string r.family;
+        partition = enum_field j "partition" partition_of_string r.partition;
+        protocol = enum_field j "protocol" protocol_of_string r.protocol;
+        n = int_field j "n" r.n;
+        d = num_field j "d" r.d;
+        k = int_field j "k" r.k;
+        eps = num_field j "eps" r.eps;
+        seed = int_field j "seed" r.seed;
+        transport = enum_field j "transport" Wire_runtime.kind_of_string r.transport;
+      }
+  with Bad msg -> Error msg
+
+let response_to_json r =
+  let verdict_fields =
+    match r.verdict with
+    | Tfree.Tester.Triangle (a, b, c) ->
+        [
+          ("verdict", Jsonout.Str "triangle");
+          ( "witness",
+            Jsonout.List
+              [
+                Jsonout.Num (float_of_int a); Jsonout.Num (float_of_int b);
+                Jsonout.Num (float_of_int c);
+              ] );
+        ]
+    | Tfree.Tester.Triangle_free -> [ ("verdict", Jsonout.Str "triangle-free") ]
+  in
+  let w = r.wire in
+  Jsonout.Obj
+    (("ok", Jsonout.Bool true)
+     :: verdict_fields
+    @ [
+        ("bits", Jsonout.Num (float_of_int r.bits));
+        ("rounds", Jsonout.Num (float_of_int r.rounds));
+        ("max_message", Jsonout.Num (float_of_int r.max_message));
+        ("wire_bytes", Jsonout.Num (float_of_int w.Wire_runtime.wire_bytes));
+        ("frames", Jsonout.Num (float_of_int w.Wire_runtime.frames));
+        ("payload_bits", Jsonout.Num (float_of_int w.Wire_runtime.payload_bits));
+        ("framing_overhead_bits", Jsonout.Num (float_of_int w.Wire_runtime.framing_overhead_bits));
+        ("accounted_bits", Jsonout.Num (float_of_int w.Wire_runtime.accounted_bits));
+        ("ratio", Jsonout.Num w.Wire_runtime.ratio);
+        ("reconciled", Jsonout.Bool (Wire_runtime.reconciles w));
+      ])
+
+let response_of_json j =
+  try
+    (match Jsonout.member "ok" j with
+    | Some (Jsonout.Bool true) -> ()
+    | _ ->
+        let msg =
+          match Jsonout.member "error" j with Some (Jsonout.Str s) -> s | _ -> "server error"
+        in
+        raise (Bad msg));
+    let verdict =
+      match Jsonout.member "verdict" j with
+      | Some (Jsonout.Str "triangle-free") -> Tfree.Tester.Triangle_free
+      | Some (Jsonout.Str "triangle") -> (
+          match Jsonout.member "witness" j with
+          | Some (Jsonout.List [ a; b; c ]) ->
+              let v x =
+                match Jsonout.to_float x with
+                | Some f -> int_of_float f
+                | None -> raise (Bad "witness must be three vertices")
+              in
+              Tfree.Tester.Triangle (v a, v b, v c)
+          | _ -> raise (Bad "triangle verdict without witness"))
+      | _ -> raise (Bad "missing verdict")
+    in
+    let i k = int_field j k 0 in
+    Ok
+      {
+        verdict;
+        bits = i "bits";
+        rounds = i "rounds";
+        max_message = i "max_message";
+        wire =
+          {
+            Wire_runtime.wire_bytes = i "wire_bytes";
+            frames = i "frames";
+            payload_bits = i "payload_bits";
+            framing_overhead_bits = i "framing_overhead_bits";
+            accounted_bits = i "accounted_bits";
+            ratio = num_field j "ratio" 0.0;
+          };
+      }
+  with Bad msg -> Error msg
+
+(* ---------------------------------------------------------- run a query *)
+
+(** Build the requested instance, run the requested protocol over a wire
+    network, reconcile.  The whole execution is deterministic in the
+    request's seed. *)
+let run_request req =
+  let rng = Rng.create req.seed in
+  let g = build_instance req.family rng ~n:req.n ~d:req.d ~eps:req.eps in
+  let inputs = build_partition req.partition rng ~k:req.k g in
+  let net = Wire_runtime.create ~transport:req.transport ~k:req.k () in
+  let tap = Wire_runtime.tap net in
+  let params = Tfree.Params.(with_eps practical req.eps) in
+  let report =
+    match req.protocol with
+    | Unrestricted -> Tfree.Tester.unrestricted ~tap ~seed:req.seed params inputs
+    | Sim -> Tfree.Tester.simultaneous ~tap ~seed:req.seed params ~d:(Graph.avg_degree g) inputs
+    | Oblivious -> Tfree.Tester.simultaneous_oblivious ~tap ~seed:req.seed params inputs
+    | Exact -> Tfree.Tester.exact ~tap ~seed:req.seed inputs
+  in
+  let wire = Wire_runtime.report net ~accounted_bits:report.Tfree.Tester.bits in
+  Wire_runtime.close net;
+  {
+    verdict = report.Tfree.Tester.verdict;
+    bits = report.Tfree.Tester.bits;
+    rounds = report.Tfree.Tester.rounds;
+    max_message = report.Tfree.Tester.max_message;
+    wire;
+  }
+
+(* ------------------------------------------------------- line transport *)
+
+let write_line fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let read_line_fd fd =
+  let buf = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec loop () =
+    match Unix.read fd one 0 1 with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | _ ->
+        let c = Bytes.get one 0 in
+        if c = '\n' then Some (Buffer.contents buf)
+        else (
+          Buffer.add_char buf c;
+          loop ())
+  in
+  loop ()
+
+let error_line msg = Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool false); ("error", Jsonout.Str msg) ])
+
+(* One request line -> one reply line.  Sets [stop] on a shutdown command. *)
+let handle_line ~stop line =
+  match Jsonout.parse line with
+  | Error msg -> error_line ("bad JSON: " ^ msg)
+  | Ok j -> (
+      match Jsonout.member "cmd" j with
+      | Some (Jsonout.Str "shutdown") ->
+          stop := true;
+          Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("bye", Jsonout.Bool true) ])
+      | Some (Jsonout.Str c) -> error_line (Printf.sprintf "unknown command %S" c)
+      | Some _ -> error_line "cmd must be a string"
+      | None -> (
+          match request_of_json j with
+          | Error msg -> error_line msg
+          | Ok req -> (
+              match run_request req with
+              | resp -> Jsonout.to_line (response_to_json resp)
+              | exception e -> error_line (Printexc.to_string e))))
+
+(** Serve requests on a Unix-domain socket at [path] until a shutdown
+    command (or [max_requests] queries) arrives.  Returns the number of
+    queries served. *)
+let serve ?max_requests ~path () =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  in
+  (try
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     Unix.listen sock 8
+   with e ->
+     cleanup ();
+     raise e);
+  let served = ref 0 and stop = ref false in
+  let budget_left () = match max_requests with None -> true | Some m -> !served < m in
+  while (not !stop) && budget_left () do
+    match Unix.accept sock with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | conn, _ ->
+        let rec conn_loop () =
+          if (not !stop) && budget_left () then
+            match read_line_fd conn with
+            | None -> ()
+            | Some line ->
+                let is_query = Jsonout.parse line |> Result.is_ok in
+                let reply = handle_line ~stop line in
+                write_line conn reply;
+                if is_query && not !stop then incr served;
+                conn_loop ()
+        in
+        (try conn_loop () with _ -> ());
+        (try Unix.close conn with Unix.Unix_error _ -> ())
+  done;
+  cleanup ();
+  !served
+
+let with_connection ~path f =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      f sock)
+
+(** Send one request to a server at [path]; wait for the reply. *)
+let client_query ~path req =
+  with_connection ~path (fun sock ->
+      write_line sock (Jsonout.to_line (request_to_json req));
+      match read_line_fd sock with
+      | None -> Error "server closed the connection"
+      | Some line -> (
+          match Jsonout.parse line with
+          | Error msg -> Error ("bad reply JSON: " ^ msg)
+          | Ok j -> response_of_json j))
+
+(** Ask a server at [path] to shut down. *)
+let client_shutdown ~path =
+  with_connection ~path (fun sock ->
+      write_line sock (Jsonout.to_line (Jsonout.Obj [ ("cmd", Jsonout.Str "shutdown") ]));
+      ignore (read_line_fd sock))

@@ -1,0 +1,75 @@
+(** tfree-serve: a triangle-freeness query service over Unix-domain
+    sockets.  One JSON value per line in both directions; a request names
+    an instance family, an edge partition and a protocol (the same enums
+    the tfree CLI exposes), the reply carries the verdict, the accounted
+    bits and the measured wire traffic, reconciled. *)
+
+open Tfree_util
+open Tfree_graph
+
+(** {2 The CLI's enums, shared with [bin/main.ml]} *)
+
+type family = Far | Free | Hub | Mu | Gnp | Behrend | Diluted
+type partition_kind = Disjoint | Dup | Replicate | Skewed | Hash
+type protocol = Unrestricted | Sim | Oblivious | Exact
+
+val family_to_string : family -> string
+val family_of_string : string -> family option
+val partition_to_string : partition_kind -> string
+val partition_of_string : string -> partition_kind option
+val protocol_to_string : protocol -> string
+val protocol_of_string : string -> protocol option
+
+(** The instance generators behind the [--instance] flag. *)
+val build_instance : family -> Rng.t -> n:int -> d:float -> eps:float -> Graph.t
+
+(** The edge partitions behind the [--partition] flag. *)
+val build_partition : partition_kind -> Rng.t -> k:int -> Graph.t -> Partition.t
+
+(** {2 Requests and responses} *)
+
+type request = {
+  family : family;
+  partition : partition_kind;
+  protocol : protocol;
+  n : int;
+  d : float;
+  k : int;
+  eps : float;
+  seed : int;
+  transport : Wire_runtime.kind;  (** transport behind the server's tap *)
+}
+
+(** far/dup/oblivious, n=300 d=6 k=4 eps=0.1 seed=1, pipe transport; a
+    request JSON object may omit any field to take its default. *)
+val default_request : request
+
+type response = {
+  verdict : Tfree.Tester.verdict;
+  bits : int;  (** accounted communication (the cost model) *)
+  rounds : int;
+  max_message : int;
+  wire : Wire_runtime.report;  (** measured wire traffic, reconciled *)
+}
+
+val request_to_json : request -> Jsonout.t
+val request_of_json : Jsonout.t -> (request, string) result
+val response_to_json : response -> Jsonout.t
+val response_of_json : Jsonout.t -> (response, string) result
+
+(** Build the requested instance, run the requested protocol over a wire
+    network, reconcile.  Deterministic in the request's seed. *)
+val run_request : request -> response
+
+(** {2 Server and client} *)
+
+(** Serve requests on a Unix-domain socket at [path] until a
+    [{"cmd": "shutdown"}] line (or [max_requests] queries) arrives.
+    Returns the number of queries served. *)
+val serve : ?max_requests:int -> path:string -> unit -> int
+
+(** Send one request to a server at [path]; wait for the reply. *)
+val client_query : path:string -> request -> (response, string) result
+
+(** Ask a server at [path] to shut down. *)
+val client_shutdown : path:string -> unit

@@ -1,0 +1,135 @@
+(** Byte transports.
+
+    A transport is a reliable duplex byte stream.  Two in-process loopback
+    implementations back the wire runtime — an in-memory {!pipe} for
+    deterministic tests and a real Unix-domain {!socketpair} — plus
+    {!of_fd} wrapping one end of an established connection for the
+    [tfree-serve] daemon and its client.
+
+    Loopback transports support {!exchange}: write a buffer and read the
+    same number of bytes back from the stream.  On the socketpair this is a
+    [select]-interleaved loop, so a frame larger than the kernel socket
+    buffer cannot deadlock the single-process sender/receiver pair. *)
+
+type t = {
+  kind : string;
+  send : Bytes.t -> unit;  (** write the whole buffer *)
+  recv : int -> Bytes.t;  (** read exactly this many bytes *)
+  exchange : Bytes.t -> Bytes.t;  (** loopback: write all, read back the same length *)
+  close : unit -> unit;
+}
+
+let kind t = t.kind
+let send t b = t.send b
+let recv t n = t.recv n
+let exchange t b = t.exchange b
+let close t = t.close ()
+
+(* ----------------------------------------------------------------- pipe *)
+
+(** In-memory FIFO of bytes: writes append, reads consume in order.
+    Deterministic, allocation-only — the default for tests and experiments. *)
+let pipe () =
+  let buf = Buffer.create 256 in
+  let pos = ref 0 in
+  let send b = Buffer.add_bytes buf b in
+  let recv n =
+    if Buffer.length buf - !pos < n then
+      invalid_arg
+        (Printf.sprintf "Transport.pipe: read of %d bytes but only %d buffered" n
+           (Buffer.length buf - !pos));
+    let out = Bytes.create n in
+    Buffer.blit buf !pos out 0 n;
+    pos := !pos + n;
+    (* Reclaim consumed space once everything in flight has been read. *)
+    if !pos = Buffer.length buf then begin
+      Buffer.clear buf;
+      pos := 0
+    end;
+    out
+  in
+  {
+    kind = "pipe";
+    send;
+    recv;
+    exchange = (fun b -> send b; recv (Bytes.length b));
+    close = (fun () -> ());
+  }
+
+(* ------------------------------------------------------------- unix fds *)
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let read_exact fd n =
+  let out = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let r = Unix.read fd out !off (n - !off) in
+    if r = 0 then failwith "Transport: peer closed the connection";
+    off := !off + r
+  done;
+  out
+
+(* Write [b] while draining the read side, so a buffer larger than the
+   kernel's socket buffer cannot wedge a single-process loopback. *)
+let exchange_fds ~wr ~rd b =
+  let len = Bytes.length b in
+  let out = Bytes.create len in
+  let w = ref 0 and r = ref 0 in
+  while !w < len || !r < len do
+    let ws = if !w < len then [ wr ] else [] in
+    let rs = if !r < len then [ rd ] else [] in
+    let readable, writable, _ = Unix.select rs ws [] (-1.0) in
+    if writable <> [] then w := !w + Unix.write wr b !w (min 65536 (len - !w));
+    if readable <> [] then begin
+      let got = Unix.read rd out !r (len - !r) in
+      if got = 0 then failwith "Transport: peer closed the connection";
+      r := !r + got
+    end
+  done;
+  out
+
+(** A connected [AF_UNIX]/[SOCK_STREAM] pair in one process: writes enter
+    one end, reads drain the other — real kernel-crossing bytes. *)
+let socketpair () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let closed = ref false in
+  {
+    kind = "socketpair";
+    send = (fun buf -> write_all a buf);
+    recv = (fun n -> read_exact b n);
+    exchange = (fun buf -> exchange_fds ~wr:a ~rd:b buf);
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          (try Unix.close a with Unix.Unix_error _ -> ());
+          try Unix.close b with Unix.Unix_error _ -> ()
+        end);
+  }
+
+(** Wrap one end of an established duplex connection (the serve/client
+    side).  [exchange] here is a plain request/response round trip — the
+    peer is another process, so no loopback interleaving is needed. *)
+let of_fd ?(kind = "fd") fd =
+  let closed = ref false in
+  {
+    kind;
+    send = (fun b -> write_all fd b);
+    recv = (fun n -> read_exact fd n);
+    exchange =
+      (fun b ->
+        write_all fd b;
+        read_exact fd (Bytes.length b));
+    close =
+      (fun () ->
+        if not !closed then begin
+          closed := true;
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end);
+  }

@@ -1,0 +1,27 @@
+(** Byte transports: reliable duplex byte streams.  {!pipe} is an in-memory
+    FIFO (deterministic tests/experiments); {!socketpair} moves real bytes
+    through a Unix-domain socket pair; {!of_fd} wraps one end of an
+    established connection for the serve daemon and client. *)
+
+type t
+
+(** "pipe", "socketpair", or "fd". *)
+val kind : t -> string
+
+(** Write the whole buffer. *)
+val send : t -> Bytes.t -> unit
+
+(** Read exactly [n] bytes.  @raise Invalid_argument (pipe underrun) or
+    [Failure] (peer closed) when the stream cannot supply them. *)
+val recv : t -> int -> Bytes.t
+
+(** Loopback round trip: write the buffer, read the same number of bytes
+    back.  Deadlock-free on the socketpair even for buffers larger than the
+    kernel socket buffer ([select]-interleaved). *)
+val exchange : t -> Bytes.t -> Bytes.t
+
+val close : t -> unit
+
+val pipe : unit -> t
+val socketpair : unit -> t
+val of_fd : ?kind:string -> Unix.file_descr -> t

@@ -1,0 +1,186 @@
+(** Coordinator-model runtime over real byte transports.
+
+    Where {!Tfree_comm.Runtime} declares costs ("the model is the
+    accounting"), this module moves the bytes: every message a protocol
+    sends is encoded ({!Codec}), framed ({!Frame}), pushed through a
+    per-channel {!Transport}, read back on the far side and decoded — and
+    the protocol consumes the decoded copy.  Per-channel byte and frame
+    counters then {e reconcile} the measured traffic against the declared
+    {!Tfree_comm.Cost} ledger:
+
+    {v wire_bytes * 8 - framing_overhead_bits = accounted_bits v}
+
+    holds exactly, because the codec emits exactly [Msg.bits] payload bits
+    per message and the tap fires at exactly the ledger's charging points
+    (k frames for a k-fold private-channel broadcast, one for a blackboard
+    posting).
+
+    Two usage modes:
+    + {!create}/{!tap} build a network whose tap plugs into any tester
+      entry point ([Tfree.Tester.unrestricted ~tap ...]) — the whole
+      protocol then runs over the wire unchanged;
+    + {!make} plus the mirrored operations ({!query}, {!ask_all},
+      {!ask_all_visible}, {!tell_all}, {!any_player}) expose the same
+      surface as [Comm.Runtime] executing over transports, for code written
+      directly against the runtime. *)
+
+open Tfree_graph
+open Tfree_comm
+
+type kind = Pipe | Socketpair
+
+let kind_to_string = function Pipe -> "pipe" | Socketpair -> "socketpair"
+
+let kind_of_string = function
+  | "pipe" -> Some Pipe
+  | "socketpair" -> Some Socketpair
+  | _ -> None
+
+type chan_stats = {
+  mutable frames : int;
+  mutable wire_bytes : int;
+  mutable payload_bits : int;
+}
+
+let fresh_stats () = { frames = 0; wire_bytes = 0; payload_bits = 0 }
+
+type net = {
+  transport : kind;
+  k : int;
+  links : Transport.t array;  (** [0..k-1] player channels, [k] the board *)
+  down : chan_stats array;  (** coordinator -> player j *)
+  up : chan_stats array;  (** player j -> coordinator *)
+  board : chan_stats;
+}
+
+let create ?(transport = Pipe) ~k () =
+  let mk () = match transport with Pipe -> Transport.pipe () | Socketpair -> Transport.socketpair () in
+  {
+    transport;
+    k;
+    links = Array.init (k + 1) (fun _ -> mk ());
+    down = Array.init k (fun _ -> fresh_stats ());
+    up = Array.init k (fun _ -> fresh_stats ());
+    board = fresh_stats ();
+  }
+
+let close net = Array.iter Transport.close net.links
+
+let transport_kind net = net.transport
+
+(* Route a channel to its link and direction counter. *)
+let route net = function
+  | Channel.To_player j -> (net.links.(j), net.down.(j))
+  | Channel.From_player j -> (net.links.(j), net.up.(j))
+  | Channel.Board -> (net.links.(net.k), net.board)
+
+(** The byte-moving tap: encode, frame, cross the transport, decode; count;
+    hand the protocol the decoded copy.  A decode that does not reproduce
+    the sent message is a codec bug and fails loudly. *)
+let tap net =
+  let deliver ch msg =
+    let link, stats = route net ch in
+    let delivered, frame_bytes = Frame.exchange link msg in
+    stats.frames <- stats.frames + 1;
+    stats.wire_bytes <- stats.wire_bytes + frame_bytes;
+    stats.payload_bits <- stats.payload_bits + Msg.bits msg;
+    if not (Msg.value delivered = Msg.value msg && Msg.bits delivered = Msg.bits msg) then
+      failwith
+        (Printf.sprintf "Wire_runtime: decoded message differs from sent one on %s"
+           (Channel.describe ch));
+    delivered
+  in
+  { Channel.deliver }
+
+(* -------------------------------------------------------- reconciliation *)
+
+type report = {
+  wire_bytes : int;  (** every byte that crossed a transport *)
+  frames : int;
+  payload_bits : int;  (** bits of actual message payload inside the frames *)
+  framing_overhead_bits : int;  (** length prefixes, descriptors, padding *)
+  accounted_bits : int;  (** what the cost model charged *)
+  ratio : float;  (** wire bits / accounted bits; 1.0 = framing-free *)
+}
+
+let totals net =
+  let acc = fresh_stats () in
+  let add (s : chan_stats) =
+    acc.frames <- acc.frames + s.frames;
+    acc.wire_bytes <- acc.wire_bytes + s.wire_bytes;
+    acc.payload_bits <- acc.payload_bits + s.payload_bits
+  in
+  Array.iter add net.down;
+  Array.iter add net.up;
+  add net.board;
+  acc
+
+(** Reconcile the measured wire traffic against [accounted_bits] (typically
+    [Cost.total] or a simultaneous outcome's [total_bits]). *)
+let report net ~accounted_bits =
+  let t = totals net in
+  {
+    wire_bytes = t.wire_bytes;
+    frames = t.frames;
+    payload_bits = t.payload_bits;
+    framing_overhead_bits = (8 * t.wire_bytes) - t.payload_bits;
+    accounted_bits;
+    ratio =
+      (if accounted_bits = 0 then Float.infinity
+       else float_of_int (8 * t.wire_bytes) /. float_of_int accounted_bits);
+  }
+
+(** The reconciliation identity: wire bytes minus framing equals exactly
+    what the model charged. *)
+let reconciles r =
+  (8 * r.wire_bytes) - r.framing_overhead_bits = r.accounted_bits
+  && r.payload_bits = r.accounted_bits
+
+let report_summary r =
+  Printf.sprintf "wire=%dB (%d frames), payload=%d bits, framing=%d bits, accounted=%d bits, ratio=%.3f%s"
+    r.wire_bytes r.frames r.payload_bits r.framing_overhead_bits r.accounted_bits r.ratio
+    (if reconciles r then "" else " [MISMATCH]")
+
+(** Per-channel (name, stats) rows, coordinator->player and player->coordinator
+    directions separately, plus the board. *)
+let per_channel net =
+  List.concat
+    [
+      List.init net.k (fun j -> (Channel.describe (Channel.To_player j), net.down.(j)));
+      List.init net.k (fun j -> (Channel.describe (Channel.From_player j), net.up.(j)));
+      [ (Channel.describe Channel.Board, net.board) ];
+    ]
+
+(* --------------------------------------- the Runtime-shaped wire surface *)
+
+type t = { net : net; rt : Runtime.t }
+
+(** A coordinator-model runtime whose every message crosses a transport.
+    Same signature and semantics as [Runtime.make], plus the transport
+    choice. *)
+let make ?(mode = Runtime.Coordinator) ?(transport = Pipe) ~seed inputs =
+  let net = create ~transport ~k:(Partition.k inputs) () in
+  { net; rt = Runtime.make ~mode ~tap:(tap net) ~seed inputs }
+
+let runtime t = t.rt
+let net t = t.net
+let k t = Runtime.k t.rt
+let n t = Runtime.n t.rt
+let mode t = Runtime.mode t.rt
+let cost t = Runtime.cost t.rt
+let input t j = Runtime.input t.rt j
+let shared_rng t ~key = Runtime.shared_rng t.rt ~key
+let private_rng t j = Runtime.private_rng t.rt j
+
+(** The five [Comm.Runtime] operations, executing over transports. *)
+
+let query t j ~req respond = Runtime.query t.rt j ~req respond
+let ask_all t ~req respond = Runtime.ask_all t.rt ~req respond
+let ask_all_visible t ~req respond = Runtime.ask_all_visible t.rt ~req respond
+let tell_all t msg = Runtime.tell_all t.rt msg
+let any_player t predicate = Runtime.any_player t.rt predicate
+
+(** Reconcile this runtime's wire traffic against its own cost ledger. *)
+let reconcile t = report t.net ~accounted_bits:(Cost.total (Runtime.cost t.rt))
+
+let close_runtime t = close t.net

@@ -1,0 +1,87 @@
+(** Coordinator-model runtime over real byte transports, reconciling
+    measured wire traffic against the declared cost ledger:
+    [wire_bytes * 8 - framing_overhead_bits = accounted_bits], exactly.
+
+    Use {!create}/{!tap} to plug a wire network into any tester entry point
+    ([Tfree.Tester.unrestricted ~tap ...]), or {!make} with the mirrored
+    operations for code written directly against the runtime surface. *)
+
+open Tfree_graph
+open Tfree_comm
+
+type kind = Pipe | Socketpair
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type chan_stats = {
+  mutable frames : int;
+  mutable wire_bytes : int;
+  mutable payload_bits : int;
+}
+
+(** A wire network: one duplex transport per player channel plus one for
+    the blackboard, with per-channel, per-direction counters. *)
+type net
+
+val create : ?transport:kind -> k:int -> unit -> net
+
+val close : net -> unit
+val transport_kind : net -> kind
+
+(** The byte-moving {!Channel.tap}: encode, frame, cross the transport,
+    decode, count; the protocol consumes the decoded copy.  Fails loudly if
+    a decode does not reproduce the sent message. *)
+val tap : net -> Channel.tap
+
+type report = {
+  wire_bytes : int;  (** every byte that crossed a transport *)
+  frames : int;
+  payload_bits : int;  (** message payload bits inside the frames *)
+  framing_overhead_bits : int;  (** length prefixes, descriptors, padding *)
+  accounted_bits : int;  (** what the cost model charged *)
+  ratio : float;  (** wire bits / accounted bits *)
+}
+
+(** Reconcile measured traffic against [accounted_bits] ([Cost.total] or a
+    simultaneous outcome's [total_bits]). *)
+val report : net -> accounted_bits:int -> report
+
+(** [wire_bytes*8 - framing_overhead_bits = accounted_bits], and the payload
+    bits agree with the ledger. *)
+val reconciles : report -> bool
+
+val report_summary : report -> string
+
+(** Per-channel (name, stats) rows: both directions of each player channel,
+    then the board. *)
+val per_channel : net -> (string * chan_stats) list
+
+(** {2 The Runtime-shaped surface} *)
+
+type t
+
+(** Same signature and semantics as [Runtime.make], every message crossing
+    a transport of the chosen kind. *)
+val make : ?mode:Runtime.mode -> ?transport:kind -> seed:int -> Partition.t -> t
+
+val runtime : t -> Runtime.t
+val net : t -> net
+val k : t -> int
+val n : t -> int
+val mode : t -> Runtime.mode
+val cost : t -> Cost.t
+val input : t -> int -> Graph.t
+val shared_rng : t -> key:int -> Tfree_util.Rng.t
+val private_rng : t -> int -> Tfree_util.Rng.t
+
+val query : t -> int -> req:Msg.t -> (Graph.t -> Msg.t) -> Msg.t
+val ask_all : t -> req:Msg.t -> (int -> Graph.t -> Msg.t) -> Msg.t array
+val ask_all_visible : t -> req:Msg.t -> (int -> Graph.t -> Msg.t list -> Msg.t) -> Msg.t array
+val tell_all : t -> Msg.t -> unit
+val any_player : t -> (Graph.t -> bool) -> bool
+
+(** Reconcile this runtime's wire traffic against its own cost ledger. *)
+val reconcile : t -> report
+
+val close_runtime : t -> unit

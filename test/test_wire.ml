@@ -1,0 +1,319 @@
+(* Tests for Tfree_wire: bit I/O, the self-delimiting codec, framing,
+   transports, the wire runtime's parity with the cost-model runtime, and
+   the tfree-serve request/response protocol. *)
+
+open Tfree_util
+open Tfree_graph
+open Tfree_comm
+module Bitio = Tfree_wire.Bitio
+module Codec = Tfree_wire.Codec
+module Frame = Tfree_wire.Frame
+module Transport = Tfree_wire.Transport
+module Wire = Tfree_wire.Wire_runtime
+module Service = Tfree_wire.Service
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let params = Tfree.Params.practical
+
+(* ---------------------------------------------------------------- bitio *)
+
+let test_bitio_roundtrip () =
+  let w = Bitio.writer () in
+  Bitio.put_bit w true;
+  Bitio.put_bits w ~width:7 0x5a;
+  Bitio.put_bits w ~width:0 0;
+  Bitio.put_gamma w 0;
+  Bitio.put_gamma w 41;
+  Bitio.put_bits w ~width:13 4095;
+  let total = Bitio.bits_written w in
+  checki "bits written" (1 + 7 + 0 + Bits.elias_gamma 0 + Bits.elias_gamma 41 + 13) total;
+  let r = Bitio.reader (Bitio.to_bytes w) in
+  checkb "bit" true (Bitio.get_bit r);
+  checki "bits" 0x5a (Bitio.get_bits r ~width:7);
+  checki "zero width" 0 (Bitio.get_bits r ~width:0);
+  checki "gamma 0" 0 (Bitio.get_gamma r);
+  checki "gamma 41" 41 (Bitio.get_gamma r);
+  checki "wide" 4095 (Bitio.get_bits r ~width:13);
+  checki "all consumed" total (Bitio.bits_read r)
+
+let test_bitio_range_checks () =
+  let w = Bitio.writer () in
+  Alcotest.check_raises "overflow" (Invalid_argument "Bitio.put_bits: value does not fit width")
+    (fun () -> Bitio.put_bits w ~width:3 8);
+  let r = Bitio.reader (Bytes.create 1) ~len:0 in
+  Alcotest.check_raises "past end" (Invalid_argument "Bitio.get_bit: past end of stream") (fun () ->
+      ignore (Bitio.get_bit r))
+
+(* ---------------------------------------------------------------- codec *)
+
+(* One message per Msg.value constructor (plus a nested tuple). *)
+let sample_msgs =
+  [
+    Msg.empty;
+    Msg.bool true;
+    Msg.bool false;
+    Msg.int_in ~lo:(-1) ~hi:62 (-1);
+    Msg.int_in ~lo:7 ~hi:7 7;
+    Msg.nat 0;
+    Msg.nat 1_000_000;
+    Msg.vertex ~n:2 1;
+    Msg.vertex_opt ~n:1000 None;
+    Msg.vertex_opt ~n:1000 (Some 999);
+    Msg.edge ~n:50 (3, 49);
+    Msg.vertices ~n:300 [];
+    Msg.vertices ~n:300 [ 0; 299; 150 ];
+    Msg.edges ~n:300 [];
+    Msg.edges ~n:300 [ (0, 299); (12, 13) ];
+    Msg.tuple [];
+    Msg.tuple
+      [ Msg.nat 5; Msg.edges ~n:40 [ (1, 2) ]; Msg.tuple [ Msg.bool true; Msg.vertex ~n:9 8 ] ];
+  ]
+
+let roundtrip msg =
+  let payload, bits = Codec.encode_payload msg in
+  checki "payload length = Msg.bits" (Msg.bits msg) bits;
+  checki "payload bytes = ceil(bits/8)" ((bits + 7) / 8) (Bytes.length payload);
+  let back = Codec.decode_payload (Msg.layout msg) ~bits payload in
+  checkb "value round-trips" true (Msg.value back = Msg.value msg);
+  checki "bits round-trip" (Msg.bits msg) (Msg.bits back);
+  checkb "layout round-trips" true (Msg.layout back = Msg.layout msg)
+
+let test_codec_every_constructor () = List.iter roundtrip sample_msgs
+
+let test_layout_descriptor_roundtrip () =
+  List.iter
+    (fun msg ->
+      let d = Codec.layout_to_bytes (Msg.layout msg) in
+      let pos = ref 0 in
+      let back = Codec.get_layout d pos in
+      checkb "layout descriptor round-trips" true (back = Msg.layout msg);
+      checki "descriptor fully consumed" (Bytes.length d) !pos)
+    sample_msgs
+
+(* ---------------------------------------------------------------- frame *)
+
+let test_frame_buffer_roundtrip () =
+  List.iter
+    (fun msg ->
+      let frame = Frame.encode msg in
+      let pos = ref 0 in
+      let back = Frame.decode frame pos in
+      checki "frame fully consumed" (Bytes.length frame) !pos;
+      checkb "frame round-trips" true (Msg.value back = Msg.value msg && Msg.bits back = Msg.bits msg);
+      checkb "overhead positive" true
+        (Frame.overhead_bits ~frame_bytes:(Bytes.length frame) ~payload_bits:(Msg.bits msg) > 0))
+    sample_msgs
+
+let stream_roundtrip tr =
+  let sent = List.map (fun msg -> (msg, Frame.write tr msg)) sample_msgs in
+  List.iter
+    (fun (msg, wrote) ->
+      let back, read = Frame.read tr in
+      checki "read size = written size" wrote read;
+      checkb "stream round-trips" true (Msg.value back = Msg.value msg && Msg.bits back = Msg.bits msg))
+    sent
+
+let test_frame_over_pipe () = stream_roundtrip (Transport.pipe ())
+
+let test_frame_over_socketpair () =
+  let tr = Transport.socketpair () in
+  stream_roundtrip tr;
+  Transport.close tr
+
+let test_exchange_large_frame_socketpair () =
+  (* a frame far bigger than a kernel socket buffer must not deadlock the
+     single-process loopback exchange *)
+  let tr = Transport.socketpair () in
+  let es = List.init 200_000 (fun i -> (i mod 4096, (i * 7) mod 4096)) in
+  let msg = Msg.edges ~n:4096 es in
+  let back, bytes = Frame.exchange tr msg in
+  checkb "big frame round-trips" true (Msg.value back = Msg.value msg);
+  checkb "frame really big" true (bytes > 256 * 1024);
+  Transport.close tr
+
+(* --------------------------------------------------- wire-runtime parity *)
+
+type proto_run = ?tap:Channel.tap -> seed:int -> Partition.t -> Tfree.Tester.report
+
+let protocols ~davg : (string * proto_run) list =
+  [
+    ("unrestricted", fun ?tap ~seed parts -> Tfree.Tester.unrestricted ?tap ~seed params parts);
+    ("sim", fun ?tap ~seed parts -> Tfree.Tester.simultaneous ?tap ~seed params ~d:davg parts);
+    ("oblivious", fun ?tap ~seed parts -> Tfree.Tester.simultaneous_oblivious ?tap ~seed params parts);
+    ("exact", fun ?tap ~seed parts -> Tfree.Tester.exact ?tap ~seed parts);
+  ]
+
+(* The acceptance identity, per protocol and transport: same verdict, same
+   accounted bits, and wire_bytes*8 - framing_overhead_bits = accounted_bits
+   exactly. *)
+let parity_suite transport () =
+  let k = 4 in
+  List.iter
+    (fun seed ->
+      let rng = Rng.create (7_321 * seed) in
+      let g = Gen.far_with_degree rng ~n:260 ~d:5.0 ~eps:0.1 in
+      let parts = Partition.with_duplication rng ~k ~dup_p:0.3 g in
+      let davg = Graph.avg_degree g in
+      List.iter
+        (fun (name, (run : proto_run)) ->
+          let model = run ~seed parts in
+          let net = Wire.create ~transport ~k () in
+          let wired = run ~tap:(Wire.tap net) ~seed parts in
+          let r = Wire.report net ~accounted_bits:wired.Tfree.Tester.bits in
+          Wire.close net;
+          checkb (name ^ " verdict parity") true
+            (model.Tfree.Tester.verdict = wired.Tfree.Tester.verdict);
+          checki (name ^ " accounted bits parity") model.Tfree.Tester.bits wired.Tfree.Tester.bits;
+          checki
+            (name ^ " reconciliation identity")
+            r.Wire.accounted_bits
+            ((8 * r.Wire.wire_bytes) - r.Wire.framing_overhead_bits);
+          checkb (name ^ " reconciles") true (Wire.reconciles r);
+          checkb (name ^ " frames flowed") true (r.Wire.frames > 0))
+        (protocols ~davg))
+    [ 1; 2; 3 ]
+
+let test_parity_blackboard () =
+  let k = 4 in
+  let seed = 5 in
+  let rng = Rng.create 31_337 in
+  let g = Gen.far_with_degree rng ~n:200 ~d:5.0 ~eps:0.1 in
+  let parts = Partition.with_duplication rng ~k ~dup_p:0.3 g in
+  let model = Tfree.Tester.unrestricted ~mode:Runtime.Blackboard ~seed params parts in
+  let net = Wire.create ~k () in
+  let wired =
+    Tfree.Tester.unrestricted ~mode:Runtime.Blackboard ~tap:(Wire.tap net) ~seed params parts
+  in
+  let r = Wire.report net ~accounted_bits:wired.Tfree.Tester.bits in
+  Wire.close net;
+  checkb "blackboard verdict parity" true (model.Tfree.Tester.verdict = wired.Tfree.Tester.verdict);
+  checki "blackboard bits parity" model.Tfree.Tester.bits wired.Tfree.Tester.bits;
+  checkb "blackboard reconciles" true (Wire.reconciles r)
+
+let test_wire_runtime_surface () =
+  (* drive the Runtime-shaped surface directly and reconcile its own ledger *)
+  let rng = Rng.create 99 in
+  let g = Gen.far_with_degree rng ~n:100 ~d:4.0 ~eps:0.1 in
+  let parts = Partition.disjoint_random rng ~k:3 g in
+  let wt = Wire.make ~seed:7 parts in
+  let n = Wire.n wt in
+  let replies =
+    Wire.ask_all wt ~req:(Msg.nat 3) (fun _ gj -> Msg.edges ~n (Graph.edges gj))
+  in
+  checki "one reply per player" (Wire.k wt) (Array.length replies);
+  Wire.tell_all wt (Msg.bool true);
+  let echoed = Wire.query wt 1 ~req:(Msg.vertex ~n 0) (fun _ -> Msg.nat 42) in
+  checki "query reply decoded" 42 (Msg.get_int echoed);
+  checkb "someone owns an edge" true (Wire.any_player wt (fun gj -> Graph.m gj > 0));
+  let r = Wire.reconcile wt in
+  Wire.close_runtime wt;
+  checki "surface accounted = cost ledger" (Cost.total (Wire.cost wt)) r.Wire.accounted_bits;
+  checkb "surface reconciles" true (Wire.reconciles r)
+
+(* -------------------------------------------------------------- service *)
+
+let test_service_request_json_roundtrip () =
+  let req =
+    {
+      Service.family = Service.Behrend;
+      partition = Service.Skewed;
+      protocol = Service.Unrestricted;
+      n = 123;
+      d = 3.5;
+      k = 6;
+      eps = 0.2;
+      seed = 11;
+      transport = Wire.Socketpair;
+    }
+  in
+  match Service.request_of_json (Service.request_to_json req) with
+  | Ok back -> checkb "request round-trips" true (back = req)
+  | Error msg -> Alcotest.fail msg
+
+let test_service_request_defaults () =
+  match Service.request_of_json (Jsonout.Obj [ ("protocol", Jsonout.Str "exact") ]) with
+  | Ok req ->
+      checkb "defaults filled" true
+        (req = { Service.default_request with protocol = Service.Exact })
+  | Error msg -> Alcotest.fail msg
+
+let test_service_request_rejects_unknown () =
+  match Service.request_of_json (Jsonout.Obj [ ("protocol", Jsonout.Str "quantum") ]) with
+  | Ok _ -> Alcotest.fail "accepted an unknown protocol"
+  | Error _ -> ()
+
+let test_service_run_request_reconciles () =
+  List.iter
+    (fun protocol ->
+      let resp =
+        Service.run_request { Service.default_request with protocol; n = 150; seed = 3 }
+      in
+      checkb
+        (Service.protocol_to_string protocol ^ " response reconciles")
+        true
+        (Wire.reconciles resp.Service.wire);
+      match Service.response_of_json (Service.response_to_json resp) with
+      | Ok back -> checkb "response JSON round-trips" true (back = resp)
+      | Error msg -> Alcotest.fail msg)
+    [ Service.Unrestricted; Service.Sim; Service.Oblivious; Service.Exact ]
+
+(* --------------------------------------------------------------- QCheck *)
+
+let qcheck_props =
+  let open QCheck in
+  let arb = Tfree_proptest.Msg_gen.arbitrary in
+  [
+    Test.make ~name:"codec round-trip on random messages" ~count:500 arb (fun msg ->
+        let payload, bits = Codec.encode_payload msg in
+        let back = Codec.decode_payload (Msg.layout msg) ~bits payload in
+        Msg.value back = Msg.value msg && Msg.bits back = Msg.bits msg);
+    Test.make ~name:"encoded payload length = Msg.bits" ~count:500 arb (fun msg ->
+        let payload, bits = Codec.encode_payload msg in
+        bits = Msg.bits msg && Bytes.length payload = (bits + 7) / 8);
+    Test.make ~name:"frame round-trip and overhead accounting" ~count:200 arb (fun msg ->
+        let frame = Frame.encode msg in
+        let pos = ref 0 in
+        let back = Frame.decode frame pos in
+        Msg.value back = Msg.value msg
+        && !pos = Bytes.length frame
+        && Frame.overhead_bits ~frame_bytes:(Bytes.length frame) ~payload_bits:(Msg.bits msg) > 0);
+  ]
+
+let () =
+  Alcotest.run "tfree_wire"
+    [
+      ( "bitio",
+        [
+          Alcotest.test_case "round-trip" `Quick test_bitio_roundtrip;
+          Alcotest.test_case "range checks" `Quick test_bitio_range_checks;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "every constructor" `Quick test_codec_every_constructor;
+          Alcotest.test_case "layout descriptor" `Quick test_layout_descriptor_roundtrip;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "buffer round-trip" `Quick test_frame_buffer_roundtrip;
+          Alcotest.test_case "over pipe" `Quick test_frame_over_pipe;
+          Alcotest.test_case "over socketpair" `Quick test_frame_over_socketpair;
+          Alcotest.test_case "large frame no deadlock" `Quick test_exchange_large_frame_socketpair;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "pipe transport" `Quick (parity_suite Wire.Pipe);
+          Alcotest.test_case "socketpair transport" `Quick (parity_suite Wire.Socketpair);
+          Alcotest.test_case "blackboard mode" `Quick test_parity_blackboard;
+          Alcotest.test_case "runtime surface" `Quick test_wire_runtime_surface;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "request JSON round-trip" `Quick test_service_request_json_roundtrip;
+          Alcotest.test_case "request defaults" `Quick test_service_request_defaults;
+          Alcotest.test_case "rejects unknown enum" `Quick test_service_request_rejects_unknown;
+          Alcotest.test_case "run_request reconciles" `Quick test_service_run_request_reconciles;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]
