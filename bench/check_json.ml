@@ -30,15 +30,23 @@ let () =
   | Str "tfree-bench/v1" -> ()
   | Str other -> fail "unexpected schema %S" other
   | _ -> fail "schema is not a string");
-  (* A document produced with --only ID carries that id and covers only the
-     matching experiment; micro rows are absent from filtered runs. *)
+  (* A document produced with --only flags carries the filter (one id as a
+     string, several as a list) and covers exactly the matching experiments;
+     micro rows are absent from filtered runs. *)
+  let check_known id =
+    if Tfree_experiments.Registry.find id = None then fail "only names unknown experiment %S" id;
+    id
+  in
   let only =
     match Jsonout.member "only" doc with
     | None -> None
-    | Some (Str id) ->
-        if Tfree_experiments.Registry.find id = None then fail "only names unknown experiment %S" id;
-        Some id
-    | Some _ -> fail "only is not a string"
+    | Some (Str id) -> Some [ check_known id ]
+    | Some (List ids) ->
+        Some
+          (List.map
+             (function Jsonout.Str id -> check_known id | _ -> fail "only list entry is not a string")
+             ids)
+    | Some _ -> fail "only is not a string or a list"
   in
   let harness = field doc "harness" in
   let w1 = float_field harness "wall_s_jobs1" in
@@ -55,6 +63,43 @@ let () =
     | Some [] -> fail "empty experiments list"
     | None -> fail "experiments is not a list"
   in
+  (* An experiment row may carry a per-phase trace profile; when it does,
+     the decomposition identity must hold inside the document itself: the
+     phase bits sum to accounted_bits, and the size histogram covers every
+     traced message. *)
+  let check_trace id tr =
+    (match field tr "identity" with
+    | Bool true -> ()
+    | Bool false -> fail "%s: trace identity flag is false" id
+    | _ -> fail "%s: trace identity is not a bool" id);
+    let accounted = int_of_float (float_field tr "accounted_bits") in
+    let phases =
+      match Jsonout.to_list (field tr "phases") with
+      | Some (_ :: _ as l) -> l
+      | _ -> fail "%s: trace phases missing or empty" id
+    in
+    let phase_bits, phase_msgs =
+      List.fold_left
+        (fun (bits, msgs) p ->
+          (match field p "phase" with Jsonout.Str _ -> () | _ -> fail "%s: phase name is not a string" id);
+          ( bits + int_of_float (float_field p "bits"),
+            msgs + int_of_float (float_field p "messages") ))
+        (0, 0) phases
+    in
+    if phase_bits <> accounted then
+      fail "%s: trace decomposition broken — phases sum to %d bits, accounted %d" id phase_bits
+        accounted;
+    let hist =
+      match Jsonout.to_list (field tr "size_histogram") with
+      | Some l -> l
+      | None -> fail "%s: size_histogram is not a list" id
+    in
+    let hist_msgs =
+      List.fold_left (fun acc b -> acc + int_of_float (float_field b "count")) 0 hist
+    in
+    if hist_msgs <> phase_msgs then
+      fail "%s: size histogram covers %d messages, phases carry %d" id hist_msgs phase_msgs
+  in
   let ids =
     List.map
       (fun e ->
@@ -66,11 +111,14 @@ let () =
         if Tfree_experiments.Registry.find id = None then fail "unknown experiment id %S" id;
         ignore (float_field e "wall_s_jobs1");
         ignore (float_field e "wall_s_jobsN");
+        Option.iter (check_trace id) (Jsonout.member "trace" e);
         id)
       experiments
   in
   (match only with
-  | Some id when ids <> [ id ] -> fail "document filtered to %S but covers other experiments" id
+  | Some filter when List.sort compare ids <> List.sort compare filter ->
+      fail "document filtered to [%s] but covers [%s]" (String.concat "; " filter)
+        (String.concat "; " ids)
   | _ -> ());
   let micro =
     match Jsonout.to_list (field doc "micro") with

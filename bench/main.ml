@@ -16,9 +16,11 @@
                     a ceiling, capped at the hardware core count)
      --smoke        shrink the bechamel quota so --json finishes quickly;
                     used by the @bench-smoke dune alias
-     --only ID      run a single registered experiment instead of the whole
-                    harness; bechamel micro-benchmarks are skipped and the
-                    JSON document records the filter in its "only" field *)
+     --only ID      run a subset of the registered experiments instead of the
+                    whole harness; repeat the flag for a union of ids.
+                    Bechamel micro-benchmarks are skipped and the JSON
+                    document records the filter in its "only" field (a
+                    string for one id, a list for several) *)
 
 open Tfree_util
 open Tfree_graph
@@ -27,10 +29,10 @@ open Toolkit
 
 (* ------------------------------------------------------------ argv *)
 
-type opts = { json : bool; smoke : bool; jobs : int option; only : string option }
+type opts = { json : bool; smoke : bool; jobs : int option; only : string list }
 
 let opts =
-  let o = ref { json = false; smoke = false; jobs = None; only = None } in
+  let o = ref { json = false; smoke = false; jobs = None; only = [] } in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
@@ -48,7 +50,8 @@ let opts =
             prerr_endline "bench: --jobs expects a positive integer";
             exit 2)
     | "--only" :: id :: rest ->
-        o := { !o with only = Some id };
+        (* Repeated flags union; a duplicate id is not an error, just noise. *)
+        if not (List.mem id !o.only) then o := { !o with only = !o.only @ [ id ] };
         parse rest
     | arg :: _ ->
         Printf.eprintf "bench: unknown argument %s (expected --json, --smoke, --jobs N, --only ID)\n"
@@ -58,17 +61,21 @@ let opts =
   parse (List.tl (Array.to_list Sys.argv));
   !o
 
-(* The experiments this invocation runs: the full registry, or the single
-   entry named by --only. *)
+(* The experiments this invocation runs: the full registry, or the union of
+   the ids named by --only flags, in registry order. *)
 let entries =
   match opts.only with
-  | None -> Tfree_experiments.Registry.all
-  | Some id -> (
-      match Tfree_experiments.Registry.find id with
-      | Some e -> [ e ]
-      | None ->
-          Printf.eprintf "bench: unknown experiment id %S (try `tfree list`)\n" id;
-          exit 2)
+  | [] -> Tfree_experiments.Registry.all
+  | ids ->
+      List.iter
+        (fun id ->
+          if Tfree_experiments.Registry.find id = None then (
+            Printf.eprintf "bench: unknown experiment id %S (try `tfree list`)\n" id;
+            exit 2))
+        ids;
+      List.filter
+        (fun (e : Tfree_experiments.Registry.entry) -> List.mem e.Tfree_experiments.Registry.id ids)
+        Tfree_experiments.Registry.all
 
 (* ------------------------------------------------ part 1: experiments *)
 
@@ -115,6 +122,68 @@ let seed_counter = ref 0
 let next_seed () =
   incr seed_counter;
   !seed_counter
+
+(* -------------------------------------------- per-phase trace profiles *)
+
+(* One representative traced run per Table-1 protocol row, on the micro
+   fixtures at a fixed seed: the phase breakdown and the message-size
+   histogram are deterministic (bits only, no wall-clock), so the profile is
+   identical at every job count and can sit inside BENCH_results.json.
+   check_json re-verifies the decomposition identity on every profile. *)
+let trace_profile =
+  let module Trace = Tfree_trace.Trace in
+  let traced run =
+    let c = Trace.create () in
+    let report : Tfree.Tester.report = Trace.with_collector c (fun () -> run (Trace.tap c)) in
+    let accounted = report.Tfree.Tester.bits in
+    if not (Trace.decomposes c ~accounted) then
+      failwith "bench: trace decomposition identity failed";
+    Jsonout.Obj
+      [
+        ("accounted_bits", Jsonout.Num (float_of_int accounted));
+        ("identity", Jsonout.Bool true);
+        ( "phases",
+          Jsonout.List
+            (List.map
+               (fun (phase, msgs, bits) ->
+                 Jsonout.Obj
+                   [
+                     ("phase", Jsonout.Str phase);
+                     ("messages", Jsonout.Num (float_of_int msgs));
+                     ("bits", Jsonout.Num (float_of_int bits));
+                   ])
+               (Trace.phase_rows c)) );
+        ( "size_histogram",
+          Jsonout.List
+            (List.map
+               (fun (bucket, count) ->
+                 Jsonout.Obj
+                   [
+                     ("log2_bucket", Jsonout.Num (float_of_int bucket));
+                     ("count", Jsonout.Num (float_of_int count));
+                   ])
+               (Trace.size_histogram c)) );
+      ]
+  in
+  fun id ->
+    let g_low, parts_low = fixture_low in
+    let g_dense, parts_dense = fixture_dense in
+    match id with
+    | "table1/unrestricted" ->
+        Some (traced (fun tap -> Tfree.Tester.unrestricted ~tap ~seed:1 params parts_low))
+    | "table1/sim-low" ->
+        Some
+          (traced (fun tap ->
+               Tfree.Tester.simultaneous ~tap ~seed:1 params ~d:(Graph.avg_degree g_low) parts_low))
+    | "table1/sim-high" ->
+        Some
+          (traced (fun tap ->
+               Tfree.Tester.simultaneous ~tap ~seed:1 params ~d:(Graph.avg_degree g_dense)
+                 parts_dense))
+    | "table1/sim-oblivious" ->
+        Some (traced (fun tap -> Tfree.Tester.simultaneous_oblivious ~tap ~seed:1 params parts_low))
+    | "table1/exact-gap" -> Some (traced (fun tap -> Tfree.Tester.exact ~tap ~seed:1 parts_low))
+    | _ -> None
 
 let micro_tests =
   let g_low, parts_low = fixture_low in
@@ -208,17 +277,18 @@ let run_json () =
   let outn, timingsn, walln = render_experiments () in
   let identical = String.equal out1 outn in
   print_string outn;
-  (* A filtered run regenerates only the requested experiment's tables; the
+  (* A filtered run regenerates only the requested experiments' tables; the
      bechamel micro suite covers the whole protocol zoo, so it only runs
      with the full harness. *)
-  let micro = if opts.only = None then measure_micro () else [] in
-  if opts.only = None then print_micro micro;
+  let micro = if opts.only = [] then measure_micro () else [] in
+  if opts.only = [] then print_micro micro;
   let experiments =
     List.map2
       (fun (id, dt1) (id', dtn) ->
         assert (String.equal id id');
         Jsonout.Obj
-          [ ("id", Str id); ("wall_s_jobs1", Num dt1); ("wall_s_jobsN", Num dtn) ])
+          ([ ("id", Jsonout.Str id); ("wall_s_jobs1", Jsonout.Num dt1); ("wall_s_jobsN", Jsonout.Num dtn) ]
+          @ match trace_profile id with Some p -> [ ("trace", p) ] | None -> []))
       timings1 timingsn
   in
   let doc =
@@ -227,7 +297,10 @@ let run_json () =
          ("schema", Jsonout.Str "tfree-bench/v1");
          ("scale", Jsonout.Str "small");
        ]
-      @ (match opts.only with Some id -> [ ("only", Jsonout.Str id) ] | None -> [])
+      @ (match opts.only with
+        | [] -> []
+        | [ id ] -> [ ("only", Jsonout.Str id) ]
+        | ids -> [ ("only", Jsonout.List (List.map (fun id -> Jsonout.Str id) ids)) ])
       @ [
         ("jobs", Obj [ ("requested", Num (float_of_int requested)); ("effective", Num (float_of_int effective)) ]);
         ( "harness",
@@ -261,6 +334,6 @@ let () =
   else begin
     let out, _, _ = render_experiments () in
     print_string out;
-    if opts.only = None then print_micro (measure_micro ());
+    if opts.only = [] then print_micro (measure_micro ());
     print_endline "done."
   end

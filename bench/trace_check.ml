@@ -1,0 +1,87 @@
+(* Validator behind the @trace-smoke alias: parse a Chrome trace-event file
+   written by `tfree run --trace` and re-assert, from the serialized bytes
+   alone, that
+
+     - the document is valid JSON of the traceEvents-object form, with at
+       least one phase span and one message instant event;
+     - every message event carries well-formed args: a parseable channel, a
+       non-negative bit count, a positive round, a phase and a sequence
+       number, with sequence numbers forming 0..N-1 exactly once each;
+     - the decomposition identity holds: the message events' bits sum to the
+       recorded accounted_bits (what the cost ledger charged).
+
+   Usage: trace_check FILE *)
+
+open Tfree_util
+module Trace = Tfree_trace.Trace
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("trace_check: " ^ msg); exit 1) fmt
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: trace_check FILE" in
+  let content =
+    try In_channel.with_open_text path In_channel.input_all with Sys_error msg -> fail "%s" msg
+  in
+  let doc =
+    match Jsonout.parse content with
+    | Ok v -> v
+    | Error msg -> fail "%s: not Chrome trace-event JSON: %s" path msg
+  in
+  let events =
+    match Option.bind (Jsonout.member "traceEvents" doc) Jsonout.to_list with
+    | Some l -> l
+    | None -> fail "missing traceEvents list"
+  in
+  let cat ev = match Jsonout.member "cat" ev with Some (Jsonout.Str c) -> c | _ -> "" in
+  let spans = List.filter (fun ev -> cat ev = "phase") events in
+  let messages = List.filter (fun ev -> cat ev = "message") events in
+  if spans = [] then fail "no phase spans recorded";
+  if messages = [] then fail "no message events recorded";
+  List.iter
+    (fun ev ->
+      match Jsonout.member "ph" ev with
+      | Some (Jsonout.Str ("X" | "i")) -> ()
+      | _ -> fail "event with ph neither X nor i")
+    events;
+  let num args k =
+    match Option.bind (Jsonout.member k args) Jsonout.to_float with
+    | Some f -> int_of_float f
+    | None -> fail "message args missing numeric %S" k
+  in
+  let seen_seq = Hashtbl.create 256 in
+  let traced_bits =
+    List.fold_left
+      (fun acc ev ->
+        let args = match Jsonout.member "args" ev with Some a -> a | None -> fail "message without args" in
+        (match Jsonout.member "channel" args with
+        | Some (Jsonout.Str ch) ->
+            if Tfree_comm.Channel.parse ch = None then fail "unparseable channel %S" ch
+        | _ -> fail "message args missing channel");
+        (match Jsonout.member "phase" args with
+        | Some (Jsonout.Str _) -> ()
+        | _ -> fail "message args missing phase");
+        let bits = num args "bits" in
+        if bits < 0 then fail "negative bit count %d" bits;
+        if num args "round" < 1 then fail "round below 1";
+        let seq = num args "seq" in
+        if Hashtbl.mem seen_seq seq then fail "duplicate sequence number %d" seq;
+        Hashtbl.add seen_seq seq ();
+        acc + bits)
+      0 messages
+  in
+  let n_msgs = List.length messages in
+  for s = 0 to n_msgs - 1 do
+    if not (Hashtbl.mem seen_seq s) then fail "sequence numbers are not 0..%d (missing %d)" (n_msgs - 1) s
+  done;
+  let accounted =
+    match Trace.other_num_of_chrome "accounted_bits" doc with
+    | Some a -> a
+    | None -> fail "otherData.accounted_bits missing"
+  in
+  if traced_bits <> accounted then
+    fail "decomposition broken: %d traced bits, %d accounted" traced_bits accounted;
+  (* The library must recover the same totals from the file as the raw scan. *)
+  let row_bits = List.fold_left (fun acc (_, _, b) -> acc + b) 0 (Trace.phase_rows_of_chrome doc) in
+  if row_bits <> traced_bits then fail "phase_rows_of_chrome disagrees with the raw event scan";
+  Printf.printf "trace_check: %s ok (%d spans, %d messages, %d bits = accounted exactly)\n" path
+    (List.length spans) n_msgs traced_bits

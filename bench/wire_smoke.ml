@@ -5,13 +5,43 @@
        accounted bits, exactly;
      - the served response is byte-identical to computing the same request
        locally (the service is deterministic in the request's seed);
+     - a malformed line gets a structured {"ok":false,"error":...} reply and
+       the same connection then serves a normal query;
+     - the server's {"op":"stats"} telemetry reconciles against the client's
+       own tally of the whole scripted session;
 
    then shut the daemon down and insist it exits cleanly. *)
 
+open Tfree_util
 module Service = Tfree_wire.Service
 module Wire = Tfree_wire.Wire_runtime
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("wire_smoke: " ^ msg); exit 1) fmt
+
+(* Raw line-oriented client, for scripting several lines on one connection
+   (Service.client_query opens a fresh connection per query). *)
+let connect path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  sock
+
+let send_line fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+let recv_line fd =
+  let buf = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec loop () =
+    match Unix.read fd one 0 1 with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | _ -> if Bytes.get one 0 = '\n' then Some (Buffer.contents buf) else (Buffer.add_char buf (Bytes.get one 0); loop ())
+  in
+  loop ()
 
 let requests =
   List.map
@@ -30,8 +60,10 @@ let () =
   in
   match Unix.fork () with
   | 0 ->
-      (* child: serve until the shutdown command *)
-      exit (if Service.serve ~path () = List.length requests then 0 else 1)
+      (* child: serve until the shutdown command; the session is the request
+         list plus one scripted query after the malformed line (errors and
+         stats lines don't count as served queries) *)
+      exit (if Service.serve ~path () = List.length requests + 1 then 0 else 1)
   | server ->
       let rec await tries =
         if not (Sys.file_exists path) then
@@ -43,6 +75,15 @@ let () =
             await (tries - 1))
       in
       await 100;
+      (* The client's own tally of the session, reconciled against the
+         server's stats reply at the end. *)
+      let tally_queries = ref 0 and tally_errors = ref 0 in
+      let tally_wire_bytes = ref 0 and tally_accounted = ref 0 in
+      let tally_verdicts : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+      let count_verdict name found =
+        let tri, free = Option.value ~default:(0, 0) (Hashtbl.find_opt tally_verdicts name) in
+        Hashtbl.replace tally_verdicts name (if found then (tri + 1, free) else (tri, free + 1))
+      in
       List.iter
         (fun req ->
           let name = Service.protocol_to_string req.Service.protocol in
@@ -55,9 +96,79 @@ let () =
               if
                 Service.response_to_json resp <> Service.response_to_json local
               then fail "%s: served response differs from local computation" name;
+              incr tally_queries;
+              tally_wire_bytes := !tally_wire_bytes + resp.Service.wire.Wire.wire_bytes;
+              tally_accounted := !tally_accounted + resp.Service.wire.Wire.accounted_bits;
+              count_verdict name
+                (match resp.Service.verdict with
+                | Tfree.Tester.Triangle _ -> true
+                | Tfree.Tester.Triangle_free -> false);
               Printf.printf "wire_smoke: %-12s ok (%s)\n" name
                 (Wire.report_summary resp.Service.wire))
         requests;
+      (* Malformed line: structured error reply, connection stays usable. *)
+      let conn = connect path in
+      send_line conn "{not json";
+      (match recv_line conn with
+      | Some line -> (
+          match Jsonout.parse line with
+          | Ok j -> (
+              match (Jsonout.member "ok" j, Jsonout.member "error" j) with
+              | Some (Jsonout.Bool false), Some (Jsonout.Str _) -> incr tally_errors
+              | _ -> fail "malformed line got a non-error reply: %s" line)
+          | Error msg -> fail "error reply is not JSON (%s): %s" msg line)
+      | None -> fail "server closed the connection on a malformed line");
+      send_line conn (Jsonout.to_line (Service.request_to_json (List.hd requests)));
+      (match recv_line conn with
+      | Some line -> (
+          match Result.bind (Jsonout.parse line) Service.response_of_json with
+          | Ok resp ->
+              incr tally_queries;
+              tally_wire_bytes := !tally_wire_bytes + resp.Service.wire.Wire.wire_bytes;
+              tally_accounted := !tally_accounted + resp.Service.wire.Wire.accounted_bits;
+              count_verdict
+                (Service.protocol_to_string (List.hd requests).Service.protocol)
+                (match resp.Service.verdict with
+                | Tfree.Tester.Triangle _ -> true
+                | Tfree.Tester.Triangle_free -> false)
+          | Error msg -> fail "query after malformed line failed: %s" msg)
+      | None -> fail "connection unusable after a malformed line");
+      Unix.close conn;
+      (* Stats reconciliation against the tally. *)
+      (match Service.client_stats ~path with
+      | Error msg -> fail "stats query: %s" msg
+      | Ok stats ->
+          let num k =
+            match Option.bind (Jsonout.member k stats) Jsonout.to_float with
+            | Some f -> int_of_float f
+            | None -> fail "stats missing numeric field %S" k
+          in
+          let check what got want =
+            if got <> want then fail "stats %s = %d, client tallied %d" what got want
+          in
+          check "queries_served" (num "queries_served") !tally_queries;
+          check "errors" (num "errors") !tally_errors;
+          check "wire_bytes" (num "wire_bytes") !tally_wire_bytes;
+          check "accounted_bits" (num "accounted_bits") !tally_accounted;
+          let verdicts =
+            match Jsonout.member "verdicts" stats with
+            | Some v -> v
+            | None -> fail "stats missing verdicts"
+          in
+          Hashtbl.iter
+            (fun name (tri, free) ->
+              match Jsonout.member name verdicts with
+              | Some v ->
+                  let f k =
+                    match Option.bind (Jsonout.member k v) Jsonout.to_float with
+                    | Some x -> int_of_float x
+                    | None -> fail "stats verdicts.%s missing %S" name k
+                  in
+                  check (name ^ " triangles") (f "triangle") tri;
+                  check (name ^ " triangle-frees") (f "triangle_free") free
+              | None -> fail "stats verdicts missing protocol %S" name)
+            tally_verdicts;
+          print_endline "wire_smoke: stats reconcile with the client tally");
       Service.client_shutdown ~path;
       (match Unix.waitpid [] server with
       | _, Unix.WEXITED 0 -> ()

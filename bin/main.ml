@@ -1,18 +1,20 @@
 (* tfree — command-line driver.
 
    Subcommands:
-     run         test a generated distributed instance with a chosen protocol
-     experiment  run a named reproduction experiment (see `tfree list`)
-     list        list the reproduction experiments
-     inspect     generate an instance and print its triangle statistics
-     serve       answer queries over a Unix-domain socket (tfree-serve)
-     client      query a running tfree-serve daemon *)
+     run           test a generated distributed instance with a chosen protocol
+     experiment    run a named reproduction experiment (see `tfree list`)
+     list          list the reproduction experiments
+     inspect       generate an instance and print its triangle statistics
+     serve         answer queries over a Unix-domain socket (tfree-serve)
+     client        query a running tfree-serve daemon
+     trace-report  phase/player breakdown tables of a --trace file *)
 
 open Cmdliner
 open Tfree_util
 open Tfree_graph
 module Service = Tfree_wire.Service
 module Wire = Tfree_wire.Wire_runtime
+module Trace = Tfree_trace.Trace
 
 (* ----------------------------------------------------------- common args *)
 
@@ -96,8 +98,12 @@ let print_report g (report : Tfree.Tester.report) =
   Printf.printf "communication: %d bits over %d round(s); max single message %d bits\n"
     report.Tfree.Tester.bits report.Tfree.Tester.rounds report.Tfree.Tester.max_message
 
+let verdict_string = function
+  | Tfree.Tester.Triangle _ -> "triangle"
+  | Tfree.Tester.Triangle_free -> "triangle-free"
+
 let run_cmd =
-  let run seed n d k eps family part proto blackboard wire transport =
+  let run seed n d k eps family part proto blackboard wire transport trace_out =
     let rng = Rng.create seed in
     let g = Service.build_instance family rng ~n ~d ~eps in
     let inputs = Service.build_partition part rng ~k g in
@@ -105,8 +111,14 @@ let run_cmd =
       (Graph.m g) (Graph.avg_degree g) k (Partition.has_duplication inputs);
     let params = Tfree.Params.(with_eps practical eps) in
     let net = if wire then Some (Wire.create ~transport ~k ()) else None in
-    let tap = Option.map Wire.tap net in
-    let report =
+    let collector = Option.map (fun _ -> Trace.create ()) trace_out in
+    (* trace before wire: record the declared message, then move its bytes *)
+    let tap =
+      match List.filter_map Fun.id [ Option.map Trace.tap collector; Option.map Wire.tap net ] with
+      | [] -> None
+      | taps -> Some (Tfree_comm.Channel.compose_all taps)
+    in
+    let run_protocol () =
       match proto with
       | Service.Unrestricted ->
           let mode = if blackboard then Tfree_comm.Runtime.Blackboard else Tfree_comm.Runtime.Coordinator in
@@ -115,6 +127,11 @@ let run_cmd =
       | Service.Oblivious -> Tfree.Tester.simultaneous_oblivious ?tap ~seed params inputs
       | Service.Exact -> Tfree.Tester.exact ?tap ~seed inputs
     in
+    let report =
+      match collector with
+      | Some c -> Trace.with_collector c run_protocol
+      | None -> run_protocol ()
+    in
     print_report (Some g) report;
     Option.iter
       (fun net ->
@@ -122,18 +139,86 @@ let run_cmd =
         Printf.printf "wire (%s): %s\n" (Wire.kind_to_string (Wire.transport_kind net))
           (Wire.report_summary r);
         Wire.close net)
-      net
+      net;
+    match (collector, trace_out) with
+    | Some c, Some file ->
+        let accounted = report.Tfree.Tester.bits in
+        if not (Trace.decomposes c ~accounted) then (
+          Printf.eprintf "trace: decomposition FAILED — traced %d bits, accounted %d\n"
+            (Trace.total_bits c) accounted;
+          exit 1);
+        let json =
+          Trace.to_chrome c
+            ~other:
+              [
+                ("accounted_bits", Jsonout.Num (float_of_int accounted));
+                ("protocol", Jsonout.Str (Service.protocol_to_string proto));
+                ("verdict", Jsonout.Str (verdict_string report.Tfree.Tester.verdict));
+                ("n", Jsonout.Num (float_of_int n));
+                ("k", Jsonout.Num (float_of_int k));
+                ("seed", Jsonout.Num (float_of_int seed));
+              ]
+        in
+        Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc (Jsonout.to_string json));
+        Printf.printf "trace: %d message event(s), %d bits = accounted bits exactly; wrote %s\n"
+          (Trace.message_count c) (Trace.total_bits c) file
+    | _ -> ()
   in
   let wire_arg =
     Arg.(value & flag
          & info [ "wire" ]
              ~doc:"Run the protocol over a real byte transport and print the wire-vs-model reconciliation.")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a phase-attributed trace of every charged message and write it as \
+                   Chrome trace-event JSON (open in Perfetto, or feed to `tfree trace-report`).")
+  in
   let term =
     Term.(const run $ seed_arg $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg
-          $ protocol_arg $ blackboard_arg $ wire_arg $ transport_arg)
+          $ protocol_arg $ blackboard_arg $ wire_arg $ transport_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Test a generated distributed instance with a chosen protocol.") term
+
+(* --------------------------------------------------------- trace-report *)
+
+let trace_report_cmd =
+  let run file =
+    let contents = In_channel.with_open_text file In_channel.input_all in
+    match Jsonout.parse contents with
+    | Error msg ->
+        Printf.eprintf "error: %s is not valid JSON: %s\n" file msg;
+        exit 1
+    | Ok json ->
+        let phases = Trace.phase_rows_of_chrome json in
+        let players = Trace.player_rows_of_chrome json in
+        let traced = List.fold_left (fun acc (_, _, bits) -> acc + bits) 0 phases in
+        (match Trace.other_num_of_chrome "accounted_bits" json with
+        | Some accounted ->
+            Printf.printf "traced %d bits; accounted %d bits; decomposition %s\n" traced accounted
+              (if traced = accounted then "exact" else "BROKEN")
+        | None -> Printf.printf "traced %d bits (no accounted_bits recorded)\n" traced);
+        let share bits = if traced = 0 then "-" else Table.fcell (100.0 *. float_of_int bits /. float_of_int traced) in
+        Table.print
+          (Table.make ~title:"Phase attribution" ~header:[ "phase"; "messages"; "bits"; "share %" ]
+             (List.map
+                (fun (phase, msgs, bits) -> [ phase; Table.icell msgs; Table.icell bits; share bits ])
+                phases));
+        print_newline ();
+        Table.print
+          (Table.make ~title:"Per-player traffic" ~header:[ "party"; "download bits"; "upload bits" ]
+             (List.map
+                (fun (label, down, up) -> [ label; Table.icell down; Table.icell up ])
+                players))
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"A trace written by run --trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:"Print the phase and per-player breakdown tables of a trace file.")
+    Term.(const run $ file_arg)
 
 (* ----------------------------------------------------------- experiment *)
 
@@ -206,10 +291,16 @@ let serve_cmd =
     Term.(const run $ socket_arg $ max_arg)
 
 let client_cmd =
-  let run path shutdown as_json seed n d k eps family part proto transport =
+  let run path shutdown stats as_json seed n d k eps family part proto transport =
     if shutdown then (
       Service.client_shutdown ~path;
       print_endline "shutdown sent")
+    else if stats then (
+      match Service.client_stats ~path with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      | Ok stats -> print_string (Jsonout.to_string stats))
     else
       let req =
         { Service.family; partition = part; protocol = proto; n; d; k; eps; seed; transport }
@@ -233,15 +324,21 @@ let client_cmd =
   let shutdown_arg =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down instead of querying.")
   in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Fetch the server's telemetry (queries served, verdict counts, latency \
+                   quantiles, wire traffic) instead of querying.")
+  in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print the server's raw JSON reply.") in
   Cmd.v
     (Cmd.info "client" ~doc:"Query a running tfree-serve daemon.")
-    Term.(const run $ socket_arg $ shutdown_arg $ json_arg $ seed_arg $ n_arg $ d_arg $ k_arg
-          $ eps_arg $ instance_arg $ partition_arg $ protocol_arg $ transport_arg)
+    Term.(const run $ socket_arg $ shutdown_arg $ stats_arg $ json_arg $ seed_arg $ n_arg $ d_arg
+          $ k_arg $ eps_arg $ instance_arg $ partition_arg $ protocol_arg $ transport_arg)
 
 let () =
   let doc = "multiparty communication-complexity testers for triangle-freeness (PODC'17 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tfree" ~doc)
-          [ run_cmd; experiment_cmd; list_cmd; inspect_cmd; serve_cmd; client_cmd ]))
+          [ run_cmd; experiment_cmd; list_cmd; inspect_cmd; serve_cmd; client_cmd; trace_report_cmd ]))

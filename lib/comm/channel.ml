@@ -3,25 +3,63 @@
     The runtimes ({!Runtime}, {!Simultaneous}) account costs by declaration:
     whenever a message crosses a channel they charge its {!Msg.bits}.  A
     {e tap} is an optional hook invoked at exactly those crossing points; it
-    receives the message and the channel it crosses, and returns the message
-    the receiving side observes.  The identity tap reproduces the pure
-    accounting model.  The wire subsystem ([Tfree_wire]) installs a tap that
-    encodes the message, moves the bytes through a real transport, decodes
-    them on the far side and returns the decoded copy — so everything a
-    protocol learns through a tapped runtime has physically round-tripped,
-    and the declared cost can be reconciled against measured wire bytes. *)
+    receives the message, the channel it crosses and the current round
+    number, and returns the message the receiving side observes.  The
+    identity tap reproduces the pure accounting model.  The wire subsystem
+    ([Tfree_wire]) installs a tap that encodes the message, moves the bytes
+    through a real transport, decodes them on the far side and returns the
+    decoded copy — so everything a protocol learns through a tapped runtime
+    has physically round-tripped, and the declared cost can be reconciled
+    against measured wire bytes.  The trace subsystem ([Tfree_trace])
+    installs a tap that records one event per crossing, attributed to the
+    protocol phase in scope at that moment.
+
+    Taps compose: {!compose} chains two taps so the message flows through
+    the first and then the second, and both observe the same round.  Since
+    every tap must preserve [Msg.value] and [Msg.bits] (the wire tap asserts
+    this, the trace tap is read-only), composition order cannot change what
+    the protocol sees — only which observers are attached. *)
 
 type t =
   | To_player of int  (** coordinator (or referee) -> player [j] *)
   | From_player of int  (** player [j] -> coordinator/referee *)
   | Board  (** a broadcast posting, visible to all parties *)
 
-type tap = { deliver : t -> Msg.t -> Msg.t }
+type tap = { deliver : round:int -> t -> Msg.t -> Msg.t }
 
 (** The pure-model tap: messages arrive untouched. *)
-let identity = { deliver = (fun _ msg -> msg) }
+let identity = { deliver = (fun ~round:_ _ msg -> msg) }
+
+(** [compose a b] delivers through [a], then through [b]. *)
+let compose a b = { deliver = (fun ~round ch msg -> b.deliver ~round ch (a.deliver ~round ch msg)) }
+
+(** Chain any number of taps, left to right; [compose_all []] is {!identity}. *)
+let compose_all taps = List.fold_left compose identity taps
 
 let describe = function
   | To_player j -> Printf.sprintf "coord->p%d" j
   | From_player j -> Printf.sprintf "p%d->coord" j
   | Board -> "board"
+
+(** The player a channel touches; [None] for the board. *)
+let player = function To_player j | From_player j -> Some j | Board -> None
+
+(** Inverse of {!describe}: parse "coord->p3", "p3->coord" or "board". *)
+let parse s =
+  let num ~prefix ~suffix =
+    let plen = String.length prefix and slen = String.length suffix in
+    let len = String.length s in
+    if len > plen + slen
+       && String.sub s 0 plen = prefix
+       && String.sub s (len - slen) slen = suffix
+    then int_of_string_opt (String.sub s plen (len - plen - slen))
+    else None
+  in
+  if s = "board" then Some Board
+  else
+    match num ~prefix:"coord->p" ~suffix:"" with
+    | Some j when j >= 0 -> Some (To_player j)
+    | _ -> (
+        match num ~prefix:"p" ~suffix:"->coord" with
+        | Some j when j >= 0 -> Some (From_player j)
+        | _ -> None)

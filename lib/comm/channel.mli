@@ -1,18 +1,34 @@
 (** Channels and transport taps: a tap is a hook invoked at every point
     where a runtime charges communication, receiving the crossing message
-    and returning the copy the receiver observes.  The identity tap is the
-    pure accounting model; the wire subsystem installs a tap that moves the
-    message through a real byte transport and returns the decoded copy. *)
+    (plus the channel and the current round) and returning the copy the
+    receiver observes.  The identity tap is the pure accounting model; the
+    wire subsystem installs a tap that moves the message through a real byte
+    transport, the trace subsystem one that records a phase-attributed event
+    per crossing.  Taps compose. *)
 
 type t =
   | To_player of int  (** coordinator (or referee) -> player [j] *)
   | From_player of int  (** player [j] -> coordinator/referee *)
   | Board  (** a broadcast posting, visible to all parties *)
 
-type tap = { deliver : t -> Msg.t -> Msg.t }
+type tap = { deliver : round:int -> t -> Msg.t -> Msg.t }
 
 (** The pure-model tap: messages arrive untouched. *)
 val identity : tap
 
+(** [compose a b] delivers through [a], then through [b].  Every tap must
+    preserve the message's value and bit count, so composition order only
+    selects which observers are attached, never what the protocol sees. *)
+val compose : tap -> tap -> tap
+
+(** Chain any number of taps, left to right; [compose_all []] = {!identity}. *)
+val compose_all : tap list -> tap
+
 (** Human-readable channel name ("coord->p3", "p3->coord", "board"). *)
 val describe : t -> string
+
+(** The player a channel touches; [None] for the board. *)
+val player : t -> int option
+
+(** Inverse of {!describe}; [None] on anything it never printed. *)
+val parse : string -> t option

@@ -33,6 +33,30 @@ let next_round t = t.rounds <- t.rounds + 1
 
 let max_player_upload t = Array.fold_left max 0 t.per_player
 
+let min_player_upload t = Array.fold_left min max_int (if Array.length t.per_player = 0 then [| 0 |] else t.per_player)
+
+(* Max − min upload: the per-player imbalance.  The max is the streaming
+   bridge's space watermark (§4.2.2), so the summary line must show how far
+   the ledger is from a balanced split. *)
+let upload_spread t = max_player_upload t - min_player_upload t
+
 let summary t =
-  Printf.sprintf "total=%d bits (coord->players=%d, players->coord=%d), rounds=%d, messages=%d, max player upload=%d"
+  Printf.sprintf
+    "total=%d bits (coord->players=%d, players->coord=%d), rounds=%d, messages=%d, player upload max=%d min=%d spread=%d"
     (total t) t.to_players t.from_players t.rounds t.messages (max_player_upload t)
+    (min_player_upload t) (upload_spread t)
+
+let to_json t =
+  Tfree_util.Jsonout.(
+    Obj
+      [
+        ("total", Num (float_of_int (total t)));
+        ("to_players", Num (float_of_int t.to_players));
+        ("from_players", Num (float_of_int t.from_players));
+        ("rounds", Num (float_of_int t.rounds));
+        ("messages", Num (float_of_int t.messages));
+        ("max_player_upload", Num (float_of_int (max_player_upload t)));
+        ("min_player_upload", Num (float_of_int (min_player_upload t)));
+        ("upload_spread", Num (float_of_int (upload_spread t)));
+        ("per_player", List (Array.to_list (Array.map (fun b -> Num (float_of_int b)) t.per_player)));
+      ])

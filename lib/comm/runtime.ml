@@ -64,38 +64,40 @@ let private_rng t j = t.private_rngs.(j)
 
 (* Send [req] down every player channel (private mode) or post it once
    (blackboard); mirrors the ledger's k-vs-1 charging of broadcasts. *)
-let deliver_request t req =
+let deliver_request t ~round req =
   match t.mode with
   | Coordinator ->
       for j = 0 to t.k - 1 do
-        ignore (t.tap.Channel.deliver (Channel.To_player j) req)
+        ignore (t.tap.Channel.deliver ~round (Channel.To_player j) req)
       done
-  | Blackboard -> ignore (t.tap.Channel.deliver Channel.Board req)
+  | Blackboard -> ignore (t.tap.Channel.deliver ~round Channel.Board req)
 
 (** One communication round in which the coordinator sends [req] to player
     [j] and the player answers with [respond input].  Charges both
     directions. *)
 let query t j ~req respond =
   Cost.next_round t.cost;
+  let round = t.cost.Cost.rounds in
   Cost.charge_to_player t.cost (Msg.bits req);
-  ignore (t.tap.Channel.deliver (Channel.To_player j) req);
+  ignore (t.tap.Channel.deliver ~round (Channel.To_player j) req);
   let reply = respond (input t j) in
   Cost.charge_from_player t.cost j (Msg.bits reply);
-  t.tap.Channel.deliver (Channel.From_player j) reply
+  t.tap.Channel.deliver ~round (Channel.From_player j) reply
 
 (** One parallel round: the same request to every player, one response each.
     In blackboard mode the request is posted once. *)
 let ask_all t ~req respond =
   Cost.next_round t.cost;
+  let round = t.cost.Cost.rounds in
   let req_bits = Msg.bits req in
   (match t.mode with
   | Coordinator -> if req_bits > 0 then Cost.charge_to_player t.cost (t.k * req_bits)
   | Blackboard -> if req_bits > 0 then Cost.charge_to_player t.cost req_bits);
-  if req_bits > 0 then deliver_request t req;
+  if req_bits > 0 then deliver_request t ~round req;
   Array.init t.k (fun j ->
       let reply = respond j (input t j) in
       Cost.charge_from_player t.cost j (Msg.bits reply);
-      t.tap.Channel.deliver (Channel.From_player j) reply)
+      t.tap.Channel.deliver ~round (Channel.From_player j) reply)
 
 (** Like {!ask_all}, but in blackboard mode each player also sees the replies
     of the players before it (they are posted publicly, §2) — the mechanism
@@ -104,11 +106,12 @@ let ask_all t ~req respond =
     private-channel semantics. *)
 let ask_all_visible t ~req respond =
   Cost.next_round t.cost;
+  let round = t.cost.Cost.rounds in
   let req_bits = Msg.bits req in
   (match t.mode with
   | Coordinator -> if req_bits > 0 then Cost.charge_to_player t.cost (t.k * req_bits)
   | Blackboard -> if req_bits > 0 then Cost.charge_to_player t.cost req_bits);
-  if req_bits > 0 then deliver_request t req;
+  if req_bits > 0 then deliver_request t ~round req;
   let replies = Array.make t.k Msg.empty in
   for j = 0 to t.k - 1 do
     let visible =
@@ -120,7 +123,7 @@ let ask_all_visible t ~req respond =
     Cost.charge_from_player t.cost j (Msg.bits reply);
     (* Later players' [visible] lists read back the delivered copy — on a
        blackboard what they see is what was posted, not what was meant. *)
-    replies.(j) <- t.tap.Channel.deliver (Channel.From_player j) reply
+    replies.(j) <- t.tap.Channel.deliver ~round (Channel.From_player j) reply
   done;
   replies
 
@@ -129,11 +132,12 @@ let mode t = t.mode
 (** Coordinator announcement to all players (no responses). *)
 let tell_all t msg =
   Cost.next_round t.cost;
+  let round = t.cost.Cost.rounds in
   let bits = Msg.bits msg in
   (match t.mode with
   | Coordinator -> Cost.charge_to_player t.cost (t.k * bits)
   | Blackboard -> Cost.charge_to_player t.cost bits);
-  deliver_request t msg
+  deliver_request t ~round msg
 
 (** OR over one bit per player — the "does anyone have it" idiom used by the
     edge-query building block and the degree-approximation experiments. *)

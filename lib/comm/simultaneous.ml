@@ -33,7 +33,7 @@ let run ?(tap = Channel.identity) ~seed protocol inputs =
   let ctx = { k; n = Partition.n inputs; shared = Rng.split (Rng.create seed) 0 } in
   let messages =
     Array.init k (fun j ->
-        tap.Channel.deliver (Channel.From_player j) (protocol.player ctx j (Partition.player inputs j)))
+        tap.Channel.deliver ~round:1 (Channel.From_player j) (protocol.player ctx j (Partition.player inputs j)))
   in
   let per_player_bits = Array.map Msg.bits messages in
   {

@@ -21,7 +21,9 @@ let protocol =
         Triangle.find union);
   }
 
-let run ?tap ~seed inputs = Simultaneous.run ?tap ~seed protocol inputs
+(* One simultaneous round of full inputs: a single "full-upload" phase. *)
+let run ?tap ~seed inputs =
+  Tfree_trace.Trace.span "full-upload" (fun () -> Simultaneous.run ?tap ~seed protocol inputs)
 
 (** Exact bit cost of the baseline on a given partition (no randomness). *)
 let cost inputs =

@@ -49,5 +49,6 @@ let referee ctx messages =
 let protocol ?(capped = true) (p : Params.t) ~d =
   { Simultaneous.player = player_message p ~d ~capped; referee }
 
+(* One simultaneous round: a single "upload" phase covers every charged bit. *)
 let run ?tap ?(capped = true) ~seed (p : Params.t) ~d inputs =
-  Simultaneous.run ?tap ~seed (protocol ~capped p ~d) inputs
+  Tfree_trace.Trace.span "upload" (fun () -> Simultaneous.run ?tap ~seed (protocol ~capped p ~d) inputs)

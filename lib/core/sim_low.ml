@@ -43,5 +43,8 @@ let referee ctx messages =
 let protocol ?(capped = true) (p : Params.t) ~d =
   { Simultaneous.player = player_message p ~d ~capped; referee }
 
+(* The whole protocol is one simultaneous round, so a single "upload" phase
+   covers every charged bit (per-player structure lives in the trace's
+   player rows). *)
 let run ?tap ?(capped = true) ~seed (p : Params.t) ~d inputs =
-  Simultaneous.run ?tap ~seed (protocol ~capped p ~d) inputs
+  Tfree_trace.Trace.span "upload" (fun () -> Simultaneous.run ?tap ~seed (protocol ~capped p ~d) inputs)

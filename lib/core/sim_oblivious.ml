@@ -116,4 +116,6 @@ let referee ctx messages =
 
 let protocol (p : Params.t) = { Simultaneous.player = player_message p; referee }
 
-let run ?tap ~seed (p : Params.t) inputs = Simultaneous.run ?tap ~seed (protocol p) inputs
+(* One simultaneous round: a single "upload" phase covers every charged bit. *)
+let run ?tap ~seed (p : Params.t) inputs =
+  Tfree_trace.Trace.span "upload" (fun () -> Simultaneous.run ?tap ~seed (protocol p) inputs)

@@ -79,7 +79,10 @@ let sample_uniform_from_btilde ?btilde rt ~key ~i =
         done;
         !best
   in
-  let replies = Runtime.ask_all rt ~req:Msg.empty (fun j input -> Msg.vertex_opt ~n (best_of j input)) in
+  let replies =
+    Tfree_trace.Trace.span "candidate-sample" (fun () ->
+        Runtime.ask_all rt ~req:Msg.empty (fun j input -> Msg.vertex_opt ~n (best_of j input)))
+  in
   Array.fold_left
     (fun acc reply ->
       match (acc, Msg.get_vertex_opt reply) with
@@ -109,8 +112,9 @@ let get_full_candidates ?btilde rt (p : Params.t) ~key ~i =
           else begin
             Hashtbl.replace seen v ();
             let d_hat =
-              Degree_approx.approx_degree rt ~key:(key + (997 * (count + 1))) ~alpha:(sqrt 3.0)
-                ~tau ~boost:(Params.degree_approx_boost p) v
+              Tfree_trace.Trace.span "degree-guess" (fun () ->
+                  Degree_approx.approx_degree rt ~key:(key + (997 * (count + 1))) ~alpha:(sqrt 3.0)
+                    ~tau ~boost:(Params.degree_approx_boost p) v)
             in
             let fd = float_of_int d_hat in
             if fd >= lo && fd <= hi then loop (count + 1) ((v, d_hat) :: c)
@@ -136,6 +140,7 @@ let sample_edges rt (p : Params.t) ~key v ~d_hat =
   (* On a blackboard the players post in turns and skip edges already on the
      board (Theorem 3.23); on private channels each sends its full sample. *)
   let replies =
+    Tfree_trace.Trace.span "sample-edges" @@ fun () ->
     Runtime.ask_all_visible rt ~req:(Msg.vertex ~n v) (fun _ input visible ->
         let already = Hashtbl.create 16 in
         List.iter
@@ -155,6 +160,7 @@ let sample_edges rt (p : Params.t) ~key v ~d_hat =
 (* Close a vee: the coordinator posts the star {v} × ws; each player replies
    with an edge {a,b} ⊆ ws it holds, if any. *)
 let close_vee rt ~v ~ws =
+  Tfree_trace.Trace.span "broadcast" @@ fun () ->
   let n = Runtime.n rt in
   (* On a blackboard the sampled star is already public; on private channels
      the coordinator must forward it to every player. *)
@@ -213,8 +219,9 @@ let find_triangle ?(collect_stats = false) rt (p : Params.t) =
   let stats = ref no_stats in
   let n = Runtime.n rt in
   let m_hat =
-    Degree_approx.approx_edge_count rt ~key:17 ~alpha:2.0 ~tau:(p.delta /. 6.0)
-      ~boost:(Params.degree_approx_boost p)
+    Tfree_trace.Trace.span "degree-estimate" (fun () ->
+        Degree_approx.approx_edge_count rt ~key:17 ~alpha:2.0 ~tau:(p.delta /. 6.0)
+          ~boost:(Params.degree_approx_boost p))
   in
   if m_hat = 0 then (None, !stats)
   else begin
@@ -235,7 +242,7 @@ let find_triangle ?(collect_stats = false) rt (p : Params.t) =
         | None -> scan (i + 1)
       end
     in
-    let result = scan 0 in
+    let result = Tfree_trace.Trace.span "bucket-scan" (fun () -> scan 0) in
     ignore collect_stats;
     (result, !stats)
   end

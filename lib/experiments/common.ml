@@ -69,6 +69,46 @@ let far_instance ~n ~d ~k ~dup seed =
   in
   (g, parts)
 
+(** Mean per-phase attribution over [reps] traced runs.  [run seed tap]
+    performs one protocol run under [tap] and returns the bits the ledger
+    accounted; the decomposition identity (traced = accounted) is asserted
+    for every run, so the table rows are guaranteed to sum to the measured
+    total.  Returns [(phase, mean messages, mean bits, share %)] rows in
+    first-appearance order — deterministic at every job count because the
+    sums are integers accumulated in seed order. *)
+let phase_attribution ~reps run =
+  let module Trace = Tfree_trace.Trace in
+  let samples =
+    seed_samples ~reps (fun s ->
+        let c = Trace.create () in
+        let accounted = Trace.with_collector c (fun () -> run s (Trace.tap c)) in
+        if not (Trace.decomposes c ~accounted) then
+          failwith "phase_attribution: decomposition identity failed";
+        Trace.phase_rows c)
+  in
+  let order = ref [] and tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun rows ->
+      List.iter
+        (fun (phase, msgs, bits) ->
+          match Hashtbl.find_opt tbl phase with
+          | None ->
+              order := phase :: !order;
+              Hashtbl.add tbl phase (msgs, bits)
+          | Some (m, b) -> Hashtbl.replace tbl phase (m + msgs, b + bits))
+        rows)
+    samples;
+  let total = Hashtbl.fold (fun _ (_, b) acc -> acc + b) tbl 0 in
+  let r = float_of_int reps in
+  List.rev_map
+    (fun phase ->
+      let msgs, bits = Hashtbl.find tbl phase in
+      ( phase,
+        float_of_int msgs /. r,
+        float_of_int bits /. r,
+        100.0 *. float_of_int bits /. float_of_int (max 1 total) ))
+    !order
+
 (** Fit the log–log exponent of (n, bits) points. *)
 let exponent pts = (Stats.loglog_exponent pts).Stats.slope
 

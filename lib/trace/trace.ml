@@ -1,0 +1,301 @@
+(** Phase-attributed protocol tracing.
+
+    The cost ledger ({!Tfree_comm.Cost}) records totals; this module records
+    {e structure}.  Protocol code marks its paper-level phases with {!span}
+    ("sample-edges", "bucket-scan", "degree-guess", "broadcast", ...), and a
+    collector installed as a {!Tfree_comm.Channel.tap} records one event per
+    charged message — channel, bits, round, and the phase in scope at the
+    moment the message crossed.  Because the tap fires at exactly the
+    ledger's charging points and every event carries its bit count,
+    [Cost.total] decomposes exactly into per-phase and per-player
+    attributions: the sum of event bits equals the accounted bits, always
+    (the trace-smoke and test suites assert it for every protocol × mode ×
+    transport combination).
+
+    Phase scope is ambient, per domain: {!span} pushes onto a
+    [Domain.DLS]-backed stack, so the experiment pool's parallel domains
+    each see their own phase context and collectors never observe another
+    domain's phases.  The tap holds its collector directly (message events
+    always land), while {!with_collector} additionally registers the
+    collector to receive timed span records for the Chrome timeline.
+
+    The trace tap is read-only — it returns the message unchanged — so it
+    composes freely with the wire tap: [compose (trace) (wire)] records the
+    declared message then moves it through bytes, and neither verdicts nor
+    accounted bits can change. *)
+
+open Tfree_comm
+
+(** Phase recorded for a message that crossed outside any {!span}. *)
+let untraced = "(untraced)"
+
+type event = {
+  seq : int;  (** 0-based order of crossing within this collector *)
+  phase : string;  (** innermost {!span} in scope, or {!untraced} *)
+  channel : Channel.t;
+  bits : int;
+  round : int;
+  ts_us : float;  (** wall-clock µs relative to the collector's creation *)
+}
+
+type span_rec = { name : string; depth : int; start_us : float; dur_us : float }
+
+type t = {
+  mutable events : event list;  (* newest first *)
+  mutable spans : span_rec list;  (* newest first *)
+  mutable next_seq : int;
+  t0 : float;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let create () = { events = []; spans = []; next_seq = 0; t0 = now_us () }
+
+(* ------------------------------------------------ ambient per-domain state *)
+
+type ambient = { mutable stack : string list; mutable active : t list }
+
+let ambient_key : ambient Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { stack = []; active = [] })
+
+let ambient () = Domain.DLS.get ambient_key
+
+let current_phase () = match (ambient ()).stack with [] -> untraced | p :: _ -> p
+
+let with_collector t f =
+  let a = ambient () in
+  a.active <- t :: a.active;
+  Fun.protect ~finally:(fun () -> a.active <- List.filter (fun c -> c != t) a.active) f
+
+let span name f =
+  let a = ambient () in
+  let depth = List.length a.stack in
+  a.stack <- name :: a.stack;
+  let start = now_us () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dur = now_us () -. start in
+      (match a.stack with _ :: rest -> a.stack <- rest | [] -> ());
+      List.iter
+        (fun t ->
+          t.spans <- { name; depth; start_us = start -. t.t0; dur_us = dur } :: t.spans)
+        a.active)
+    f
+
+(* ----------------------------------------------------------------- the tap *)
+
+let record t ~round ch msg =
+  let e =
+    {
+      seq = t.next_seq;
+      phase = current_phase ();
+      channel = ch;
+      bits = Msg.bits msg;
+      round;
+      ts_us = now_us () -. t.t0;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.events <- e :: t.events
+
+let tap t =
+  {
+    Channel.deliver =
+      (fun ~round ch msg ->
+        record t ~round ch msg;
+        msg);
+  }
+
+(* ------------------------------------------------------------- aggregation *)
+
+let events t = List.rev t.events
+let spans t = List.rev t.spans
+let total_bits t = List.fold_left (fun acc e -> acc + e.bits) 0 t.events
+let message_count t = List.length t.events
+
+(* Group events by [key] in first-seen order, summing messages and bits. *)
+let rows_by key t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let k = key e in
+      (match Hashtbl.find_opt tbl k with
+      | None ->
+          order := k :: !order;
+          Hashtbl.add tbl k (1, e.bits)
+      | Some (msgs, bits) -> Hashtbl.replace tbl k (msgs + 1, bits + e.bits)))
+    (events t);
+  List.rev_map (fun k -> let msgs, bits = Hashtbl.find tbl k in (k, msgs, bits)) !order
+
+let phase_rows t = rows_by (fun e -> e.phase) t
+
+let player_label ch =
+  match Channel.player ch with Some j -> Printf.sprintf "p%d" j | None -> "board"
+
+(* Per-player split by direction: (label, download bits, upload bits). *)
+let player_rows t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let label = player_label e.channel in
+      let down, up =
+        match e.channel with
+        | Channel.To_player _ | Channel.Board -> (e.bits, 0)
+        | Channel.From_player _ -> (0, e.bits)
+      in
+      match Hashtbl.find_opt tbl label with
+      | None ->
+          order := label :: !order;
+          Hashtbl.add tbl label (down, up)
+      | Some (d, u) -> Hashtbl.replace tbl label (d + down, u + up))
+    (events t);
+  List.rev_map (fun l -> let d, u = Hashtbl.find tbl l in (l, d, u)) !order
+
+(** Log2-bucketed message-size histogram: [(bucket_floor_bits, count)] where
+    bucket [b] covers sizes in [[2^b, 2^{b+1})]; bucket [-1] holds zero-bit
+    messages.  First-seen order replaced by ascending bucket order. *)
+let size_histogram t =
+  let bucket bits = if bits <= 0 then -1 else int_of_float (Float.log2 (float_of_int bits)) in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let b = bucket e.bits in
+      Hashtbl.replace tbl b (1 + Option.value ~default:0 (Hashtbl.find_opt tbl b)))
+    t.events;
+  Hashtbl.fold (fun b c acc -> (b, c) :: acc) tbl [] |> List.sort compare
+
+(** The decomposition identity: the sum of traced event bits must equal what
+    the ledger accounted.  This is the observability contract — if it fails,
+    a charging point is missing its tap (or vice versa). *)
+let decomposes t ~accounted = total_bits t = accounted
+
+(* ---------------------------------------------------- Chrome trace events *)
+
+open Tfree_util
+
+let event_args e =
+  Jsonout.Obj
+    [
+      ("channel", Jsonout.Str (Channel.describe e.channel));
+      ("bits", Jsonout.Num (float_of_int e.bits));
+      ("round", Jsonout.Num (float_of_int e.round));
+      ("phase", Jsonout.Str e.phase);
+      ("seq", Jsonout.Num (float_of_int e.seq));
+    ]
+
+(** Chrome trace-event JSON (the [traceEvents] object form), viewable in
+    Perfetto / chrome://tracing.  Spans become "X" (complete) events, one
+    track per nesting depth; each charged message becomes an "i" (instant)
+    event whose [args] carry channel, bits, round, phase and sequence
+    number.  [other] lands in [otherData] — callers put [accounted_bits],
+    the verdict and the protocol name there so a trace file is
+    self-validating. *)
+let to_chrome ?(other = []) t =
+  let span_events =
+    List.map
+      (fun (s : span_rec) ->
+        Jsonout.Obj
+          [
+            ("name", Jsonout.Str s.name);
+            ("cat", Jsonout.Str "phase");
+            ("ph", Jsonout.Str "X");
+            ("ts", Jsonout.Num s.start_us);
+            ("dur", Jsonout.Num s.dur_us);
+            ("pid", Jsonout.Num 1.);
+            ("tid", Jsonout.Num (float_of_int (s.depth + 1)));
+          ])
+      (spans t)
+  in
+  let msg_events =
+    List.map
+      (fun e ->
+        Jsonout.Obj
+          [
+            ("name", Jsonout.Str (Channel.describe e.channel));
+            ("cat", Jsonout.Str "message");
+            ("ph", Jsonout.Str "i");
+            ("ts", Jsonout.Num e.ts_us);
+            ("pid", Jsonout.Num 1.);
+            ("tid", Jsonout.Num 1.);
+            ("s", Jsonout.Str "t");
+            ("args", event_args e);
+          ])
+      (events t)
+  in
+  Jsonout.Obj
+    [
+      ("traceEvents", Jsonout.List (span_events @ msg_events));
+      ( "otherData",
+        Jsonout.Obj
+          (("traced_bits", Jsonout.Num (float_of_int (total_bits t)))
+          :: ("traced_messages", Jsonout.Num (float_of_int (message_count t)))
+          :: other) );
+    ]
+
+(* ------------------------------------------------- reading a trace back in *)
+
+(* trace-report and trace_check work from the serialized file, so the
+   aggregations must also run over parsed JSON. *)
+
+let chrome_message_args json =
+  match Jsonout.member "traceEvents" json with
+  | Some (Jsonout.List evs) ->
+      List.filter_map
+        (fun ev ->
+          match Jsonout.member "cat" ev with
+          | Some (Jsonout.Str "message") -> Jsonout.member "args" ev
+          | _ -> None)
+        evs
+  | _ -> []
+
+let arg_num k args = Option.bind (Jsonout.member k args) Jsonout.to_float
+let arg_str k args =
+  match Jsonout.member k args with Some (Jsonout.Str s) -> Some s | _ -> None
+
+(** Per-phase [(phase, messages, bits)] rows of a parsed Chrome trace, in
+    first-appearance order. *)
+let phase_rows_of_chrome json =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun args ->
+      let phase = Option.value ~default:untraced (arg_str "phase" args) in
+      let bits = int_of_float (Option.value ~default:0. (arg_num "bits" args)) in
+      match Hashtbl.find_opt tbl phase with
+      | None ->
+          order := phase :: !order;
+          Hashtbl.add tbl phase (1, bits)
+      | Some (m, b) -> Hashtbl.replace tbl phase (m + 1, b + bits))
+    (chrome_message_args json);
+  List.rev_map (fun p -> let m, b = Hashtbl.find tbl p in (p, m, b)) !order
+
+(** Per-player [(label, download bits, upload bits)] rows of a parsed trace. *)
+let player_rows_of_chrome json =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun args ->
+      match Option.bind (arg_str "channel" args) Channel.parse with
+      | None -> ()
+      | Some ch ->
+          let bits = int_of_float (Option.value ~default:0. (arg_num "bits" args)) in
+          let label = player_label ch in
+          let down, up =
+            match ch with
+            | Channel.To_player _ | Channel.Board -> (bits, 0)
+            | Channel.From_player _ -> (0, bits)
+          in
+          (match Hashtbl.find_opt tbl label with
+          | None ->
+              order := label :: !order;
+              Hashtbl.add tbl label (down, up)
+          | Some (d, u) -> Hashtbl.replace tbl label (d + down, u + up)))
+    (chrome_message_args json);
+  List.rev_map (fun l -> let d, u = Hashtbl.find tbl l in (l, d, u)) !order
+
+(** [otherData] numeric field, e.g. [accounted_of_chrome "accounted_bits"]. *)
+let other_num_of_chrome key json =
+  Option.bind (Jsonout.member "otherData" json) (fun od ->
+      Option.map int_of_float (Option.bind (Jsonout.member key od) Jsonout.to_float))

@@ -1,0 +1,89 @@
+(** Phase-attributed protocol tracing.
+
+    A collector, installed as a {!Tfree_comm.Channel.tap}, records one event
+    per charged message; protocol code marks its paper-level phases with
+    {!span}.  The sum of event bits equals [Cost.total] exactly — the
+    decomposition identity ({!decomposes}) — so total communication splits
+    into per-phase and per-player attributions with nothing lost.
+
+    Phase scope is ambient and per-domain ([Domain.DLS]), so collectors on
+    the experiment pool's parallel domains never see each other's phases.
+    The trace tap returns messages unchanged and composes freely with the
+    wire tap. *)
+
+type event = {
+  seq : int;  (** 0-based order of crossing within this collector *)
+  phase : string;  (** innermost {!span} in scope, or {!untraced} *)
+  channel : Tfree_comm.Channel.t;
+  bits : int;
+  round : int;
+  ts_us : float;  (** wall-clock µs since the collector was created *)
+}
+
+type span_rec = {
+  name : string;
+  depth : int;  (** nesting depth, 0 = outermost *)
+  start_us : float;  (** relative to the collector's creation *)
+  dur_us : float;
+}
+
+type t
+
+(** Phase label given to messages that cross outside any {!span}. *)
+val untraced : string
+
+val create : unit -> t
+
+(** [span name f] runs [f] with [name] as the innermost ambient phase; every
+    message the tap sees during [f] is attributed to it.  Nests; exceptions
+    restore the phase stack.  Active collectors (see {!with_collector})
+    additionally record a timed span for the Chrome timeline. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** [with_collector t f] registers [t] to receive {!span} timing records
+    while [f] runs (message events need only the tap). *)
+val with_collector : t -> (unit -> 'a) -> 'a
+
+(** The read-only tap: records an event per delivery, returns the message
+    unchanged.  Compose it with the wire tap via {!Tfree_comm.Channel.compose}. *)
+val tap : t -> Tfree_comm.Channel.tap
+
+(** Recorded events, oldest first. *)
+val events : t -> event list
+
+(** Completed spans, oldest first. *)
+val spans : t -> span_rec list
+
+val total_bits : t -> int
+val message_count : t -> int
+
+(** [(phase, messages, bits)] in first-appearance order. *)
+val phase_rows : t -> (string * int * int) list
+
+(** [(label, download bits, upload bits)] per player ("p0", ... or "board"),
+    in first-appearance order.  Board postings count as download. *)
+val player_rows : t -> (string * int * int) list
+
+(** Log2-bucketed message-size histogram [(bucket, count)], ascending;
+    bucket [b] covers bit sizes in [2^b, 2^(b+1)), bucket [-1] holds
+    zero-bit messages. *)
+val size_histogram : t -> (int * int) list
+
+(** The decomposition identity: traced bits = accounted bits. *)
+val decomposes : t -> accounted:int -> bool
+
+(** Chrome trace-event JSON ([traceEvents] + [otherData]), viewable in
+    Perfetto.  [other] fields land in [otherData]; callers record
+    [accounted_bits], the protocol and the verdict there so the file is
+    self-validating. *)
+val to_chrome : ?other:(string * Tfree_util.Jsonout.t) list -> t -> Tfree_util.Jsonout.t
+
+(** Per-phase rows recovered from a parsed Chrome trace (for
+    [tfree trace-report] and the trace-smoke validator). *)
+val phase_rows_of_chrome : Tfree_util.Jsonout.t -> (string * int * int) list
+
+(** Per-player rows recovered from a parsed Chrome trace. *)
+val player_rows_of_chrome : Tfree_util.Jsonout.t -> (string * int * int) list
+
+(** Numeric [otherData] field of a parsed trace, if present. *)
+val other_num_of_chrome : string -> Tfree_util.Jsonout.t -> int option

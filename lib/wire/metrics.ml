@@ -1,0 +1,88 @@
+(** Service telemetry registry for tfree-serve.
+
+    One registry per server process.  Every served query records its
+    protocol, verdict, wall-clock latency and wire traffic; malformed or
+    failing lines record an error.  The whole registry serializes to JSON
+    for the [{"op": "stats"}] service query, with latency quantiles computed
+    by {!Tfree_util.Stats} at render time — the registry itself stores raw
+    samples, so quantiles are exact over the server's lifetime. *)
+
+open Tfree_util
+
+type protocol_counts = { mutable triangle : int; mutable triangle_free : int }
+
+type t = {
+  mutable queries_served : int;
+  mutable errors : int;  (** malformed lines, unknown commands, failed runs *)
+  mutable wire_bytes : int;  (** transport bytes of all served queries *)
+  mutable accounted_bits : int;  (** ledger bits of all served queries *)
+  verdicts : (string, protocol_counts) Hashtbl.t;
+  mutable latencies_us : float list;  (** newest first, one per served query *)
+}
+
+let create () =
+  {
+    queries_served = 0;
+    errors = 0;
+    wire_bytes = 0;
+    accounted_bits = 0;
+    verdicts = Hashtbl.create 8;
+    latencies_us = [];
+  }
+
+let counts_for t protocol =
+  match Hashtbl.find_opt t.verdicts protocol with
+  | Some c -> c
+  | None ->
+      let c = { triangle = 0; triangle_free = 0 } in
+      Hashtbl.add t.verdicts protocol c;
+      c
+
+let record_query t ~protocol ~found_triangle ~wire_bytes ~accounted_bits ~latency_us =
+  t.queries_served <- t.queries_served + 1;
+  t.wire_bytes <- t.wire_bytes + wire_bytes;
+  t.accounted_bits <- t.accounted_bits + accounted_bits;
+  let c = counts_for t protocol in
+  if found_triangle then c.triangle <- c.triangle + 1 else c.triangle_free <- c.triangle_free + 1;
+  t.latencies_us <- latency_us :: t.latencies_us
+
+let record_error t = t.errors <- t.errors + 1
+
+let queries_served t = t.queries_served
+let errors t = t.errors
+let wire_bytes t = t.wire_bytes
+let accounted_bits t = t.accounted_bits
+
+let to_json t =
+  let lat = t.latencies_us in
+  let q p = if lat = [] then Jsonout.Null else Jsonout.Num (Stats.quantile p lat) in
+  let verdict_objs =
+    Hashtbl.fold
+      (fun protocol c acc ->
+        ( protocol,
+          Jsonout.Obj
+            [
+              ("triangle", Jsonout.Num (float_of_int c.triangle));
+              ("triangle_free", Jsonout.Num (float_of_int c.triangle_free));
+            ] )
+        :: acc)
+      t.verdicts []
+    |> List.sort compare
+  in
+  Jsonout.Obj
+    [
+      ("queries_served", Jsonout.Num (float_of_int t.queries_served));
+      ("errors", Jsonout.Num (float_of_int t.errors));
+      ("wire_bytes", Jsonout.Num (float_of_int t.wire_bytes));
+      ("accounted_bits", Jsonout.Num (float_of_int t.accounted_bits));
+      ("verdicts", Jsonout.Obj verdict_objs);
+      ( "latency_us",
+        Jsonout.Obj
+          [
+            ("count", Jsonout.Num (float_of_int (List.length lat)));
+            ("mean", if lat = [] then Jsonout.Null else Jsonout.Num (Stats.mean lat));
+            ("p50", q 0.5);
+            ("p90", q 0.9);
+            ("p99", q 0.99);
+          ] );
+    ]

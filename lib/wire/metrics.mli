@@ -1,0 +1,30 @@
+(** Service telemetry for tfree-serve: queries served, per-protocol verdict
+    counts, wire traffic totals and wall-clock latency quantiles, exposed
+    through the [{"op": "stats"}] service query. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one successfully served protocol query. *)
+val record_query :
+  t ->
+  protocol:string ->
+  found_triangle:bool ->
+  wire_bytes:int ->
+  accounted_bits:int ->
+  latency_us:float ->
+  unit
+
+(** Record a failed line: malformed JSON, unknown command, or a run error. *)
+val record_error : t -> unit
+
+val queries_served : t -> int
+val errors : t -> int
+val wire_bytes : t -> int
+val accounted_bits : t -> int
+
+(** The stats-query payload: counters, per-protocol verdict counts, and
+    latency mean/p50/p90/p99 (via {!Tfree_util.Stats.quantile}; [null] when
+    no query has been served). *)
+val to_json : t -> Tfree_util.Jsonout.t

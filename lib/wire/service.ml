@@ -8,7 +8,11 @@
    accounted bits and the measured wire traffic, reconciled.
 
    A request of the form [{"cmd": "shutdown"}] stops the server after the
-   acknowledgement is written. *)
+   acknowledgement is written.  [{"op": "stats"}] returns the server's
+   telemetry ({!Metrics}): queries served, per-protocol verdict counts,
+   error count, wire traffic totals and latency quantiles.  Malformed lines
+   get a structured [{"ok": false, "error": ...}] reply and the connection
+   stays usable. *)
 
 open Tfree_util
 open Tfree_graph
@@ -314,24 +318,50 @@ let read_line_fd fd =
 
 let error_line msg = Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool false); ("error", Jsonout.Str msg) ])
 
-(* One request line -> one reply line.  Sets [stop] on a shutdown command. *)
-let handle_line ~stop line =
+(* One request line -> one reply line.  Sets [stop] on a shutdown command;
+   returns whether the line was a successfully served protocol query (the
+   unit the [max_requests] budget and the served counter measure).  All
+   failure shapes — unparseable JSON, unknown command, bad request field,
+   a run that raises — reply with a structured error and record it; the
+   connection stays usable either way. *)
+let handle_line ~metrics ~stop line =
+  let err msg =
+    Metrics.record_error metrics;
+    (error_line msg, false)
+  in
   match Jsonout.parse line with
-  | Error msg -> error_line ("bad JSON: " ^ msg)
+  | Error msg -> err ("bad JSON: " ^ msg)
   | Ok j -> (
-      match Jsonout.member "cmd" j with
-      | Some (Jsonout.Str "shutdown") ->
+      match (Jsonout.member "cmd" j, Jsonout.member "op" j) with
+      | Some (Jsonout.Str "shutdown"), _ ->
           stop := true;
-          Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("bye", Jsonout.Bool true) ])
-      | Some (Jsonout.Str c) -> error_line (Printf.sprintf "unknown command %S" c)
-      | Some _ -> error_line "cmd must be a string"
-      | None -> (
+          (Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("bye", Jsonout.Bool true) ]), false)
+      | Some (Jsonout.Str c), _ -> err (Printf.sprintf "unknown command %S" c)
+      | Some _, _ -> err "cmd must be a string"
+      | None, Some (Jsonout.Str "stats") ->
+          ( Jsonout.to_line
+              (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("stats", Metrics.to_json metrics) ]),
+            false )
+      | None, Some (Jsonout.Str o) -> err (Printf.sprintf "unknown op %S" o)
+      | None, Some _ -> err "op must be a string"
+      | None, None -> (
           match request_of_json j with
-          | Error msg -> error_line msg
+          | Error msg -> err msg
           | Ok req -> (
+              let t0 = Unix.gettimeofday () in
               match run_request req with
-              | resp -> Jsonout.to_line (response_to_json resp)
-              | exception e -> error_line (Printexc.to_string e))))
+              | resp ->
+                  Metrics.record_query metrics
+                    ~protocol:(protocol_to_string req.protocol)
+                    ~found_triangle:
+                      (match resp.verdict with
+                      | Tfree.Tester.Triangle _ -> true
+                      | Tfree.Tester.Triangle_free -> false)
+                    ~wire_bytes:resp.wire.Wire_runtime.wire_bytes
+                    ~accounted_bits:resp.wire.Wire_runtime.accounted_bits
+                    ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6);
+                  (Jsonout.to_line (response_to_json resp), true)
+              | exception e -> err (Printexc.to_string e))))
 
 (** Serve requests on a Unix-domain socket at [path] until a shutdown
     command (or [max_requests] queries) arrives.  Returns the number of
@@ -349,6 +379,7 @@ let serve ?max_requests ~path () =
    with e ->
      cleanup ();
      raise e);
+  let metrics = Metrics.create () in
   let served = ref 0 and stop = ref false in
   let budget_left () = match max_requests with None -> true | Some m -> !served < m in
   while (not !stop) && budget_left () do
@@ -360,10 +391,9 @@ let serve ?max_requests ~path () =
             match read_line_fd conn with
             | None -> ()
             | Some line ->
-                let is_query = Jsonout.parse line |> Result.is_ok in
-                let reply = handle_line ~stop line in
+                let reply, was_query = handle_line ~metrics ~stop line in
                 write_line conn reply;
-                if is_query && not !stop then incr served;
+                if was_query then incr served;
                 conn_loop ()
         in
         (try conn_loop () with _ -> ());
@@ -390,6 +420,25 @@ let client_query ~path req =
           match Jsonout.parse line with
           | Error msg -> Error ("bad reply JSON: " ^ msg)
           | Ok j -> response_of_json j))
+
+(** Fetch the server's telemetry ([{"op": "stats"}]); returns the [stats]
+    object of the reply. *)
+let client_stats ~path =
+  with_connection ~path (fun sock ->
+      write_line sock (Jsonout.to_line (Jsonout.Obj [ ("op", Jsonout.Str "stats") ]));
+      match read_line_fd sock with
+      | None -> Error "server closed the connection"
+      | Some line -> (
+          match Jsonout.parse line with
+          | Error msg -> Error ("bad reply JSON: " ^ msg)
+          | Ok j -> (
+              match (Jsonout.member "ok" j, Jsonout.member "stats" j) with
+              | Some (Jsonout.Bool true), Some stats -> Ok stats
+              | _ ->
+                  Error
+                    (match Jsonout.member "error" j with
+                    | Some (Jsonout.Str s) -> s
+                    | _ -> "server error"))))
 
 (** Ask a server at [path] to shut down. *)
 let client_shutdown ~path =

@@ -64,12 +64,19 @@ val run_request : request -> response
 (** {2 Server and client} *)
 
 (** Serve requests on a Unix-domain socket at [path] until a
-    [{"cmd": "shutdown"}] line (or [max_requests] queries) arrives.
-    Returns the number of queries served. *)
+    [{"cmd": "shutdown"}] line (or [max_requests] successfully served
+    protocol queries) arrives.  Returns the number of queries served.
+    Malformed or failing lines get a structured [{"ok": false, "error": ...}]
+    reply — the connection stays usable — and are tallied in the server's
+    {!Metrics} registry, which a [{"op": "stats"}] line returns. *)
 val serve : ?max_requests:int -> path:string -> unit -> int
 
 (** Send one request to a server at [path]; wait for the reply. *)
 val client_query : path:string -> request -> (response, string) result
+
+(** Fetch the server's telemetry ([{"op": "stats"}] query); returns the
+    [stats] object of the reply (see {!Metrics.to_json} for its shape). *)
+val client_stats : path:string -> (Jsonout.t, string) result
 
 (** Ask a server at [path] to shut down. *)
 val client_shutdown : path:string -> unit

@@ -78,7 +78,7 @@ let route net = function
     hand the protocol the decoded copy.  A decode that does not reproduce
     the sent message is a codec bug and fails loudly. *)
 let tap net =
-  let deliver ch msg =
+  let deliver ~round:_ ch msg =
     let link, stats = route net ch in
     let delivered, frame_bytes = Frame.exchange link msg in
     stats.frames <- stats.frames + 1;

@@ -1,0 +1,174 @@
+(* Tests for Tfree_trace: ambient span scoping, per-phase/per-player
+   attribution, the size histogram, the decomposition identity, and the
+   Chrome trace-event serialization round-trip. *)
+
+open Tfree_comm
+module Trace = Tfree_trace.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let params = Tfree.Params.practical
+
+(* Drive a tap by hand: one delivery on [ch] of a [bits]-wide fixed-range
+   int; returns the bit count actually recorded. *)
+let deliver tap ~round ch bits =
+  let m = Msg.int_in ~lo:0 ~hi:((1 lsl bits) - 1) 0 in
+  ignore (tap.Channel.deliver ~round ch m);
+  Msg.bits m
+
+let test_span_attribution () =
+  let c = Trace.create () in
+  let tap = Trace.tap c in
+  let b0 = deliver tap ~round:1 (Channel.To_player 0) 4 in
+  let b1, b2 =
+    Trace.span "outer" (fun () ->
+        let b1 = deliver tap ~round:2 (Channel.From_player 1) 6 in
+        let b2 = Trace.span "inner" (fun () -> deliver tap ~round:3 Channel.Board 8) in
+        (b1, b2))
+  in
+  let evs = Trace.events c in
+  checki "three events" 3 (List.length evs);
+  let phases = List.map (fun e -> e.Trace.phase) evs in
+  checkb "outside any span -> untraced" true (List.nth phases 0 = Trace.untraced);
+  checkb "outer span" true (List.nth phases 1 = "outer");
+  checkb "innermost span wins" true (List.nth phases 2 = "inner");
+  checki "seq numbers are 0.." 0 (List.nth evs 0).Trace.seq;
+  checki "rounds recorded" 3 (List.nth evs 2).Trace.round;
+  checki "total bits" (b0 + b1 + b2) (Trace.total_bits c);
+  checkb "decomposes against its own sum" true (Trace.decomposes c ~accounted:(b0 + b1 + b2));
+  checkb "does not decompose against anything else" false
+    (Trace.decomposes c ~accounted:(b0 + b1 + b2 + 1))
+
+let test_span_exception_restores_stack () =
+  let c = Trace.create () in
+  let tap = Trace.tap c in
+  (try Trace.span "doomed" (fun () -> failwith "boom") with Failure _ -> ());
+  ignore (deliver tap ~round:1 Channel.Board 3);
+  match Trace.events c with
+  | [ e ] -> checkb "phase stack restored after raise" true (e.Trace.phase = Trace.untraced)
+  | _ -> Alcotest.fail "expected exactly one event"
+
+let test_phase_rows_order_and_totals () =
+  let c = Trace.create () in
+  let tap = Trace.tap c in
+  let b_a1 = Trace.span "a" (fun () -> deliver tap ~round:1 (Channel.To_player 0) 5) in
+  let b_b = Trace.span "b" (fun () -> deliver tap ~round:2 (Channel.To_player 1) 7) in
+  let b_a2 = Trace.span "a" (fun () -> deliver tap ~round:3 (Channel.From_player 0) 9) in
+  (match Trace.phase_rows c with
+  | [ ("a", 2, bits_a); ("b", 1, bits_b) ] ->
+      checki "phase a bits merge across re-entry" (b_a1 + b_a2) bits_a;
+      checki "phase b bits" b_b bits_b
+  | rows -> Alcotest.failf "unexpected phase rows (%d)" (List.length rows));
+  let row_sum = List.fold_left (fun acc (_, _, b) -> acc + b) 0 (Trace.phase_rows c) in
+  checki "phase rows sum to total" (Trace.total_bits c) row_sum
+
+let test_player_rows () =
+  let c = Trace.create () in
+  let tap = Trace.tap c in
+  let down = deliver tap ~round:1 (Channel.To_player 2) 4 in
+  let up = deliver tap ~round:2 (Channel.From_player 2) 6 in
+  let board = deliver tap ~round:3 Channel.Board 8 in
+  (match Trace.player_rows c with
+  | [ ("p2", d, u); ("board", bd, bu) ] ->
+      checki "player download" down d;
+      checki "player upload" up u;
+      checki "board posting counts as download" board bd;
+      checki "board has no upload" 0 bu
+  | rows -> Alcotest.failf "unexpected player rows (%d)" (List.length rows))
+
+let test_size_histogram () =
+  let c = Trace.create () in
+  let tap = Trace.tap c in
+  (* Msg.bool = 1 bit -> bucket 0; 4-bit int_in -> bucket 2; tuple [] = 0
+     bits -> bucket -1. *)
+  ignore (tap.Channel.deliver ~round:1 Channel.Board (Msg.bool true));
+  ignore (tap.Channel.deliver ~round:1 Channel.Board (Msg.bool false));
+  ignore (tap.Channel.deliver ~round:1 Channel.Board (Msg.int_in ~lo:0 ~hi:15 9));
+  ignore (tap.Channel.deliver ~round:1 Channel.Board (Msg.tuple []));
+  let h = Trace.size_histogram c in
+  checkb "zero-bit bucket" true (List.mem_assoc (-1) h);
+  checki "two one-bit messages" 2 (List.assoc 0 h);
+  checki "one four-bit message" 1 (List.assoc 2 h);
+  checkb "buckets ascend" true (List.sort compare h = h);
+  checki "histogram counts all messages" (Trace.message_count c)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 h)
+
+let test_chrome_roundtrip () =
+  let c = Trace.create () in
+  let tap = Trace.tap c in
+  Trace.with_collector c (fun () ->
+      ignore
+        (Trace.span "sample" (fun () -> deliver tap ~round:1 (Channel.To_player 0) 5));
+      ignore (Trace.span "scan" (fun () -> deliver tap ~round:2 Channel.Board 7)));
+  let doc = Trace.to_chrome ~other:[ ("accounted_bits", Tfree_util.Jsonout.Num (float_of_int (Trace.total_bits c))) ] c in
+  (* Serialize and re-parse: the report path reads files, not live values. *)
+  let reparsed =
+    match Tfree_util.Jsonout.parse (Tfree_util.Jsonout.to_string doc) with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail msg
+  in
+  checkb "phase rows survive the file format" true
+    (Trace.phase_rows_of_chrome reparsed = Trace.phase_rows c);
+  checkb "player rows survive the file format" true
+    (Trace.player_rows_of_chrome reparsed = Trace.player_rows c);
+  (match Trace.other_num_of_chrome "accounted_bits" reparsed with
+  | Some a -> checki "otherData numeric round-trip" (Trace.total_bits c) a
+  | None -> Alcotest.fail "accounted_bits missing from otherData");
+  checkb "absent otherData field is None" true
+    (Trace.other_num_of_chrome "nonexistent" reparsed = None);
+  checki "two timed spans recorded" 2 (List.length (Trace.spans c))
+
+let test_collectors_are_independent () =
+  (* Two live collectors: each tap records only its own events, while span
+     timing goes to whichever collector is registered. *)
+  let c1 = Trace.create () and c2 = Trace.create () in
+  let t1 = Trace.tap c1 and t2 = Trace.tap c2 in
+  Trace.span "shared" (fun () ->
+      ignore (deliver t1 ~round:1 Channel.Board 3);
+      ignore (deliver t2 ~round:1 Channel.Board 5));
+  checki "collector 1 saw one message" 1 (Trace.message_count c1);
+  checki "collector 2 saw one message" 1 (Trace.message_count c2);
+  checkb "both attribute to the ambient span" true
+    (match (Trace.events c1, Trace.events c2) with
+    | [ e1 ], [ e2 ] -> e1.Trace.phase = "shared" && e2.Trace.phase = "shared"
+    | _ -> false)
+
+let test_protocol_run_decomposes () =
+  (* End-to-end on a real protocol: the tap's sum equals the ledger. *)
+  let rng = Tfree_util.Rng.create 4242 in
+  let g = Tfree_graph.Gen.far_with_degree rng ~n:220 ~d:5.0 ~eps:0.1 in
+  let parts = Tfree_graph.Partition.with_duplication rng ~k:4 ~dup_p:0.3 g in
+  let c = Trace.create () in
+  let r =
+    Trace.with_collector c (fun () ->
+        Tfree.Tester.unrestricted ~tap:(Trace.tap c) ~seed:2 params parts)
+  in
+  checkb "protocol trace decomposes" true (Trace.decomposes c ~accounted:r.Tfree.Tester.bits);
+  checkb "no event escaped the paper phases" true
+    (List.for_all (fun (phase, _, _) -> phase <> Trace.untraced) (Trace.phase_rows c))
+
+let () =
+  Alcotest.run "tfree_trace"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "ambient attribution and nesting" `Quick test_span_attribution;
+          Alcotest.test_case "exception restores the stack" `Quick test_span_exception_restores_stack;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "phase rows" `Quick test_phase_rows_order_and_totals;
+          Alcotest.test_case "player rows" `Quick test_player_rows;
+          Alcotest.test_case "size histogram" `Quick test_size_histogram;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "file-format round-trip" `Quick test_chrome_roundtrip;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "independent collectors" `Quick test_collectors_are_independent;
+          Alcotest.test_case "real protocol decomposes" `Quick test_protocol_run_decomposes;
+        ] );
+    ]

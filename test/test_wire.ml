@@ -212,6 +212,56 @@ let test_wire_runtime_surface () =
   checki "surface accounted = cost ledger" (Cost.total (Wire.cost wt)) r.Wire.accounted_bits;
   checkb "surface reconciles" true (Wire.reconciles r)
 
+(* ------------------------------------------------------- tap composition *)
+
+module Trace = Tfree_trace.Trace
+
+(* The full acceptance matrix: identity ∘ trace ∘ wire installed together,
+   on every protocol × {coordinator, blackboard} × {model, pipe,
+   socketpair}.  Composition must change no verdict and no accounted bit
+   count, the wire leg must still reconcile, and the trace leg must satisfy
+   the decomposition identity. *)
+let composition_suite mode transport () =
+  let k = 4 and seed = 2 in
+  let rng = Rng.create 52_901 in
+  let g = Gen.far_with_degree rng ~n:240 ~d:5.0 ~eps:0.1 in
+  let parts = Partition.with_duplication rng ~k ~dup_p:0.3 g in
+  let davg = Graph.avg_degree g in
+  let run_with (run : proto_run) ?tap () =
+    match mode with
+    | Runtime.Coordinator -> run ?tap ~seed parts
+    | Runtime.Blackboard ->
+        (* only the adaptive protocol distinguishes the modes; the
+           simultaneous ones go through their own referee *)
+        Tfree.Tester.unrestricted ~mode ?tap ~seed params parts
+  in
+  List.iter
+    (fun (name, run) ->
+      let model = run_with run () in
+      let collector = Trace.create () in
+      let net = Option.map (fun tr -> Wire.create ~transport:tr ~k ()) transport in
+      let tap =
+        Channel.compose_all
+          (Channel.identity
+          :: Trace.tap collector
+          :: Option.to_list (Option.map Wire.tap net))
+      in
+      let traced = Trace.with_collector collector (fun () -> run_with run ~tap ()) in
+      checkb (name ^ " verdict unchanged by composition") true
+        (model.Tfree.Tester.verdict = traced.Tfree.Tester.verdict);
+      checki (name ^ " accounted bits unchanged") model.Tfree.Tester.bits traced.Tfree.Tester.bits;
+      checkb (name ^ " decomposition identity") true
+        (Trace.decomposes collector ~accounted:traced.Tfree.Tester.bits);
+      Option.iter
+        (fun net ->
+          let r = Wire.report net ~accounted_bits:traced.Tfree.Tester.bits in
+          Wire.close net;
+          checkb (name ^ " wire reconciles under composition") true (Wire.reconciles r);
+          checki (name ^ " one frame per traced event") (Trace.message_count collector)
+            r.Wire.frames)
+        net)
+    (protocols ~davg)
+
 (* -------------------------------------------------------------- service *)
 
 let test_service_request_json_roundtrip () =
@@ -258,6 +308,70 @@ let test_service_run_request_reconciles () =
       | Ok back -> checkb "response JSON round-trips" true (back = resp)
       | Error msg -> Alcotest.fail msg)
     [ Service.Unrestricted; Service.Sim; Service.Oblivious; Service.Exact ]
+
+(* A malformed line must get a structured {"ok":false,"error":...} reply on
+   the same connection, which must then serve a normal query; the stats
+   telemetry must count the error.  Runs a real forked server on a temp
+   socket. *)
+let test_service_malformed_line_keeps_connection () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tfree-test-wire-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  match Unix.fork () with
+  | 0 ->
+      (* child: exactly one successful protocol query in the session *)
+      exit (if Service.serve ~path () = 1 then 0 else 1)
+  | server ->
+      let rec await tries =
+        if not (Sys.file_exists path) then
+          if tries = 0 then Alcotest.fail "server socket never appeared"
+          else (
+            Unix.sleepf 0.05;
+            await (tries - 1))
+      in
+      await 100;
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let out = Unix.out_channel_of_descr sock and inp = Unix.in_channel_of_descr sock in
+      let exchange line =
+        output_string out (line ^ "\n");
+        flush out;
+        match In_channel.input_line inp with
+        | Some reply -> reply
+        | None -> Alcotest.fail "server closed the connection"
+      in
+      (match Jsonout.parse (exchange "{definitely not json") with
+      | Ok j -> (
+          match (Jsonout.member "ok" j, Jsonout.member "error" j) with
+          | Some (Jsonout.Bool false), Some (Jsonout.Str _) -> ()
+          | _ -> Alcotest.fail "malformed line did not get a structured error")
+      | Error msg -> Alcotest.failf "error reply is not JSON: %s" msg);
+      (* same connection, normal query *)
+      let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
+      (match
+         Result.bind
+           (Jsonout.parse (exchange (Jsonout.to_line (Service.request_to_json req))))
+           Service.response_of_json
+       with
+      | Ok resp -> checkb "query after malformed line reconciles" true (Wire.reconciles resp.Service.wire)
+      | Error msg -> Alcotest.failf "connection unusable after malformed line: %s" msg);
+      Unix.close sock;
+      (match Service.client_stats ~path with
+      | Ok stats ->
+          let num k =
+            match Option.bind (Jsonout.member k stats) Jsonout.to_float with
+            | Some f -> int_of_float f
+            | None -> Alcotest.failf "stats missing %S" k
+          in
+          checki "stats counted the error" 1 (num "errors");
+          checki "stats counted the query" 1 (num "queries_served")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg);
+      Service.client_shutdown ~path;
+      (match Unix.waitpid [] server with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "server did not exit cleanly")
 
 (* --------------------------------------------------------------- QCheck *)
 
@@ -308,12 +422,27 @@ let () =
           Alcotest.test_case "blackboard mode" `Quick test_parity_blackboard;
           Alcotest.test_case "runtime surface" `Quick test_wire_runtime_surface;
         ] );
+      ( "composition",
+        [
+          Alcotest.test_case "coordinator, model" `Quick (composition_suite Runtime.Coordinator None);
+          Alcotest.test_case "coordinator, pipe" `Quick
+            (composition_suite Runtime.Coordinator (Some Wire.Pipe));
+          Alcotest.test_case "coordinator, socketpair" `Quick
+            (composition_suite Runtime.Coordinator (Some Wire.Socketpair));
+          Alcotest.test_case "blackboard, model" `Quick (composition_suite Runtime.Blackboard None);
+          Alcotest.test_case "blackboard, pipe" `Quick
+            (composition_suite Runtime.Blackboard (Some Wire.Pipe));
+          Alcotest.test_case "blackboard, socketpair" `Quick
+            (composition_suite Runtime.Blackboard (Some Wire.Socketpair));
+        ] );
       ( "service",
         [
           Alcotest.test_case "request JSON round-trip" `Quick test_service_request_json_roundtrip;
           Alcotest.test_case "request defaults" `Quick test_service_request_defaults;
           Alcotest.test_case "rejects unknown enum" `Quick test_service_request_rejects_unknown;
           Alcotest.test_case "run_request reconciles" `Quick test_service_run_request_reconciles;
+          Alcotest.test_case "malformed line keeps connection" `Quick
+            test_service_malformed_line_keeps_connection;
         ] );
       ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
     ]
