@@ -1,0 +1,203 @@
+(* Chaos smoke behind the @chaos-smoke alias — the fault-injection stack
+   end to end, deterministic in its seeds:
+
+     1. in-process chaos matrix: every fault kind x {pipe, socketpair} x all
+        four protocols, one injected fault per run.  A run either completes
+        with the fault-free verdict and bit count (the fault missed or was
+        benign) or aborts with a typed Wire_error whose scheduled kind is
+        non-benign.  Wrong verdicts and hangs are hard failures.
+
+     2. forked tfree-serve daemon sabotaging its own first three replies
+        (drop, corrupt, truncate); a client with retries=5 must recover the
+        correct verdict spending exactly three retries, and the server's
+        stats must count exactly three injected faults and zero errors.
+
+     3. a client killed mid-request (partial line, then close) must cost the
+        daemon one transport error and nothing else: the next query on a
+        fresh connection is served normally. *)
+
+open Tfree_util
+module Common = Tfree_experiments.Common
+module Service = Tfree_wire.Service
+module Wire = Tfree_wire.Wire_runtime
+module Fault = Tfree_wire.Fault
+module Wire_error = Tfree_wire.Wire_error
+module Metrics = Tfree_wire.Metrics
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("chaos_smoke: " ^ msg); exit 1) fmt
+let params = Tfree.Params.practical
+
+(* ---------- part 1: in-process chaos matrix ---------- *)
+
+let run_tester ?tap proto ~seed ~davg parts =
+  match proto with
+  | `Unrestricted -> Tfree.Tester.unrestricted ?tap ~seed params parts
+  | `Sim -> Tfree.Tester.simultaneous ?tap ~seed params ~d:davg parts
+  | `Oblivious -> Tfree.Tester.simultaneous_oblivious ?tap ~seed params parts
+  | `Exact -> Tfree.Tester.exact ?tap ~seed parts
+
+let protocols =
+  [ ("unrestricted", `Unrestricted); ("sim", `Sim); ("oblivious", `Oblivious); ("exact", `Exact) ]
+
+let kinds =
+  [
+    Fault.Drop;
+    Fault.Corrupt { bit = 13 };
+    Fault.Truncate { keep = 5 };
+    Fault.Delay { amount = 2 };
+    Fault.Partial { at = 3 };
+    Fault.Close;
+  ]
+
+let chaos_matrix () =
+  let seed = 7 in
+  let _, parts = Common.far_instance ~n:200 ~d:4.0 ~k:4 ~dup:true seed in
+  let davg = 4.0 in
+  let clean = ref 0 and aborted = ref 0 in
+  List.iter
+    (fun transport ->
+      List.iter
+        (fun (pname, proto) ->
+          let base = run_tester proto ~seed ~davg parts in
+          List.iter
+            (fun kind ->
+              List.iter
+                (fun op ->
+                  let net = Wire.create ~fault:[ { Fault.op; kind } ] ~transport ~k:4 () in
+                  match
+                    Fun.protect
+                      ~finally:(fun () -> Wire.close net)
+                      (fun () -> run_tester ~tap:(Wire.tap net) proto ~seed ~davg parts)
+                  with
+                  | r ->
+                      if
+                        r.Tfree.Tester.verdict <> base.Tfree.Tester.verdict
+                        || r.Tfree.Tester.bits <> base.Tfree.Tester.bits
+                      then
+                        fail "%s/%s under %s@%d: run completed but differs from fault-free base"
+                          (Wire.kind_to_string transport) pname (Fault.kind_name kind) op
+                      else incr clean
+                  | exception Wire_error.Wire_error k ->
+                      if Fault.benign kind then
+                        fail "%s/%s: benign fault %s@%d aborted the run (%s)"
+                          (Wire.kind_to_string transport) pname (Fault.kind_name kind) op
+                          (Wire_error.message k)
+                      else incr aborted)
+                [ 0; 5 ])
+            kinds)
+        protocols)
+    [ Wire.Pipe; Wire.Socketpair ];
+  Printf.printf "chaos_smoke: matrix ok (%d runs: %d clean, %d typed aborts, 0 wrong verdicts)\n"
+    (!clean + !aborted) !clean !aborted
+
+(* ---------- forked-daemon scaffolding ---------- *)
+
+let with_server ?(fault = []) ~tag ~expect_served f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tfree-chaos-%s-%d.sock" tag (Unix.getpid ()))
+  in
+  match Unix.fork () with
+  | 0 -> exit (if Service.serve ~line_timeout_s:5.0 ~fault ~path () = expect_served then 0 else 1)
+  | server ->
+      let rec await tries =
+        if not (Sys.file_exists path) then
+          if tries = 0 then (
+            Unix.kill server Sys.sigkill;
+            fail "%s: server socket %s never appeared" tag path)
+          else (
+            Unix.sleepf 0.05;
+            await (tries - 1))
+      in
+      await 100;
+      (try f path
+       with e ->
+         Unix.kill server Sys.sigkill;
+         ignore (Unix.waitpid [] server);
+         raise e);
+      Service.client_shutdown ~path;
+      (match Unix.waitpid [] server with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> fail "%s: server did not exit cleanly (or served a wrong count)" tag)
+
+let stats_num stats k =
+  match Option.bind (Jsonout.member k stats) Jsonout.to_float with
+  | Some f -> int_of_float f
+  | None -> fail "stats missing numeric field %S" k
+
+let stats_category stats name =
+  match Jsonout.member "errors_by_category" stats with
+  | None -> fail "stats missing errors_by_category"
+  | Some cats -> (
+      match Option.bind (Jsonout.member name cats) Jsonout.to_float with
+      | Some f -> int_of_float f
+      | None -> fail "errors_by_category missing %S" name)
+
+let get_stats path =
+  match Service.client_stats ~path () with
+  | Ok stats -> stats
+  | Error msg -> fail "stats query: %s" msg
+
+(* ---------- part 2: retry recovery through sabotaged replies ---------- *)
+
+let retry_recovery () =
+  let fault =
+    [
+      { Fault.op = 0; kind = Fault.Drop };
+      { Fault.op = 1; kind = Fault.Corrupt { bit = 13 } };
+      { Fault.op = 2; kind = Fault.Truncate { keep = 5 } };
+    ]
+  in
+  let req = { Service.default_request with n = 200; seed = 3 } in
+  (* three sabotaged replies + the one that gets through, all served queries *)
+  with_server ~fault ~tag:"retry" ~expect_served:4 (fun path ->
+      let m = Metrics.create () in
+      match Service.client_query ~retries:5 ~backoff_s:0.01 ~metrics:m ~path req with
+      | Error msg -> fail "retry client failed: %s" msg
+      | Ok resp ->
+          let local = Service.run_request req in
+          if
+            resp.Service.verdict <> local.Service.verdict
+            || resp.Service.bits <> local.Service.bits
+          then fail "retry client recovered a response that differs from the local run";
+          if Metrics.retries m <> 3 then
+            fail "client spent %d retries, schedule forced exactly 3" (Metrics.retries m);
+          let stats = get_stats path in
+          if stats_num stats "injected_faults" <> 3 then
+            fail "server injected %d faults, scheduled 3" (stats_num stats "injected_faults");
+          if stats_num stats "errors" <> 0 then
+            fail "injected faults were miscounted as %d errors" (stats_num stats "errors");
+          if stats_num stats "queries_served" <> 4 then
+            fail "server served %d queries, expected 4" (stats_num stats "queries_served"));
+  print_endline "chaos_smoke: retry recovery ok (3 retries, 3 injected faults, 0 errors)"
+
+(* ---------- part 3: client killed mid-request ---------- *)
+
+let killed_client () =
+  with_server ~tag:"killed" ~expect_served:1 (fun path ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let partial = Bytes.of_string "{\"protocol\": \"ex" in
+      ignore (Unix.write sock partial 0 (Bytes.length partial));
+      Unix.close sock;
+      (* the daemon must shrug that off and serve the next connection *)
+      let req = { Service.default_request with n = 200; seed = 5 } in
+      (match Service.client_query ~path req with
+      | Error msg -> fail "query after killed client failed: %s" msg
+      | Ok resp ->
+          if not (Wire.reconciles resp.Service.wire) then
+            fail "reply after killed client does not reconcile");
+      let stats = get_stats path in
+      if stats_num stats "errors" <> 1 || stats_category stats "transport" <> 1 then
+        fail "killed client should cost exactly one transport error (errors=%d, transport=%d)"
+          (stats_num stats "errors")
+          (stats_category stats "transport");
+      if stats_num stats "queries_served" <> 1 then
+        fail "server served %d queries, expected 1" (stats_num stats "queries_served"));
+  print_endline "chaos_smoke: killed client ok (one transport error, daemon kept serving)"
+
+let () =
+  chaos_matrix ();
+  retry_recovery ();
+  killed_client ();
+  print_endline "chaos_smoke: ok"

@@ -135,7 +135,7 @@ let () =
       | None -> fail "connection unusable after a malformed line");
       Unix.close conn;
       (* Stats reconciliation against the tally. *)
-      (match Service.client_stats ~path with
+      (match Service.client_stats ~path () with
       | Error msg -> fail "stats query: %s" msg
       | Ok stats ->
           let num k =
@@ -148,6 +148,23 @@ let () =
           in
           check "queries_served" (num "queries_served") !tally_queries;
           check "errors" (num "errors") !tally_errors;
+          (let cats =
+             match Jsonout.member "errors_by_category" stats with
+             | Some c -> c
+             | None -> fail "stats missing errors_by_category"
+           in
+           let cat k =
+             match Option.bind (Jsonout.member k cats) Jsonout.to_float with
+             | Some f -> int_of_float f
+             | None -> fail "errors_by_category missing %S" k
+           in
+           (* the one error in this script is the malformed line *)
+           check "errors_by_category.malformed" (cat "malformed") !tally_errors;
+           List.iter
+             (fun k -> check ("errors_by_category." ^ k) (cat k) 0)
+             [ "unknown_op"; "run_failure"; "timeout"; "transport" ]);
+          check "retries" (num "retries") 0;
+          check "injected_faults" (num "injected_faults") 0;
           check "wire_bytes" (num "wire_bytes") !tally_wire_bytes;
           check "accounted_bits" (num "accounted_bits") !tally_accounted;
           let verdicts =

@@ -86,6 +86,22 @@ let transport_arg =
        & opt (enum [ ("pipe", Wire.Pipe); ("socketpair", Wire.Socketpair) ]) Wire.Pipe
        & info [ "transport" ] ~docv:"KIND" ~doc)
 
+let fault_spec_arg =
+  let doc =
+    "Deterministic fault schedule, either explicit (OP:KIND[@ARG],... with kinds drop, \
+     corrupt@BIT, truncate@KEEP, delay@AMOUNT, partial@AT, close — e.g. 2:drop,5:corrupt@13) \
+     or seeded (seed=S,rate=R,ops=N[,kinds=drop+corrupt]).  For `run` the ops count frames on \
+     the wire network; for `serve` they count the server's own replies."
+  in
+  Arg.(value & opt string "" & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+
+let parse_fault_spec spec =
+  match Tfree_wire.Fault.parse spec with
+  | Ok s -> s
+  | Error msg ->
+      Printf.eprintf "error: bad --fault-spec: %s\n" msg;
+      exit 2
+
 (* ------------------------------------------------------------------ run *)
 
 let print_report g (report : Tfree.Tester.report) =
@@ -103,14 +119,17 @@ let verdict_string = function
   | Tfree.Tester.Triangle_free -> "triangle-free"
 
 let run_cmd =
-  let run seed n d k eps family part proto blackboard wire transport trace_out =
+  let run seed n d k eps family part proto blackboard wire transport fault_spec trace_out =
     let rng = Rng.create seed in
     let g = Service.build_instance family rng ~n ~d ~eps in
     let inputs = Service.build_partition part rng ~k g in
     Printf.printf "instance: n=%d m=%d avg degree %.2f; k=%d players (duplication %b)\n" (Graph.n g)
       (Graph.m g) (Graph.avg_degree g) k (Partition.has_duplication inputs);
     let params = Tfree.Params.(with_eps practical eps) in
-    let net = if wire then Some (Wire.create ~transport ~k ()) else None in
+    let fault = parse_fault_spec fault_spec in
+    (* a fault schedule only means something on the wire, so it implies it *)
+    let wire = wire || fault <> [] in
+    let net = if wire then Some (Wire.create ~fault ~transport ~k ()) else None in
     let collector = Option.map (fun _ -> Trace.create ()) trace_out in
     (* trace before wire: record the declared message, then move its bytes *)
     let tap =
@@ -128,9 +147,18 @@ let run_cmd =
       | Service.Exact -> Tfree.Tester.exact ?tap ~seed inputs
     in
     let report =
-      match collector with
-      | Some c -> Trace.with_collector c run_protocol
-      | None -> run_protocol ()
+      match
+        match collector with
+        | Some c -> Trace.with_collector c run_protocol
+        | None -> run_protocol ()
+      with
+      | r -> r
+      | exception Tfree_wire.Wire_error.Wire_error kind ->
+          (* fail closed: an injected (or real) wire fault aborts the run
+             with a typed error and a nonzero exit, never a wrong verdict *)
+          Option.iter Wire.close net;
+          Printf.eprintf "wire fault aborted the run: %s\n" (Tfree_wire.Wire_error.message kind);
+          exit 3
     in
     print_report (Some g) report;
     Option.iter
@@ -177,7 +205,7 @@ let run_cmd =
   in
   let term =
     Term.(const run $ seed_arg $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg
-          $ protocol_arg $ blackboard_arg $ wire_arg $ transport_arg $ trace_arg)
+          $ protocol_arg $ blackboard_arg $ wire_arg $ transport_arg $ fault_spec_arg $ trace_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Test a generated distributed instance with a chosen protocol.") term
 
@@ -274,9 +302,11 @@ let inspect_cmd =
 (* ------------------------------------------------------- serve / client *)
 
 let serve_cmd =
-  let run path max_requests =
-    Printf.printf "tfree-serve: listening on %s\n%!" path;
-    let served = Service.serve ?max_requests ~path () in
+  let run path max_requests line_timeout fault_spec =
+    let fault = parse_fault_spec fault_spec in
+    Printf.printf "tfree-serve: listening on %s%s\n%!" path
+      (if fault = [] then "" else Printf.sprintf " (injecting %d reply fault(s))" (List.length fault));
+    let served = Service.serve ?max_requests ~line_timeout_s:line_timeout ~fault ~path () in
     Printf.printf "tfree-serve: served %d request(s); bye\n" served
   in
   let max_arg =
@@ -284,28 +314,41 @@ let serve_cmd =
          & info [ "max-requests" ] ~docv:"N"
              ~doc:"Exit after N queries (default: run until a shutdown command).")
   in
+  let line_timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "line-timeout" ] ~docv:"SECONDS"
+             ~doc:"Drop a connection that holds the server waiting longer than this for a \
+                   complete request line.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Answer triangle-freeness queries over a Unix-domain socket (one JSON value per \
-             line; requests name an instance family, a partition and a protocol).")
-    Term.(const run $ socket_arg $ max_arg)
+             line; requests name an instance family, a partition and a protocol).  The server \
+             degrades under bad clients and injected faults; it never dies mid-conversation.")
+    Term.(const run $ socket_arg $ max_arg $ line_timeout_arg $ fault_spec_arg)
 
 let client_cmd =
-  let run path shutdown stats as_json seed n d k eps family part proto transport =
+  let run path shutdown stats as_json seed n d k eps family part proto transport fault_spec
+      timeout retries backoff =
+    ignore (parse_fault_spec fault_spec);
     if shutdown then (
       Service.client_shutdown ~path;
       print_endline "shutdown sent")
     else if stats then (
-      match Service.client_stats ~path with
+      match Service.client_stats ~timeout_s:timeout ~path () with
       | Error msg ->
           Printf.eprintf "error: %s\n" msg;
           exit 1
       | Ok stats -> print_string (Jsonout.to_string stats))
     else
       let req =
-        { Service.family; partition = part; protocol = proto; n; d; k; eps; seed; transport }
+        { Service.family; partition = part; protocol = proto; n; d; k; eps; seed; transport;
+          fault = fault_spec }
       in
-      match Service.client_query ~path req with
+      match
+        Service.client_query ~timeout_s:timeout ~retries ~backoff_s:backoff ~backoff_seed:seed
+          ~path req
+      with
       | Error msg ->
           Printf.eprintf "error: %s\n" msg;
           exit 1
@@ -331,10 +374,25 @@ let client_cmd =
                    quantiles, wire traffic) instead of querying.")
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print the server's raw JSON reply.") in
+  let timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-attempt reply deadline.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry transient failures up to N more times with exponential backoff.")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 0.05
+         & info [ "backoff" ] ~docv:"SECONDS"
+             ~doc:"Base backoff before the first retry; doubles each attempt, with jitter.")
+  in
   Cmd.v
     (Cmd.info "client" ~doc:"Query a running tfree-serve daemon.")
     Term.(const run $ socket_arg $ shutdown_arg $ stats_arg $ json_arg $ seed_arg $ n_arg $ d_arg
-          $ k_arg $ eps_arg $ instance_arg $ partition_arg $ protocol_arg $ transport_arg)
+          $ k_arg $ eps_arg $ instance_arg $ partition_arg $ protocol_arg $ transport_arg
+          $ fault_spec_arg $ timeout_arg $ retries_arg $ backoff_arg)
 
 let () =
   let doc = "multiparty communication-complexity testers for triangle-freeness (PODC'17 reproduction)" in

@@ -18,7 +18,17 @@
     the first and then the second, and both observe the same round.  Since
     every tap must preserve [Msg.value] and [Msg.bits] (the wire tap asserts
     this, the trace tap is read-only), composition order cannot change what
-    the protocol sees — only which observers are attached. *)
+    the protocol sees — only which observers are attached.
+
+    A tap is allowed to {e fail} instead of delivering: the wire tap raises
+    a typed [Tfree_wire.Wire_error.Wire_error] when its transport cannot
+    round-trip the message (a truncated stream, a corrupted frame, an
+    injected fault from [Transport.faulty]).  The contract is fail-closed:
+    a tap either returns a faithful copy or raises — it never returns an
+    altered message — so a fault below a tapped runtime can abort a run but
+    never flip its verdict.  Protocol code does not catch these; the caller
+    that installed the tap (the serve daemon, the chaos harness) decides
+    what an aborted run means. *)
 
 type t =
   | To_player of int  (** coordinator (or referee) -> player [j] *)

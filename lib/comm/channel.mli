@@ -4,7 +4,13 @@
     receiver observes.  The identity tap is the pure accounting model; the
     wire subsystem installs a tap that moves the message through a real byte
     transport, the trace subsystem one that records a phase-attributed event
-    per crossing.  Taps compose. *)
+    per crossing.  Taps compose.
+
+    A tap either returns a faithful copy or raises (the wire tap fails
+    closed with a typed [Tfree_wire.Wire_error.Wire_error] on transport
+    faults, injected or real); it never returns an altered message, so a
+    fault below a tapped runtime can abort a run but never flip its
+    verdict. *)
 
 type t =
   | To_player of int  (** coordinator (or referee) -> player [j] *)

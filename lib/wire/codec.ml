@@ -91,15 +91,21 @@ let encode_payload msg =
          (Msg.bits msg));
   (Bitio.to_bytes w, emitted)
 
-(** Decode a payload of [bits] bits under [layout]; asserts the decoder
-    consumed exactly [bits]. *)
+(** Decode a payload of [bits] bits under [layout]; the decoder must consume
+    exactly [bits].  All decode failures — a read past the end of the
+    buffer, a value that does not fit its layout, a bit-count mismatch —
+    raise the typed {!Wire_error} ([Corrupt]): bytes that arrived but do not
+    decode are a wire fault, never a crash. *)
 let decode_payload layout ?(off = 0) ~bits data =
   let r = Bitio.reader ~off data in
-  let value = decode_value r layout in
+  let value =
+    try decode_value r layout with
+    | Invalid_argument msg -> Wire_error.errorf_corrupt "Codec.decode_payload: %s" msg
+    | Failure msg -> Wire_error.errorf_corrupt "Codec.decode_payload: %s" msg
+  in
   if Bitio.bits_read r <> bits then
-    invalid_arg
-      (Printf.sprintf "Codec.decode_payload: consumed %d bits of a %d-bit payload" (Bitio.bits_read r)
-         bits);
+    Wire_error.errorf_corrupt "Codec.decode_payload: consumed %d bits of a %d-bit payload"
+      (Bitio.bits_read r) bits;
   Msg.of_layout layout value
 
 (* ---------------------------------------------------- layout descriptor *)
@@ -116,16 +122,23 @@ let put_varint b v =
   in
   go v
 
+(* Decode-side failures are wire faults, not caller bugs: a truncated or
+   over-long varint raises the typed {!Wire_error}.  Ten 7-bit groups cover
+   every OCaml int; an eleventh continuation byte is garbage (and would
+   otherwise shift into the sign bit). *)
 let get_varint data pos =
   let v = ref 0 and shift = ref 0 and continue = ref true in
   while !continue do
-    if !pos >= Bytes.length data then invalid_arg "Codec.get_varint: truncated";
+    if !pos >= Bytes.length data then
+      Wire_error.errorf_truncated "Codec.get_varint: truncated at byte %d" !pos;
+    if !shift > 63 then Wire_error.errorf_corrupt "Codec.get_varint: varint longer than 10 bytes";
     let byte = Char.code (Bytes.get data !pos) in
     incr pos;
     v := !v lor ((byte land 0x7f) lsl !shift);
     shift := !shift + 7;
     continue := byte land 0x80 <> 0
   done;
+  if !v < 0 then Wire_error.errorf_corrupt "Codec.get_varint: negative value";
   !v
 
 (* Zigzag for possibly-negative range bounds. *)
@@ -178,7 +191,7 @@ let rec get_layout data pos : Msg.layout =
   | 9 ->
       let len = get_varint data pos in
       Msg.L_tuple (List.init len (fun _ -> get_layout data pos))
-  | tag -> invalid_arg (Printf.sprintf "Codec.get_layout: unknown tag %d" tag)
+  | tag -> Wire_error.errorf_corrupt "Codec.get_layout: unknown tag %d" tag
 
 let layout_to_bytes l =
   let b = Buffer.create 8 in

@@ -13,18 +13,24 @@ open Tfree_comm
 val encode_payload : Msg.t -> Bytes.t * int
 
 (** Decode a payload of [bits] bits under [layout], rebuilding the message
-    via {!Msg.of_layout}.  @raise Invalid_argument if the decoder does not
-    consume exactly [bits]. *)
+    via {!Msg.of_layout}.  Fails closed: any decode failure — a read past
+    the end, a value that does not fit its layout, a bit-count mismatch —
+    raises {!Wire_error.Wire_error} ([Corrupt]), never a bare
+    [Invalid_argument]. *)
 val decode_payload : Msg.layout -> ?off:int -> bits:int -> Bytes.t -> Msg.t
 
 (** Byte-aligned layout descriptor (tags + LEB128 varints, zigzag for the
     possibly-negative range bounds). *)
 val layout_to_bytes : Msg.layout -> Bytes.t
 
-(** Parse a descriptor from [data] starting at [!pos], advancing [pos]. *)
+(** Parse a descriptor from [data] starting at [!pos], advancing [pos].
+    @raise Wire_error.Wire_error ([Corrupt]) on an unknown tag. *)
 val get_layout : Bytes.t -> int ref -> Msg.layout
 
 (** Unsigned LEB128 varint, shared with the frame header. *)
 val put_varint : Buffer.t -> int -> unit
 
+(** @raise Wire_error.Wire_error — [Truncated] past the end of [data],
+    [Corrupt] on a varint longer than 10 bytes or overflowing into the sign
+    bit. *)
 val get_varint : Bytes.t -> int ref -> int

@@ -1,15 +1,25 @@
 (** Length-prefixed framing over a {!Transport}: varint length, varint
-    payload bit count, layout descriptor, then a payload of exactly
-    [Msg.bits] bits.  Everything except the payload bits is framing
-    overhead, so [8 * frame_bytes - payload_bits] per frame reconciles wire
-    bytes against the cost ledger. *)
+    payload bit count, layout descriptor, a payload of exactly [Msg.bits]
+    bits, and a 2-byte mod-2^16 checksum that detects every single bit-flip
+    in the body.  Everything except the payload bits is framing overhead,
+    so [8 * frame_bytes - payload_bits] per frame reconciles wire bytes
+    against the cost ledger.  Parsing fails closed with typed
+    {!Wire_error.Wire_error}s ([Oversized] / [Truncated] / [Corrupt]) —
+    never out-of-bounds reads, unbounded allocation, or string-matched
+    exceptions. *)
 
 open Tfree_comm
+
+(** Hard cap (64 MiB) on the body length a reader will believe; a corrupted
+    length prefix beyond it raises [Oversized]. *)
+val max_frame_bytes : int
 
 (** The whole frame for a message. *)
 val encode : Msg.t -> Bytes.t
 
-(** Parse one frame from a buffer at [!pos]; advances [pos] past it. *)
+(** Parse one frame from a buffer at [!pos]; advances [pos] past it.
+    @raise Wire_error.Wire_error on truncation, an oversized or inconsistent
+    length, a checksum mismatch, or an undecodable payload. *)
 val decode : Bytes.t -> int ref -> Msg.t
 
 val overhead_bits : frame_bytes:int -> payload_bits:int -> int
@@ -17,7 +27,9 @@ val overhead_bits : frame_bytes:int -> payload_bits:int -> int
 (** Send one frame; returns its size in bytes. *)
 val write : Transport.t -> Msg.t -> int
 
-(** Receive one frame; returns the message and its size in bytes. *)
+(** Receive one frame; returns the message and its size in bytes.
+    @raise Wire_error.Wire_error as for {!decode}, plus whatever the
+    transport raises ([Truncated] / [Peer_closed]). *)
 val read : Transport.t -> Msg.t * int
 
 (** Loopback round trip: write the frame, read it back from the same

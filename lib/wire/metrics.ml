@@ -1,21 +1,54 @@
 (** Service telemetry registry for tfree-serve.
 
-    One registry per server process.  Every served query records its
-    protocol, verdict, wall-clock latency and wire traffic; malformed or
-    failing lines record an error.  The whole registry serializes to JSON
-    for the [{"op": "stats"}] service query, with latency quantiles computed
-    by {!Tfree_util.Stats} at render time — the registry itself stores raw
-    samples, so quantiles are exact over the server's lifetime. *)
+    One registry per server process (the client-side retry loop can keep its
+    own).  Every served query records its protocol, verdict, wall-clock
+    latency and wire traffic; every failed line records an error under one
+    of five {!error_category} buckets — malformed input, unknown op, a run
+    that raised, an expired read deadline, a transport-level fault — so an
+    operator reading [{"op": "stats"}] can tell a misbehaving client from a
+    misbehaving network.  Injected faults (a [--fault-spec] schedule firing)
+    and client retries are tallied separately: they are chaos bookkeeping,
+    not service errors.  The whole registry serializes to JSON with latency
+    quantiles computed by {!Tfree_util.Stats} at render time — the registry
+    stores raw samples, so quantiles are exact over the server's lifetime
+    (and well-defined on empty and single-sample registries: [null] and the
+    sample itself, respectively). *)
 
 open Tfree_util
+
+type error_category =
+  | Malformed  (** unparseable JSON, bad field types, unknown command, bad request values *)
+  | Unknown_op  (** an [op] the service does not provide *)
+  | Run_failure  (** the protocol run itself raised (not a wire fault) *)
+  | Timeout  (** a per-line read deadline expired *)
+  | Transport  (** truncated/corrupt/closed connections and other wire faults *)
+
+let all_categories = [ Malformed; Unknown_op; Run_failure; Timeout; Transport ]
+
+let category_name = function
+  | Malformed -> "malformed"
+  | Unknown_op -> "unknown_op"
+  | Run_failure -> "run_failure"
+  | Timeout -> "timeout"
+  | Transport -> "transport"
+
+(** Inverse of {!category_name}; unknown strings land in [Run_failure]. *)
+let category_of_name = function
+  | "malformed" -> Malformed
+  | "unknown_op" -> Unknown_op
+  | "timeout" -> Timeout
+  | "transport" -> Transport
+  | _ -> Run_failure
 
 type protocol_counts = { mutable triangle : int; mutable triangle_free : int }
 
 type t = {
   mutable queries_served : int;
-  mutable errors : int;  (** malformed lines, unknown commands, failed runs *)
   mutable wire_bytes : int;  (** transport bytes of all served queries *)
   mutable accounted_bits : int;  (** ledger bits of all served queries *)
+  error_counts : int array;  (** indexed in [all_categories] order *)
+  mutable retries : int;  (** client-side retry attempts (client registries) *)
+  mutable injected : int;  (** scheduled faults that fired (chaos runs) *)
   verdicts : (string, protocol_counts) Hashtbl.t;
   mutable latencies_us : float list;  (** newest first, one per served query *)
 }
@@ -23,9 +56,11 @@ type t = {
 let create () =
   {
     queries_served = 0;
-    errors = 0;
     wire_bytes = 0;
     accounted_bits = 0;
+    error_counts = Array.make (List.length all_categories) 0;
+    retries = 0;
+    injected = 0;
     verdicts = Hashtbl.create 8;
     latencies_us = [];
   }
@@ -46,10 +81,22 @@ let record_query t ~protocol ~found_triangle ~wire_bytes ~accounted_bits ~latenc
   if found_triangle then c.triangle <- c.triangle + 1 else c.triangle_free <- c.triangle_free + 1;
   t.latencies_us <- latency_us :: t.latencies_us
 
-let record_error t = t.errors <- t.errors + 1
+let index_of category =
+  let rec go i = function
+    | [] -> 0
+    | c :: rest -> if c = category then i else go (i + 1) rest
+  in
+  go 0 all_categories
+
+let record_error t ~category = t.error_counts.(index_of category) <- t.error_counts.(index_of category) + 1
+let record_retry t = t.retries <- t.retries + 1
+let record_injected t = t.injected <- t.injected + 1
 
 let queries_served t = t.queries_served
-let errors t = t.errors
+let errors t = Array.fold_left ( + ) 0 t.error_counts
+let errors_in t category = t.error_counts.(index_of category)
+let retries t = t.retries
+let injected t = t.injected
 let wire_bytes t = t.wire_bytes
 let accounted_bits t = t.accounted_bits
 
@@ -69,10 +116,18 @@ let to_json t =
       t.verdicts []
     |> List.sort compare
   in
+  let category_objs =
+    List.map
+      (fun c -> (category_name c, Jsonout.Num (float_of_int (errors_in t c))))
+      all_categories
+  in
   Jsonout.Obj
     [
       ("queries_served", Jsonout.Num (float_of_int t.queries_served));
-      ("errors", Jsonout.Num (float_of_int t.errors));
+      ("errors", Jsonout.Num (float_of_int (errors t)));
+      ("errors_by_category", Jsonout.Obj category_objs);
+      ("retries", Jsonout.Num (float_of_int t.retries));
+      ("injected_faults", Jsonout.Num (float_of_int t.injected));
       ("wire_bytes", Jsonout.Num (float_of_int t.wire_bytes));
       ("accounted_bits", Jsonout.Num (float_of_int t.accounted_bits));
       ("verdicts", Jsonout.Obj verdict_objs);

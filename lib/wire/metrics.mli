@@ -1,6 +1,21 @@
 (** Service telemetry for tfree-serve: queries served, per-protocol verdict
-    counts, wire traffic totals and wall-clock latency quantiles, exposed
-    through the [{"op": "stats"}] service query. *)
+    counts, categorized error counts (malformed / unknown-op / run-failure /
+    timeout / transport), retry and injected-fault tallies, wire traffic
+    totals and wall-clock latency quantiles, exposed through the
+    [{"op": "stats"}] service query. *)
+
+type error_category =
+  | Malformed  (** unparseable JSON, bad field types, unknown command, bad request values *)
+  | Unknown_op  (** an [op] the service does not provide *)
+  | Run_failure  (** the protocol run itself raised (not a wire fault) *)
+  | Timeout  (** a per-line read deadline expired *)
+  | Transport  (** truncated/corrupt/closed connections and other wire faults *)
+
+val all_categories : error_category list
+val category_name : error_category -> string
+
+(** Inverse of {!category_name}; unknown strings land in [Run_failure]. *)
+val category_of_name : string -> error_category
 
 type t
 
@@ -16,15 +31,29 @@ val record_query :
   latency_us:float ->
   unit
 
-(** Record a failed line: malformed JSON, unknown command, or a run error. *)
-val record_error : t -> unit
+(** Record a failed line under its category. *)
+val record_error : t -> category:error_category -> unit
+
+(** Record one client-side retry attempt (client registries). *)
+val record_retry : t -> unit
+
+(** Record one scheduled fault that fired (chaos bookkeeping, not an
+    error). *)
+val record_injected : t -> unit
 
 val queries_served : t -> int
+
+(** Total errors across all categories. *)
 val errors : t -> int
+
+val errors_in : t -> error_category -> int
+val retries : t -> int
+val injected : t -> int
 val wire_bytes : t -> int
 val accounted_bits : t -> int
 
-(** The stats-query payload: counters, per-protocol verdict counts, and
-    latency mean/p50/p90/p99 (via {!Tfree_util.Stats.quantile}; [null] when
-    no query has been served). *)
+(** The stats-query payload: counters, per-category error counts, retry and
+    injected-fault tallies, per-protocol verdict counts, and latency
+    mean/p50/p90/p99 (via {!Tfree_util.Stats.quantile}; [null] when no query
+    has been served, the sample itself on a single-sample registry). *)
 val to_json : t -> Tfree_util.Jsonout.t

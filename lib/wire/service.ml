@@ -10,9 +10,22 @@
    A request of the form [{"cmd": "shutdown"}] stops the server after the
    acknowledgement is written.  [{"op": "stats"}] returns the server's
    telemetry ({!Metrics}): queries served, per-protocol verdict counts,
-   error count, wire traffic totals and latency quantiles.  Malformed lines
-   get a structured [{"ok": false, "error": ...}] reply and the connection
-   stays usable. *)
+   categorized error counts, retry and injected-fault tallies, wire traffic
+   totals and latency quantiles.
+
+   The server is built to degrade, never die: malformed lines get a
+   structured [{"ok": false, "error": ..., "category": ...}] reply and the
+   connection stays usable; a client killed mid-line, a half-written
+   request, a reply write into a closed socket, or a silent client holding
+   the line past the read deadline each cost one categorized error counter
+   and at worst that one connection.  SIGPIPE is ignored for the same
+   reason — a dead peer must surface as an [EPIPE] result, not a signal.
+
+   The client side mirrors this with {!client_query}'s bounded retry:
+   transient failures (connection refused, timeouts, garbled or truncated
+   replies, server errors in the timeout/transport categories) back off
+   exponentially with deterministic jitter and try again; structured server
+   rejections (malformed request, unknown op) are fatal immediately. *)
 
 open Tfree_util
 open Tfree_graph
@@ -110,6 +123,7 @@ type request = {
   eps : float;
   seed : int;
   transport : Wire_runtime.kind;
+  fault : string;  (** {!Fault.parse} spec injected below the framing; [""] = none *)
 }
 
 let default_request =
@@ -123,6 +137,7 @@ let default_request =
     eps = 0.1;
     seed = 1;
     transport = Wire_runtime.Pipe;
+    fault = "";
   }
 
 type response = {
@@ -147,6 +162,7 @@ let request_to_json r =
       ("eps", Jsonout.Num r.eps);
       ("seed", Jsonout.Num (float_of_int r.seed));
       ("transport", Jsonout.Str (Wire_runtime.kind_to_string r.transport));
+      ("fault", Jsonout.Str r.fault);
     ]
 
 exception Bad of string
@@ -160,6 +176,12 @@ let num_field j k default =
       | None -> raise (Bad (Printf.sprintf "field %S must be a number" k)))
 
 let int_field j k default = int_of_float (num_field j k (float_of_int default))
+
+let str_field j k default =
+  match Jsonout.member k j with
+  | None -> default
+  | Some (Jsonout.Str s) -> s
+  | Some _ -> raise (Bad (Printf.sprintf "field %S must be a string" k))
 
 let enum_field j k of_string default =
   match Jsonout.member k j with
@@ -184,6 +206,11 @@ let request_of_json j =
         eps = num_field j "eps" r.eps;
         seed = int_field j "seed" r.seed;
         transport = enum_field j "transport" Wire_runtime.kind_of_string r.transport;
+        fault =
+          (let s = str_field j "fault" r.fault in
+           match Fault.parse s with
+           | Ok _ -> s
+           | Error msg -> raise (Bad (Printf.sprintf "bad fault spec: %s" msg)));
       }
   with Bad msg -> Error msg
 
@@ -266,87 +293,133 @@ let response_of_json j =
 
 (** Build the requested instance, run the requested protocol over a wire
     network, reconcile.  The whole execution is deterministic in the
-    request's seed. *)
+    request's seed (and fault spec).  The network is closed even when an
+    injected fault aborts the run, so a chaos loop cannot leak
+    descriptors. *)
 let run_request req =
+  let fault =
+    match Fault.parse req.fault with
+    | Ok s -> s
+    | Error msg -> invalid_arg (Printf.sprintf "run_request: bad fault spec: %s" msg)
+  in
   let rng = Rng.create req.seed in
   let g = build_instance req.family rng ~n:req.n ~d:req.d ~eps:req.eps in
   let inputs = build_partition req.partition rng ~k:req.k g in
-  let net = Wire_runtime.create ~transport:req.transport ~k:req.k () in
-  let tap = Wire_runtime.tap net in
-  let params = Tfree.Params.(with_eps practical req.eps) in
-  let report =
-    match req.protocol with
-    | Unrestricted -> Tfree.Tester.unrestricted ~tap ~seed:req.seed params inputs
-    | Sim -> Tfree.Tester.simultaneous ~tap ~seed:req.seed params ~d:(Graph.avg_degree g) inputs
-    | Oblivious -> Tfree.Tester.simultaneous_oblivious ~tap ~seed:req.seed params inputs
-    | Exact -> Tfree.Tester.exact ~tap ~seed:req.seed inputs
-  in
-  let wire = Wire_runtime.report net ~accounted_bits:report.Tfree.Tester.bits in
-  Wire_runtime.close net;
-  {
-    verdict = report.Tfree.Tester.verdict;
-    bits = report.Tfree.Tester.bits;
-    rounds = report.Tfree.Tester.rounds;
-    max_message = report.Tfree.Tester.max_message;
-    wire;
-  }
+  let net = Wire_runtime.create ~fault ~transport:req.transport ~k:req.k () in
+  Fun.protect
+    ~finally:(fun () -> Wire_runtime.close net)
+    (fun () ->
+      let tap = Wire_runtime.tap net in
+      let params = Tfree.Params.(with_eps practical req.eps) in
+      let report =
+        match req.protocol with
+        | Unrestricted -> Tfree.Tester.unrestricted ~tap ~seed:req.seed params inputs
+        | Sim ->
+            Tfree.Tester.simultaneous ~tap ~seed:req.seed params ~d:(Graph.avg_degree g) inputs
+        | Oblivious -> Tfree.Tester.simultaneous_oblivious ~tap ~seed:req.seed params inputs
+        | Exact -> Tfree.Tester.exact ~tap ~seed:req.seed inputs
+      in
+      let wire = Wire_runtime.report net ~accounted_bits:report.Tfree.Tester.bits in
+      {
+        verdict = report.Tfree.Tester.verdict;
+        bits = report.Tfree.Tester.bits;
+        rounds = report.Tfree.Tester.rounds;
+        max_message = report.Tfree.Tester.max_message;
+        wire;
+      })
 
 (* ------------------------------------------------------- line transport *)
 
-let write_line fd s =
-  let b = Bytes.of_string (s ^ "\n") in
+let write_all fd s =
+  let b = Bytes.of_string s in
   let n = Bytes.length b in
   let sent = ref 0 in
   while !sent < n do
     sent := !sent + Unix.write fd b !sent (n - !sent)
   done
 
-let read_line_fd fd =
+let write_line fd s = write_all fd (s ^ "\n")
+
+type line_read =
+  | Line of string  (** a complete newline-terminated line *)
+  | Eof  (** orderly close with nothing buffered *)
+  | Partial of string  (** the peer vanished mid-line; never process this *)
+  | Timed_out  (** the deadline expired before the newline arrived *)
+
+(* Read one line byte-by-byte under a wall-clock deadline.  The select
+   before every read keeps a silent or half-dead peer from pinning the
+   server; a connection reset surfaces as [Partial]/[Eof] rather than an
+   exception so the caller's accounting stays simple. *)
+let read_line_deadline fd ~deadline =
   let buf = Buffer.create 256 in
   let one = Bytes.create 1 in
+  let finish_eof () = if Buffer.length buf = 0 then Eof else Partial (Buffer.contents buf) in
   let rec loop () =
-    match Unix.read fd one 0 1 with
-    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
-    | _ ->
-        let c = Bytes.get one 0 in
-        if c = '\n' then Some (Buffer.contents buf)
-        else (
-          Buffer.add_char buf c;
-          loop ())
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then Timed_out
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> Timed_out
+      | _ -> (
+          match Unix.read fd one 0 1 with
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> finish_eof ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | 0 -> finish_eof ()
+          | _ ->
+              let c = Bytes.get one 0 in
+              if c = '\n' then Line (Buffer.contents buf)
+              else (
+                Buffer.add_char buf c;
+                loop ()))
   in
   loop ()
 
-let error_line msg = Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool false); ("error", Jsonout.Str msg) ])
+let read_line_fd ?(timeout_s = 30.0) fd =
+  match read_line_deadline fd ~deadline:(Unix.gettimeofday () +. timeout_s) with
+  | Line l -> Some l
+  | Eof | Partial _ | Timed_out -> None
+
+let error_line ~category msg =
+  Jsonout.to_line
+    (Jsonout.Obj
+       [
+         ("ok", Jsonout.Bool false);
+         ("error", Jsonout.Str msg);
+         ("category", Jsonout.Str (Metrics.category_name category));
+       ])
 
 (* One request line -> one reply line.  Sets [stop] on a shutdown command;
    returns whether the line was a successfully served protocol query (the
    unit the [max_requests] budget and the served counter measure).  All
-   failure shapes — unparseable JSON, unknown command, bad request field,
-   a run that raises — reply with a structured error and record it; the
-   connection stays usable either way. *)
+   failure shapes — unparseable JSON, unknown command or op, bad request
+   field, a run that raises — reply with a structured, categorized error
+   and record it under that category; the connection stays usable either
+   way.  A wire fault surfacing from the run keeps its own category
+   (timeout/transport) so an operator can tell chaos from bad input. *)
 let handle_line ~metrics ~stop line =
-  let err msg =
-    Metrics.record_error metrics;
-    (error_line msg, false)
+  let err category msg =
+    Metrics.record_error metrics ~category;
+    (error_line ~category msg, false)
   in
   match Jsonout.parse line with
-  | Error msg -> err ("bad JSON: " ^ msg)
+  | Error msg -> err Metrics.Malformed ("bad JSON: " ^ msg)
   | Ok j -> (
       match (Jsonout.member "cmd" j, Jsonout.member "op" j) with
       | Some (Jsonout.Str "shutdown"), _ ->
           stop := true;
           (Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("bye", Jsonout.Bool true) ]), false)
-      | Some (Jsonout.Str c), _ -> err (Printf.sprintf "unknown command %S" c)
-      | Some _, _ -> err "cmd must be a string"
+      | Some (Jsonout.Str c), _ -> err Metrics.Malformed (Printf.sprintf "unknown command %S" c)
+      | Some _, _ -> err Metrics.Malformed "cmd must be a string"
       | None, Some (Jsonout.Str "stats") ->
           ( Jsonout.to_line
               (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("stats", Metrics.to_json metrics) ]),
             false )
-      | None, Some (Jsonout.Str o) -> err (Printf.sprintf "unknown op %S" o)
-      | None, Some _ -> err "op must be a string"
+      | None, Some (Jsonout.Str o) -> err Metrics.Unknown_op (Printf.sprintf "unknown op %S" o)
+      | None, Some _ -> err Metrics.Malformed "op must be a string"
       | None, None -> (
           match request_of_json j with
-          | Error msg -> err msg
+          | Error msg -> err Metrics.Malformed msg
           | Ok req -> (
               let t0 = Unix.gettimeofday () in
               match run_request req with
@@ -361,12 +434,62 @@ let handle_line ~metrics ~stop line =
                     ~accounted_bits:resp.wire.Wire_runtime.accounted_bits
                     ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6);
                   (Jsonout.to_line (response_to_json resp), true)
-              | exception e -> err (Printexc.to_string e))))
+              | exception Wire_error.Wire_error k ->
+                  err (Metrics.category_of_name (Wire_error.category k)) (Wire_error.message k)
+              | exception e -> err Metrics.Run_failure (Printexc.to_string e))))
+
+(* Reply-level fault injection: the [op]-th reply the server writes (0-based
+   across the whole server lifetime) suffers the scheduled fault.  [Drop]
+   and [Close] cost the client its connection; [Corrupt] garbles one bit of
+   the line body (the newline survives, so the client reads a line that
+   fails to parse); [Truncate] sends a proper prefix and closes; [Delay]
+   holds the reply [amount] milliseconds; [Partial] splits the write in two
+   (same bytes — the client must not notice).  Every firing bumps the
+   injected-fault tally, never the error counters: the fault is ours. *)
+let inject_reply ~metrics ~fault ~op fd reply =
+  match Fault.find fault op with
+  | None ->
+      write_line fd reply;
+      `Keep
+  | Some kind -> (
+      Metrics.record_injected metrics;
+      match kind with
+      | Fault.Drop | Fault.Close -> `Close
+      | Fault.Corrupt { bit } ->
+          let b = Bytes.of_string reply in
+          let nbits = 8 * Bytes.length b in
+          if nbits > 0 then begin
+            let i = ((bit mod nbits) + nbits) mod nbits in
+            let byte = i / 8 and off = i mod 8 in
+            Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl off)))
+          end;
+          write_line fd (Bytes.to_string b);
+          `Keep
+      | Fault.Truncate { keep } ->
+          let s = reply ^ "\n" in
+          write_all fd (String.sub s 0 (min (max keep 0) (max 0 (String.length s - 1))));
+          `Close
+      | Fault.Delay { amount } ->
+          Unix.sleepf (float_of_int (max amount 0) /. 1000.0);
+          write_line fd reply;
+          `Keep
+      | Fault.Partial { at } ->
+          let s = reply ^ "\n" in
+          let cut = max 1 (min at (String.length s - 1)) in
+          write_all fd (String.sub s 0 cut);
+          write_all fd (String.sub s cut (String.length s - cut));
+          `Keep)
 
 (** Serve requests on a Unix-domain socket at [path] until a shutdown
     command (or [max_requests] queries) arrives.  Returns the number of
-    queries served. *)
-let serve ?max_requests ~path () =
+    queries served.  [line_timeout_s] bounds how long one connection may
+    hold the server waiting for a newline; [fault] injects scheduled faults
+    into the server's own replies (chaos testing the client's retry path).
+    No client behaviour — killed mid-line, flooding garbage, going silent —
+    takes the daemon down; each costs a categorized error counter and at
+    worst its own connection. *)
+let serve ?max_requests ?(line_timeout_s = 30.0) ?(fault = []) ~path () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let cleanup () =
@@ -380,27 +503,44 @@ let serve ?max_requests ~path () =
      cleanup ();
      raise e);
   let metrics = Metrics.create () in
-  let served = ref 0 and stop = ref false in
+  let served = ref 0 and stop = ref false and reply_op = ref 0 in
   let budget_left () = match max_requests with None -> true | Some m -> !served < m in
   while (not !stop) && budget_left () do
     match Unix.accept sock with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | conn, _ ->
+        let transport_error () = Metrics.record_error metrics ~category:Metrics.Transport in
         let rec conn_loop () =
           if (not !stop) && budget_left () then
-            match read_line_fd conn with
-            | None -> ()
-            | Some line ->
+            match read_line_deadline conn ~deadline:(Unix.gettimeofday () +. line_timeout_s) with
+            | Eof -> ()
+            | Partial _ ->
+                (* the client died mid-line; a half request is not a request *)
+                transport_error ()
+            | Timed_out ->
+                Metrics.record_error metrics ~category:Metrics.Timeout;
+                (try write_line conn (error_line ~category:Metrics.Timeout "read timed out")
+                 with Unix.Unix_error _ -> ())
+            | Line line -> (
                 let reply, was_query = handle_line ~metrics ~stop line in
-                write_line conn reply;
-                if was_query then incr served;
-                conn_loop ()
+                let op = !reply_op in
+                incr reply_op;
+                match inject_reply ~metrics ~fault ~op conn reply with
+                | `Keep ->
+                    if was_query then incr served;
+                    conn_loop ()
+                | `Close -> if was_query then incr served
+                | exception Unix.Unix_error _ ->
+                    (* the peer closed before the reply landed *)
+                    transport_error ())
         in
-        (try conn_loop () with _ -> ());
+        (try conn_loop () with _ -> transport_error ());
         (try Unix.close conn with Unix.Unix_error _ -> ())
   done;
   cleanup ();
   !served
+
+(* ---------------------------------------------------------------- client *)
 
 let with_connection ~path f =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -410,23 +550,74 @@ let with_connection ~path f =
       Unix.connect sock (Unix.ADDR_UNIX path);
       f sock)
 
-(** Send one request to a server at [path]; wait for the reply. *)
-let client_query ~path req =
-  with_connection ~path (fun sock ->
-      write_line sock (Jsonout.to_line (request_to_json req));
-      match read_line_fd sock with
-      | None -> Error "server closed the connection"
-      | Some line -> (
-          match Jsonout.parse line with
-          | Error msg -> Error ("bad reply JSON: " ^ msg)
-          | Ok j -> response_of_json j))
+(* One connect/write/read attempt, classified: [`Transient] failures are
+   worth retrying (the server may be restarting, the reply may have been
+   garbled by a fault), [`Fatal] ones are the server telling us the request
+   itself is wrong.  A structured error reply is fatal unless its category
+   is timeout/transport — those describe the wire, not the request. *)
+let attempt_query ~timeout_s ~path req =
+  match
+    with_connection ~path (fun sock ->
+        write_line sock (Jsonout.to_line (request_to_json req));
+        match read_line_deadline sock ~deadline:(Unix.gettimeofday () +. timeout_s) with
+        | Eof | Partial _ -> Error (`Transient, "server closed the connection")
+        | Timed_out -> Error (`Transient, "reply timed out")
+        | Line line -> (
+            match Jsonout.parse line with
+            | Error msg -> Error (`Transient, "bad reply JSON: " ^ msg)
+            | Ok j -> (
+                match Jsonout.member "ok" j with
+                | Some (Jsonout.Bool false) ->
+                    let msg =
+                      match Jsonout.member "error" j with
+                      | Some (Jsonout.Str s) -> s
+                      | _ -> "server error"
+                    in
+                    let transient =
+                      match Jsonout.member "category" j with
+                      | Some (Jsonout.Str ("timeout" | "transport")) -> true
+                      | _ -> false
+                    in
+                    Error ((if transient then `Transient else `Fatal), msg)
+                | _ -> (
+                    match response_of_json j with
+                    | Ok resp -> Ok resp
+                    | Error msg -> Error (`Transient, "garbled reply: " ^ msg)))))
+  with
+  | v -> v
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (`Transient, Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Wire_error.Wire_error k -> Error (`Transient, Wire_error.message k)
+
+(** Send one request to a server at [path]; wait up to [timeout_s] for the
+    reply.  Transient failures retry up to [retries] more times with
+    exponential backoff ([backoff_s · 2^attempt] plus up to 25% jitter,
+    deterministic in [backoff_seed]); each retry is tallied in [metrics]
+    when given.  Fatal server rejections return immediately. *)
+let client_query ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0)
+    ?metrics ~path req =
+  let rng = Rng.create (0xc11e47 + (31 * backoff_seed)) in
+  let rec go attempt =
+    match attempt_query ~timeout_s ~path req with
+    | Ok resp -> Ok resp
+    | Error (`Fatal, msg) -> Error msg
+    | Error (`Transient, msg) ->
+        if attempt >= retries then Error msg
+        else begin
+          (match metrics with Some m -> Metrics.record_retry m | None -> ());
+          let base = backoff_s *. (2.0 ** float_of_int attempt) in
+          Unix.sleepf (base +. (base *. 0.25 *. Rng.float rng));
+          go (attempt + 1)
+        end
+  in
+  go 0
 
 (** Fetch the server's telemetry ([{"op": "stats"}]); returns the [stats]
     object of the reply. *)
-let client_stats ~path =
+let client_stats ?(timeout_s = 30.0) ~path () =
   with_connection ~path (fun sock ->
       write_line sock (Jsonout.to_line (Jsonout.Obj [ ("op", Jsonout.Str "stats") ]));
-      match read_line_fd sock with
+      match read_line_fd ~timeout_s sock with
       | None -> Error "server closed the connection"
       | Some line -> (
           match Jsonout.parse line with

@@ -2,7 +2,13 @@
     sockets.  One JSON value per line in both directions; a request names
     an instance family, an edge partition and a protocol (the same enums
     the tfree CLI exposes), the reply carries the verdict, the accounted
-    bits and the measured wire traffic, reconciled. *)
+    bits and the measured wire traffic, reconciled.
+
+    The server degrades, never dies: malformed lines, clients killed
+    mid-request, silent clients and dead reply sockets each cost one
+    categorized {!Metrics} error counter and at worst that one connection.
+    The client retries transient failures with exponential backoff and
+    deterministic jitter. *)
 
 open Tfree_util
 open Tfree_graph
@@ -38,10 +44,13 @@ type request = {
   eps : float;
   seed : int;
   transport : Wire_runtime.kind;  (** transport behind the server's tap *)
+  fault : string;
+      (** {!Fault.parse} spec injected below the framing of the run's own
+          wire network; [""] = none.  Validated when the request parses. *)
 }
 
-(** far/dup/oblivious, n=300 d=6 k=4 eps=0.1 seed=1, pipe transport; a
-    request JSON object may omit any field to take its default. *)
+(** far/dup/oblivious, n=300 d=6 k=4 eps=0.1 seed=1, pipe transport, no
+    fault; a request JSON object may omit any field to take its default. *)
 val default_request : request
 
 type response = {
@@ -58,25 +67,69 @@ val response_to_json : response -> Jsonout.t
 val response_of_json : Jsonout.t -> (response, string) result
 
 (** Build the requested instance, run the requested protocol over a wire
-    network, reconcile.  Deterministic in the request's seed. *)
+    network (under the request's fault schedule, if any), reconcile.
+    Deterministic in the request's seed and fault spec; the network is
+    closed even when a fault aborts the run.
+    @raise Wire_error.Wire_error when an injected fault aborts the run. *)
 val run_request : request -> response
 
 (** {2 Server and client} *)
 
+(** One line read off a socket under a deadline. *)
+type line_read =
+  | Line of string  (** a complete newline-terminated line *)
+  | Eof  (** orderly close with nothing buffered *)
+  | Partial of string  (** the peer vanished mid-line; never process this *)
+  | Timed_out  (** the deadline expired before the newline arrived *)
+
+(** Read one newline-terminated line under a wall-clock [deadline]
+    (absolute, as from [Unix.gettimeofday]).  Connection resets surface as
+    [Eof]/[Partial], never an exception. *)
+val read_line_deadline : Unix.file_descr -> deadline:float -> line_read
+
+(** One request line to one reply line against [metrics]; sets [stop] on a
+    shutdown command.  Returns the reply and whether the line was a
+    successfully served protocol query.  Every failure shape replies with a
+    structured [{"ok": false, "error": ..., "category": ...}] and records
+    the error under its {!Metrics.error_category}; nothing escapes. *)
+val handle_line : metrics:Metrics.t -> stop:bool ref -> string -> string * bool
+
 (** Serve requests on a Unix-domain socket at [path] until a
     [{"cmd": "shutdown"}] line (or [max_requests] successfully served
     protocol queries) arrives.  Returns the number of queries served.
-    Malformed or failing lines get a structured [{"ok": false, "error": ...}]
-    reply — the connection stays usable — and are tallied in the server's
-    {!Metrics} registry, which a [{"op": "stats"}] line returns. *)
-val serve : ?max_requests:int -> path:string -> unit -> int
 
-(** Send one request to a server at [path]; wait for the reply. *)
-val client_query : path:string -> request -> (response, string) result
+    [line_timeout_s] (default 30) bounds how long one connection may hold
+    the server waiting for a newline; expiry costs a [Timeout] error and
+    that connection.  [fault] injects scheduled faults into the server's
+    own replies — the op numbers count replies over the server lifetime —
+    for chaos-testing the client retry path; firings are tallied as
+    injected faults, not errors.  No client behaviour (killed mid-line,
+    flooding garbage, going silent, closing before the reply) takes the
+    daemon down. *)
+val serve :
+  ?max_requests:int -> ?line_timeout_s:float -> ?fault:Fault.schedule -> path:string -> unit -> int
+
+(** Send one request to a server at [path]; wait up to [timeout_s] (default
+    30) for the reply.  Transient failures — connection refused, timeouts,
+    truncated or garbled replies, server errors in the timeout/transport
+    categories — retry up to [retries] (default 0) more times with
+    exponential backoff ([backoff_s]·2^attempt, default 50 ms, plus up to
+    25% jitter deterministic in [backoff_seed]); each retry is tallied in
+    [metrics] when given.  Structured server rejections (malformed request,
+    unknown op) are fatal immediately. *)
+val client_query :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?backoff_seed:int ->
+  ?metrics:Metrics.t ->
+  path:string ->
+  request ->
+  (response, string) result
 
 (** Fetch the server's telemetry ([{"op": "stats"}] query); returns the
     [stats] object of the reply (see {!Metrics.to_json} for its shape). *)
-val client_stats : path:string -> (Jsonout.t, string) result
+val client_stats : ?timeout_s:float -> path:string -> unit -> (Jsonout.t, string) result
 
 (** Ask a server at [path] to shut down. *)
 val client_shutdown : path:string -> unit

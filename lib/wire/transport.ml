@@ -1,6 +1,6 @@
 (** Byte transports.
 
-    A transport is a reliable duplex byte stream.  Two in-process loopback
+    A transport is a duplex byte stream.  Two in-process loopback
     implementations back the wire runtime — an in-memory {!pipe} for
     deterministic tests and a real Unix-domain {!socketpair} — plus
     {!of_fd} wrapping one end of an established connection for the
@@ -9,7 +9,18 @@
     Loopback transports support {!exchange}: write a buffer and read the
     same number of bytes back from the stream.  On the socketpair this is a
     [select]-interleaved loop, so a frame larger than the kernel socket
-    buffer cannot deadlock the single-process sender/receiver pair. *)
+    buffer cannot deadlock the single-process sender/receiver pair.
+
+    All failure modes raise the typed {!Wire_error.Wire_error} — underruns
+    as [Truncated], a gone peer as [Peer_closed] — never a bare
+    [Invalid_argument]/[Failure] callers would have to string-match.
+
+    {!faulty} wraps any transport with a deterministic {!Fault.schedule}:
+    the [op]-th write through the wrapper suffers the scheduled fault
+    (drop, bit-flip, truncation, delay, split write, peer close), and the
+    wrapper's read side refuses to block on bytes an injected fault made
+    unavailable — so chaos runs can crash with a typed error but can never
+    hang. *)
 
 type t = {
   kind : string;
@@ -35,9 +46,8 @@ let pipe () =
   let send b = Buffer.add_bytes buf b in
   let recv n =
     if Buffer.length buf - !pos < n then
-      invalid_arg
-        (Printf.sprintf "Transport.pipe: read of %d bytes but only %d buffered" n
-           (Buffer.length buf - !pos));
+      Wire_error.errorf_truncated "Transport.pipe: read of %d bytes but only %d buffered" n
+        (Buffer.length buf - !pos);
     let out = Bytes.create n in
     Buffer.blit buf !pos out 0 n;
     pos := !pos + n;
@@ -70,7 +80,10 @@ let read_exact fd n =
   let off = ref 0 in
   while !off < n do
     let r = Unix.read fd out !off (n - !off) in
-    if r = 0 then failwith "Transport: peer closed the connection";
+    if r = 0 then
+      Wire_error.error
+        (Wire_error.Peer_closed
+           (Printf.sprintf "Transport: peer closed with %d of %d bytes read" !off n));
     off := !off + r
   done;
   out
@@ -88,7 +101,8 @@ let exchange_fds ~wr ~rd b =
     if writable <> [] then w := !w + Unix.write wr b !w (min 65536 (len - !w));
     if readable <> [] then begin
       let got = Unix.read rd out !r (len - !r) in
-      if got = 0 then failwith "Transport: peer closed the connection";
+      if got = 0 then
+        Wire_error.error (Wire_error.Peer_closed "Transport: peer closed mid-exchange");
       r := !r + got
     end
   done;
@@ -132,4 +146,110 @@ let of_fd ?(kind = "fd") fd =
           closed := true;
           try Unix.close fd with Unix.Unix_error _ -> ()
         end);
+  }
+
+(* --------------------------------------------------------------- faulty *)
+
+(* The fault-injecting wrapper.  Every wrapper [send] (and every fast-path
+   [exchange]) consumes one op of the shared [counter]; the schedule names
+   ops to sabotage.  The wrapper tracks delivered-minus-consumed bytes for
+   loopback transports, so a read that an injected drop/truncate starved
+   raises [Truncated] instead of blocking forever — the no-hang half of the
+   chaos contract lives here, the no-wrong-verdict half in the frame
+   checksum and the wire tap's echo check. *)
+let faulty ?(counter = ref 0) ~schedule inner =
+  let closed = ref false in
+  let pending = Queue.create () in
+  (* delayed sends: (release_op, bytes) — release once the op counter passes *)
+  let delivered = ref 0 and consumed = ref 0 in
+  let loopback = inner.kind = "pipe" || inner.kind = "socketpair" in
+  let deliver b =
+    inner.send b;
+    delivered := !delivered + Bytes.length b
+  in
+  let flush_due () =
+    let rec go () =
+      match Queue.peek_opt pending with
+      | Some (due, b) when due <= !counter ->
+          ignore (Queue.pop pending);
+          deliver b;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let flush_all () =
+    while not (Queue.is_empty pending) do
+      deliver (snd (Queue.pop pending))
+    done
+  in
+  let guard () =
+    if !closed then Wire_error.error (Wire_error.Peer_closed "injected peer-close")
+  in
+  let send b =
+    guard ();
+    let op = !counter in
+    incr counter;
+    flush_due ();
+    match Fault.find schedule op with
+    | None -> deliver b
+    | Some Fault.Drop -> ()
+    | Some (Fault.Corrupt { bit }) ->
+        let c = Bytes.copy b in
+        let len = Bytes.length c in
+        if len > 0 then begin
+          let bi = bit mod (8 * len) in
+          Bytes.set c (bi / 8)
+            (Char.chr (Char.code (Bytes.get c (bi / 8)) lxor (1 lsl (bi mod 8))))
+        end;
+        deliver c
+    | Some (Fault.Truncate { keep }) ->
+        let len = Bytes.length b in
+        deliver (Bytes.sub b 0 (min keep (max 0 (len - 1))))
+    | Some (Fault.Delay { amount }) -> Queue.push (op + max 1 amount, Bytes.copy b) pending
+    | Some (Fault.Partial { at }) ->
+        let len = Bytes.length b in
+        let cut = min (max 1 at) (max 0 (len - 1)) in
+        deliver (Bytes.sub b 0 cut);
+        deliver (Bytes.sub b cut (len - cut))
+    | Some Fault.Close ->
+        closed := true;
+        inner.close ()
+  in
+  let recv n =
+    guard ();
+    flush_all ();
+    if loopback && !delivered - !consumed < n then
+      Wire_error.errorf_truncated
+        "Transport.faulty: read of %d bytes but an injected fault left only %d in flight" n
+        (!delivered - !consumed)
+    else begin
+      let out = inner.recv n in
+      consumed := !consumed + n;
+      out
+    end
+  in
+  let exchange b =
+    guard ();
+    let len = Bytes.length b in
+    if Fault.find schedule !counter = None && Queue.is_empty pending then begin
+      (* fault-free op on a clean stream: delegate to the deadlock-free
+         underlying exchange (matters for frames beyond the kernel buffer) *)
+      incr counter;
+      delivered := !delivered + len;
+      let out = inner.exchange b in
+      consumed := !consumed + len;
+      out
+    end
+    else begin
+      send b;
+      recv len
+    end
+  in
+  {
+    kind = inner.kind ^ "+faulty";
+    send;
+    recv;
+    exchange;
+    close = (fun () -> inner.close ());
   }

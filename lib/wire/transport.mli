@@ -1,18 +1,21 @@
-(** Byte transports: reliable duplex byte streams.  {!pipe} is an in-memory
-    FIFO (deterministic tests/experiments); {!socketpair} moves real bytes
+(** Byte transports: duplex byte streams.  {!pipe} is an in-memory FIFO
+    (deterministic tests/experiments); {!socketpair} moves real bytes
     through a Unix-domain socket pair; {!of_fd} wraps one end of an
-    established connection for the serve daemon and client. *)
+    established connection for the serve daemon and client; {!faulty} wraps
+    any of them with a deterministic fault-injection schedule.  All failure
+    modes raise the typed {!Wire_error.Wire_error}. *)
 
 type t
 
-(** "pipe", "socketpair", or "fd". *)
+(** "pipe", "socketpair", "fd", or the wrapped form "<kind>+faulty". *)
 val kind : t -> string
 
 (** Write the whole buffer. *)
 val send : t -> Bytes.t -> unit
 
-(** Read exactly [n] bytes.  @raise Invalid_argument (pipe underrun) or
-    [Failure] (peer closed) when the stream cannot supply them. *)
+(** Read exactly [n] bytes.
+    @raise Wire_error.Wire_error — [Truncated] on a stream that cannot
+    supply them, [Peer_closed] when the other side went away. *)
 val recv : t -> int -> Bytes.t
 
 (** Loopback round trip: write the buffer, read the same number of bytes
@@ -25,3 +28,17 @@ val close : t -> unit
 val pipe : unit -> t
 val socketpair : unit -> t
 val of_fd : ?kind:string -> Unix.file_descr -> t
+
+(** [faulty ~schedule tr] injects the scheduled faults into [tr]: the
+    [op]-th write through the wrapper (0-based; [counter] shares the op
+    numbering across several wrapped transports, e.g. one per channel of a
+    wire network) suffers the fault named for it — [Drop] swallows the
+    buffer, [Corrupt] flips one bit, [Truncate] delivers a proper prefix,
+    [Delay] holds the buffer until the op counter passes (benign), [Partial]
+    splits the write in two (benign), [Close] closes the stream.  On
+    loopback transports the wrapper's read side raises a typed [Truncated]
+    instead of blocking when injected faults starved the stream, so a chaos
+    run can fail closed but never hang; on [of_fd] transports reads pass
+    through (pair with a read deadline on the peer).  Deterministic: same
+    schedule, same traffic, same faults. *)
+val faulty : ?counter:int ref -> schedule:Fault.schedule -> t -> t

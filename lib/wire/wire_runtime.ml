@@ -53,12 +53,17 @@ type net = {
   board : chan_stats;
 }
 
-let create ?(transport = Pipe) ~k () =
+let create ?(fault = []) ?(transport = Pipe) ~k () =
   let mk () = match transport with Pipe -> Transport.pipe () | Socketpair -> Transport.socketpair () in
+  (* One op counter shared across every link, so a schedule's [op] indexes
+     the global frame sequence of the whole network, whichever channel each
+     frame happens to cross. *)
+  let counter = ref 0 in
+  let wrap tr = if fault = [] then tr else Transport.faulty ~counter ~schedule:fault tr in
   {
     transport;
     k;
-    links = Array.init (k + 1) (fun _ -> mk ());
+    links = Array.init (k + 1) (fun _ -> wrap (mk ()));
     down = Array.init k (fun _ -> fresh_stats ());
     up = Array.init k (fun _ -> fresh_stats ());
     board = fresh_stats ();
@@ -76,7 +81,9 @@ let route net = function
 
 (** The byte-moving tap: encode, frame, cross the transport, decode; count;
     hand the protocol the decoded copy.  A decode that does not reproduce
-    the sent message is a codec bug and fails loudly. *)
+    the sent message — a codec bug, or a fault the frame checksum somehow
+    passed — fails closed with a typed [Corrupt], so a wire fault can abort
+    a run but never hand the protocol a different message. *)
 let tap net =
   let deliver ~round:_ ch msg =
     let link, stats = route net ch in
@@ -85,9 +92,8 @@ let tap net =
     stats.wire_bytes <- stats.wire_bytes + frame_bytes;
     stats.payload_bits <- stats.payload_bits + Msg.bits msg;
     if not (Msg.value delivered = Msg.value msg && Msg.bits delivered = Msg.bits msg) then
-      failwith
-        (Printf.sprintf "Wire_runtime: decoded message differs from sent one on %s"
-           (Channel.describe ch));
+      Wire_error.errorf_corrupt "Wire_runtime: decoded message differs from sent one on %s"
+        (Channel.describe ch);
     delivered
   in
   { Channel.deliver }
@@ -157,9 +163,9 @@ type t = { net : net; rt : Runtime.t }
 
 (** A coordinator-model runtime whose every message crosses a transport.
     Same signature and semantics as [Runtime.make], plus the transport
-    choice. *)
-let make ?(mode = Runtime.Coordinator) ?(transport = Pipe) ~seed inputs =
-  let net = create ~transport ~k:(Partition.k inputs) () in
+    choice and an optional fault schedule injected below the framing. *)
+let make ?(mode = Runtime.Coordinator) ?(fault = []) ?(transport = Pipe) ~seed inputs =
+  let net = create ~fault ~transport ~k:(Partition.k inputs) () in
   { net; rt = Runtime.make ~mode ~tap:(tap net) ~seed inputs }
 
 let runtime t = t.rt

@@ -24,14 +24,19 @@ type chan_stats = {
     the blackboard, with per-channel, per-direction counters. *)
 type net
 
-val create : ?transport:kind -> k:int -> unit -> net
+(** [create ?fault ?transport ~k ()] builds the network.  A non-empty
+    [fault] schedule wraps every link in {!Transport.faulty} with one shared
+    op counter, so the schedule's op numbers index the global frame sequence
+    of the whole network. *)
+val create : ?fault:Fault.schedule -> ?transport:kind -> k:int -> unit -> net
 
 val close : net -> unit
 val transport_kind : net -> kind
 
 (** The byte-moving {!Channel.tap}: encode, frame, cross the transport,
-    decode, count; the protocol consumes the decoded copy.  Fails loudly if
-    a decode does not reproduce the sent message. *)
+    decode, count; the protocol consumes the decoded copy.  Fails closed
+    with a typed {!Wire_error.Wire_error} ([Corrupt]) if a decode does not
+    reproduce the sent message — a fault can abort a run, never alter it. *)
 val tap : net -> Channel.tap
 
 type report = {
@@ -62,8 +67,9 @@ val per_channel : net -> (string * chan_stats) list
 type t
 
 (** Same signature and semantics as [Runtime.make], every message crossing
-    a transport of the chosen kind. *)
-val make : ?mode:Runtime.mode -> ?transport:kind -> seed:int -> Partition.t -> t
+    a transport of the chosen kind, optionally under a fault schedule. *)
+val make :
+  ?mode:Runtime.mode -> ?fault:Fault.schedule -> ?transport:kind -> seed:int -> Partition.t -> t
 
 val runtime : t -> Runtime.t
 val net : t -> net

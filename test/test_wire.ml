@@ -1,6 +1,8 @@
-(* Tests for Tfree_wire: bit I/O, the self-delimiting codec, framing,
-   transports, the wire runtime's parity with the cost-model runtime, and
-   the tfree-serve request/response protocol. *)
+(* Tests for Tfree_wire: bit I/O, the self-delimiting codec, framing and
+   its fail-closed hardening, transports, fault injection and the chaos
+   matrix, the wire runtime's parity with the cost-model runtime, the
+   tfree-serve request/response protocol and its resilience to misbehaving
+   clients. *)
 
 open Tfree_util
 open Tfree_graph
@@ -11,6 +13,9 @@ module Frame = Tfree_wire.Frame
 module Transport = Tfree_wire.Transport
 module Wire = Tfree_wire.Wire_runtime
 module Service = Tfree_wire.Service
+module Fault = Tfree_wire.Fault
+module Wire_error = Tfree_wire.Wire_error
+module Metrics = Tfree_wire.Metrics
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -133,6 +138,90 @@ let test_exchange_large_frame_socketpair () =
   checkb "frame really big" true (bytes > 256 * 1024);
   Transport.close tr
 
+(* ------------------------------------------------------ frame hardening *)
+
+(* Every malformed input must raise the typed Wire_error — never a bare
+   Invalid_argument/Failure, an out-of-bounds read, or a wrong message. *)
+
+let raises_wire_error name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: decoded garbage instead of raising Wire_error" name
+  | exception Wire_error.Wire_error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: raised %s instead of Wire_error" name (Printexc.to_string e)
+
+(* A frame body built by hand: bit-count varint, layout descriptor bytes,
+   payload bytes, correct checksum, length prefix — so individual fields
+   can be forged while the rest stays honest. *)
+let forge_frame ~bits ~layout_bytes ~payload =
+  let body = Buffer.create 32 in
+  Codec.put_varint body bits;
+  Buffer.add_bytes body layout_bytes;
+  Buffer.add_bytes body payload;
+  let data = Buffer.to_bytes body in
+  let sum = ref 0 in
+  Bytes.iter (fun c -> sum := !sum + Char.code c) data;
+  Buffer.add_char body (Char.chr (!sum land 0xff));
+  Buffer.add_char body (Char.chr ((!sum lsr 8) land 0xff));
+  let frame = Buffer.create (Buffer.length body + 2) in
+  Codec.put_varint frame (Buffer.length body);
+  Buffer.add_buffer frame body;
+  Buffer.to_bytes frame
+
+let test_frame_truncated_varint () =
+  (* a length prefix whose continuation never ends, cut off by the stream *)
+  let tr = Transport.pipe () in
+  Transport.send tr (Bytes.of_string "\x80");
+  raises_wire_error "truncated varint over pipe" (fun () -> Frame.read tr);
+  (* and the same shape inside a buffer *)
+  raises_wire_error "truncated varint in buffer" (fun () ->
+      Frame.decode (Bytes.of_string "\x80") (ref 0));
+  (* a varint that never terminates within its 10-byte budget *)
+  let tr2 = Transport.pipe () in
+  Transport.send tr2 (Bytes.make 11 '\x80');
+  raises_wire_error "unterminated varint" (fun () -> Frame.read tr2)
+
+let test_frame_length_larger_than_buffer () =
+  (* length field says 100 bytes; the buffer holds 3 *)
+  raises_wire_error "length > buffer" (fun () ->
+      Frame.decode (Bytes.of_string "\x64abc") (ref 0));
+  (* a length beyond the hard cap must refuse before allocating *)
+  let b = Buffer.create 8 in
+  Codec.put_varint b (Frame.max_frame_bytes + 1);
+  raises_wire_error "length > max_frame_bytes" (fun () -> Frame.decode (Buffer.to_bytes b) (ref 0))
+
+let test_frame_zero_length () =
+  (* body length 0: shorter than any legal frame *)
+  raises_wire_error "zero-length frame" (fun () -> Frame.decode (Bytes.of_string "\x00") (ref 0))
+
+let test_frame_garbage_layout () =
+  (* honest checksum and lengths around an unknown layout tag *)
+  let frame = forge_frame ~bits:0 ~layout_bytes:(Bytes.of_string "\xff") ~payload:Bytes.empty in
+  raises_wire_error "garbage layout descriptor" (fun () -> Frame.decode frame (ref 0))
+
+let test_frame_bit_count_mismatch () =
+  (* a bool layout (1 payload bit) claiming 9 payload bits *)
+  let layout_bytes = Codec.layout_to_bytes (Msg.layout (Msg.bool true)) in
+  let frame = forge_frame ~bits:9 ~layout_bytes ~payload:(Bytes.make 2 '\x00') in
+  raises_wire_error "payload bit-count mismatch" (fun () -> Frame.decode frame (ref 0))
+
+let test_frame_checksum_catches_every_body_flip () =
+  (* flip every single bit of the frame body (everything after the length
+     prefix): the mod-2^16 byte-sum checksum must catch each one *)
+  let msg = Msg.tuple [ Msg.nat 5; Msg.edge ~n:40 (1, 2); Msg.bool true ] in
+  let frame = Frame.encode msg in
+  let body_start =
+    let pos = ref 0 in
+    ignore (Codec.get_varint frame pos);
+    !pos
+  in
+  for bit = 8 * body_start to (8 * Bytes.length frame) - 1 do
+    let copy = Bytes.copy frame in
+    Bytes.set copy (bit / 8)
+      (Char.chr (Char.code (Bytes.get copy (bit / 8)) lxor (1 lsl (bit mod 8))));
+    raises_wire_error (Printf.sprintf "bit flip at %d" bit) (fun () -> Frame.decode copy (ref 0))
+  done
+
 (* --------------------------------------------------- wire-runtime parity *)
 
 type proto_run = ?tap:Channel.tap -> seed:int -> Partition.t -> Tfree.Tester.report
@@ -212,6 +301,88 @@ let test_wire_runtime_surface () =
   checki "surface accounted = cost ledger" (Cost.total (Wire.cost wt)) r.Wire.accounted_bits;
   checkb "surface reconciles" true (Wire.reconciles r)
 
+(* -------------------------------------------------------- fault schedules *)
+
+let test_fault_spec_roundtrip () =
+  let sched =
+    [
+      { Fault.op = 2; kind = Fault.Drop };
+      { Fault.op = 5; kind = Fault.Corrupt { bit = 13 } };
+      { Fault.op = 7; kind = Fault.Truncate { keep = 3 } };
+      { Fault.op = 9; kind = Fault.Delay { amount = 2 } };
+      { Fault.op = 11; kind = Fault.Partial { at = 4 } };
+      { Fault.op = 20; kind = Fault.Close };
+    ]
+  in
+  let spec = Fault.to_string sched in
+  (match Fault.parse spec with
+  | Ok back -> checkb "explicit spec round-trips" true (back = sched)
+  | Error msg -> Alcotest.fail msg);
+  (match Fault.parse "" with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "empty spec is not the empty schedule");
+  match Fault.parse "3:gremlins" with
+  | Ok _ -> Alcotest.fail "accepted an unknown fault kind"
+  | Error _ -> ()
+
+let test_fault_seeded_deterministic () =
+  let spec = "seed=42,rate=0.2,ops=100" in
+  match (Fault.parse spec, Fault.parse spec) with
+  | Ok a, Ok b ->
+      checkb "seeded schedule is a pure function of the spec" true (a = b);
+      checkb "a 20% rate over 100 ops fires at least once" true (a <> []);
+      let distinct =
+        match Fault.parse "seed=43,rate=0.2,ops=100" with Ok c -> c <> a | Error _ -> false
+      in
+      checkb "different seed, different schedule" true distinct
+  | _ -> Alcotest.fail "seeded spec did not parse"
+
+(* ------------------------------------------------------------ chaos matrix *)
+
+(* The acceptance matrix: every fault kind × every protocol on this
+   transport, each fired at several schedule positions.  A run under
+   injected faults either completes with exactly the fault-free verdict and
+   bits (the fault missed the traffic, or was benign — delay and partial
+   deliver the same bytes) or aborts with a typed Wire_error.  Wrong
+   verdicts never; hangs never (the run below either returns or raises —
+   a hang would time the suite out).  Benign kinds must never abort. *)
+let chaos_matrix transport () =
+  let k = 4 in
+  let rng = Rng.create 4242 in
+  let g = Gen.far_with_degree rng ~n:200 ~d:5.0 ~eps:0.1 in
+  let parts = Partition.with_duplication rng ~k ~dup_p:0.3 g in
+  let davg = Graph.avg_degree g in
+  let kinds =
+    [
+      Fault.Drop;
+      Fault.Corrupt { bit = 13 };
+      Fault.Truncate { keep = 2 };
+      Fault.Delay { amount = 2 };
+      Fault.Partial { at = 3 };
+      Fault.Close;
+    ]
+  in
+  List.iter
+    (fun (name, (run : proto_run)) ->
+      let base = run ~seed:9 parts in
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun op ->
+              let label = Printf.sprintf "%s/%s@%d" name (Fault.kind_name kind) op in
+              let net = Wire.create ~fault:[ { Fault.op; kind } ] ~transport ~k () in
+              (match run ~tap:(Wire.tap net) ~seed:9 parts with
+              | wired ->
+                  checkb (label ^ ": verdict survives") true
+                    (wired.Tfree.Tester.verdict = base.Tfree.Tester.verdict);
+                  checki (label ^ ": bits survive") base.Tfree.Tester.bits wired.Tfree.Tester.bits
+              | exception Wire_error.Wire_error _ ->
+                  checkb (label ^ ": benign faults must not abort") false (Fault.benign kind));
+              Wire.close net)
+            [ 0; 3; 10 ])
+        kinds)
+    (protocols ~davg)
+
 (* ------------------------------------------------------- tap composition *)
 
 module Trace = Tfree_trace.Trace
@@ -276,6 +447,7 @@ let test_service_request_json_roundtrip () =
       eps = 0.2;
       seed = 11;
       transport = Wire.Socketpair;
+      fault = "2:drop,5:corrupt@13";
     }
   in
   match Service.request_of_json (Service.request_to_json req) with
@@ -290,8 +462,11 @@ let test_service_request_defaults () =
   | Error msg -> Alcotest.fail msg
 
 let test_service_request_rejects_unknown () =
-  match Service.request_of_json (Jsonout.Obj [ ("protocol", Jsonout.Str "quantum") ]) with
+  (match Service.request_of_json (Jsonout.Obj [ ("protocol", Jsonout.Str "quantum") ]) with
   | Ok _ -> Alcotest.fail "accepted an unknown protocol"
+  | Error _ -> ());
+  match Service.request_of_json (Jsonout.Obj [ ("fault", Jsonout.Str "3:gremlins") ]) with
+  | Ok _ -> Alcotest.fail "accepted an unparseable fault spec"
   | Error _ -> ()
 
 let test_service_run_request_reconciles () =
@@ -309,21 +484,20 @@ let test_service_run_request_reconciles () =
       | Error msg -> Alcotest.fail msg)
     [ Service.Unrestricted; Service.Sim; Service.Oblivious; Service.Exact ]
 
-(* A malformed line must get a structured {"ok":false,"error":...} reply on
-   the same connection, which must then serve a normal query; the stats
-   telemetry must count the error.  Runs a real forked server on a temp
-   socket. *)
-let test_service_malformed_line_keeps_connection () =
+(* -------------------------------------------- serve-resilience (forked) *)
+
+(* Fork a real server on a temp socket, run [f path] against it, shut it
+   down and assert the child saw exactly [expect_served] queries and exited
+   cleanly — a daemon that died under a misbehaving client fails here. *)
+let with_forked_server ?(fault = []) ~tag ~expect_served f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "tfree-test-wire-%d.sock" (Unix.getpid ()))
+      (Printf.sprintf "tfree-test-%s-%d.sock" tag (Unix.getpid ()))
   in
   if Sys.file_exists path then Sys.remove path;
   match Unix.fork () with
-  | 0 ->
-      (* child: exactly one successful protocol query in the session *)
-      exit (if Service.serve ~path () = 1 then 0 else 1)
-  | server ->
+  | 0 -> exit (if Service.serve ~line_timeout_s:5.0 ~fault ~path () = expect_served then 0 else 1)
+  | server -> (
       let rec await tries =
         if not (Sys.file_exists path) then
           if tries = 0 then Alcotest.fail "server socket never appeared"
@@ -332,6 +506,32 @@ let test_service_malformed_line_keeps_connection () =
             await (tries - 1))
       in
       await 100;
+      (match f path with
+      | () -> ()
+      | exception e ->
+          (try Service.client_shutdown ~path with _ -> ());
+          ignore (Unix.waitpid [] server);
+          raise e);
+      Service.client_shutdown ~path;
+      match Unix.waitpid [] server with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> Alcotest.fail "server did not exit cleanly (or served a wrong query count)")
+
+let stats_num stats k =
+  match Option.bind (Jsonout.member k stats) Jsonout.to_float with
+  | Some f -> int_of_float f
+  | None -> Alcotest.failf "stats missing %S" k
+
+let stats_category stats name =
+  match Jsonout.member "errors_by_category" stats with
+  | Some cats -> stats_num cats name
+  | None -> Alcotest.fail "stats missing errors_by_category"
+
+(* A malformed line must get a structured categorized error reply on the
+   same connection, which must then serve a normal query; the stats
+   telemetry must count the error under "malformed" and nothing else. *)
+let test_service_malformed_line_keeps_connection () =
+  with_forked_server ~tag:"malformed" ~expect_served:1 (fun path ->
       let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.connect sock (Unix.ADDR_UNIX path);
       let out = Unix.out_channel_of_descr sock and inp = Unix.in_channel_of_descr sock in
@@ -344,9 +544,9 @@ let test_service_malformed_line_keeps_connection () =
       in
       (match Jsonout.parse (exchange "{definitely not json") with
       | Ok j -> (
-          match (Jsonout.member "ok" j, Jsonout.member "error" j) with
-          | Some (Jsonout.Bool false), Some (Jsonout.Str _) -> ()
-          | _ -> Alcotest.fail "malformed line did not get a structured error")
+          match (Jsonout.member "ok" j, Jsonout.member "error" j, Jsonout.member "category" j) with
+          | Some (Jsonout.Bool false), Some (Jsonout.Str _), Some (Jsonout.Str "malformed") -> ()
+          | _ -> Alcotest.fail "malformed line did not get a structured categorized error")
       | Error msg -> Alcotest.failf "error reply is not JSON: %s" msg);
       (* same connection, normal query *)
       let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
@@ -358,20 +558,143 @@ let test_service_malformed_line_keeps_connection () =
       | Ok resp -> checkb "query after malformed line reconciles" true (Wire.reconciles resp.Service.wire)
       | Error msg -> Alcotest.failf "connection unusable after malformed line: %s" msg);
       Unix.close sock;
-      (match Service.client_stats ~path with
+      match Service.client_stats ~path () with
       | Ok stats ->
-          let num k =
-            match Option.bind (Jsonout.member k stats) Jsonout.to_float with
-            | Some f -> int_of_float f
-            | None -> Alcotest.failf "stats missing %S" k
-          in
-          checki "stats counted the error" 1 (num "errors");
-          checki "stats counted the query" 1 (num "queries_served")
-      | Error msg -> Alcotest.failf "stats query failed: %s" msg);
-      Service.client_shutdown ~path;
-      (match Unix.waitpid [] server with
-      | _, Unix.WEXITED 0 -> ()
-      | _ -> Alcotest.fail "server did not exit cleanly")
+          checki "stats counted the error" 1 (stats_num stats "errors");
+          checki "the error is malformed" 1 (stats_category stats "malformed");
+          checki "no transport errors" 0 (stats_category stats "transport");
+          checki "stats counted the query" 1 (stats_num stats "queries_served")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* A client that writes half a request and vanishes must cost exactly one
+   transport-category error; the daemon keeps serving. *)
+let test_service_client_killed_mid_request () =
+  with_forked_server ~tag:"killed" ~expect_served:1 (fun path ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let half = "{\"protocol\": \"ex" in
+      ignore (Unix.write_substring sock half 0 (String.length half));
+      Unix.close sock;
+      let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
+      (match Service.client_query ~path req with
+      | Ok resp ->
+          checkb "query after killed client reconciles" true (Wire.reconciles resp.Service.wire)
+      | Error msg -> Alcotest.failf "daemon unusable after killed client: %s" msg);
+      match Service.client_stats ~path () with
+      | Ok stats ->
+          checki "killed client = one transport error" 1 (stats_category stats "transport");
+          checki "one error total" 1 (stats_num stats "errors");
+          checki "the real query still served" 1 (stats_num stats "queries_served")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* The retry acceptance case: the server sabotages its first three replies
+   (drop, bit-flip, truncate-and-close); client_query with retries must
+   recover the fault-free verdict, spending exactly three retries, and the
+   server's stats must count exactly the injected schedule. *)
+let test_service_client_retry_recovers () =
+  let fault =
+    [
+      { Fault.op = 0; kind = Fault.Drop };
+      { Fault.op = 1; kind = Fault.Corrupt { bit = 13 } };
+      { Fault.op = 2; kind = Fault.Truncate { keep = 5 } };
+    ]
+  in
+  (* the server runs the query on all four attempts; only the fourth reply
+     survives the schedule *)
+  with_forked_server ~fault ~tag:"retry" ~expect_served:4 (fun path ->
+      let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
+      let m = Metrics.create () in
+      match Service.client_query ~retries:5 ~backoff_s:0.01 ~metrics:m ~path req with
+      | Error msg -> Alcotest.failf "retry did not recover: %s" msg
+      | Ok resp -> (
+          let local = Service.run_request req in
+          checkb "recovered verdict = fault-free verdict" true
+            (resp.Service.verdict = local.Service.verdict);
+          checki "recovered bits = fault-free bits" local.Service.bits resp.Service.bits;
+          checki "exactly three retries spent" 3 (Metrics.retries m);
+          match Service.client_stats ~path () with
+          | Ok stats ->
+              checki "server tallied the injected schedule exactly" (List.length fault)
+                (stats_num stats "injected_faults");
+              checki "injected faults are not service errors" 0 (stats_num stats "errors")
+          | Error msg -> Alcotest.failf "stats query failed: %s" msg))
+
+(* ------------------------------------------- handle_line categorization *)
+
+let test_handle_line_categories () =
+  let m = Metrics.create () in
+  let stop = ref false in
+  let fire line = fst (Service.handle_line ~metrics:m ~stop line) in
+  let is_error reply cat =
+    match Jsonout.parse reply with
+    | Ok j ->
+        Jsonout.member "ok" j = Some (Jsonout.Bool false)
+        && Jsonout.member "category" j = Some (Jsonout.Str cat)
+    | Error _ -> false
+  in
+  checkb "bad JSON -> malformed" true (is_error (fire "{nope") "malformed");
+  checkb "unknown command -> malformed" true (is_error (fire "{\"cmd\": \"dance\"}") "malformed");
+  checkb "unknown op -> unknown_op" true (is_error (fire "{\"op\": \"levitate\"}") "unknown_op");
+  checkb "failing run -> run_failure" true (is_error (fire "{\"n\": -5}") "run_failure");
+  checkb "injected wire fault -> transport" true
+    (is_error (fire "{\"fault\": \"0:drop\", \"n\": 60, \"protocol\": \"exact\"}") "transport");
+  checki "malformed count" 2 (Metrics.errors_in m Metrics.Malformed);
+  checki "unknown_op count" 1 (Metrics.errors_in m Metrics.Unknown_op);
+  checki "run_failure count" 1 (Metrics.errors_in m Metrics.Run_failure);
+  checki "transport count" 1 (Metrics.errors_in m Metrics.Transport);
+  checki "no query served" 0 (Metrics.queries_served m);
+  checkb "shutdown untouched" true (not !stop)
+
+(* ---------------------------------------------------------------- metrics *)
+
+let latency_field stats k =
+  match Jsonout.member "latency_us" stats with
+  | Some lat -> (
+      match Jsonout.member k lat with
+      | Some v -> v
+      | None -> Alcotest.failf "latency_us missing %S" k)
+  | None -> Alcotest.fail "stats missing latency_us"
+
+let test_metrics_quantiles_empty () =
+  let j = Metrics.to_json (Metrics.create ()) in
+  List.iter
+    (fun k -> checkb (k ^ " is null on an empty registry") true (latency_field j k = Jsonout.Null))
+    [ "mean"; "p50"; "p90"; "p99" ];
+  checkb "count 0" true (latency_field j "count" = Jsonout.Num 0.0);
+  checki "no errors" 0 (stats_num j "errors")
+
+let test_metrics_quantiles_single () =
+  let m = Metrics.create () in
+  Metrics.record_query m ~protocol:"exact" ~found_triangle:false ~wire_bytes:10 ~accounted_bits:42
+    ~latency_us:123.0;
+  let j = Metrics.to_json m in
+  List.iter
+    (fun k ->
+      checkb (k ^ " is the sample on a single-sample registry") true
+        (latency_field j k = Jsonout.Num 123.0))
+    [ "mean"; "p50"; "p90"; "p99" ];
+  checkb "count 1" true (latency_field j "count" = Jsonout.Num 1.0)
+
+let test_metrics_categories () =
+  let m = Metrics.create () in
+  Metrics.record_error m ~category:Metrics.Malformed;
+  Metrics.record_error m ~category:Metrics.Transport;
+  Metrics.record_error m ~category:Metrics.Transport;
+  Metrics.record_retry m;
+  Metrics.record_injected m;
+  checki "total is the category sum" 3 (Metrics.errors m);
+  checki "malformed" 1 (Metrics.errors_in m Metrics.Malformed);
+  checki "transport" 2 (Metrics.errors_in m Metrics.Transport);
+  checki "unknown_op untouched" 0 (Metrics.errors_in m Metrics.Unknown_op);
+  checki "retries" 1 (Metrics.retries m);
+  checki "injected" 1 (Metrics.injected m);
+  List.iter
+    (fun c ->
+      checkb
+        (Metrics.category_name c ^ " name round-trips")
+        true
+        (Metrics.category_of_name (Metrics.category_name c) = c))
+    Metrics.all_categories
 
 (* --------------------------------------------------------------- QCheck *)
 
@@ -395,6 +718,37 @@ let qcheck_props =
         && Frame.overhead_bits ~frame_bytes:(Bytes.length frame) ~payload_bits:(Msg.bits msg) > 0);
   ]
 
+(* The chaos property (the wire's one-sidedness): under ANY fault schedule,
+   every protocol on every loopback transport either completes with exactly
+   its fault-free verdict or aborts with a typed Wire_error — never a wrong
+   verdict, never a hang (a hang would wedge the whole suite).  Schedules
+   shrink to a minimal breaking spec, printed in --fault-spec grammar. *)
+let chaos_qcheck_prop =
+  let k = 4 in
+  let rng = Rng.create 777 in
+  let g = Gen.far_with_degree rng ~n:120 ~d:4.0 ~eps:0.1 in
+  let parts = Partition.with_duplication rng ~k ~dup_p:0.3 g in
+  let protos = protocols ~davg:(Graph.avg_degree g) in
+  let bases = List.map (fun (name, (run : proto_run)) -> (name, run ~seed:4 parts)) protos in
+  QCheck.Test.make ~name:"chaos: any schedule yields the fault-free verdict or a typed error"
+    ~count:30
+    (Tfree_proptest.Fault_gen.arb_fault_schedule ~max_ops:40 ~max_events:5 ())
+    (fun sched ->
+      List.for_all
+        (fun transport ->
+          List.for_all2
+            (fun (_, (run : proto_run)) (_, base) ->
+              let net = Wire.create ~fault:sched ~transport ~k () in
+              let ok =
+                match run ~tap:(Wire.tap net) ~seed:4 parts with
+                | wired -> wired.Tfree.Tester.verdict = base.Tfree.Tester.verdict
+                | exception Wire_error.Wire_error _ -> true
+              in
+              Wire.close net;
+              ok)
+            protos bases)
+        [ Wire.Pipe; Wire.Socketpair ])
+
 let () =
   Alcotest.run "tfree_wire"
     [
@@ -414,6 +768,23 @@ let () =
           Alcotest.test_case "over pipe" `Quick test_frame_over_pipe;
           Alcotest.test_case "over socketpair" `Quick test_frame_over_socketpair;
           Alcotest.test_case "large frame no deadlock" `Quick test_exchange_large_frame_socketpair;
+        ] );
+      ( "frame-hardening",
+        [
+          Alcotest.test_case "truncated varint" `Quick test_frame_truncated_varint;
+          Alcotest.test_case "length larger than buffer" `Quick test_frame_length_larger_than_buffer;
+          Alcotest.test_case "zero-length frame" `Quick test_frame_zero_length;
+          Alcotest.test_case "garbage layout descriptor" `Quick test_frame_garbage_layout;
+          Alcotest.test_case "payload bit-count mismatch" `Quick test_frame_bit_count_mismatch;
+          Alcotest.test_case "checksum catches every body bit-flip" `Quick
+            test_frame_checksum_catches_every_body_flip;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "spec round-trip" `Quick test_fault_spec_roundtrip;
+          Alcotest.test_case "seeded determinism" `Quick test_fault_seeded_deterministic;
+          Alcotest.test_case "chaos matrix, pipe" `Quick (chaos_matrix Wire.Pipe);
+          Alcotest.test_case "chaos matrix, socketpair" `Quick (chaos_matrix Wire.Socketpair);
         ] );
       ( "parity",
         [
@@ -441,8 +812,22 @@ let () =
           Alcotest.test_case "request defaults" `Quick test_service_request_defaults;
           Alcotest.test_case "rejects unknown enum" `Quick test_service_request_rejects_unknown;
           Alcotest.test_case "run_request reconciles" `Quick test_service_run_request_reconciles;
+          Alcotest.test_case "handle_line categories" `Quick test_handle_line_categories;
+        ] );
+      ( "serve-resilience",
+        [
           Alcotest.test_case "malformed line keeps connection" `Quick
             test_service_malformed_line_keeps_connection;
+          Alcotest.test_case "client killed mid-request" `Quick
+            test_service_client_killed_mid_request;
+          Alcotest.test_case "client retry recovers through faults" `Quick
+            test_service_client_retry_recovers;
         ] );
-      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "metrics",
+        [
+          Alcotest.test_case "quantiles on empty registry" `Quick test_metrics_quantiles_empty;
+          Alcotest.test_case "quantiles on single sample" `Quick test_metrics_quantiles_single;
+          Alcotest.test_case "error categories" `Quick test_metrics_categories;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest (qcheck_props @ [ chaos_qcheck_prop ]));
     ]
