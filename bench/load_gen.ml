@@ -1,0 +1,351 @@
+(* Closed-loop load generator for tfree-serve, behind the @load-smoke
+   alias.
+
+   Forks one server and [--clients] concurrent client processes; each
+   client drives [--queries] protocol queries through the socket, grouped
+   into [{"op": "batch"}] exchanges of [--batch] requests, cycling
+   [--seeds] distinct instance seeds so the server's LRU cache sees
+   genuine reuse.  Every reply is compared against a locally computed run
+   of the same request — a single wrong verdict (or bit count, or a wire
+   report that does not reconcile) is a hard failure.
+
+   The parent then reconciles the server's [{"op": "stats"}] telemetry
+   against the clients' own tallies:
+
+     queries_served   = clients x queries + retries x batch
+     cache lookups    = queries_served, misses = distinct seeds,
+                        hits = lookups - misses (> 0 whenever seeds repeat)
+     batches / items  = exchanges incl. retried ones / batches x batch
+     injected_faults  = the whole [--fault] schedule, with exactly one
+                        client retry per non-benign firing; errors = 0
+
+   and reports latency quantiles (per closed-loop exchange) and measured
+   line-protocol bytes per query.  Exit status is nonzero on any
+   violation, so the alias doubles as a concurrency regression gate.
+
+   Every forked process leaves with [Unix._exit]: the parent's [at_exit]
+   handlers must run once, in the parent. *)
+
+open Tfree_util
+module Service = Tfree_wire.Service
+module Fault = Tfree_wire.Fault
+module Metrics = Tfree_wire.Metrics
+module Wire = Tfree_wire.Wire_runtime
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("load_gen: " ^ msg); exit 1) fmt
+
+(* ------------------------------------------------------------ arguments *)
+
+let clients = ref 4
+let queries = ref 8
+let batch = ref 2
+let seeds = ref 4
+let retries = ref 8
+let fault_spec = ref "1:drop,3:corrupt@13,6:close"
+let max_clients = ref 64
+let cache_capacity = ref 32
+let inst_n = ref 200
+let socket_path = ref ""
+
+let specs =
+  [
+    ("--clients", Arg.Set_int clients, "N  concurrent client processes (default 4)");
+    ("--queries", Arg.Set_int queries, "Q  queries per client; multiple of --batch (default 8)");
+    ("--batch", Arg.Set_int batch, "B  requests per batch exchange; 1 = single lines (default 2)");
+    ("--seeds", Arg.Set_int seeds, "S  distinct instance seeds cycled per client (default 4)");
+    ("--retries", Arg.Set_int retries, "R  client retry budget per exchange (default 8)");
+    ("--fault", Arg.Set_string fault_spec,
+     "SPEC  server reply-fault schedule, Fault.parse grammar; '' = none");
+    ("--max-clients", Arg.Set_int max_clients, "M  server connection cap (default 64)");
+    ("--cache", Arg.Set_int cache_capacity, "C  server instance-cache capacity (default 32)");
+    ("--n", Arg.Set_int inst_n, "N  instance size per query (default 200)");
+    ("--socket", Arg.Set_string socket_path, "PATH  socket path (default: fresh temp path)");
+  ]
+
+let usage = "load_gen [options]  -- closed-loop load generator for tfree-serve"
+
+(* ------------------------------------------------------- request plan *)
+
+let request_for seed = { Service.default_request with n = !inst_n; seed }
+
+(* Client [c]'s query stream: seeds cycle 1..S, identically across
+   clients, so the distinct instance-key count is exactly S. *)
+let plan_for_client _c =
+  let reqs = List.init !queries (fun q -> request_for (1 + (q mod !seeds))) in
+  let rec group = function
+    | [] -> []
+    | l ->
+        let rec take n = function
+          | x :: tl when n > 0 ->
+              let h, rest = take (n - 1) tl in
+              (x :: h, rest)
+          | rest -> ([], rest)
+        in
+        let h, rest = take !batch l in
+        h :: group rest
+  in
+  group reqs
+
+(* The exact line-protocol bytes of one all-ok exchange: the request line
+   as the client serializes it, plus the reply line as [handle_line]
+   shapes it (a batch item's reply object is byte-for-byte the single
+   reply).  Used for the bytes/query report. *)
+let exchange_bytes reqs resps =
+  let request_line =
+    match reqs with
+    | [ r ] when !batch = 1 -> Jsonout.to_line (Service.request_to_json r)
+    | _ -> Jsonout.to_line (Service.batch_request_to_json reqs)
+  in
+  let reply_line =
+    match resps with
+    | [ r ] when !batch = 1 -> Jsonout.to_line (Service.response_to_json r)
+    | _ ->
+        Jsonout.to_line
+          (Jsonout.Obj
+             [
+               ("ok", Jsonout.Bool true);
+               ("count", Jsonout.Num (float_of_int (List.length resps)));
+               ("results", Jsonout.List (List.map Service.response_to_json resps));
+             ])
+  in
+  String.length request_line + String.length reply_line + 2 (* the newlines *)
+
+(* ------------------------------------------------------- client process *)
+
+type tally = {
+  mutable ok : int;
+  mutable wrong : int;
+  mutable failed : int;
+  mutable bytes : int;
+  mutable lats_us : int list;  (** newest first; one sample per exchange *)
+}
+
+let check_item expected = function
+  | Error msg -> `Failed msg
+  | Ok (resp : Service.response) ->
+      if
+        resp.Service.verdict = expected.Service.verdict
+        && resp.Service.bits = expected.Service.bits
+        && resp.Service.rounds = expected.Service.rounds
+        && Wire.reconciles resp.Service.wire
+      then `Ok
+      else `Wrong
+
+let run_client ~path ~expected c =
+  let m = Metrics.create () in
+  let t = { ok = 0; wrong = 0; failed = 0; bytes = 0; lats_us = [] } in
+  List.iter
+    (fun reqs ->
+      let expect = List.map (fun r -> expected r.Service.seed) reqs in
+      let t0 = Unix.gettimeofday () in
+      let results =
+        if !batch = 1 then
+          List.map
+            (fun r ->
+              Service.client_query ~timeout_s:5.0 ~retries:!retries ~backoff_s:0.02
+                ~backoff_seed:c ~metrics:m ~path r)
+            reqs
+        else
+          match
+            Service.client_batch ~timeout_s:5.0 ~retries:!retries ~backoff_s:0.02 ~backoff_seed:c
+              ~metrics:m ~path reqs
+          with
+          | Ok items -> items
+          | Error msg -> List.map (fun _ -> Error msg) reqs
+      in
+      t.lats_us <- int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) :: t.lats_us;
+      List.iter2
+        (fun e r ->
+          match check_item e r with
+          | `Ok -> t.ok <- t.ok + 1
+          | `Wrong -> t.wrong <- t.wrong + 1
+          | `Failed msg ->
+              Printf.eprintf "load_gen: client %d exchange failed: %s\n%!" c msg;
+              t.failed <- t.failed + 1)
+        expect results;
+      if List.for_all Result.is_ok results then
+        t.bytes <- t.bytes + exchange_bytes reqs (List.map Result.get_ok results))
+    (plan_for_client c);
+  (t, Metrics.retries m)
+
+(* One result line per client down the pipe; each is far under PIPE_BUF,
+   so concurrent writes stay atomic. *)
+let emit_tally fd c (t, nretries) =
+  let lats = String.concat "," (List.rev_map string_of_int t.lats_us) in
+  let line =
+    Printf.sprintf "%d %d %d %d %d %d %s\n" c t.ok t.wrong t.failed nretries t.bytes lats
+  in
+  ignore (Unix.write_substring fd line 0 (String.length line))
+
+(* --------------------------------------------------------- the harness *)
+
+let stats_num stats k =
+  match Option.bind (Jsonout.member k stats) Jsonout.to_float with
+  | Some f -> int_of_float f
+  | None -> fail "stats missing numeric field %S" k
+
+let stats_sub stats outer k =
+  match Option.bind (Jsonout.member outer stats) (Jsonout.member k) with
+  | Some j -> (
+      match Jsonout.to_float j with
+      | Some f -> int_of_float f
+      | None -> fail "stats field %s.%s is not numeric" outer k)
+  | None -> fail "stats missing field %s.%s" outer k
+
+let () =
+  Arg.parse specs (fun a -> fail "unexpected argument %S" a) usage;
+  if !clients < 1 || !queries < 1 || !batch < 1 || !seeds < 1 then
+    fail "--clients, --queries, --batch and --seeds must be positive";
+  if !queries mod !batch <> 0 then
+    fail "--queries (%d) must be a multiple of --batch (%d)" !queries !batch;
+  if !clients > !max_clients then
+    fail "--clients (%d) beyond --max-clients (%d) would shed; raise the cap" !clients !max_clients;
+  let fault =
+    match Fault.parse !fault_spec with
+    | Ok s -> s
+    | Error msg -> fail "bad --fault spec: %s" msg
+  in
+  let path =
+    if !socket_path <> "" then !socket_path
+    else
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tfree-load-%d.sock" (Unix.getpid ()))
+  in
+  (* expected replies, computed locally before any forking *)
+  let expected_arr =
+    Array.init !seeds (fun i -> Service.run_request (request_for (1 + i)))
+  in
+  let expected seed = expected_arr.(seed - 1) in
+  (* ---- server ---- *)
+  let server =
+    match Unix.fork () with
+    | 0 ->
+        (try
+           ignore
+             (Service.serve ~max_clients:!max_clients ~line_timeout_s:10.0 ~fault
+                ~cache_capacity:!cache_capacity ~path ())
+         with _ -> Unix._exit 2);
+        Unix._exit 0
+    | pid -> pid
+  in
+  let rec await tries =
+    if not (Sys.file_exists path) then
+      if tries = 0 then (
+        Unix.kill server Sys.sigkill;
+        fail "server socket %s never appeared" path)
+      else (
+        Unix.sleepf 0.05;
+        await (tries - 1))
+  in
+  await 100;
+  (* ---- clients ---- *)
+  let rd, wr = Unix.pipe () in
+  let pids =
+    List.init !clients (fun c ->
+        match Unix.fork () with
+        | 0 ->
+            Unix.close rd;
+            emit_tally wr c (run_client ~path ~expected c);
+            Unix._exit 0
+        | pid -> pid)
+  in
+  Unix.close wr;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read rd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  Unix.close rd;
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> fail "a client process crashed")
+    pids;
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+  in
+  if List.length lines <> !clients then
+    fail "collected %d client tallies, expected %d" (List.length lines) !clients;
+  let ok = ref 0 and wrong = ref 0 and failed = ref 0 in
+  let nretries = ref 0 and bytes = ref 0 and lats = ref [] in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ _c; o; w; f; r; b; ls ] ->
+          ok := !ok + int_of_string o;
+          wrong := !wrong + int_of_string w;
+          failed := !failed + int_of_string f;
+          nretries := !nretries + int_of_string r;
+          bytes := !bytes + int_of_string b;
+          List.iter
+            (fun s -> if s <> "" then lats := float_of_string s :: !lats)
+            (String.split_on_char ',' ls)
+      | _ -> fail "garbled client tally %S" line)
+    lines;
+  (* ---- server telemetry, then shutdown ---- *)
+  let stats =
+    match Service.client_stats ~path () with
+    | Ok s -> s
+    | Error msg -> fail "stats query: %s" msg
+  in
+  Service.client_shutdown ~path;
+  (match Unix.waitpid [] server with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> fail "server did not exit cleanly");
+  (* ---- reconciliation ---- *)
+  let total = !clients * !queries in
+  if !wrong > 0 then fail "%d wrong verdicts out of %d queries" !wrong total;
+  if !failed > 0 then fail "%d exchanges exhausted their retry budget" !failed total;
+  if !ok <> total then fail "served %d ok replies, expected %d" !ok total;
+  let served = stats_num stats "queries_served" in
+  let expect_served = total + (!nretries * !batch) in
+  if served <> expect_served then
+    fail "server served %d queries; clients account for %d (= %d ok + %d retries x %d batch)"
+      served expect_served total !nretries !batch;
+  let nonbenign =
+    List.length (List.filter (fun e -> not (Fault.benign e.Fault.kind)) fault)
+  in
+  if stats_num stats "injected_faults" <> List.length fault then
+    fail "server injected %d faults, scheduled %d"
+      (stats_num stats "injected_faults") (List.length fault);
+  if !nretries <> nonbenign then
+    fail "clients spent %d retries; the schedule's %d non-benign faults force exactly that many"
+      !nretries nonbenign;
+  if stats_num stats "errors" <> 0 then
+    fail "server tallied %d errors on a clean run" (stats_num stats "errors");
+  let hits = stats_sub stats "cache" "hits"
+  and misses = stats_sub stats "cache" "misses"
+  and lookups = stats_sub stats "cache" "lookups" in
+  if !cache_capacity > 0 then begin
+    if lookups <> served then fail "cache lookups %d != queries served %d" lookups served;
+    if hits + misses <> lookups then
+      fail "cache hits %d + misses %d != lookups %d" hits misses lookups;
+    if !cache_capacity >= !seeds && misses <> !seeds then
+      fail "cache misses %d != %d distinct seeds" misses !seeds;
+    if served > !seeds && hits = 0 then fail "seed reuse produced no cache hits"
+  end;
+  let exchanges = total / !batch + !nretries in
+  if !batch > 1 then begin
+    if stats_sub stats "batch" "batches" <> exchanges then
+      fail "server saw %d batches, clients sent %d" (stats_sub stats "batch" "batches") exchanges;
+    if stats_sub stats "batch" "items" <> exchanges * !batch then
+      fail "server saw %d batch items, clients sent %d"
+        (stats_sub stats "batch" "items") (exchanges * !batch)
+  end;
+  (* ---- report ---- *)
+  let q p = Stats.quantile p !lats /. 1000.0 in
+  Printf.printf
+    "load_gen: %d clients x %d queries (batch %d, %d seeds): 0 wrong, %d retries, %d injected\n"
+    !clients !queries !batch !seeds !nretries (stats_num stats "injected_faults");
+  Printf.printf "load_gen: cache %d/%d/%d hit/miss/lookups; %d batches\n" hits misses lookups
+    (if !batch > 1 then exchanges else 0);
+  Printf.printf "load_gen: latency/exchange ms p50 %.1f  p90 %.1f  p99 %.1f; %.1f wire bytes/query\n"
+    (q 0.50) (q 0.90) (q 0.99)
+    (float_of_int !bytes /. float_of_int total);
+  print_endline "load_gen: ok"

@@ -302,11 +302,15 @@ let inspect_cmd =
 (* ------------------------------------------------------- serve / client *)
 
 let serve_cmd =
-  let run path max_requests line_timeout fault_spec =
+  let run path max_requests line_timeout backlog max_clients cache_capacity fault_spec =
     let fault = parse_fault_spec fault_spec in
-    Printf.printf "tfree-serve: listening on %s%s\n%!" path
+    Printf.printf "tfree-serve: listening on %s (backlog %d, max %d clients, cache %d)%s\n%!" path
+      backlog max_clients cache_capacity
       (if fault = [] then "" else Printf.sprintf " (injecting %d reply fault(s))" (List.length fault));
-    let served = Service.serve ?max_requests ~line_timeout_s:line_timeout ~fault ~path () in
+    let served =
+      Service.serve ~backlog ~max_clients ?max_requests ~line_timeout_s:line_timeout ~fault
+        ~cache_capacity ~path ()
+    in
     Printf.printf "tfree-serve: served %d request(s); bye\n" served
   in
   let max_arg =
@@ -320,15 +324,34 @@ let serve_cmd =
              ~doc:"Drop a connection that holds the server waiting longer than this for a \
                    complete request line.")
   in
+  let backlog_arg =
+    Arg.(value & opt int 64
+         & info [ "backlog" ] ~docv:"N" ~doc:"Kernel accept-queue length for the listening socket.")
+  in
+  let max_clients_arg =
+    Arg.(value & opt int 64
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Connections held open at once; one over the cap is shed with a typed \
+                   overload error, never left hanging.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 32
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"LRU instance/partition cache entries (0 disables); repeated seeds skip the \
+                   instance rebuild.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Answer triangle-freeness queries over a Unix-domain socket (one JSON value per \
-             line; requests name an instance family, a partition and a protocol).  The server \
-             degrades under bad clients and injected faults; it never dies mid-conversation.")
-    Term.(const run $ socket_arg $ max_arg $ line_timeout_arg $ fault_spec_arg)
+             line; requests name an instance family, a partition and a protocol).  A select \
+             event loop serves many clients concurrently, with per-connection deadlines, \
+             bounded admission and an LRU instance cache.  The server degrades under bad \
+             clients and injected faults; it never dies mid-conversation.")
+    Term.(const run $ socket_arg $ max_arg $ line_timeout_arg $ backlog_arg $ max_clients_arg
+          $ cache_arg $ fault_spec_arg)
 
 let client_cmd =
-  let run path shutdown stats as_json seed n d k eps family part proto transport fault_spec
+  let run path shutdown stats as_json batch seed n d k eps family part proto transport fault_spec
       timeout retries backoff =
     ignore (parse_fault_spec fault_spec);
     if shutdown then (
@@ -345,24 +368,51 @@ let client_cmd =
         { Service.family; partition = part; protocol = proto; n; d; k; eps; seed; transport;
           fault = fault_spec }
       in
-      match
-        Service.client_query ~timeout_s:timeout ~retries ~backoff_s:backoff ~backoff_seed:seed
-          ~path req
-      with
-      | Error msg ->
-          Printf.eprintf "error: %s\n" msg;
-          exit 1
-      | Ok resp ->
-          if as_json then print_endline (Jsonout.to_line (Service.response_to_json resp))
-          else (
-            print_report None
-              {
-                Tfree.Tester.verdict = resp.Service.verdict;
-                bits = resp.Service.bits;
-                rounds = resp.Service.rounds;
-                max_message = resp.Service.max_message;
-              };
-            Printf.printf "wire: %s\n" (Wire.report_summary resp.Service.wire))
+      let print_response resp =
+        if as_json then print_endline (Jsonout.to_line (Service.response_to_json resp))
+        else (
+          print_report None
+            {
+              Tfree.Tester.verdict = resp.Service.verdict;
+              bits = resp.Service.bits;
+              rounds = resp.Service.rounds;
+              max_message = resp.Service.max_message;
+            };
+          Printf.printf "wire: %s\n" (Wire.report_summary resp.Service.wire))
+      in
+      match batch with
+      | None -> (
+          match
+            Service.client_query ~timeout_s:timeout ~retries ~backoff_s:backoff ~backoff_seed:seed
+              ~path req
+          with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit 1
+          | Ok resp -> print_response resp)
+      | Some count -> (
+          (* one framed exchange covering seeds seed..seed+count-1 *)
+          let reqs = List.init (max 0 count) (fun i -> { req with Service.seed = seed + i }) in
+          match
+            Service.client_batch ~timeout_s:timeout ~retries ~backoff_s:backoff ~backoff_seed:seed
+              ~path reqs
+          with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              exit 1
+          | Ok results ->
+              let failed = ref false in
+              List.iteri
+                (fun i result ->
+                  match result with
+                  | Ok resp ->
+                      if not as_json then Printf.printf "-- item %d (seed %d)\n" i (seed + i);
+                      print_response resp
+                  | Error msg ->
+                      failed := true;
+                      Printf.eprintf "item %d (seed %d) error: %s\n" i (seed + i) msg)
+                results;
+              if !failed then exit 1)
   in
   let shutdown_arg =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the server to shut down instead of querying.")
@@ -374,6 +424,12 @@ let client_cmd =
                    quantiles, wire traffic) instead of querying.")
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print the server's raw JSON reply.") in
+  let batch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Send N queries (seeds SEED..SEED+N-1) as one {\"op\": \"batch\"} exchange — \
+                   one line out, one line back — and print each item's result.")
+  in
   let timeout_arg =
     Arg.(value & opt float 30.0
          & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-attempt reply deadline.")
@@ -390,9 +446,9 @@ let client_cmd =
   in
   Cmd.v
     (Cmd.info "client" ~doc:"Query a running tfree-serve daemon.")
-    Term.(const run $ socket_arg $ shutdown_arg $ stats_arg $ json_arg $ seed_arg $ n_arg $ d_arg
-          $ k_arg $ eps_arg $ instance_arg $ partition_arg $ protocol_arg $ transport_arg
-          $ fault_spec_arg $ timeout_arg $ retries_arg $ backoff_arg)
+    Term.(const run $ socket_arg $ shutdown_arg $ stats_arg $ json_arg $ batch_arg $ seed_arg
+          $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg $ protocol_arg
+          $ transport_arg $ fault_spec_arg $ timeout_arg $ retries_arg $ backoff_arg)
 
 let () =
   let doc = "multiparty communication-complexity testers for triangle-freeness (PODC'17 reproduction)" in

@@ -29,6 +29,7 @@ let all : entry list =
     { id = "extension/behrend"; title = "E20 Behrend instances"; run = Extensions.e20_behrend };
     { id = "wire/overhead"; title = "E21 wire overhead"; run = Wire_overhead.e21_wire };
     { id = "wire/fault-tolerance"; title = "E22 fault tolerance"; run = Fault_tolerance.e22_fault };
+    { id = "serve/throughput"; title = "E23 serve throughput"; run = Serve_throughput.e23_serve };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,72 @@
+(** Random finite distributions and joint distributions for
+    information-theory property tests over {!Tfree_lowerbound.Info}:
+    entropy bounds, Gibbs' inequality for KL divergence, the mutual-
+    information chain rule and the Lemma 4.3 divergence bound.
+
+    Distributions are dense float arrays normalized to unit mass with
+    every atom strictly positive (so KL divergences stay finite and the
+    equality case of Gibbs' inequality is exact, not a 0·log 0
+    convention).  Joints are matrices normalized the same way.  Printing
+    renders the full support so a failing case replays by hand; shrinking
+    is omitted — a counterexample to an analytic identity is already as
+    small as its support. *)
+
+(* Normalize strictly-positive weights to unit mass.  The largest atom
+   absorbs the float roundoff so the total is exactly what check_joint
+   demands. *)
+let normalize weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let dist = Array.map (fun w -> w /. total) weights in
+  let sum = Array.fold_left ( +. ) 0.0 dist in
+  let imax = ref 0 in
+  Array.iteri (fun i w -> if w > dist.(!imax) then imax := i) dist;
+  dist.(!imax) <- dist.(!imax) -. (sum -. 1.0);
+  dist
+
+let gen_weight : float QCheck.Gen.t = QCheck.Gen.float_range 0.01 1.0
+
+(** Distributions with [2..max_n] strictly positive atoms, unit mass. *)
+let gen_dist ?(max_n = 8) () : float array QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 2 max_n >>= fun n -> map normalize (array_size (return n) gen_weight)
+
+(** Pairs of distributions over one support (for KL divergence). *)
+let gen_dist_pair ?(max_n = 8) () : (float array * float array) QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 2 max_n >>= fun n ->
+  pair
+    (map normalize (array_size (return n) gen_weight))
+    (map normalize (array_size (return n) gen_weight))
+
+(** Joint distributions p(x,y) with [2..max_n] rows and columns, every
+    cell strictly positive, unit mass (passes [Info.check_joint]). *)
+let gen_joint ?(max_n = 5) () : float array array QCheck.Gen.t =
+  let open QCheck.Gen in
+  int_range 2 max_n >>= fun nx ->
+  int_range 2 max_n >>= fun ny ->
+  map
+    (fun rows ->
+      let flat = normalize (Array.concat (Array.to_list rows)) in
+      Array.init nx (fun x -> Array.sub flat (x * ny) ny))
+    (array_size (return nx) (array_size (return ny) gen_weight))
+
+let print_dist d =
+  Printf.sprintf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.6f") d)))
+
+let print_joint j = String.concat "\n" (Array.to_list (Array.map print_dist j))
+
+let arb_dist ?max_n () = QCheck.make ~print:print_dist (gen_dist ?max_n ())
+
+let arb_dist_pair ?max_n () =
+  QCheck.make
+    ~print:(fun (mu, eta) -> Printf.sprintf "mu=%s eta=%s" (print_dist mu) (print_dist eta))
+    (gen_dist_pair ?max_n ())
+
+let arb_joint ?max_n () = QCheck.make ~print:print_joint (gen_joint ?max_n ())
+
+(** Bernoulli parameter pairs (q, p) with p < 1/2, for Lemma 4.3. *)
+let arb_lemma43_params =
+  QCheck.make
+    ~print:(fun (q, p) -> Printf.sprintf "q=%.6f p=%.6f" q p)
+    QCheck.Gen.(pair (float_range 0.001 0.999) (float_range 0.001 0.499))

@@ -1,0 +1,77 @@
+(* Bounded LRU map with hit/miss counters (see lru.mli).
+
+   Implementation: a Hashtbl from key to a slot carrying the value and a
+   monotonically increasing use stamp.  A lookup refreshes the stamp; an
+   insert over capacity evicts the minimum-stamp entry with a linear scan.
+   Capacities in this codebase are tens of entries (tfree-serve's instance
+   cache), where the O(capacity) eviction scan is noise next to building
+   even one instance — and the structure stays obviously correct. *)
+
+type ('k, 'v) slot = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) slot) Hashtbl.t;
+  mutable clock : int;  (* next use stamp *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (2 * capacity); clock = 0; hits = 0; misses = 0 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let lookups t = t.hits + t.misses
+let mem t key = Hashtbl.mem t.table key
+
+let tick t =
+  let s = t.clock in
+  t.clock <- s + 1;
+  s
+
+let evict_oldest t =
+  let victim =
+    Hashtbl.fold
+      (fun key slot acc ->
+        match acc with
+        | Some (_, best) when best <= slot.stamp -> acc
+        | _ -> Some (key, slot.stamp))
+      t.table None
+  in
+  match victim with Some (key, _) -> Hashtbl.remove t.table key | None -> ()
+
+let find_opt t key =
+  match Hashtbl.find_opt t.table key with
+  | Some slot ->
+      t.hits <- t.hits + 1;
+      slot.stamp <- tick t;
+      Some slot.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some _ -> Hashtbl.remove t.table key
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_oldest t);
+  Hashtbl.add t.table key { value; stamp = tick t }
+
+let find_or_add t key build =
+  match find_opt t key with
+  | Some v -> v
+  | None ->
+      let v = build () in
+      (* [build] may have recursively inserted; re-check before adding so the
+         table never exceeds capacity. *)
+      if not (Hashtbl.mem t.table key) then add t key v;
+      v
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.clock <- 0

@@ -1,0 +1,50 @@
+(** Bounded least-recently-used map with hit/miss counters.
+
+    Backs tfree-serve's instance/partition cache: repeated queries for the
+    same [(family, n, k, seed, partition)] key skip the instance rebuild,
+    and the counters feed the server's [{"op": "stats"}] telemetry.  Keys
+    are compared with structural equality/hashing, so use plain data (the
+    service uses a tuple of enums, ints and floats).
+
+    Not thread-safe: callers that share a cache across domains must
+    serialize access themselves (the tfree-serve event loop is
+    single-threaded, so it needs no lock). *)
+
+type ('k, 'v) t
+
+(** [create capacity] is an empty cache holding at most [capacity] entries.
+    @raise Invalid_argument when [capacity < 1]. *)
+val create : int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+
+(** Entries currently held (≤ capacity). *)
+val length : ('k, 'v) t -> int
+
+(** Lookups answered from the cache (each refreshes the entry's recency). *)
+val hits : ('k, 'v) t -> int
+
+(** Lookups that found nothing. *)
+val misses : ('k, 'v) t -> int
+
+(** [hits + misses]. *)
+val lookups : ('k, 'v) t -> int
+
+(** Membership test; does not touch the counters or recency. *)
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** Counting lookup: a hit refreshes recency and bumps [hits]; a miss bumps
+    [misses]. *)
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+
+(** Insert (replacing any entry under the same key), evicting the
+    least-recently-used entry when at capacity.  Does not touch the
+    hit/miss counters. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [find_or_add t key build] is the cached value under [key], or
+    [build ()] inserted and returned — one counted lookup either way. *)
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+(** Drop every entry and zero the counters. *)
+val clear : ('k, 'v) t -> unit

@@ -3,16 +3,24 @@
     One registry per server process (the client-side retry loop can keep its
     own).  Every served query records its protocol, verdict, wall-clock
     latency and wire traffic; every failed line records an error under one
-    of five {!error_category} buckets — malformed input, unknown op, a run
-    that raised, an expired read deadline, a transport-level fault — so an
-    operator reading [{"op": "stats"}] can tell a misbehaving client from a
-    misbehaving network.  Injected faults (a [--fault-spec] schedule firing)
-    and client retries are tallied separately: they are chaos bookkeeping,
-    not service errors.  The whole registry serializes to JSON with latency
-    quantiles computed by {!Tfree_util.Stats} at render time — the registry
-    stores raw samples, so quantiles are exact over the server's lifetime
-    (and well-defined on empty and single-sample registries: [null] and the
-    sample itself, respectively). *)
+    of six {!error_category} buckets — malformed input, unknown op, a run
+    that raised, an expired read deadline, a transport-level fault, an
+    overloaded server shedding a connection — so an operator reading
+    [{"op": "stats"}] can tell a misbehaving client from a misbehaving
+    network from a saturated daemon.  Injected faults (a [--fault-spec]
+    schedule firing) and client retries are tallied separately: they are
+    chaos bookkeeping, not service errors.  The concurrent server also
+    feeds gauges: connections accepted/shed/in flight, instance-cache
+    hits and misses, batch exchanges and their item counts.
+
+    Every mutation and every read takes the registry's mutex, so one
+    registry can be shared by concurrently running clients (the load
+    generator fans its per-client tallies into one) or by a server that
+    serves connections from several domains.  The whole registry serializes
+    to JSON with latency quantiles computed by {!Tfree_util.Stats} at
+    render time — the registry stores raw samples, so quantiles are exact
+    over the server's lifetime (and well-defined on empty and single-sample
+    registries: [null] and the sample itself, respectively). *)
 
 open Tfree_util
 
@@ -22,8 +30,9 @@ type error_category =
   | Run_failure  (** the protocol run itself raised (not a wire fault) *)
   | Timeout  (** a per-line read deadline expired *)
   | Transport  (** truncated/corrupt/closed connections and other wire faults *)
+  | Overload  (** a connection shed because the server was at [--max-clients] *)
 
-let all_categories = [ Malformed; Unknown_op; Run_failure; Timeout; Transport ]
+let all_categories = [ Malformed; Unknown_op; Run_failure; Timeout; Transport; Overload ]
 
 let category_name = function
   | Malformed -> "malformed"
@@ -31,6 +40,7 @@ let category_name = function
   | Run_failure -> "run_failure"
   | Timeout -> "timeout"
   | Transport -> "transport"
+  | Overload -> "overload"
 
 (** Inverse of {!category_name}; unknown strings land in [Run_failure]. *)
 let category_of_name = function
@@ -38,32 +48,55 @@ let category_of_name = function
   | "unknown_op" -> Unknown_op
   | "timeout" -> Timeout
   | "transport" -> Transport
+  | "overload" -> Overload
   | _ -> Run_failure
 
 type protocol_counts = { mutable triangle : int; mutable triangle_free : int }
 
 type t = {
+  mutex : Mutex.t;
+  started_at : float;  (** [Unix.gettimeofday] at {!create}; basis of served/sec *)
   mutable queries_served : int;
   mutable wire_bytes : int;  (** transport bytes of all served queries *)
   mutable accounted_bits : int;  (** ledger bits of all served queries *)
   error_counts : int array;  (** indexed in [all_categories] order *)
   mutable retries : int;  (** client-side retry attempts (client registries) *)
   mutable injected : int;  (** scheduled faults that fired (chaos runs) *)
+  mutable accepted : int;  (** connections the event loop accepted *)
+  mutable shed : int;  (** connections refused with an overload error *)
+  mutable in_flight : int;  (** gauge: connections currently open *)
+  mutable cache_hits : int;  (** instance-cache lookups answered without a rebuild *)
+  mutable cache_misses : int;  (** instance-cache lookups that rebuilt *)
+  mutable batches : int;  (** [{"op": "batch"}] exchanges *)
+  mutable batch_items : int;  (** individual requests carried by those exchanges *)
   verdicts : (string, protocol_counts) Hashtbl.t;
   mutable latencies_us : float list;  (** newest first, one per served query *)
 }
 
 let create () =
   {
+    mutex = Mutex.create ();
+    started_at = Unix.gettimeofday ();
     queries_served = 0;
     wire_bytes = 0;
     accounted_bits = 0;
     error_counts = Array.make (List.length all_categories) 0;
     retries = 0;
     injected = 0;
+    accepted = 0;
+    shed = 0;
+    in_flight = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    batches = 0;
+    batch_items = 0;
     verdicts = Hashtbl.create 8;
     latencies_us = [];
   }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let counts_for t protocol =
   match Hashtbl.find_opt t.verdicts protocol with
@@ -74,12 +107,14 @@ let counts_for t protocol =
       c
 
 let record_query t ~protocol ~found_triangle ~wire_bytes ~accounted_bits ~latency_us =
-  t.queries_served <- t.queries_served + 1;
-  t.wire_bytes <- t.wire_bytes + wire_bytes;
-  t.accounted_bits <- t.accounted_bits + accounted_bits;
-  let c = counts_for t protocol in
-  if found_triangle then c.triangle <- c.triangle + 1 else c.triangle_free <- c.triangle_free + 1;
-  t.latencies_us <- latency_us :: t.latencies_us
+  locked t (fun () ->
+      t.queries_served <- t.queries_served + 1;
+      t.wire_bytes <- t.wire_bytes + wire_bytes;
+      t.accounted_bits <- t.accounted_bits + accounted_bits;
+      let c = counts_for t protocol in
+      if found_triangle then c.triangle <- c.triangle + 1
+      else c.triangle_free <- c.triangle_free + 1;
+      t.latencies_us <- latency_us :: t.latencies_us)
 
 let index_of category =
   let rec go i = function
@@ -88,56 +123,126 @@ let index_of category =
   in
   go 0 all_categories
 
-let record_error t ~category = t.error_counts.(index_of category) <- t.error_counts.(index_of category) + 1
-let record_retry t = t.retries <- t.retries + 1
-let record_injected t = t.injected <- t.injected + 1
+let record_error t ~category =
+  locked t (fun () ->
+      t.error_counts.(index_of category) <- t.error_counts.(index_of category) + 1)
 
-let queries_served t = t.queries_served
-let errors t = Array.fold_left ( + ) 0 t.error_counts
-let errors_in t category = t.error_counts.(index_of category)
-let retries t = t.retries
-let injected t = t.injected
-let wire_bytes t = t.wire_bytes
-let accounted_bits t = t.accounted_bits
+let record_retry t = locked t (fun () -> t.retries <- t.retries + 1)
+let record_injected t = locked t (fun () -> t.injected <- t.injected + 1)
+let record_accept t = locked t (fun () -> t.accepted <- t.accepted + 1)
+let record_shed t = locked t (fun () -> t.shed <- t.shed + 1)
+let set_in_flight t n = locked t (fun () -> t.in_flight <- n)
+
+let record_cache t ~hit =
+  locked t (fun () ->
+      if hit then t.cache_hits <- t.cache_hits + 1 else t.cache_misses <- t.cache_misses + 1)
+
+let record_batch t ~items =
+  locked t (fun () ->
+      t.batches <- t.batches + 1;
+      t.batch_items <- t.batch_items + items)
+
+let queries_served t = locked t (fun () -> t.queries_served)
+let errors_unlocked t = Array.fold_left ( + ) 0 t.error_counts
+let errors t = locked t (fun () -> errors_unlocked t)
+let errors_in t category = locked t (fun () -> t.error_counts.(index_of category))
+let retries t = locked t (fun () -> t.retries)
+let injected t = locked t (fun () -> t.injected)
+let accepted t = locked t (fun () -> t.accepted)
+let shed t = locked t (fun () -> t.shed)
+let in_flight t = locked t (fun () -> t.in_flight)
+let cache_hits t = locked t (fun () -> t.cache_hits)
+let cache_misses t = locked t (fun () -> t.cache_misses)
+let batches t = locked t (fun () -> t.batches)
+let batch_items t = locked t (fun () -> t.batch_items)
+let wire_bytes t = locked t (fun () -> t.wire_bytes)
+let accounted_bits t = locked t (fun () -> t.accounted_bits)
+
+(** Fold [other]'s counters and samples into [t] (used by the load generator
+    to merge per-client registries into one for reconciliation).  Gauges
+    ([in_flight]) are not merged. *)
+let merge t other =
+  (* Lock ordering: always [t] then [other]; callers merge into one
+     accumulator from one thread, so this cannot deadlock. *)
+  locked t (fun () ->
+      locked other (fun () ->
+          t.queries_served <- t.queries_served + other.queries_served;
+          t.wire_bytes <- t.wire_bytes + other.wire_bytes;
+          t.accounted_bits <- t.accounted_bits + other.accounted_bits;
+          Array.iteri (fun i n -> t.error_counts.(i) <- t.error_counts.(i) + n) other.error_counts;
+          t.retries <- t.retries + other.retries;
+          t.injected <- t.injected + other.injected;
+          t.accepted <- t.accepted + other.accepted;
+          t.shed <- t.shed + other.shed;
+          t.cache_hits <- t.cache_hits + other.cache_hits;
+          t.cache_misses <- t.cache_misses + other.cache_misses;
+          t.batches <- t.batches + other.batches;
+          t.batch_items <- t.batch_items + other.batch_items;
+          Hashtbl.iter
+            (fun protocol c ->
+              let mine = counts_for t protocol in
+              mine.triangle <- mine.triangle + c.triangle;
+              mine.triangle_free <- mine.triangle_free + c.triangle_free)
+            other.verdicts;
+          t.latencies_us <- other.latencies_us @ t.latencies_us))
 
 let to_json t =
-  let lat = t.latencies_us in
-  let q p = if lat = [] then Jsonout.Null else Jsonout.Num (Stats.quantile p lat) in
-  let verdict_objs =
-    Hashtbl.fold
-      (fun protocol c acc ->
-        ( protocol,
-          Jsonout.Obj
-            [
-              ("triangle", Jsonout.Num (float_of_int c.triangle));
-              ("triangle_free", Jsonout.Num (float_of_int c.triangle_free));
-            ] )
-        :: acc)
-      t.verdicts []
-    |> List.sort compare
-  in
-  let category_objs =
-    List.map
-      (fun c -> (category_name c, Jsonout.Num (float_of_int (errors_in t c))))
-      all_categories
-  in
-  Jsonout.Obj
-    [
-      ("queries_served", Jsonout.Num (float_of_int t.queries_served));
-      ("errors", Jsonout.Num (float_of_int (errors t)));
-      ("errors_by_category", Jsonout.Obj category_objs);
-      ("retries", Jsonout.Num (float_of_int t.retries));
-      ("injected_faults", Jsonout.Num (float_of_int t.injected));
-      ("wire_bytes", Jsonout.Num (float_of_int t.wire_bytes));
-      ("accounted_bits", Jsonout.Num (float_of_int t.accounted_bits));
-      ("verdicts", Jsonout.Obj verdict_objs);
-      ( "latency_us",
-        Jsonout.Obj
-          [
-            ("count", Jsonout.Num (float_of_int (List.length lat)));
-            ("mean", if lat = [] then Jsonout.Null else Jsonout.Num (Stats.mean lat));
-            ("p50", q 0.5);
-            ("p90", q 0.9);
-            ("p99", q 0.99);
-          ] );
-    ]
+  locked t (fun () ->
+      let lat = t.latencies_us in
+      let q p = if lat = [] then Jsonout.Null else Jsonout.Num (Stats.quantile p lat) in
+      let verdict_objs =
+        Hashtbl.fold
+          (fun protocol c acc ->
+            ( protocol,
+              Jsonout.Obj
+                [
+                  ("triangle", Jsonout.Num (float_of_int c.triangle));
+                  ("triangle_free", Jsonout.Num (float_of_int c.triangle_free));
+                ] )
+            :: acc)
+          t.verdicts []
+        |> List.sort compare
+      in
+      let category_objs =
+        List.map
+          (fun c ->
+            (category_name c, Jsonout.Num (float_of_int t.error_counts.(index_of c))))
+          all_categories
+      in
+      let uptime = Float.max 1e-9 (Unix.gettimeofday () -. t.started_at) in
+      let num n = Jsonout.Num (float_of_int n) in
+      Jsonout.Obj
+        [
+          ("queries_served", num t.queries_served);
+          ("errors", num (errors_unlocked t));
+          ("errors_by_category", Jsonout.Obj category_objs);
+          ("retries", num t.retries);
+          ("injected_faults", num t.injected);
+          ("wire_bytes", num t.wire_bytes);
+          ("accounted_bits", num t.accounted_bits);
+          ("uptime_s", Jsonout.Num uptime);
+          ("served_per_sec", Jsonout.Num (float_of_int t.queries_served /. uptime));
+          ("in_flight", num t.in_flight);
+          ( "connections",
+            Jsonout.Obj
+              [ ("accepted", num t.accepted); ("shed", num t.shed); ("in_flight", num t.in_flight) ]
+          );
+          ( "cache",
+            Jsonout.Obj
+              [
+                ("hits", num t.cache_hits);
+                ("misses", num t.cache_misses);
+                ("lookups", num (t.cache_hits + t.cache_misses));
+              ] );
+          ("batch", Jsonout.Obj [ ("batches", num t.batches); ("items", num t.batch_items) ]);
+          ("verdicts", Jsonout.Obj verdict_objs);
+          ( "latency_us",
+            Jsonout.Obj
+              [
+                ("count", num (List.length lat));
+                ("mean", if lat = [] then Jsonout.Null else Jsonout.Num (Stats.mean lat));
+                ("p50", q 0.5);
+                ("p90", q 0.9);
+                ("p99", q 0.99);
+              ] );
+        ])

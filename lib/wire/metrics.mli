@@ -1,8 +1,13 @@
 (** Service telemetry for tfree-serve: queries served, per-protocol verdict
     counts, categorized error counts (malformed / unknown-op / run-failure /
-    timeout / transport), retry and injected-fault tallies, wire traffic
-    totals and wall-clock latency quantiles, exposed through the
-    [{"op": "stats"}] service query. *)
+    timeout / transport / overload), retry and injected-fault tallies,
+    connection and instance-cache gauges, wire traffic totals and wall-clock
+    latency quantiles, exposed through the [{"op": "stats"}] service query.
+
+    Safe under concurrent mutation: every record and read takes an internal
+    mutex, so one registry can be shared across domains (the concurrent
+    server, or a load generator's per-client tallies merged with
+    {!merge}). *)
 
 type error_category =
   | Malformed  (** unparseable JSON, bad field types, unknown command, bad request values *)
@@ -10,6 +15,7 @@ type error_category =
   | Run_failure  (** the protocol run itself raised (not a wire fault) *)
   | Timeout  (** a per-line read deadline expired *)
   | Transport  (** truncated/corrupt/closed connections and other wire faults *)
+  | Overload  (** a connection shed because the server was at [--max-clients] *)
 
 val all_categories : error_category list
 val category_name : error_category -> string
@@ -41,6 +47,23 @@ val record_retry : t -> unit
     error). *)
 val record_injected : t -> unit
 
+(** Record one accepted connection. *)
+val record_accept : t -> unit
+
+(** Record one connection shed at the [--max-clients] cap (pairs with an
+    [Overload] error). *)
+val record_shed : t -> unit
+
+(** Set the open-connections gauge (the event loop updates it on every
+    accept and close). *)
+val set_in_flight : t -> int -> unit
+
+(** Record one instance-cache lookup. *)
+val record_cache : t -> hit:bool -> unit
+
+(** Record one [{"op": "batch"}] exchange carrying [items] requests. *)
+val record_batch : t -> items:int -> unit
+
 val queries_served : t -> int
 
 (** Total errors across all categories. *)
@@ -49,11 +72,25 @@ val errors : t -> int
 val errors_in : t -> error_category -> int
 val retries : t -> int
 val injected : t -> int
+val accepted : t -> int
+val shed : t -> int
+val in_flight : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int
+val batches : t -> int
+val batch_items : t -> int
 val wire_bytes : t -> int
 val accounted_bits : t -> int
 
+(** Fold [other]'s counters, verdict tallies and latency samples into the
+    first registry (gauges are not merged).  Used by the load generator to
+    reconcile per-client tallies against the server's stats. *)
+val merge : t -> t -> unit
+
 (** The stats-query payload: counters, per-category error counts, retry and
-    injected-fault tallies, per-protocol verdict counts, and latency
+    injected-fault tallies, connection gauges ([accepted]/[shed]/
+    [in_flight]), instance-cache hit/miss/lookup counts, batch tallies,
+    uptime and served-per-second, per-protocol verdict counts, and latency
     mean/p50/p90/p99 (via {!Tfree_util.Stats.quantile}; [null] when no query
     has been served, the sample itself on a single-sample registry). *)
 val to_json : t -> Tfree_util.Jsonout.t

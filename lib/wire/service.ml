@@ -10,8 +10,21 @@
    A request of the form [{"cmd": "shutdown"}] stops the server after the
    acknowledgement is written.  [{"op": "stats"}] returns the server's
    telemetry ({!Metrics}): queries served, per-protocol verdict counts,
-   categorized error counts, retry and injected-fault tallies, wire traffic
-   totals and latency quantiles.
+   categorized error counts, retry and injected-fault tallies, connection
+   and cache gauges, wire traffic totals and latency quantiles.
+   [{"op": "batch", "requests": [...]}] runs many queries over one framed
+   exchange and returns per-item verdicts in order — one line out, one line
+   back, amortizing the JSON-line framing across the batch.
+
+   The server is a single-threaded select event loop: every open
+   connection owns a read buffer and a per-line deadline, so a slow,
+   silent or chaos-faulted client costs at most its own connection while
+   the loop keeps serving everyone else.  Admission is bounded by
+   [max_clients]; a connection over the cap is shed with a typed
+   [overload]-category error, never a hang.  Instances and partitions are
+   memoized in a bounded {!Tfree_util.Lru} keyed by the request fields
+   that determine them, so repeated seeds skip the rebuild (hits and
+   misses are surfaced through the stats op).
 
    The server is built to degrade, never die: malformed lines get a
    structured [{"ok": false, "error": ..., "category": ...}] reply and the
@@ -23,9 +36,10 @@
 
    The client side mirrors this with {!client_query}'s bounded retry:
    transient failures (connection refused, timeouts, garbled or truncated
-   replies, server errors in the timeout/transport categories) back off
-   exponentially with deterministic jitter and try again; structured server
-   rejections (malformed request, unknown op) are fatal immediately. *)
+   replies, server errors in the timeout/transport/overload categories)
+   back off exponentially with deterministic jitter and try again;
+   structured server rejections (malformed request, unknown op) are fatal
+   immediately. *)
 
 open Tfree_util
 open Tfree_graph
@@ -289,22 +303,73 @@ let response_of_json j =
       }
   with Bad msg -> Error msg
 
+(* ------------------------------------------------- the instance cache *)
+
+(* The fields of a request that determine the instance and its partition —
+   and nothing else.  Protocol, transport and fault spec are deliberately
+   absent: two requests that differ only in how the instance is *queried*
+   share the cached build.  Correctness of sharing rests on [run_request]
+   deriving both graph and partition from one [Rng.create seed] stream and
+   running the protocol itself off a fresh [~seed], so a cache hit is
+   bit-identical to a rebuild. *)
+type instance_key = {
+  key_family : family;
+  key_partition : partition_kind;
+  key_n : int;
+  key_d : float;
+  key_k : int;
+  key_eps : float;
+  key_seed : int;
+}
+
+type instance_cache = (instance_key, Graph.t * Partition.t) Lru.t
+
+let create_cache ?(capacity = 32) () : instance_cache = Lru.create capacity
+
+let key_of_request req =
+  {
+    key_family = req.family;
+    key_partition = req.partition;
+    key_n = req.n;
+    key_d = req.d;
+    key_k = req.k;
+    key_eps = req.eps;
+    key_seed = req.seed;
+  }
+
+let build_pair req =
+  let rng = Rng.create req.seed in
+  let g = build_instance req.family rng ~n:req.n ~d:req.d ~eps:req.eps in
+  let inputs = build_partition req.partition rng ~k:req.k g in
+  (g, inputs)
+
+(* The cached instance/partition pair for [req], built on a miss.  Each call
+   is one counted lookup; [metrics] mirrors the hit/miss into the server
+   registry so [{"op": "stats"}] can report it. *)
+let instance_pair ?cache ?metrics req =
+  match cache with
+  | None -> build_pair req
+  | Some c ->
+      let key = key_of_request req in
+      let hit = Lru.mem c key in
+      (match metrics with Some m -> Metrics.record_cache m ~hit | None -> ());
+      Lru.find_or_add c key (fun () -> build_pair req)
+
 (* ---------------------------------------------------------- run a query *)
 
 (** Build the requested instance, run the requested protocol over a wire
     network, reconcile.  The whole execution is deterministic in the
-    request's seed (and fault spec).  The network is closed even when an
-    injected fault aborts the run, so a chaos loop cannot leak
-    descriptors. *)
-let run_request req =
+    request's seed (and fault spec) — with or without [cache], whose hits
+    return the identical graph/partition a rebuild would produce.  The
+    network is closed even when an injected fault aborts the run, so a
+    chaos loop cannot leak descriptors. *)
+let run_request ?cache ?metrics req =
   let fault =
     match Fault.parse req.fault with
     | Ok s -> s
     | Error msg -> invalid_arg (Printf.sprintf "run_request: bad fault spec: %s" msg)
   in
-  let rng = Rng.create req.seed in
-  let g = build_instance req.family rng ~n:req.n ~d:req.d ~eps:req.eps in
-  let inputs = build_partition req.partition rng ~k:req.k g in
+  let g, inputs = instance_pair ?cache ?metrics req in
   let net = Wire_runtime.create ~fault ~transport:req.transport ~k:req.k () in
   Fun.protect
     ~finally:(fun () -> Wire_runtime.close net)
@@ -380,27 +445,62 @@ let read_line_fd ?(timeout_s = 30.0) fd =
   | Line l -> Some l
   | Eof | Partial _ | Timed_out -> None
 
-let error_line ~category msg =
-  Jsonout.to_line
-    (Jsonout.Obj
-       [
-         ("ok", Jsonout.Bool false);
-         ("error", Jsonout.Str msg);
-         ("category", Jsonout.Str (Metrics.category_name category));
-       ])
+let error_obj ~category msg =
+  Jsonout.Obj
+    [
+      ("ok", Jsonout.Bool false);
+      ("error", Jsonout.Str msg);
+      ("category", Jsonout.Str (Metrics.category_name category));
+    ]
+
+let error_line ~category msg = Jsonout.to_line (error_obj ~category msg)
+
+let batch_request_to_json reqs =
+  Jsonout.Obj
+    [ ("op", Jsonout.Str "batch"); ("requests", Jsonout.List (List.map request_to_json reqs)) ]
+
+(* Run one protocol query and shape its reply object; the [int] is 1 when
+   the query was served (the unit the [max_requests] budget measures), 0 on
+   a categorized failure.  Shared by the single-query and batch paths so a
+   batch item's reply is byte-for-byte what the same request would get on
+   its own line. *)
+let run_one ?cache ~metrics req =
+  let t0 = Unix.gettimeofday () in
+  match run_request ?cache ~metrics req with
+  | resp ->
+      Metrics.record_query metrics
+        ~protocol:(protocol_to_string req.protocol)
+        ~found_triangle:
+          (match resp.verdict with
+          | Tfree.Tester.Triangle _ -> true
+          | Tfree.Tester.Triangle_free -> false)
+        ~wire_bytes:resp.wire.Wire_runtime.wire_bytes
+        ~accounted_bits:resp.wire.Wire_runtime.accounted_bits
+        ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6);
+      (response_to_json resp, 1)
+  | exception Wire_error.Wire_error k ->
+      let category = Metrics.category_of_name (Wire_error.category k) in
+      Metrics.record_error metrics ~category;
+      (error_obj ~category (Wire_error.message k), 0)
+  | exception e ->
+      Metrics.record_error metrics ~category:Metrics.Run_failure;
+      (error_obj ~category:Metrics.Run_failure (Printexc.to_string e), 0)
 
 (* One request line -> one reply line.  Sets [stop] on a shutdown command;
-   returns whether the line was a successfully served protocol query (the
-   unit the [max_requests] budget and the served counter measure).  All
-   failure shapes — unparseable JSON, unknown command or op, bad request
-   field, a run that raises — reply with a structured, categorized error
-   and record it under that category; the connection stays usable either
-   way.  A wire fault surfacing from the run keeps its own category
-   (timeout/transport) so an operator can tell chaos from bad input. *)
-let handle_line ~metrics ~stop line =
+   returns how many protocol queries the line served (the unit the
+   [max_requests] budget and the served counter measure — 0 or 1 for a
+   plain line, up to the item count for a batch).  All failure shapes —
+   unparseable JSON, unknown command or op, bad request field, a run that
+   raises — reply with a structured, categorized error and record it under
+   that category; the connection stays usable either way.  A wire fault
+   surfacing from the run keeps its own category (timeout/transport) so an
+   operator can tell chaos from bad input.  Inside a batch, failures are
+   per-item: each element of [results] is exactly the reply the request
+   would have gotten on its own line, errors included. *)
+let handle_line ?cache ~metrics ~stop line =
   let err category msg =
     Metrics.record_error metrics ~category;
-    (error_line ~category msg, false)
+    (error_line ~category msg, 0)
   in
   match Jsonout.parse line with
   | Error msg -> err Metrics.Malformed ("bad JSON: " ^ msg)
@@ -408,35 +508,49 @@ let handle_line ~metrics ~stop line =
       match (Jsonout.member "cmd" j, Jsonout.member "op" j) with
       | Some (Jsonout.Str "shutdown"), _ ->
           stop := true;
-          (Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("bye", Jsonout.Bool true) ]), false)
+          (Jsonout.to_line (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("bye", Jsonout.Bool true) ]), 0)
       | Some (Jsonout.Str c), _ -> err Metrics.Malformed (Printf.sprintf "unknown command %S" c)
       | Some _, _ -> err Metrics.Malformed "cmd must be a string"
       | None, Some (Jsonout.Str "stats") ->
           ( Jsonout.to_line
               (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("stats", Metrics.to_json metrics) ]),
-            false )
+            0 )
+      | None, Some (Jsonout.Str "batch") -> (
+          match Jsonout.member "requests" j with
+          | Some (Jsonout.List items) ->
+              Metrics.record_batch metrics ~items:(List.length items);
+              let served = ref 0 in
+              let results =
+                List.map
+                  (fun item ->
+                    match request_of_json item with
+                    | Error msg ->
+                        Metrics.record_error metrics ~category:Metrics.Malformed;
+                        error_obj ~category:Metrics.Malformed msg
+                    | Ok req ->
+                        let obj, n = run_one ?cache ~metrics req in
+                        served := !served + n;
+                        obj)
+                  items
+              in
+              ( Jsonout.to_line
+                  (Jsonout.Obj
+                     [
+                       ("ok", Jsonout.Bool true);
+                       ("count", Jsonout.Num (float_of_int (List.length results)));
+                       ("results", Jsonout.List results);
+                     ]),
+                !served )
+          | Some _ -> err Metrics.Malformed "batch field \"requests\" must be a list"
+          | None -> err Metrics.Malformed "batch without a \"requests\" list")
       | None, Some (Jsonout.Str o) -> err Metrics.Unknown_op (Printf.sprintf "unknown op %S" o)
       | None, Some _ -> err Metrics.Malformed "op must be a string"
       | None, None -> (
           match request_of_json j with
           | Error msg -> err Metrics.Malformed msg
-          | Ok req -> (
-              let t0 = Unix.gettimeofday () in
-              match run_request req with
-              | resp ->
-                  Metrics.record_query metrics
-                    ~protocol:(protocol_to_string req.protocol)
-                    ~found_triangle:
-                      (match resp.verdict with
-                      | Tfree.Tester.Triangle _ -> true
-                      | Tfree.Tester.Triangle_free -> false)
-                    ~wire_bytes:resp.wire.Wire_runtime.wire_bytes
-                    ~accounted_bits:resp.wire.Wire_runtime.accounted_bits
-                    ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6);
-                  (Jsonout.to_line (response_to_json resp), true)
-              | exception Wire_error.Wire_error k ->
-                  err (Metrics.category_of_name (Wire_error.category k)) (Wire_error.message k)
-              | exception e -> err Metrics.Run_failure (Printexc.to_string e))))
+          | Ok req ->
+              let obj, n = run_one ?cache ~metrics req in
+              (Jsonout.to_line obj, n)))
 
 (* Reply-level fault injection: the [op]-th reply the server writes (0-based
    across the whole server lifetime) suffers the scheduled fault.  [Drop]
@@ -480,15 +594,42 @@ let inject_reply ~metrics ~fault ~op fd reply =
           write_all fd (String.sub s cut (String.length s - cut));
           `Keep)
 
+(* One open connection in the event loop: its descriptor, the bytes read
+   so far that do not yet end in a newline, and the wall-clock instant by
+   which the next newline must arrive. *)
+type conn = {
+  conn_fd : Unix.file_descr;
+  pending : Buffer.t;
+  mutable deadline : float;
+  mutable conn_open : bool;
+}
+
+(* A connection that streams garbage without newlines must not grow its
+   buffer forever; past this it is shed with a malformed error. *)
+let max_line_bytes = 8 * 1024 * 1024
+
 (** Serve requests on a Unix-domain socket at [path] until a shutdown
     command (or [max_requests] queries) arrives.  Returns the number of
-    queries served.  [line_timeout_s] bounds how long one connection may
-    hold the server waiting for a newline; [fault] injects scheduled faults
-    into the server's own replies (chaos testing the client's retry path).
-    No client behaviour — killed mid-line, flooding garbage, going silent —
-    takes the daemon down; each costs a categorized error counter and at
+    queries served (batch items each count).
+
+    The server is a single-threaded select event loop, so many clients can
+    hold connections open concurrently: each owns a read buffer and a
+    rolling per-line deadline of [line_timeout_s], and a client that stalls
+    mid-line times out alone without blocking anyone else.  [backlog] is
+    the kernel accept queue; at most [max_clients] connections are open at
+    once — one over the cap is answered immediately with an
+    [overload]-category error and closed, never left hanging.  Instances
+    and partitions are memoized in an LRU of [cache_capacity] entries
+    ([0] disables caching).  [fault] injects scheduled faults into the
+    server's own replies (chaos testing the client's retry path); the
+    fault schedule indexes replies globally across all connections, in the
+    order the loop writes them.
+
+    No client behaviour — killed mid-line, flooding garbage, going silent
+    — takes the daemon down; each costs a categorized error counter and at
     worst its own connection. *)
-let serve ?max_requests ?(line_timeout_s = 30.0) ?(fault = []) ~path () =
+let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 30.0)
+    ?(fault = []) ?(cache_capacity = 32) ~path () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -498,45 +639,163 @@ let serve ?max_requests ?(line_timeout_s = 30.0) ?(fault = []) ~path () =
   in
   (try
      Unix.bind sock (Unix.ADDR_UNIX path);
-     Unix.listen sock 8
+     Unix.listen sock backlog;
+     (* select may report the listener readable for a connection that was
+        aborted before we accept; nonblocking turns that race into EAGAIN *)
+     Unix.set_nonblock sock
    with e ->
      cleanup ();
      raise e);
   let metrics = Metrics.create () in
+  let cache = if cache_capacity <= 0 then None else Some (create_cache ~capacity:cache_capacity ()) in
   let served = ref 0 and stop = ref false and reply_op = ref 0 in
   let budget_left () = match max_requests with None -> true | Some m -> !served < m in
-  while (not !stop) && budget_left () do
+  let conns = ref [] in
+  let transport_error () = Metrics.record_error metrics ~category:Metrics.Transport in
+  let close_conn c =
+    if c.conn_open then begin
+      c.conn_open <- false;
+      try Unix.close c.conn_fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let prune () =
+    let live = List.filter (fun c -> c.conn_open) !conns in
+    conns := live;
+    Metrics.set_in_flight metrics (List.length live)
+  in
+  let accept_one () =
     match Unix.accept sock with
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | fd, _ ->
+        if List.length !conns >= max_clients then begin
+          (* shed: a typed refusal, then close — the client sees a reply,
+             not a hang, and its retry loop treats overload as transient *)
+          Metrics.record_shed metrics;
+          Metrics.record_error metrics ~category:Metrics.Overload;
+          (try
+             write_line fd
+               (error_line ~category:Metrics.Overload
+                  (Printf.sprintf "server at capacity (%d clients); retry later" max_clients))
+           with Unix.Unix_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        end
+        else begin
+          Metrics.record_accept metrics;
+          conns :=
+            {
+              conn_fd = fd;
+              pending = Buffer.create 256;
+              deadline = Unix.gettimeofday () +. line_timeout_s;
+              conn_open = true;
+            }
+            :: !conns;
+          Metrics.set_in_flight metrics (List.length !conns)
+        end
+  in
+  let handle_one c line =
+    match handle_line ?cache ~metrics ~stop line with
+    | exception e ->
+        Metrics.record_error metrics ~category:Metrics.Run_failure;
+        (try write_line c.conn_fd (error_line ~category:Metrics.Run_failure (Printexc.to_string e))
+         with Unix.Unix_error _ -> ());
+        close_conn c
+    | reply, nserved -> (
+        let op = !reply_op in
+        incr reply_op;
+        match inject_reply ~metrics ~fault ~op c.conn_fd reply with
+        | `Keep -> served := !served + nserved
+        | `Close ->
+            served := !served + nserved;
+            close_conn c
+        | exception Unix.Unix_error _ ->
+            (* the peer closed before the reply landed *)
+            transport_error ();
+            close_conn c)
+  in
+  (* Split off and handle every complete line in [c]'s buffer; keep the
+     unterminated tail for the next readable event.  Each complete line
+     rolls the deadline forward. *)
+  let drain_buffer c =
+    let data = Buffer.contents c.pending in
+    let len = String.length data in
+    let pos = ref 0 in
+    let scanning = ref true in
+    while !scanning && !pos < len do
+      match String.index_from_opt data !pos '\n' with
+      | None -> scanning := false
+      | Some nl ->
+          let line = String.sub data !pos (nl - !pos) in
+          pos := nl + 1;
+          c.deadline <- Unix.gettimeofday () +. line_timeout_s;
+          if (not !stop) && budget_left () then handle_one c line;
+          if (not c.conn_open) || !stop then scanning := false
+    done;
+    if c.conn_open then begin
+      let rest = String.sub data !pos (len - !pos) in
+      Buffer.clear c.pending;
+      Buffer.add_string c.pending rest;
+      if Buffer.length c.pending > max_line_bytes then begin
+        Metrics.record_error metrics ~category:Metrics.Malformed;
+        (try write_line c.conn_fd (error_line ~category:Metrics.Malformed "request line too long")
+         with Unix.Unix_error _ -> ());
+        close_conn c
+      end
+    end
+  in
+  let chunk = Bytes.create 4096 in
+  let on_eof c =
+    (* the client died mid-line; a half request is not a request *)
+    if Buffer.length c.pending > 0 then transport_error ();
+    close_conn c
+  in
+  let service_conn c =
+    match Unix.read c.conn_fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> on_eof c
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ ->
+        transport_error ();
+        close_conn c
+    | 0 -> on_eof c
+    | nread ->
+        Buffer.add_subbytes c.pending chunk 0 nread;
+        drain_buffer c
+  in
+  let expire_deadlines now =
+    List.iter
+      (fun c ->
+        if c.conn_open && c.deadline <= now then begin
+          Metrics.record_error metrics ~category:Metrics.Timeout;
+          (try write_line c.conn_fd (error_line ~category:Metrics.Timeout "read timed out")
+           with Unix.Unix_error _ -> ());
+          close_conn c
+        end)
+      !conns
+  in
+  while (not !stop) && budget_left () do
+    let now = Unix.gettimeofday () in
+    expire_deadlines now;
+    prune ();
+    let timeout =
+      List.fold_left (fun acc c -> Float.min acc (c.deadline -. now)) Float.infinity !conns
+    in
+    let timeout = if timeout = Float.infinity then -1.0 else Float.max 0.0 timeout in
+    let fds = sock :: List.map (fun c -> c.conn_fd) !conns in
+    match Unix.select fds [] [] timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | conn, _ ->
-        let transport_error () = Metrics.record_error metrics ~category:Metrics.Transport in
-        let rec conn_loop () =
-          if (not !stop) && budget_left () then
-            match read_line_deadline conn ~deadline:(Unix.gettimeofday () +. line_timeout_s) with
-            | Eof -> ()
-            | Partial _ ->
-                (* the client died mid-line; a half request is not a request *)
-                transport_error ()
-            | Timed_out ->
-                Metrics.record_error metrics ~category:Metrics.Timeout;
-                (try write_line conn (error_line ~category:Metrics.Timeout "read timed out")
-                 with Unix.Unix_error _ -> ())
-            | Line line -> (
-                let reply, was_query = handle_line ~metrics ~stop line in
-                let op = !reply_op in
-                incr reply_op;
-                match inject_reply ~metrics ~fault ~op conn reply with
-                | `Keep ->
-                    if was_query then incr served;
-                    conn_loop ()
-                | `Close -> if was_query then incr served
-                | exception Unix.Unix_error _ ->
-                    (* the peer closed before the reply landed *)
-                    transport_error ())
-        in
-        (try conn_loop () with _ -> transport_error ());
-        (try Unix.close conn with Unix.Unix_error _ -> ())
+    | ready, _, _ ->
+        if List.mem sock ready then accept_one ();
+        List.iter
+          (fun c ->
+            if c.conn_open && (not !stop) && budget_left () && List.mem c.conn_fd ready then
+              (try service_conn c
+               with _ ->
+                 transport_error ();
+                 close_conn c))
+          !conns;
+        prune ()
   done;
+  List.iter close_conn !conns;
+  prune ();
   cleanup ();
   !served
 
@@ -550,44 +809,66 @@ let with_connection ~path f =
       Unix.connect sock (Unix.ADDR_UNIX path);
       f sock)
 
+(* Is a structured [{"ok": false}] reply worth retrying?  Only when its
+   category describes the wire or the server's load, not the request:
+   timeout, transport and overload pass, everything else is the server
+   telling us the request itself is wrong. *)
+let reply_error j =
+  let msg =
+    match Jsonout.member "error" j with Some (Jsonout.Str s) -> s | _ -> "server error"
+  in
+  let transient =
+    match Jsonout.member "category" j with
+    | Some (Jsonout.Str ("timeout" | "transport" | "overload")) -> true
+    | _ -> false
+  in
+  ((if transient then `Transient else `Fatal), msg)
+
 (* One connect/write/read attempt, classified: [`Transient] failures are
-   worth retrying (the server may be restarting, the reply may have been
-   garbled by a fault), [`Fatal] ones are the server telling us the request
-   itself is wrong.  A structured error reply is fatal unless its category
-   is timeout/transport — those describe the wire, not the request. *)
-let attempt_query ~timeout_s ~path req =
+   worth retrying (the server may be restarting or shedding load, the reply
+   may have been garbled by a fault), [`Fatal] ones are the server telling
+   us the request itself is wrong.  [interpret] turns the parsed reply of a
+   successful exchange into the caller's result. *)
+let attempt_exchange ~timeout_s ~path ~line ~interpret =
   match
     with_connection ~path (fun sock ->
-        write_line sock (Jsonout.to_line (request_to_json req));
+        write_line sock line;
         match read_line_deadline sock ~deadline:(Unix.gettimeofday () +. timeout_s) with
         | Eof | Partial _ -> Error (`Transient, "server closed the connection")
         | Timed_out -> Error (`Transient, "reply timed out")
-        | Line line -> (
-            match Jsonout.parse line with
+        | Line reply -> (
+            match Jsonout.parse reply with
             | Error msg -> Error (`Transient, "bad reply JSON: " ^ msg)
             | Ok j -> (
                 match Jsonout.member "ok" j with
-                | Some (Jsonout.Bool false) ->
-                    let msg =
-                      match Jsonout.member "error" j with
-                      | Some (Jsonout.Str s) -> s
-                      | _ -> "server error"
-                    in
-                    let transient =
-                      match Jsonout.member "category" j with
-                      | Some (Jsonout.Str ("timeout" | "transport")) -> true
-                      | _ -> false
-                    in
-                    Error ((if transient then `Transient else `Fatal), msg)
-                | _ -> (
-                    match response_of_json j with
-                    | Ok resp -> Ok resp
-                    | Error msg -> Error (`Transient, "garbled reply: " ^ msg)))))
+                | Some (Jsonout.Bool false) -> Error (reply_error j)
+                | _ -> interpret j)))
   with
   | v -> v
   | exception Unix.Unix_error (e, fn, _) ->
       Error (`Transient, Printf.sprintf "%s: %s" fn (Unix.error_message e))
   | exception Wire_error.Wire_error k -> Error (`Transient, Wire_error.message k)
+
+(* The shared retry envelope: transient failures back off exponentially
+   ([backoff_s · 2^attempt] plus up to 25% jitter, deterministic in
+   [backoff_seed]) and try the whole exchange again, tallying each retry in
+   [metrics] when given; fatal ones return immediately. *)
+let with_retries ~retries ~backoff_s ~backoff_seed ~metrics attempt =
+  let rng = Rng.create (0xc11e47 + (31 * backoff_seed)) in
+  let rec go n =
+    match attempt () with
+    | Ok v -> Ok v
+    | Error (`Fatal, msg) -> Error msg
+    | Error (`Transient, msg) ->
+        if n >= retries then Error msg
+        else begin
+          (match metrics with Some m -> Metrics.record_retry m | None -> ());
+          let base = backoff_s *. (2.0 ** float_of_int n) in
+          Unix.sleepf (base +. (base *. 0.25 *. Rng.float rng));
+          go (n + 1)
+        end
+  in
+  go 0
 
 (** Send one request to a server at [path]; wait up to [timeout_s] for the
     reply.  Transient failures retry up to [retries] more times with
@@ -596,21 +877,45 @@ let attempt_query ~timeout_s ~path req =
     when given.  Fatal server rejections return immediately. *)
 let client_query ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0)
     ?metrics ~path req =
-  let rng = Rng.create (0xc11e47 + (31 * backoff_seed)) in
-  let rec go attempt =
-    match attempt_query ~timeout_s ~path req with
-    | Ok resp -> Ok resp
-    | Error (`Fatal, msg) -> Error msg
-    | Error (`Transient, msg) ->
-        if attempt >= retries then Error msg
-        else begin
-          (match metrics with Some m -> Metrics.record_retry m | None -> ());
-          let base = backoff_s *. (2.0 ** float_of_int attempt) in
-          Unix.sleepf (base +. (base *. 0.25 *. Rng.float rng));
-          go (attempt + 1)
-        end
-  in
-  go 0
+  with_retries ~retries ~backoff_s ~backoff_seed ~metrics (fun () ->
+      attempt_exchange ~timeout_s ~path
+        ~line:(Jsonout.to_line (request_to_json req))
+        ~interpret:(fun j ->
+          match response_of_json j with
+          | Ok resp -> Ok resp
+          | Error msg -> Error (`Transient, "garbled reply: " ^ msg)))
+
+(** Send [reqs] as one [{"op": "batch"}] exchange — one line out, one line
+    back — and return per-item results in request order.  The retry
+    envelope is the same as {!client_query}'s and covers the whole
+    exchange: a garbled or truncated batch reply retries everything, while
+    a structured per-item error (bad request inside an otherwise healthy
+    batch) is that item's final [Error].  An empty [reqs] is one empty
+    round trip. *)
+let client_batch ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0)
+    ?metrics ~path reqs =
+  with_retries ~retries ~backoff_s ~backoff_seed ~metrics (fun () ->
+      attempt_exchange ~timeout_s ~path
+        ~line:(Jsonout.to_line (batch_request_to_json reqs))
+        ~interpret:(fun j ->
+          match Jsonout.member "results" j with
+          | Some (Jsonout.List items) when List.length items = List.length reqs ->
+              Ok
+                (List.map
+                   (fun item ->
+                     match Jsonout.member "ok" item with
+                     | Some (Jsonout.Bool false) -> Error (snd (reply_error item))
+                     | _ -> (
+                         match response_of_json item with
+                         | Ok resp -> Ok resp
+                         | Error msg -> Error ("garbled batch item: " ^ msg)))
+                   items)
+          | Some (Jsonout.List items) ->
+              Error
+                ( `Transient,
+                  Printf.sprintf "garbled reply: %d results for %d requests" (List.length items)
+                    (List.length reqs) )
+          | _ -> Error (`Transient, "garbled reply: batch reply without results")))
 
 (** Fetch the server's telemetry ([{"op": "stats"}]); returns the [stats]
     object of the reply. *)

@@ -4,11 +4,15 @@
     the tfree CLI exposes), the reply carries the verdict, the accounted
     bits and the measured wire traffic, reconciled.
 
-    The server degrades, never dies: malformed lines, clients killed
-    mid-request, silent clients and dead reply sockets each cost one
-    categorized {!Metrics} error counter and at worst that one connection.
-    The client retries transient failures with exponential backoff and
-    deterministic jitter. *)
+    The server is a single-threaded select event loop: many concurrent
+    clients, each with its own read buffer and per-line deadline; bounded
+    admission with typed overload shedding; an LRU instance/partition
+    cache; and an [{"op": "batch"}] exchange amortizing the framing over
+    many queries.  It degrades, never dies: malformed lines, clients
+    killed mid-request, silent clients and dead reply sockets each cost
+    one categorized {!Metrics} error counter and at worst that one
+    connection.  The client retries transient failures with exponential
+    backoff and deterministic jitter. *)
 
 open Tfree_util
 open Tfree_graph
@@ -66,12 +70,46 @@ val request_of_json : Jsonout.t -> (request, string) result
 val response_to_json : response -> Jsonout.t
 val response_of_json : Jsonout.t -> (response, string) result
 
+(** The [{"op": "batch", "requests": [...]}] object for a request list. *)
+val batch_request_to_json : request list -> Jsonout.t
+
+(** {2 The instance cache}
+
+    Requests that agree on every instance-determining field — family,
+    partition, n, d, k, eps, seed — share one build of the graph and its
+    partition; protocol, transport and fault spec are excluded from the
+    key because they only affect how the instance is queried.  A hit is
+    bit-identical to a rebuild: graph and partition are derived from one
+    [Rng.create seed] stream, and the protocol run seeds itself
+    independently. *)
+
+type instance_key = {
+  key_family : family;
+  key_partition : partition_kind;
+  key_n : int;
+  key_d : float;
+  key_k : int;
+  key_eps : float;
+  key_seed : int;
+}
+
+type instance_cache = (instance_key, Graph.t * Partition.t) Lru.t
+
+val create_cache : ?capacity:int -> unit -> instance_cache
+val key_of_request : request -> instance_key
+
+(** The cached instance/partition pair for a request (built on a miss; one
+    counted lookup per call, mirrored into [metrics] when given).  Without
+    [cache], always builds. *)
+val instance_pair : ?cache:instance_cache -> ?metrics:Metrics.t -> request -> Graph.t * Partition.t
+
 (** Build the requested instance, run the requested protocol over a wire
     network (under the request's fault schedule, if any), reconcile.
-    Deterministic in the request's seed and fault spec; the network is
-    closed even when a fault aborts the run.
+    Deterministic in the request's seed and fault spec — with or without
+    [cache], whose hits return the identical graph/partition a rebuild
+    would produce; the network is closed even when a fault aborts the run.
     @raise Wire_error.Wire_error when an injected fault aborts the run. *)
-val run_request : request -> response
+val run_request : ?cache:instance_cache -> ?metrics:Metrics.t -> request -> response
 
 (** {2 Server and client} *)
 
@@ -88,35 +126,56 @@ type line_read =
 val read_line_deadline : Unix.file_descr -> deadline:float -> line_read
 
 (** One request line to one reply line against [metrics]; sets [stop] on a
-    shutdown command.  Returns the reply and whether the line was a
-    successfully served protocol query.  Every failure shape replies with a
-    structured [{"ok": false, "error": ..., "category": ...}] and records
-    the error under its {!Metrics.error_category}; nothing escapes. *)
-val handle_line : metrics:Metrics.t -> stop:bool ref -> string -> string * bool
+    shutdown command.  Returns the reply and how many protocol queries the
+    line served — 0 or 1 for a plain line, up to the item count for an
+    [{"op": "batch"}] line (whose [results] hold one reply object per
+    request, in order, per-item errors included).  Every failure shape
+    replies with a structured [{"ok": false, "error": ..., "category":
+    ...}] and records the error under its {!Metrics.error_category};
+    nothing escapes. *)
+val handle_line :
+  ?cache:instance_cache -> metrics:Metrics.t -> stop:bool ref -> string -> string * int
 
 (** Serve requests on a Unix-domain socket at [path] until a
     [{"cmd": "shutdown"}] line (or [max_requests] successfully served
-    protocol queries) arrives.  Returns the number of queries served.
+    protocol queries — batch items each count) arrives.  Returns the
+    number of queries served.
 
-    [line_timeout_s] (default 30) bounds how long one connection may hold
-    the server waiting for a newline; expiry costs a [Timeout] error and
-    that connection.  [fault] injects scheduled faults into the server's
-    own replies — the op numbers count replies over the server lifetime —
-    for chaos-testing the client retry path; firings are tallied as
-    injected faults, not errors.  No client behaviour (killed mid-line,
-    flooding garbage, going silent, closing before the reply) takes the
-    daemon down. *)
+    The server is a single-threaded select event loop: every open
+    connection owns a read buffer and a rolling per-line deadline of
+    [line_timeout_s] (default 30), so a slow or silent client costs a
+    [Timeout] error and its own connection while everyone else keeps being
+    served.  [backlog] (default 64) sizes the kernel accept queue; at most
+    [max_clients] (default 64) connections are open at once, and one over
+    the cap is answered immediately with an [overload]-category error and
+    closed — shed, never hung.  Instances are memoized in an LRU of
+    [cache_capacity] entries (default 32; [0] disables caching).
+
+    [fault] injects scheduled faults into the server's own replies — the
+    op numbers count replies over the server lifetime, in the order the
+    loop writes them — for chaos-testing the client retry path; firings
+    are tallied as injected faults, not errors.  No client behaviour
+    (killed mid-line, flooding garbage, going silent, closing before the
+    reply) takes the daemon down. *)
 val serve :
-  ?max_requests:int -> ?line_timeout_s:float -> ?fault:Fault.schedule -> path:string -> unit -> int
+  ?backlog:int ->
+  ?max_clients:int ->
+  ?max_requests:int ->
+  ?line_timeout_s:float ->
+  ?fault:Fault.schedule ->
+  ?cache_capacity:int ->
+  path:string ->
+  unit ->
+  int
 
 (** Send one request to a server at [path]; wait up to [timeout_s] (default
     30) for the reply.  Transient failures — connection refused, timeouts,
-    truncated or garbled replies, server errors in the timeout/transport
-    categories — retry up to [retries] (default 0) more times with
-    exponential backoff ([backoff_s]·2^attempt, default 50 ms, plus up to
-    25% jitter deterministic in [backoff_seed]); each retry is tallied in
-    [metrics] when given.  Structured server rejections (malformed request,
-    unknown op) are fatal immediately. *)
+    truncated or garbled replies, server errors in the
+    timeout/transport/overload categories — retry up to [retries] (default
+    0) more times with exponential backoff ([backoff_s]·2^attempt, default
+    50 ms, plus up to 25% jitter deterministic in [backoff_seed]); each
+    retry is tallied in [metrics] when given.  Structured server
+    rejections (malformed request, unknown op) are fatal immediately. *)
 val client_query :
   ?timeout_s:float ->
   ?retries:int ->
@@ -126,6 +185,21 @@ val client_query :
   path:string ->
   request ->
   (response, string) result
+
+(** Send many requests as one [{"op": "batch"}] exchange — one line out,
+    one line back — and get per-item results in request order.  The retry
+    envelope matches {!client_query} and covers the whole exchange: a
+    garbled, truncated or overload-shed batch reply retries everything,
+    while a structured per-item error is that item's final [Error]. *)
+val client_batch :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?backoff_seed:int ->
+  ?metrics:Metrics.t ->
+  path:string ->
+  request list ->
+  ((response, string) result list, string) result
 
 (** Fetch the server's telemetry ([{"op": "stats"}] query); returns the
     [stats] object of the reply (see {!Metrics.to_json} for its shape). *)

@@ -336,6 +336,40 @@ let qcheck_props =
         let rng = Rng.create part in
         let g = Mu_dist.sample rng ~part ~gamma:2.0 in
         Graph.fold_edges g ~init:true ~f:(fun acc u v -> acc && u / part <> v / part));
+    (* -------- information-theory identities on random distributions
+       (Tfree_proptest.Info_gen); tolerances absorb float summation. *)
+    Test.make ~name:"entropy bounded: 0 <= H(p) <= log2 |support|" ~count:200
+      (Tfree_proptest.Info_gen.arb_dist ())
+      (fun p ->
+        let h = Info.entropy p in
+        h >= -1e-9 && h <= Info.log2 (float_of_int (Array.length p)) +. 1e-9);
+    Test.make ~name:"Gibbs: D(mu||eta) >= 0, = 0 iff mu = eta" ~count:200
+      (Tfree_proptest.Info_gen.arb_dist_pair ())
+      (fun (mu, eta) ->
+        let d = Info.kl_divergence mu eta in
+        let l1 =
+          Array.fold_left ( +. ) 0.0 (Array.mapi (fun i m -> Float.abs (m -. eta.(i))) mu)
+        in
+        (* Pinsker gives D >= l1^2 / (2 ln 2): strictly positive off the
+           diagonal, not merely nonnegative *)
+        d >= -1e-12
+        && Info.kl_divergence mu mu < 1e-12
+        && (l1 < 1e-6 || d > (l1 *. l1 /. (2.0 *. Float.log 2.0)) -. 1e-9));
+    Test.make ~name:"chain rule: I(X;Y) = H(X) + H(Y) - H(X,Y)" ~count:200
+      (Tfree_proptest.Info_gen.arb_joint ())
+      (fun j ->
+        Info.check_joint j;
+        let hx = Info.entropy (Info.marginal_x j) in
+        let hy = Info.entropy (Info.marginal_y j) in
+        let hxy = Info.entropy (Array.concat (Array.to_list j)) in
+        let i = Info.mutual_information j in
+        Float.abs (i -. (hx +. hy -. hxy)) < 1e-9
+        && Float.abs (Info.mutual_information_via_kl j -. i) < 1e-9
+        && i >= -1e-9);
+    Test.make ~name:"lemma 4.3: D(q||p) >= q - 2p for p < 1/2" ~count:500
+      Tfree_proptest.Info_gen.arb_lemma43_params
+      (fun (q, p) ->
+        Info.binary_kl ~q ~p >= Info.lemma_4_3_bound ~q ~p -. 1e-12);
   ]
 
 let () =

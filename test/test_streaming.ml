@@ -141,6 +141,46 @@ let qcheck_props =
         in
         (* the retained edge set is order-independent, so found-vs-not is too *)
         Option.is_some r1 = Option.is_some r2);
+    (* the §4.2.2 translation, property-tested: on random instances the
+       bridged one-way protocol and the direct streaming run agree, and the
+       bits the bridge claims for each message are exactly the serialized
+       state sizes at the two segment boundaries *)
+    Test.make ~name:"bridge = direct streaming run on random instances" ~count:40
+      (pair (int_range 1 1000) bool)
+      (fun (seed, far) ->
+        let rng = Rng.create seed in
+        let g =
+          if far then Tfree_graph.Gen.far_with_degree rng ~n:120 ~d:6.0 ~eps:0.1
+          else Tfree_graph.Gen.free_with_degree rng ~n:120 ~d:6.0
+        in
+        let parts = Partition.disjoint_random rng ~k:3 g in
+        let det = Detector.make ~seed ~p:0.4 in
+        let direct = Stream_alg.run det ~n:120 (Stream_alg.stream_of_partition parts) in
+        let bridged = Bridge.oneway_of_streaming det ~inputs:parts in
+        direct.Stream_alg.result = bridged.Bridge.result
+        && direct.Stream_alg.space_bits = bridged.Bridge.space_bits
+        && (not far || not (Option.is_some bridged.Bridge.result)
+            || Triangle.is_triangle g (Option.get bridged.Bridge.result)));
+    Test.make ~name:"bridge message bits = prefix state sizes <= space" ~count:40
+      (int_range 1 1000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let g = Tfree_graph.Gen.gnp rng ~n:80 ~p:0.1 in
+        let parts = Partition.disjoint_random rng ~k:3 g in
+        let det = Detector.make ~seed ~p:0.5 in
+        let bridged = Bridge.oneway_of_streaming det ~inputs:parts in
+        (* recompute the two shipped states independently of the bridge *)
+        let run_prefix players =
+          List.fold_left
+            (fun st j ->
+              List.fold_left det.Stream_alg.step st (Graph.edges (Partition.player parts j)))
+            (det.Stream_alg.init ~n:80) players
+        in
+        let alice_bits = det.Stream_alg.size_bits (run_prefix [ 0 ]) in
+        let bob_bits = det.Stream_alg.size_bits (run_prefix [ 0; 1 ]) in
+        bridged.Bridge.message_bits = (alice_bits, bob_bits)
+        && alice_bits <= bridged.Bridge.space_bits
+        && bob_bits <= bridged.Bridge.space_bits);
   ]
 
 let () =

@@ -325,6 +325,61 @@ let test_jsonout_member () =
   checkb "to_float" true (Jsonout.to_float (Jsonout.Num 1.5) = Some 1.5);
   checkb "to_list" true (Jsonout.to_list (Jsonout.List []) = Some [])
 
+(* ----------------------------------------------------------------- Lru *)
+
+let test_lru_basics () =
+  let c = Lru.create 2 in
+  checkb "fresh empty" true (Lru.length c = 0 && Lru.lookups c = 0);
+  checkb "miss" true (Lru.find_opt c "a" = None);
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  checkb "hit a" true (Lru.find_opt c "a" = Some 1);
+  checkb "hit b" true (Lru.find_opt c "b" = Some 2);
+  checki "hits" 2 (Lru.hits c);
+  checki "misses" 1 (Lru.misses c);
+  checki "lookups" 3 (Lru.lookups c)
+
+let test_lru_evicts_least_recently_used () =
+  let c = Lru.create 2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  ignore (Lru.find_opt c "a");  (* refresh a: b is now oldest *)
+  Lru.add c "c" 3;
+  checkb "b evicted" true (not (Lru.mem c "b"));
+  checkb "a survives" true (Lru.mem c "a");
+  checkb "c present" true (Lru.mem c "c");
+  checki "at capacity" 2 (Lru.length c)
+
+let test_lru_replace_same_key () =
+  let c = Lru.create 2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Lru.add c "a" 10;  (* replace, not insert: nothing evicted *)
+  checkb "replaced" true (Lru.find_opt c "a" = Some 10);
+  checkb "b kept" true (Lru.mem c "b");
+  checki "length" 2 (Lru.length c)
+
+let test_lru_find_or_add () =
+  let c = Lru.create 4 in
+  let builds = ref 0 in
+  let build () = incr builds; !builds in
+  checki "built once" 1 (Lru.find_or_add c 7 build);
+  checki "cached" 1 (Lru.find_or_add c 7 build);
+  checki "builds" 1 !builds;
+  checki "hits" 1 (Lru.hits c);
+  checki "misses" 1 (Lru.misses c)
+
+let test_lru_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () -> ignore (Lru.create 0))
+
+let test_lru_clear () =
+  let c = Lru.create 2 in
+  Lru.add c 1 "x";
+  ignore (Lru.find_opt c 1);
+  Lru.clear c;
+  checkb "empty" true (Lru.length c = 0 && Lru.hits c = 0 && Lru.misses c = 0)
+
 (* -------------------------------------------------------------- QCheck *)
 
 let qcheck_props =
@@ -357,6 +412,22 @@ let qcheck_props =
     Test.make ~name:"shuffle preserves multiset" ~count:100 (list small_int) (fun l ->
         let r = Rng.create (Hashtbl.hash l) in
         List.sort compare (Sampling.shuffle r l) = List.sort compare l);
+    Test.make ~name:"lru never exceeds capacity; counters reconcile" ~count:200
+      (pair (int_range 1 8) (list (pair (int_range 0 20) bool)))
+      (fun (cap, ops) ->
+        let c = Lru.create cap in
+        let lookups = ref 0 in
+        List.iter
+          (fun (key, write) ->
+            if write then Lru.add c key key
+            else begin
+              incr lookups;
+              match Lru.find_opt c key with
+              | Some v -> assert (v = key)
+              | None -> ()
+            end)
+          ops;
+        Lru.length c <= cap && Lru.lookups c = !lookups && Lru.hits c + Lru.misses c = !lookups);
   ]
 
 let () =
@@ -429,6 +500,15 @@ let () =
           Alcotest.test_case "integral floats" `Quick test_jsonout_integral_floats;
           Alcotest.test_case "rejects garbage" `Quick test_jsonout_rejects_garbage;
           Alcotest.test_case "member/accessors" `Quick test_jsonout_member;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "evicts LRU" `Quick test_lru_evicts_least_recently_used;
+          Alcotest.test_case "replace same key" `Quick test_lru_replace_same_key;
+          Alcotest.test_case "find_or_add" `Quick test_lru_find_or_add;
+          Alcotest.test_case "bad capacity" `Quick test_lru_rejects_bad_capacity;
+          Alcotest.test_case "clear" `Quick test_lru_clear;
         ] );
       ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
     ]

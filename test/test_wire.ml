@@ -489,14 +489,20 @@ let test_service_run_request_reconciles () =
 (* Fork a real server on a temp socket, run [f path] against it, shut it
    down and assert the child saw exactly [expect_served] queries and exited
    cleanly — a daemon that died under a misbehaving client fails here. *)
-let with_forked_server ?(fault = []) ~tag ~expect_served f =
+let with_forked_server ?(fault = []) ?max_clients ?cache_capacity ~tag ~expect_served f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "tfree-test-%s-%d.sock" tag (Unix.getpid ()))
   in
   if Sys.file_exists path then Sys.remove path;
   match Unix.fork () with
-  | 0 -> exit (if Service.serve ~line_timeout_s:5.0 ~fault ~path () = expect_served then 0 else 1)
+  | 0 ->
+      exit
+        (if
+           Service.serve ?max_clients ?cache_capacity ~line_timeout_s:5.0 ~fault ~path ()
+           = expect_served
+         then 0
+         else 1)
   | server -> (
       let rec await tries =
         if not (Sys.file_exists path) then
@@ -512,10 +518,25 @@ let with_forked_server ?(fault = []) ~tag ~expect_served f =
           (try Service.client_shutdown ~path with _ -> ());
           ignore (Unix.waitpid [] server);
           raise e);
-      Service.client_shutdown ~path;
-      match Unix.waitpid [] server with
-      | _, Unix.WEXITED 0 -> ()
-      | _ -> Alcotest.fail "server did not exit cleanly (or served a wrong query count)")
+      (* the shutdown connection can itself be shed under a tiny
+         --max-clients; keep asking until the server exits *)
+      let rec finish tries =
+        (try Service.client_shutdown ~path with Unix.Unix_error _ -> ());
+        match Unix.waitpid [ Unix.WNOHANG ] server with
+        | 0, _ ->
+            if tries = 0 then begin
+              Unix.kill server Sys.sigkill;
+              ignore (Unix.waitpid [] server);
+              Alcotest.fail "server did not exit after shutdown"
+            end
+            else begin
+              Unix.sleepf 0.05;
+              finish (tries - 1)
+            end
+        | _, Unix.WEXITED 0 -> ()
+        | _ -> Alcotest.fail "server did not exit cleanly (or served a wrong query count)"
+      in
+      finish 100)
 
 let stats_num stats k =
   match Option.bind (Jsonout.member k stats) Jsonout.to_float with
@@ -618,6 +639,304 @@ let test_service_client_retry_recovers () =
                 (stats_num stats "injected_faults");
               checki "injected faults are not service errors" 0 (stats_num stats "errors")
           | Error msg -> Alcotest.failf "stats query failed: %s" msg))
+
+(* ------------------------------------------------ concurrent event loop *)
+
+(* Fork [n] concurrent client processes (processes, not domains: a domain
+   would forbid every later [Unix.fork] in this binary); each child runs
+   [child i] and reports its (wrong, retries) tally over a shared pipe —
+   one short line per child, atomic under PIPE_BUF.  Returns the tallies
+   once every child has exited. *)
+let fork_clients ?(coordinate = fun () -> ()) n child =
+  let r, w = Unix.pipe () in
+  let pids =
+    List.init n (fun i ->
+        match Unix.fork () with
+        | 0 ->
+            Unix.close r;
+            let wrong, retries = (try child i with _ -> (1000, 0)) in
+            let line = Printf.sprintf "%d %d\n" wrong retries in
+            ignore (Unix.write_substring w line 0 (String.length line));
+            Unix._exit 0
+        | pid -> pid)
+  in
+  Unix.close w;
+  coordinate ();
+  let ic = Unix.in_channel_of_descr r in
+  let tallies =
+    List.init n (fun _ ->
+        match In_channel.input_line ic with
+        | Some line -> Scanf.sscanf line "%d %d" (fun a b -> (a, b))
+        | None -> (1000, 0))
+  in
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  In_channel.close ic;
+  tallies
+
+(* The head-of-line regression test: K clients each hold ONE connection
+   open and none will close it before every client has gotten a first
+   reply.  A sequential accept loop deadlocks here (client 1 pins the
+   server until it closes, which it refuses to do until client 2 is
+   answered); the select event loop serves all K interleaved.  Every reply
+   must equal the fault-free local run — concurrency must never change a
+   verdict. *)
+let test_concurrent_clients_interleaved () =
+  let clients = 4 and per_client = 3 in
+  let req_for c q =
+    { Service.default_request with protocol = Service.Exact; n = 60; seed = (10 * c) + q }
+  in
+  (* expected replies computed before any concurrency enters the picture *)
+  let expected =
+    Array.init clients (fun c ->
+        Array.init per_client (fun q -> Service.run_request (req_for c q)))
+  in
+  with_forked_server ~tag:"interleaved" ~expect_served:(clients * per_client) (fun path ->
+      (* cross-process barrier: each client reports its first reply on
+         [ready], then blocks on [go] until the parent has seen all K *)
+      let ready_r, ready_w = Unix.pipe () in
+      let go_r, go_w = Unix.pipe () in
+      let one = Bytes.create 1 in
+      let run_client c =
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect sock (Unix.ADDR_UNIX path);
+            let wrong = ref 0 in
+            for q = 0 to per_client - 1 do
+              let line = Jsonout.to_line (Service.request_to_json (req_for c q)) in
+              let n = String.length line + 1 in
+              assert (Unix.write_substring sock (line ^ "\n") 0 n = n);
+              (match
+                 Service.read_line_deadline sock ~deadline:(Unix.gettimeofday () +. 30.0)
+               with
+              | Service.Line reply -> (
+                  match Result.bind (Jsonout.parse reply) Service.response_of_json with
+                  | Ok resp -> if resp <> expected.(c).(q) then incr wrong
+                  | Error _ -> incr wrong)
+              | _ -> incr wrong);
+              if q = 0 then begin
+                (* hold the connection hostage until every client has been
+                   answered once over its own open connection *)
+                assert (Unix.write ready_w one 0 1 = 1);
+                assert (Unix.read go_r one 0 1 = 1)
+              end
+            done;
+            (!wrong, 0))
+      in
+      let release () =
+        (* every client has an open served connection before any proceeds *)
+        let byte = Bytes.create 1 in
+        for _ = 1 to clients do
+          assert (Unix.read ready_r byte 0 1 = 1)
+        done;
+        for _ = 1 to clients do
+          assert (Unix.write go_w byte 0 1 = 1)
+        done
+      in
+      let tallies = fork_clients ~coordinate:release clients run_client in
+      let wrong = List.fold_left (fun acc (w, _) -> acc + w) 0 tallies in
+      List.iter Unix.close [ ready_r; ready_w; go_r; go_w ];
+      checki "zero wrong replies across all interleaved clients" 0 wrong;
+      match Service.client_stats ~path () with
+      | Ok stats ->
+          checki "served every query" (clients * per_client) (stats_num stats "queries_served");
+          checki "no errors" 0 (stats_num stats "errors");
+          let conns =
+            match Jsonout.member "connections" stats with
+            | Some c -> c
+            | None -> Alcotest.fail "stats missing connections"
+          in
+          checkb "accepted all clients concurrently" true
+            (stats_num conns "accepted" >= clients);
+          checki "nothing shed" 0 (stats_num conns "shed")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* A batch must return one result per request, in order, each identical to
+   the one-at-a-time reply for the same request — including a structured
+   per-item error for a bad item that must not poison its neighbours. *)
+let test_batch_matches_single_queries () =
+  let good = List.init 4 (fun i -> { Service.default_request with protocol = Service.Exact; n = 60; seed = 20 + i }) in
+  (* 4 good batch items + 4 single queries + the mixed batch's good item;
+     the bad item serves nothing *)
+  with_forked_server ~tag:"batch" ~expect_served:9 (fun path ->
+      (match Service.client_batch ~path good with
+      | Error msg -> Alcotest.failf "batch failed: %s" msg
+      | Ok results ->
+          checki "one result per request" (List.length good) (List.length results);
+          List.iteri
+            (fun i result ->
+              match result with
+              | Error msg -> Alcotest.failf "batch item %d failed: %s" i msg
+              | Ok resp -> (
+                  let req = List.nth good i in
+                  checkb
+                    (Printf.sprintf "batch item %d = fault-free local run" i)
+                    true
+                    (resp = Service.run_request req);
+                  match Service.client_query ~path req with
+                  | Ok single ->
+                      checkb
+                        (Printf.sprintf "batch item %d = single query" i)
+                        true (resp = single)
+                  | Error msg -> Alcotest.failf "single query %d failed: %s" i msg))
+            results);
+      (* a bad item inside a batch is its own error, not the batch's *)
+      (match
+         Service.client_batch ~path
+           [ { Service.default_request with n = -5 }; { Service.default_request with protocol = Service.Exact; n = 60; seed = 20 } ]
+       with
+      | Error msg -> Alcotest.failf "mixed batch failed outright: %s" msg
+      | Ok [ bad; ok ] ->
+          checkb "bad item is an Error" true (Result.is_error bad);
+          checkb "good neighbour still served" true
+            (ok = Ok (Service.run_request { Service.default_request with protocol = Service.Exact; n = 60; seed = 20 }))
+      | Ok _ -> Alcotest.fail "mixed batch did not return two results");
+      match Service.client_stats ~path () with
+      | Ok stats -> (
+          match Jsonout.member "batch" stats with
+          | Some b ->
+              checki "two batch exchanges" 2 (stats_num b "batches");
+              checki "six batch items" 6 (stats_num b "items");
+              checki "bad item recorded as run_failure" 1 (stats_category stats "run_failure")
+          | None -> Alcotest.fail "stats missing batch")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* Seed reuse must hit the instance cache (no rebuild) without changing a
+   single reply byte; the stats cache counters must reconcile exactly:
+   lookups = queries served = hits + misses, misses = distinct keys. *)
+let test_cache_hits_reconcile_in_stats () =
+  let base = { Service.default_request with protocol = Service.Exact; n = 60 } in
+  let reqs =
+    List.concat_map (fun seed -> List.init 3 (fun _ -> { base with Service.seed = seed })) [ 1; 2 ]
+  in
+  (* 6 queries over 2 distinct (family, ..., seed) keys *)
+  with_forked_server ~tag:"cache" ~expect_served:(List.length reqs) (fun path ->
+      let replies =
+        List.map
+          (fun req ->
+            match Service.client_query ~path req with
+            | Ok resp -> resp
+            | Error msg -> Alcotest.failf "query failed: %s" msg)
+          reqs
+      in
+      List.iter2
+        (fun req resp ->
+          checkb "cached reply = fault-free local run" true (resp = Service.run_request req))
+        reqs replies;
+      match Service.client_stats ~path () with
+      | Ok stats -> (
+          match Jsonout.member "cache" stats with
+          | Some cache ->
+              checki "one lookup per query" (List.length reqs) (stats_num cache "lookups");
+              checki "misses = distinct instance keys" 2 (stats_num cache "misses");
+              checki "hits = the rest" (List.length reqs - 2) (stats_num cache "hits");
+              checki "hits + misses = lookups"
+                (stats_num cache "lookups")
+                (stats_num cache "hits" + stats_num cache "misses")
+          | None -> Alcotest.fail "stats missing cache")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* Chaos under concurrency: a reply-fault schedule that drops, kills and
+   corrupts connections while K clients query in parallel.  Every client
+   must still end with its exact fault-free verdict (retrying through the
+   chaos), and the stats must reconcile: served = successes + retries,
+   every scheduled fault fired, zero service errors. *)
+let test_chaos_schedule_spares_other_clients () =
+  let fault =
+    [
+      { Fault.op = 0; kind = Fault.Drop };
+      { Fault.op = 2; kind = Fault.Close };
+      { Fault.op = 5; kind = Fault.Corrupt { bit = 13 } };
+    ]
+  in
+  let clients = 3 and per_client = 2 in
+  let req_for c q =
+    { Service.default_request with protocol = Service.Exact; n = 60; seed = (100 * c) + q }
+  in
+  let expected =
+    Array.init clients (fun c ->
+        Array.init per_client (fun q -> Service.run_request (req_for c q)))
+  in
+  (* every sabotaged reply is a query the server processed and one client
+     retry, so served = clients·per_client + |schedule| exactly *)
+  with_forked_server ~fault ~tag:"chaos-conc"
+    ~expect_served:((clients * per_client) + List.length fault)
+    (fun path ->
+      let run_client c =
+        let m = Metrics.create () in
+        let wrong = ref 0 in
+        for q = 0 to per_client - 1 do
+          match
+            Service.client_query ~retries:8 ~backoff_s:0.01 ~backoff_seed:c ~metrics:m ~path
+              (req_for c q)
+          with
+          | Ok resp -> if resp <> expected.(c).(q) then incr wrong
+          | Error _ -> incr wrong
+        done;
+        (!wrong, Metrics.retries m)
+      in
+      let results = fork_clients clients run_client in
+      let wrong = List.fold_left (fun acc (w, _) -> acc + w) 0 results in
+      let retries = List.fold_left (fun acc (_, r) -> acc + r) 0 results in
+      checki "zero wrong verdicts under chaos" 0 wrong;
+      checki "one retry per scheduled fault" (List.length fault) retries;
+      match Service.client_stats ~path () with
+      | Ok stats ->
+          checki "served = successes + retries"
+            ((clients * per_client) + retries)
+            (stats_num stats "queries_served");
+          checki "every scheduled fault fired" (List.length fault)
+            (stats_num stats "injected_faults");
+          checki "injected faults are not service errors" 0 (stats_num stats "errors")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* At --max-clients the server sheds with a typed overload error — a
+   structured reply, never a hang — and the client treats it as transient:
+   once the hog disconnects, a retry succeeds. *)
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_overload_sheds_with_typed_error () =
+  with_forked_server ~max_clients:1 ~tag:"overload" ~expect_served:1 (fun path ->
+      let hog = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect hog (Unix.ADDR_UNIX path);
+      (* let the event loop admit the hog before piling on *)
+      Unix.sleepf 0.1;
+      let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
+      (match Service.client_query ~path req with
+      | Ok _ -> Alcotest.fail "server over capacity still answered"
+      | Error msg ->
+          checkb
+            (Printf.sprintf "overload error names capacity: %s" msg)
+            true
+            (contains_substring msg "capacity"));
+      Unix.close hog;
+      let m = Metrics.create () in
+      (match Service.client_query ~retries:8 ~backoff_s:0.02 ~metrics:m ~path req with
+      | Ok resp -> checkb "post-shed retry gets the true verdict" true (resp = Service.run_request req)
+      | Error msg -> Alcotest.failf "retry after shedding failed: %s" msg);
+      (* at max_clients 1 the stats connection itself can race the previous
+         connection's EOF and get shed; it is transient, so retry *)
+      let rec stats_with_retry tries =
+        match Service.client_stats ~path () with
+        | Error _ when tries > 0 ->
+            Unix.sleepf 0.05;
+            stats_with_retry (tries - 1)
+        | r -> r
+      in
+      match stats_with_retry 20 with
+      | Ok stats ->
+          checkb "at least one connection shed" true (stats_category stats "overload" >= 1);
+          (match Jsonout.member "connections" stats with
+          | Some conns ->
+              checkb "shed tally matches overload errors" true
+                (stats_num conns "shed" = stats_category stats "overload")
+          | None -> Alcotest.fail "stats missing connections");
+          checki "the one real query served" 1 (stats_num stats "queries_served")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
 
 (* ------------------------------------------- handle_line categorization *)
 
@@ -822,6 +1141,19 @@ let () =
             test_service_client_killed_mid_request;
           Alcotest.test_case "client retry recovers through faults" `Quick
             test_service_client_retry_recovers;
+        ] );
+      ( "serve-concurrency",
+        [
+          Alcotest.test_case "interleaved clients, no head-of-line blocking" `Quick
+            test_concurrent_clients_interleaved;
+          Alcotest.test_case "batch = one-at-a-time queries" `Quick
+            test_batch_matches_single_queries;
+          Alcotest.test_case "cache hits reconcile in stats" `Quick
+            test_cache_hits_reconcile_in_stats;
+          Alcotest.test_case "chaos schedule spares other clients" `Quick
+            test_chaos_schedule_spares_other_clients;
+          Alcotest.test_case "overload sheds with typed error" `Quick
+            test_overload_sheds_with_typed_error;
         ] );
       ( "metrics",
         [
