@@ -115,7 +115,7 @@ let with_server ?(fault = []) ~tag ~expect_served f =
          Unix.kill server Sys.sigkill;
          ignore (Unix.waitpid [] server);
          raise e);
-      Service.client_shutdown ~path;
+      Service.client_shutdown ~path ();
       (match Unix.waitpid [] server with
       | _, Unix.WEXITED 0 -> ()
       | _, _ -> fail "%s: server did not exit cleanly (or served a wrong count)" tag)

@@ -132,5 +132,40 @@ let () =
       ignore (Jsonout.member "ns_per_run" m);
       ignore (Jsonout.member "r2" m))
     micro;
+  (* The wire-codec rows (bench/micro_wire.ml) must be present on every
+     unfiltered document, and the document itself must witness the v2-beats-v1
+     gates: binary strictly below JSON on framed and payload bytes/query and
+     on encode/decode ns/query, allocation inside the zero-alloc budget.  A
+     baseline that no longer shows the win is as broken as a malformed one. *)
+  if only = None then begin
+    let wire_row name =
+      match
+        List.find_opt
+          (fun m -> match Jsonout.member "name" m with Some (Str n) -> n = name | _ -> false)
+          micro
+      with
+      | Some m -> m
+      | None -> fail "missing micro row %S" name
+    in
+    let beaten name =
+      let row = wire_row name in
+      let v1 = float_field row "v1" and v2 = float_field row "v2" in
+      if not (v2 < v1) then fail "%s: v2 (%g) is not below v1 (%g)" name v2 v1
+    in
+    beaten "micro/serve-encode-ns";
+    beaten "micro/serve-decode-ns";
+    let bytes = wire_row "micro/serve-bytes-per-query" in
+    List.iter
+      (fun side ->
+        let v1 = float_field bytes ("v1_" ^ side) and v2 = float_field bytes ("v2_" ^ side) in
+        if not (v2 < v1) then
+          fail "micro/serve-bytes-per-query: v2 %s bytes (%g) not below v1 (%g)" side v2 v1)
+      [ "framed"; "payload" ];
+    let words = wire_row "micro/serve-minor-words-per-query" in
+    let v2 = float_field words "v2" and limit = float_field words "limit" in
+    if limit <= 0.0 then fail "micro/serve-minor-words-per-query: non-positive limit";
+    if v2 > limit then
+      fail "micro/serve-minor-words-per-query: %g minor words/query over the %g budget" v2 limit
+  end;
   Printf.printf "check_json: %s ok (%d experiments, %d micro rows)\n" path (List.length experiments)
     (List.length micro)

@@ -1,13 +1,14 @@
 (* Closed-loop load generator for tfree-serve, behind the @load-smoke
    alias.
 
-   Forks one server and [--clients] concurrent client processes; each
+   For each wire protocol selected by [--protocol] (default: both v1 and
+   v2), forks one server and [--clients] concurrent client processes; each
    client drives [--queries] protocol queries through the socket, grouped
-   into [{"op": "batch"}] exchanges of [--batch] requests, cycling
-   [--seeds] distinct instance seeds so the server's LRU cache sees
-   genuine reuse.  Every reply is compared against a locally computed run
-   of the same request — a single wrong verdict (or bit count, or a wire
-   report that does not reconcile) is a hard failure.
+   into batch exchanges of [--batch] requests, cycling [--seeds] distinct
+   instance seeds so the server's LRU cache sees genuine reuse.  Every
+   reply is compared against a locally computed run of the same request —
+   a single wrong verdict (or bit count, or a wire report that does not
+   reconcile) is a hard failure.
 
    The parent then reconciles the server's [{"op": "stats"}] telemetry
    against the clients' own tallies:
@@ -18,16 +19,24 @@
      batches / items  = exchanges incl. retried ones / batches x batch
      injected_faults  = the whole [--fault] schedule, with exactly one
                         client retry per non-benign firing; errors = 0
+     protocol_versions.vN
+                      = all serving lands on the active version: its
+                        served gauge equals queries_served, its byte gauge
+                        equals the clients' framed bytes over all-ok
+                        exchanges, and the other version's gauges are 0
 
-   and reports latency quantiles (per closed-loop exchange) and measured
-   line-protocol bytes per query.  Exit status is nonzero on any
-   violation, so the alias doubles as a concurrency regression gate.
+   and reports latency and wire traffic per query — framed bytes (what
+   crosses the socket: newline framing for v1, length prefix + checksum
+   for v2) and payload bytes (the JSON text / frame body alone) separately,
+   side by side across versions when both run.  Exit status is nonzero on
+   any violation, so the alias doubles as a concurrency regression gate.
 
    Every forked process leaves with [Unix._exit]: the parent's [at_exit]
    handlers must run once, in the parent. *)
 
 open Tfree_util
 module Service = Tfree_wire.Service
+module Proto = Tfree_wire.Proto
 module Fault = Tfree_wire.Fault
 module Metrics = Tfree_wire.Metrics
 module Wire = Tfree_wire.Wire_runtime
@@ -46,6 +55,7 @@ let max_clients = ref 64
 let cache_capacity = ref 32
 let inst_n = ref 200
 let socket_path = ref ""
+let protocol_mode = ref "both"
 
 let specs =
   [
@@ -59,7 +69,9 @@ let specs =
     ("--max-clients", Arg.Set_int max_clients, "M  server connection cap (default 64)");
     ("--cache", Arg.Set_int cache_capacity, "C  server instance-cache capacity (default 32)");
     ("--n", Arg.Set_int inst_n, "N  instance size per query (default 200)");
-    ("--socket", Arg.Set_string socket_path, "PATH  socket path (default: fresh temp path)");
+    ("--socket", Arg.Set_string socket_path, "PATH  socket path stem (default: fresh temp path)");
+    ("--protocol", Arg.Set_string protocol_mode,
+     "P  wire protocol to drive: v1, v2 or both (default both)");
   ]
 
 let usage = "load_gen [options]  -- closed-loop load generator for tfree-serve"
@@ -86,29 +98,46 @@ let plan_for_client _c =
   in
   group reqs
 
-(* The exact line-protocol bytes of one all-ok exchange: the request line
-   as the client serializes it, plus the reply line as [handle_line]
-   shapes it (a batch item's reply object is byte-for-byte the single
-   reply).  Used for the bytes/query report. *)
-let exchange_bytes reqs resps =
-  let request_line =
-    match reqs with
-    | [ r ] when !batch = 1 -> Jsonout.to_line (Service.request_to_json r)
-    | _ -> Jsonout.to_line (Service.batch_request_to_json reqs)
-  in
-  let reply_line =
-    match resps with
-    | [ r ] when !batch = 1 -> Jsonout.to_line (Service.response_to_json r)
-    | _ ->
-        Jsonout.to_line
-          (Jsonout.Obj
-             [
-               ("ok", Jsonout.Bool true);
-               ("count", Jsonout.Num (float_of_int (List.length resps)));
-               ("results", Jsonout.List (List.map Service.response_to_json resps));
-             ])
-  in
-  String.length request_line + String.length reply_line + 2 (* the newlines *)
+(* The exact wire bytes of one all-ok exchange, as (framed, payload):
+   request plus reply as the client serializes them and the server shapes
+   its replies (a batch item's reply is byte-for-byte the single reply in
+   both protocols).  Framed is what the server's per-version byte gauge
+   records — line bytes incl. newlines for v1, whole frames for v2 — so
+   summing this over all-ok exchanges must reproduce that gauge exactly.
+   Payload strips the framing: newlines for v1, length prefix and checksum
+   for v2. *)
+let exchange_bytes ~pref reqs resps =
+  match (pref : Proto.pref) with
+  | V1 ->
+      let request_line =
+        match reqs with
+        | [ r ] when !batch = 1 -> Jsonout.to_line (Service.request_to_json r)
+        | _ -> Jsonout.to_line (Service.batch_request_to_json reqs)
+      in
+      let reply_line =
+        match resps with
+        | [ r ] when !batch = 1 -> Jsonout.to_line (Service.response_to_json r)
+        | _ ->
+            Jsonout.to_line
+              (Jsonout.Obj
+                 [
+                   ("ok", Jsonout.Bool true);
+                   ("count", Jsonout.Num (float_of_int (List.length resps)));
+                   ("results", Jsonout.List (List.map Service.response_to_json resps));
+                 ])
+      in
+      let payload = String.length request_line + String.length reply_line in
+      (payload + 2 (* the newlines *), payload)
+  | V2 | Auto ->
+      let b = Proto.create_buf () in
+      (match reqs with
+      | [ r ] when !batch = 1 -> Service.encode_query_frame b r
+      | _ -> Service.encode_batch_frame b reqs);
+      let qf = Proto.frame_len b and qp = Proto.frame_body_len b in
+      (match resps with
+      | [ r ] when !batch = 1 -> Service.encode_response_frame b r
+      | _ -> Service.encode_batch_reply_frame b resps);
+      (qf + Proto.frame_len b, qp + Proto.frame_body_len b)
 
 (* ------------------------------------------------------- client process *)
 
@@ -116,7 +145,8 @@ type tally = {
   mutable ok : int;
   mutable wrong : int;
   mutable failed : int;
-  mutable bytes : int;
+  mutable framed : int;
+  mutable payload : int;
   mutable lats_us : int list;  (** newest first; one sample per exchange *)
 }
 
@@ -131,9 +161,9 @@ let check_item expected = function
       then `Ok
       else `Wrong
 
-let run_client ~path ~expected c =
+let run_client ~pref ~path ~expected c =
   let m = Metrics.create () in
-  let t = { ok = 0; wrong = 0; failed = 0; bytes = 0; lats_us = [] } in
+  let t = { ok = 0; wrong = 0; failed = 0; framed = 0; payload = 0; lats_us = [] } in
   List.iter
     (fun reqs ->
       let expect = List.map (fun r -> expected r.Service.seed) reqs in
@@ -143,12 +173,12 @@ let run_client ~path ~expected c =
           List.map
             (fun r ->
               Service.client_query ~timeout_s:5.0 ~retries:!retries ~backoff_s:0.02
-                ~backoff_seed:c ~metrics:m ~path r)
+                ~backoff_seed:c ~metrics:m ~protocol:pref ~path r)
             reqs
         else
           match
             Service.client_batch ~timeout_s:5.0 ~retries:!retries ~backoff_s:0.02 ~backoff_seed:c
-              ~metrics:m ~path reqs
+              ~metrics:m ~protocol:pref ~path reqs
           with
           | Ok items -> items
           | Error msg -> List.map (fun _ -> Error msg) reqs
@@ -163,8 +193,11 @@ let run_client ~path ~expected c =
               Printf.eprintf "load_gen: client %d exchange failed: %s\n%!" c msg;
               t.failed <- t.failed + 1)
         expect results;
-      if List.for_all Result.is_ok results then
-        t.bytes <- t.bytes + exchange_bytes reqs (List.map Result.get_ok results))
+      if List.for_all Result.is_ok results then begin
+        let framed, payload = exchange_bytes ~pref reqs (List.map Result.get_ok results) in
+        t.framed <- t.framed + framed;
+        t.payload <- t.payload + payload
+      end)
     (plan_for_client c);
   (t, Metrics.retries m)
 
@@ -173,7 +206,8 @@ let run_client ~path ~expected c =
 let emit_tally fd c (t, nretries) =
   let lats = String.concat "," (List.rev_map string_of_int t.lats_us) in
   let line =
-    Printf.sprintf "%d %d %d %d %d %d %s\n" c t.ok t.wrong t.failed nretries t.bytes lats
+    Printf.sprintf "%d %d %d %d %d %d %d %s\n" c t.ok t.wrong t.failed nretries t.framed t.payload
+      lats
   in
   ignore (Unix.write_substring fd line 0 (String.length line))
 
@@ -192,30 +226,33 @@ let stats_sub stats outer k =
       | None -> fail "stats field %s.%s is not numeric" outer k)
   | None -> fail "stats missing field %s.%s" outer k
 
-let () =
-  Arg.parse specs (fun a -> fail "unexpected argument %S" a) usage;
-  if !clients < 1 || !queries < 1 || !batch < 1 || !seeds < 1 then
-    fail "--clients, --queries, --batch and --seeds must be positive";
-  if !queries mod !batch <> 0 then
-    fail "--queries (%d) must be a multiple of --batch (%d)" !queries !batch;
-  if !clients > !max_clients then
-    fail "--clients (%d) beyond --max-clients (%d) would shed; raise the cap" !clients !max_clients;
-  let fault =
-    match Fault.parse !fault_spec with
-    | Ok s -> s
-    | Error msg -> fail "bad --fault spec: %s" msg
-  in
-  let path =
-    if !socket_path <> "" then !socket_path
-    else
-      Filename.concat (Filename.get_temp_dir_name ())
-        (Printf.sprintf "tfree-load-%d.sock" (Unix.getpid ()))
-  in
-  (* expected replies, computed locally before any forking *)
-  let expected_arr =
-    Array.init !seeds (fun i -> Service.run_request (request_for (1 + i)))
-  in
-  let expected seed = expected_arr.(seed - 1) in
+(* protocol_versions.vN.{served,bytes} *)
+let stats_version stats v k =
+  let key = Printf.sprintf "v%d" v in
+  match
+    Option.bind (Jsonout.member "protocol_versions" stats) (fun pv ->
+        Option.bind (Jsonout.member key pv) (Jsonout.member k))
+  with
+  | Some j -> (
+      match Jsonout.to_float j with
+      | Some f -> int_of_float f
+      | None -> fail "stats field protocol_versions.%s.%s is not numeric" key k)
+  | None -> fail "stats missing field protocol_versions.%s.%s" key k
+
+type run_summary = {
+  label : string;
+  framed_per_query : float;
+  payload_per_query : float;
+  us_per_query : float;
+}
+
+(* One full load run over wire protocol [pref]: fork a server and the
+   client fleet, drain tallies, reconcile stats — including the
+   per-version served/byte gauges — and report.  Returns the per-query
+   figures for the cross-version comparison. *)
+let run_load ~pref ~fault ~expected ~path =
+  let label = Proto.pref_to_string pref in
+  let active = match (pref : Proto.pref) with V1 -> 1 | V2 | Auto -> 2 in
   (* ---- server ---- *)
   let server =
     match Unix.fork () with
@@ -245,7 +282,7 @@ let () =
         match Unix.fork () with
         | 0 ->
             Unix.close rd;
-            emit_tally wr c (run_client ~path ~expected c);
+            emit_tally wr c (run_client ~pref ~path ~expected c);
             Unix._exit 0
         | pid -> pid)
   in
@@ -265,87 +302,167 @@ let () =
     (fun pid ->
       match Unix.waitpid [] pid with
       | _, Unix.WEXITED 0 -> ()
-      | _ -> fail "a client process crashed")
+      | _ -> fail "[%s] a client process crashed" label)
     pids;
   let lines =
     List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
   in
   if List.length lines <> !clients then
-    fail "collected %d client tallies, expected %d" (List.length lines) !clients;
+    fail "[%s] collected %d client tallies, expected %d" label (List.length lines) !clients;
   let ok = ref 0 and wrong = ref 0 and failed = ref 0 in
-  let nretries = ref 0 and bytes = ref 0 and lats = ref [] in
+  let nretries = ref 0 and framed = ref 0 and payload = ref 0 and lats = ref [] in
   List.iter
     (fun line ->
       match String.split_on_char ' ' line with
-      | [ _c; o; w; f; r; b; ls ] ->
+      | [ _c; o; w; f; r; fb; pb; ls ] ->
           ok := !ok + int_of_string o;
           wrong := !wrong + int_of_string w;
           failed := !failed + int_of_string f;
           nretries := !nretries + int_of_string r;
-          bytes := !bytes + int_of_string b;
+          framed := !framed + int_of_string fb;
+          payload := !payload + int_of_string pb;
           List.iter
             (fun s -> if s <> "" then lats := float_of_string s :: !lats)
             (String.split_on_char ',' ls)
-      | _ -> fail "garbled client tally %S" line)
+      | _ -> fail "[%s] garbled client tally %S" label line)
     lines;
   (* ---- server telemetry, then shutdown ---- *)
   let stats =
-    match Service.client_stats ~path () with
+    match Service.client_stats ~protocol:pref ~path () with
     | Ok s -> s
-    | Error msg -> fail "stats query: %s" msg
+    | Error msg -> fail "[%s] stats query: %s" label msg
   in
-  Service.client_shutdown ~path;
+  Service.client_shutdown ~protocol:pref ~path ();
   (match Unix.waitpid [] server with
   | _, Unix.WEXITED 0 -> ()
-  | _ -> fail "server did not exit cleanly");
+  | _ -> fail "[%s] server did not exit cleanly" label);
   (* ---- reconciliation ---- *)
   let total = !clients * !queries in
-  if !wrong > 0 then fail "%d wrong verdicts out of %d queries" !wrong total;
-  if !failed > 0 then fail "%d exchanges exhausted their retry budget" !failed total;
-  if !ok <> total then fail "served %d ok replies, expected %d" !ok total;
+  if !wrong > 0 then fail "[%s] %d wrong verdicts out of %d queries" label !wrong total;
+  if !failed > 0 then fail "[%s] %d exchanges exhausted their retry budget" label !failed;
+  if !ok <> total then fail "[%s] served %d ok replies, expected %d" label !ok total;
   let served = stats_num stats "queries_served" in
   let expect_served = total + (!nretries * !batch) in
   if served <> expect_served then
-    fail "server served %d queries; clients account for %d (= %d ok + %d retries x %d batch)"
-      served expect_served total !nretries !batch;
+    fail "[%s] server served %d queries; clients account for %d (= %d ok + %d retries x %d batch)"
+      label served expect_served total !nretries !batch;
   let nonbenign =
     List.length (List.filter (fun e -> not (Fault.benign e.Fault.kind)) fault)
   in
   if stats_num stats "injected_faults" <> List.length fault then
-    fail "server injected %d faults, scheduled %d"
+    fail "[%s] server injected %d faults, scheduled %d" label
       (stats_num stats "injected_faults") (List.length fault);
   if !nretries <> nonbenign then
-    fail "clients spent %d retries; the schedule's %d non-benign faults force exactly that many"
-      !nretries nonbenign;
+    fail "[%s] clients spent %d retries; the schedule's %d non-benign faults force exactly that many"
+      label !nretries nonbenign;
   if stats_num stats "errors" <> 0 then
-    fail "server tallied %d errors on a clean run" (stats_num stats "errors");
+    fail "[%s] server tallied %d errors on a clean run" label (stats_num stats "errors");
+  (* every query serves — and every byte lands — on the active version;
+     the byte gauge counts clean replies only, which is exactly the
+     clients' all-ok exchanges (a sabotaged attempt is retried, and only
+     the clean final attempt is recorded on either side) *)
+  for v = 1 to Metrics.max_wire_version do
+    let expect_served = if v = active then served else 0 in
+    let expect_bytes = if v = active then !framed else 0 in
+    if stats_version stats v "served" <> expect_served then
+      fail "[%s] v%d served gauge %d, expected %d" label v (stats_version stats v "served")
+        expect_served;
+    if stats_version stats v "bytes" <> expect_bytes then
+      fail "[%s] v%d byte gauge %d; clients' framed all-ok bytes total %d" label v
+        (stats_version stats v "bytes") expect_bytes
+  done;
   let hits = stats_sub stats "cache" "hits"
   and misses = stats_sub stats "cache" "misses"
   and lookups = stats_sub stats "cache" "lookups" in
   if !cache_capacity > 0 then begin
-    if lookups <> served then fail "cache lookups %d != queries served %d" lookups served;
+    if lookups <> served then fail "[%s] cache lookups %d != queries served %d" label lookups served;
     if hits + misses <> lookups then
-      fail "cache hits %d + misses %d != lookups %d" hits misses lookups;
+      fail "[%s] cache hits %d + misses %d != lookups %d" label hits misses lookups;
     if !cache_capacity >= !seeds && misses <> !seeds then
-      fail "cache misses %d != %d distinct seeds" misses !seeds;
-    if served > !seeds && hits = 0 then fail "seed reuse produced no cache hits"
+      fail "[%s] cache misses %d != %d distinct seeds" label misses !seeds;
+    if served > !seeds && hits = 0 then fail "[%s] seed reuse produced no cache hits" label
   end;
   let exchanges = total / !batch + !nretries in
   if !batch > 1 then begin
     if stats_sub stats "batch" "batches" <> exchanges then
-      fail "server saw %d batches, clients sent %d" (stats_sub stats "batch" "batches") exchanges;
+      fail "[%s] server saw %d batches, clients sent %d" label
+        (stats_sub stats "batch" "batches") exchanges;
     if stats_sub stats "batch" "items" <> exchanges * !batch then
-      fail "server saw %d batch items, clients sent %d"
+      fail "[%s] server saw %d batch items, clients sent %d" label
         (stats_sub stats "batch" "items") (exchanges * !batch)
   end;
   (* ---- report ---- *)
   let q p = Stats.quantile p !lats /. 1000.0 in
   Printf.printf
-    "load_gen: %d clients x %d queries (batch %d, %d seeds): 0 wrong, %d retries, %d injected\n"
-    !clients !queries !batch !seeds !nretries (stats_num stats "injected_faults");
-  Printf.printf "load_gen: cache %d/%d/%d hit/miss/lookups; %d batches\n" hits misses lookups
+    "load_gen: [%s] %d clients x %d queries (batch %d, %d seeds): 0 wrong, %d retries, %d injected\n"
+    label !clients !queries !batch !seeds !nretries (stats_num stats "injected_faults");
+  Printf.printf "load_gen: [%s] cache %d/%d/%d hit/miss/lookups; %d batches\n" label hits misses
+    lookups
     (if !batch > 1 then exchanges else 0);
-  Printf.printf "load_gen: latency/exchange ms p50 %.1f  p90 %.1f  p99 %.1f; %.1f wire bytes/query\n"
-    (q 0.50) (q 0.90) (q 0.99)
-    (float_of_int !bytes /. float_of_int total);
+  Printf.printf "load_gen: [%s] latency/exchange ms p50 %.1f  p90 %.1f  p99 %.1f\n" label (q 0.50)
+    (q 0.90) (q 0.99);
+  let per_query b = float_of_int b /. float_of_int total in
+  Printf.printf "load_gen: [%s] wire bytes/query %.1f framed, %.1f payload\n" label
+    (per_query !framed) (per_query !payload);
+  {
+    label;
+    framed_per_query = per_query !framed;
+    payload_per_query = per_query !payload;
+    us_per_query = List.fold_left ( +. ) 0.0 !lats /. float_of_int total;
+  }
+
+let () =
+  Arg.parse specs (fun a -> fail "unexpected argument %S" a) usage;
+  if !clients < 1 || !queries < 1 || !batch < 1 || !seeds < 1 then
+    fail "--clients, --queries, --batch and --seeds must be positive";
+  if !queries mod !batch <> 0 then
+    fail "--queries (%d) must be a multiple of --batch (%d)" !queries !batch;
+  if !clients > !max_clients then
+    fail "--clients (%d) beyond --max-clients (%d) would shed; raise the cap" !clients !max_clients;
+  let prefs =
+    match !protocol_mode with
+    | "v1" -> [ Proto.V1 ]
+    | "v2" -> [ Proto.V2 ]
+    | "both" -> [ Proto.V1; Proto.V2 ]
+    | p -> fail "bad --protocol %S (expected v1, v2 or both)" p
+  in
+  let fault =
+    match Fault.parse !fault_spec with
+    | Ok s -> s
+    | Error msg -> fail "bad --fault spec: %s" msg
+  in
+  let stem =
+    if !socket_path <> "" then !socket_path
+    else
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tfree-load-%d.sock" (Unix.getpid ()))
+  in
+  (* expected replies, computed locally before any forking *)
+  let expected_arr =
+    Array.init !seeds (fun i -> Service.run_request (request_for (1 + i)))
+  in
+  let expected seed = expected_arr.(seed - 1) in
+  let summaries =
+    List.map
+      (fun pref ->
+        let path =
+          if List.length prefs = 1 then stem
+          else stem ^ "." ^ Proto.pref_to_string pref
+        in
+        run_load ~pref ~fault ~expected ~path)
+      prefs
+  in
+  (match summaries with
+  | [ s1; s2 ] ->
+      Printf.printf
+        "load_gen: side by side  bytes/query framed %s %.1f vs %s %.1f | payload %.1f vs %.1f | us/query %.1f vs %.1f\n"
+        s1.label s1.framed_per_query s2.label s2.framed_per_query s1.payload_per_query
+        s2.payload_per_query s1.us_per_query s2.us_per_query;
+      if s2.framed_per_query >= s1.framed_per_query then
+        fail "v2 framed bytes/query %.1f is not below v1's %.1f" s2.framed_per_query
+          s1.framed_per_query;
+      if s2.payload_per_query >= s1.payload_per_query then
+        fail "v2 payload bytes/query %.1f is not below v1's %.1f" s2.payload_per_query
+          s1.payload_per_query
+  | _ -> ());
   print_endline "load_gen: ok"

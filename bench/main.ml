@@ -259,6 +259,10 @@ let print_micro rows =
   in
   Table.print table
 
+(* The wire-codec micro-benchmark (bench/micro_wire.ml): JSON v1 vs binary
+   v2 on the serve hot path.  Same iteration split as @micro-smoke. *)
+let measure_wire () = Micro_wire.measure ~iters:(if opts.smoke then 20_000 else 200_000)
+
 (* ------------------------------------------------------- json output *)
 
 let json_file = "BENCH_results.json"
@@ -282,6 +286,8 @@ let run_json () =
      with the full harness. *)
   let micro = if opts.only = [] then measure_micro () else [] in
   if opts.only = [] then print_micro micro;
+  let wire = if opts.only = [] then Some (measure_wire ()) else None in
+  Option.iter Micro_wire.print_table wire;
   let experiments =
     List.map2
       (fun (id, dt1) (id', dtn) ->
@@ -317,7 +323,8 @@ let run_json () =
             (List.map
                (fun (name, est, r2) ->
                  Jsonout.Obj [ ("name", Str name); ("ns_per_run", Num est); ("r2", Num r2) ])
-               micro) );
+               micro
+            @ match wire with Some w -> Micro_wire.to_rows w | None -> []) );
       ])
   in
   let oc = open_out json_file in
@@ -334,6 +341,9 @@ let () =
   else begin
     let out, _, _ = render_experiments () in
     print_string out;
-    if opts.only = [] then print_micro (measure_micro ());
+    if opts.only = [] then begin
+      print_micro (measure_micro ());
+      Micro_wire.print_table (measure_wire ())
+    end;
     print_endline "done."
   end

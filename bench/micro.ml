@@ -1,0 +1,39 @@
+(* Standalone wire-codec micro-benchmark gate, behind the @micro-smoke
+   alias: run {!Micro_wire} at the requested iteration count, print the
+   v1-vs-v2 table, and exit nonzero unless binary v2 beats JSON v1 on
+   framed and payload bytes/query and on encode and decode ns/query, and
+   the v2 round trip stays inside its minor-words allocation budget.
+
+     (default)   full iteration count, for quoting numbers
+     --smoke     reduced iterations; what CI runs on every push
+     --iters N   explicit count (overrides --smoke when given after it) *)
+
+let iters = ref 200_000
+let smoke_iters = 20_000
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        iters := smoke_iters;
+        parse rest
+    | "--iters" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            iters := n;
+            parse rest
+        | _ ->
+            prerr_endline "micro: --iters expects a positive integer";
+            exit 2)
+    | arg :: _ ->
+        Printf.eprintf "micro: unknown argument %s (expected --smoke, --iters N)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let r = Micro_wire.measure ~iters:!iters in
+  Micro_wire.print_table r;
+  match Micro_wire.check r with
+  | Ok () -> print_endline "micro: ok (v2 beats v1 on bytes and time; zero-alloc budget held)"
+  | Error violations ->
+      List.iter (fun v -> prerr_endline ("micro: GATE FAILED: " ^ v)) violations;
+      exit 1

@@ -1,0 +1,280 @@
+(* Micro-benchmark of the serve wire codecs: the JSON v1 line protocol
+   against the binary v2 frame protocol, on the hot query shape.
+
+   One "query" is a full exchange — one request out, one reply back — so
+   every figure is per exchange:
+
+     encode ns/query   build the request and reply wire images
+     decode ns/query   parse both back into their records
+     bytes/query       framed (what crosses the socket) and payload (the
+                       body inside the framing: the JSON text for v1, the
+                       frame body for v2), reported separately
+     minor words/query minor-heap allocation of one v2 encode+decode round
+                       trip over preallocated scratch buffers
+
+   The v2 path is required to be zero-alloc in the steady state: after a
+   warm-up pass grows the scratch buffers to working size, the round trip
+   may allocate only the decoded records themselves — {!check} enforces a
+   hard {!minor_words_limit} budget, and the v2-beats-v1 gates on both
+   byte counts and both codec timings.  [bench/main.ml] embeds the rows in
+   BENCH_results.json ([micro/serve-*]); [bench/micro.ml] runs the gate
+   standalone behind the @micro-smoke alias; [bench/check_json.ml]
+   re-validates the emitted rows. *)
+
+open Tfree_util
+module Service = Tfree_wire.Service
+module Proto = Tfree_wire.Proto
+module Wire = Tfree_wire.Wire_runtime
+
+(* ------------------------------------------------------------ fixtures *)
+
+(* The hot shape: a default-ish query (no fault spec, so the decoder takes
+   its fast path) and a reply whose wire report satisfies the
+   reconciliation identity — the fixture must be a reply the server could
+   actually send. *)
+let fixture_request = { Service.default_request with n = 500; seed = 7 }
+
+let fixture_response =
+  let wire_bytes = 4583 and framing_overhead_bits = 1144 in
+  let accounted_bits = (wire_bytes * 8) - framing_overhead_bits in
+  {
+    Service.verdict = Tfree.Tester.Triangle (12, 99, 431);
+    bits = accounted_bits;
+    rounds = 3;
+    max_message = 1184;
+    wire =
+      {
+        Wire.wire_bytes;
+        frames = 37;
+        payload_bits = accounted_bits;
+        framing_overhead_bits;
+        accounted_bits;
+        ratio = float_of_int (wire_bytes * 8) /. float_of_int accounted_bits;
+      };
+  }
+
+let () = assert (Wire.reconciles fixture_response.Service.wire)
+
+(* ------------------------------------------------------------- results *)
+
+type result = {
+  iters : int;
+  v1_encode_ns : float;
+  v2_encode_ns : float;
+  v1_decode_ns : float;
+  v2_decode_ns : float;
+  v1_framed_bytes : int;  (** request line + reply line, newlines included *)
+  v1_payload_bytes : int;  (** the JSON text alone *)
+  v2_framed_bytes : int;  (** both frames: length prefix + body + checksum *)
+  v2_payload_bytes : int;  (** both frame bodies *)
+  minor_words : float;  (** minor-heap words per v2 encode+decode round trip *)
+}
+
+(** The zero-alloc budget: one v2 round trip may allocate the decoded
+    request and response records (plus the boxed floats inside them) and
+    nothing proportional to the message — no strings, no closures, no
+    intermediate buffers. *)
+let minor_words_limit = 256.0
+
+(* --------------------------------------------------------- measurement *)
+
+let time_ns ~iters f =
+  ignore (Sys.opaque_identity (f ()));
+  (* warm-up: grow scratch, fault in code *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let measure ~iters =
+  if iters < 1 then invalid_arg "Micro_wire.measure: iters must be positive";
+  (* v1: the JSON line protocol exactly as client and server shape it *)
+  let request_json () = Jsonout.to_line (Service.request_to_json fixture_request) in
+  let response_json () = Jsonout.to_line (Service.response_to_json fixture_response) in
+  let request_line = request_json () and response_line = response_json () in
+  let v1_encode () = String.length (request_json ()) + String.length (response_json ()) in
+  let v1_decode () =
+    let req =
+      match Jsonout.parse request_line with
+      | Ok j -> Service.request_of_json j
+      | Error msg -> failwith msg
+    in
+    let resp =
+      match Jsonout.parse response_line with
+      | Ok j -> Service.response_of_json j
+      | Error msg -> failwith msg
+    in
+    match (req, resp) with
+    | Ok r, Ok p -> (r, p)
+    | Error msg, _ | _, Error msg -> failwith msg
+  in
+  (* v2: preallocated per-"connection" scratch, reused every iteration *)
+  let qbuf = Proto.create_buf () and rbuf = Proto.create_buf () in
+  let v2_encode () =
+    Service.encode_query_frame qbuf fixture_request;
+    Service.encode_response_frame rbuf fixture_response;
+    Proto.frame_len qbuf + Proto.frame_len rbuf
+  in
+  ignore (v2_encode ());
+  (* standalone copies of the sealed frames, as they arrive off a socket *)
+  let frame_copy b =
+    let c = Bytes.create (Proto.frame_len b) in
+    Bytes.blit (Proto.storage b) (Proto.frame_off b) c 0 (Proto.frame_len b);
+    c
+  in
+  let qframe = frame_copy qbuf and rframe = frame_copy rbuf in
+  let cur = Proto.cursor () in
+  let v2_decode () =
+    let used = Proto.try_frame qframe ~pos:0 ~limit:(Bytes.length qframe) cur in
+    if used <> Bytes.length qframe then failwith "micro: query frame did not consume";
+    if Proto.get_u8 cur <> Service.tag_query then failwith "micro: bad query tag";
+    let req =
+      match Service.decode_request_body cur with Ok r -> r | Error msg -> failwith msg
+    in
+    Proto.expect_end cur;
+    let used = Proto.try_frame rframe ~pos:0 ~limit:(Bytes.length rframe) cur in
+    if used <> Bytes.length rframe then failwith "micro: reply frame did not consume";
+    if Proto.get_u8 cur <> Service.tag_reply then failwith "micro: bad reply tag";
+    let resp = Service.decode_response_body cur in
+    Proto.expect_end cur;
+    (req, resp)
+  in
+  (* correctness before speed: both decoders reproduce the fixtures *)
+  let check_round (req, resp) =
+    if req <> fixture_request then failwith "micro: decoded request differs";
+    if resp <> fixture_response then failwith "micro: decoded response differs"
+  in
+  check_round (v1_decode ());
+  check_round (v2_decode ());
+  (* byte counts (the +1s are the newline framing of the line protocol) *)
+  let v1_payload_bytes = String.length request_line + String.length response_line in
+  let v1_framed_bytes = v1_payload_bytes + 2 in
+  ignore (v2_encode ());
+  let v2_framed_bytes = Proto.frame_len qbuf + Proto.frame_len rbuf in
+  let v2_payload_bytes = Proto.frame_body_len qbuf + Proto.frame_body_len rbuf in
+  (* allocation: one warmed v2 round trip, minor words per iteration *)
+  let round_trip () =
+    ignore (Sys.opaque_identity (v2_encode ()));
+    ignore (Sys.opaque_identity (v2_decode ()))
+  in
+  round_trip ();
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    round_trip ()
+  done;
+  let minor_words = (Gc.minor_words () -. w0) /. float_of_int iters in
+  {
+    iters;
+    v1_encode_ns = time_ns ~iters v1_encode;
+    v2_encode_ns = time_ns ~iters v2_encode;
+    v1_decode_ns = time_ns ~iters (fun () -> fst (v1_decode ()));
+    v2_decode_ns = time_ns ~iters (fun () -> fst (v2_decode ()));
+    v1_framed_bytes;
+    v1_payload_bytes;
+    v2_framed_bytes;
+    v2_payload_bytes;
+    minor_words;
+  }
+
+(* ----------------------------------------------------------- the gate *)
+
+(** Every way v2 is required to beat v1, as violation strings (empty =
+    pass).  The byte gates are deterministic; the timing gates compare
+    medians-of-one and are run at iteration counts high enough that the
+    two-orders-of-magnitude JSON/binary gap cannot flip on noise. *)
+let violations r =
+  let v = ref [] in
+  let push fmt = Printf.ksprintf (fun s -> v := s :: !v) fmt in
+  if r.v2_framed_bytes >= r.v1_framed_bytes then
+    push "v2 framed bytes/query %d >= v1 %d" r.v2_framed_bytes r.v1_framed_bytes;
+  if r.v2_payload_bytes >= r.v1_payload_bytes then
+    push "v2 payload bytes/query %d >= v1 %d" r.v2_payload_bytes r.v1_payload_bytes;
+  if r.v2_encode_ns >= r.v1_encode_ns then
+    push "v2 encode %.0f ns/query >= v1 %.0f" r.v2_encode_ns r.v1_encode_ns;
+  if r.v2_decode_ns >= r.v1_decode_ns then
+    push "v2 decode %.0f ns/query >= v1 %.0f" r.v2_decode_ns r.v1_decode_ns;
+  if r.minor_words > minor_words_limit then
+    push "v2 round trip allocates %.1f minor words/query, budget %.0f" r.minor_words
+      minor_words_limit;
+  List.rev !v
+
+let check r = match violations r with [] -> Ok () | v -> Error v
+
+(* ------------------------------------------------------------- output *)
+
+let print_table r =
+  let f1 x = Printf.sprintf "%.1f" x in
+  Table.print
+    (Table.make ~title:(Printf.sprintf "wire codec micro (%d iters/row)" r.iters)
+       ~header:[ "metric"; "v1 (json)"; "v2 (binary)"; "v2/v1" ]
+       [
+         [
+           "encode ns/query";
+           f1 r.v1_encode_ns;
+           f1 r.v2_encode_ns;
+           Printf.sprintf "%.3f" (r.v2_encode_ns /. r.v1_encode_ns);
+         ];
+         [
+           "decode ns/query";
+           f1 r.v1_decode_ns;
+           f1 r.v2_decode_ns;
+           Printf.sprintf "%.3f" (r.v2_decode_ns /. r.v1_decode_ns);
+         ];
+         [
+           "framed bytes/query";
+           string_of_int r.v1_framed_bytes;
+           string_of_int r.v2_framed_bytes;
+           Printf.sprintf "%.3f"
+             (float_of_int r.v2_framed_bytes /. float_of_int r.v1_framed_bytes);
+         ];
+         [
+           "payload bytes/query";
+           string_of_int r.v1_payload_bytes;
+           string_of_int r.v2_payload_bytes;
+           Printf.sprintf "%.3f"
+             (float_of_int r.v2_payload_bytes /. float_of_int r.v1_payload_bytes);
+         ];
+         [
+           "minor words/query (v2)";
+           "-";
+           f1 r.minor_words;
+           Printf.sprintf "<= %.0f" minor_words_limit;
+         ];
+       ])
+
+(* The BENCH_results.json rows.  Same array as the bechamel rows (every
+   row carries a "name"); the wire rows carry their own fields instead of
+   ns_per_run/r2, and check_json validates them by name. *)
+let to_rows r =
+  let num x = Jsonout.Num x in
+  let int n = num (float_of_int n) in
+  [
+    Jsonout.Obj
+      [
+        ("name", Jsonout.Str "micro/serve-encode-ns");
+        ("v1", num r.v1_encode_ns);
+        ("v2", num r.v2_encode_ns);
+      ];
+    Jsonout.Obj
+      [
+        ("name", Jsonout.Str "micro/serve-decode-ns");
+        ("v1", num r.v1_decode_ns);
+        ("v2", num r.v2_decode_ns);
+      ];
+    Jsonout.Obj
+      [
+        ("name", Jsonout.Str "micro/serve-bytes-per-query");
+        ("v1_framed", int r.v1_framed_bytes);
+        ("v1_payload", int r.v1_payload_bytes);
+        ("v2_framed", int r.v2_framed_bytes);
+        ("v2_payload", int r.v2_payload_bytes);
+      ];
+    Jsonout.Obj
+      [
+        ("name", Jsonout.Str "micro/serve-minor-words-per-query");
+        ("v2", num r.minor_words);
+        ("limit", num minor_words_limit);
+      ];
+  ]

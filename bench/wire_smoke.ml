@@ -186,7 +186,7 @@ let () =
               | None -> fail "stats verdicts missing protocol %S" name)
             tally_verdicts;
           print_endline "wire_smoke: stats reconcile with the client tally");
-      Service.client_shutdown ~path;
+      Service.client_shutdown ~path ();
       (match Unix.waitpid [] server with
       | _, Unix.WEXITED 0 -> ()
       | _, _ -> fail "server did not exit cleanly");

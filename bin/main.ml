@@ -14,6 +14,7 @@ open Tfree_util
 open Tfree_graph
 module Service = Tfree_wire.Service
 module Wire = Tfree_wire.Wire_runtime
+module Proto = Tfree_wire.Proto
 module Trace = Tfree_trace.Trace
 
 (* ----------------------------------------------------------- common args *)
@@ -59,6 +60,35 @@ let protocol_arg =
                 ("oblivious", Service.Oblivious); ("exact", Service.Exact) ])
            Service.Oblivious
        & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
+(* The client's --protocol doubles as the wire-version switch: it accepts
+   the tester protocols and the wire versions v1/v2/auto in one
+   vocabulary, and may be repeated to set both (e.g. --protocol exact
+   --protocol v1).  The wire choices: v1 speaks JSON lines with no
+   handshake, v2/auto shake hands and use binary frames when the server
+   agrees. *)
+let client_protocol_arg =
+  let doc =
+    "Tester protocol (unrestricted, sim, oblivious, exact) and/or wire protocol (v1 = JSON \
+     lines, v2 = binary frames, auto = negotiate); repeat the flag to set both."
+  in
+  Arg.(value
+       & opt_all
+           (enum
+              [ ("unrestricted", `Tester Service.Unrestricted); ("sim", `Tester Service.Sim);
+                ("oblivious", `Tester Service.Oblivious); ("exact", `Tester Service.Exact);
+                ("v1", `Wire Proto.V1); ("v2", `Wire Proto.V2); ("auto", `Wire Proto.Auto) ])
+           []
+       & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
+let serve_protocol_arg =
+  let doc =
+    "Highest wire protocol the server negotiates: v1 (JSON lines only), v2 (binary frames for \
+     clients that shake hands), auto (highest supported)."
+  in
+  Arg.(value
+       & opt (enum [ ("v1", 1); ("v2", 2); ("auto", Proto.max_version) ]) Proto.max_version
+       & info [ "protocol" ] ~docv:"VERSION" ~doc)
 
 let blackboard_arg =
   Arg.(value & flag & info [ "blackboard" ] ~doc:"Use the blackboard model (Theorem 3.23) for the unrestricted protocol.")
@@ -302,14 +332,16 @@ let inspect_cmd =
 (* ------------------------------------------------------- serve / client *)
 
 let serve_cmd =
-  let run path max_requests line_timeout backlog max_clients cache_capacity fault_spec =
+  let run path max_requests line_timeout backlog max_clients cache_capacity fault_spec
+      max_version =
     let fault = parse_fault_spec fault_spec in
-    Printf.printf "tfree-serve: listening on %s (backlog %d, max %d clients, cache %d)%s\n%!" path
-      backlog max_clients cache_capacity
+    Printf.printf
+      "tfree-serve: listening on %s (backlog %d, max %d clients, cache %d, wire protocol <= v%d)%s\n%!"
+      path backlog max_clients cache_capacity max_version
       (if fault = [] then "" else Printf.sprintf " (injecting %d reply fault(s))" (List.length fault));
     let served =
       Service.serve ~backlog ~max_clients ?max_requests ~line_timeout_s:line_timeout ~fault
-        ~cache_capacity ~path ()
+        ~cache_capacity ~max_version ~path ()
     in
     Printf.printf "tfree-serve: served %d request(s); bye\n" served
   in
@@ -348,17 +380,22 @@ let serve_cmd =
              bounded admission and an LRU instance cache.  The server degrades under bad \
              clients and injected faults; it never dies mid-conversation.")
     Term.(const run $ socket_arg $ max_arg $ line_timeout_arg $ backlog_arg $ max_clients_arg
-          $ cache_arg $ fault_spec_arg)
+          $ cache_arg $ fault_spec_arg $ serve_protocol_arg)
 
 let client_cmd =
-  let run path shutdown stats as_json batch seed n d k eps family part proto transport fault_spec
-      timeout retries backoff =
+  let run path shutdown stats as_json batch seed n d k eps family part proto_specs transport
+      fault_spec timeout retries backoff =
     ignore (parse_fault_spec fault_spec);
+    let proto, wire_pref =
+      List.fold_left
+        (fun (p, w) -> function `Tester t -> (t, w) | `Wire v -> (p, v))
+        (Service.Oblivious, Proto.Auto) proto_specs
+    in
     if shutdown then (
-      Service.client_shutdown ~path;
+      Service.client_shutdown ~protocol:wire_pref ~path ();
       print_endline "shutdown sent")
     else if stats then (
-      match Service.client_stats ~timeout_s:timeout ~path () with
+      match Service.client_stats ~timeout_s:timeout ~protocol:wire_pref ~path () with
       | Error msg ->
           Printf.eprintf "error: %s\n" msg;
           exit 1
@@ -384,7 +421,7 @@ let client_cmd =
       | None -> (
           match
             Service.client_query ~timeout_s:timeout ~retries ~backoff_s:backoff ~backoff_seed:seed
-              ~path req
+              ~protocol:wire_pref ~path req
           with
           | Error msg ->
               Printf.eprintf "error: %s\n" msg;
@@ -395,7 +432,7 @@ let client_cmd =
           let reqs = List.init (max 0 count) (fun i -> { req with Service.seed = seed + i }) in
           match
             Service.client_batch ~timeout_s:timeout ~retries ~backoff_s:backoff ~backoff_seed:seed
-              ~path reqs
+              ~protocol:wire_pref ~path reqs
           with
           | Error msg ->
               Printf.eprintf "error: %s\n" msg;
@@ -447,7 +484,7 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc:"Query a running tfree-serve daemon.")
     Term.(const run $ socket_arg $ shutdown_arg $ stats_arg $ json_arg $ batch_arg $ seed_arg
-          $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg $ protocol_arg
+          $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg $ client_protocol_arg
           $ transport_arg $ fault_spec_arg $ timeout_arg $ retries_arg $ backoff_arg)
 
 let () =

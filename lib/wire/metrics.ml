@@ -69,9 +69,17 @@ type t = {
   mutable cache_misses : int;  (** instance-cache lookups that rebuilt *)
   mutable batches : int;  (** [{"op": "batch"}] exchanges *)
   mutable batch_items : int;  (** individual requests carried by those exchanges *)
+  version_served : int array;  (** queries served per wire-protocol version, indexed 1/2 *)
+  version_bytes : int array;  (** serve-socket bytes per wire-protocol version, indexed 1/2 *)
   verdicts : (string, protocol_counts) Hashtbl.t;
   mutable latencies_us : float list;  (** newest first, one per served query *)
 }
+
+(* versions 1..max_wire_version index [version_served]/[version_bytes];
+   slot 0 is dead.  Out-of-range versions are clamped into range so a
+   merge of a registry from a newer build cannot crash an older one. *)
+let max_wire_version = 2
+let version_slot v = if v < 1 then 1 else if v > max_wire_version then max_wire_version else v
 
 let create () =
   {
@@ -90,6 +98,8 @@ let create () =
     cache_misses = 0;
     batches = 0;
     batch_items = 0;
+    version_served = Array.make (max_wire_version + 1) 0;
+    version_bytes = Array.make (max_wire_version + 1) 0;
     verdicts = Hashtbl.create 8;
     latencies_us = [];
   }
@@ -106,11 +116,14 @@ let counts_for t protocol =
       Hashtbl.add t.verdicts protocol c;
       c
 
-let record_query t ~protocol ~found_triangle ~wire_bytes ~accounted_bits ~latency_us =
+let record_query ?(version = 1) t ~protocol ~found_triangle ~wire_bytes ~accounted_bits
+    ~latency_us =
   locked t (fun () ->
       t.queries_served <- t.queries_served + 1;
       t.wire_bytes <- t.wire_bytes + wire_bytes;
       t.accounted_bits <- t.accounted_bits + accounted_bits;
+      let s = version_slot version in
+      t.version_served.(s) <- t.version_served.(s) + 1;
       let c = counts_for t protocol in
       if found_triangle then c.triangle <- c.triangle + 1
       else c.triangle_free <- c.triangle_free + 1;
@@ -142,6 +155,11 @@ let record_batch t ~items =
       t.batches <- t.batches + 1;
       t.batch_items <- t.batch_items + items)
 
+let record_version_bytes t ~version ~bytes =
+  locked t (fun () ->
+      let s = version_slot version in
+      t.version_bytes.(s) <- t.version_bytes.(s) + bytes)
+
 let queries_served t = locked t (fun () -> t.queries_served)
 let errors_unlocked t = Array.fold_left ( + ) 0 t.error_counts
 let errors t = locked t (fun () -> errors_unlocked t)
@@ -157,6 +175,8 @@ let batches t = locked t (fun () -> t.batches)
 let batch_items t = locked t (fun () -> t.batch_items)
 let wire_bytes t = locked t (fun () -> t.wire_bytes)
 let accounted_bits t = locked t (fun () -> t.accounted_bits)
+let version_served t v = locked t (fun () -> t.version_served.(version_slot v))
+let version_bytes t v = locked t (fun () -> t.version_bytes.(version_slot v))
 
 (** Fold [other]'s counters and samples into [t] (used by the load generator
     to merge per-client registries into one for reconciliation).  Gauges
@@ -178,6 +198,12 @@ let merge t other =
           t.cache_misses <- t.cache_misses + other.cache_misses;
           t.batches <- t.batches + other.batches;
           t.batch_items <- t.batch_items + other.batch_items;
+          Array.iteri
+            (fun i n -> t.version_served.(i) <- t.version_served.(i) + n)
+            other.version_served;
+          Array.iteri
+            (fun i n -> t.version_bytes.(i) <- t.version_bytes.(i) + n)
+            other.version_bytes;
           Hashtbl.iter
             (fun protocol c ->
               let mine = counts_for t protocol in
@@ -235,6 +261,15 @@ let to_json t =
                 ("lookups", num (t.cache_hits + t.cache_misses));
               ] );
           ("batch", Jsonout.Obj [ ("batches", num t.batches); ("items", num t.batch_items) ]);
+          ( "protocol_versions",
+            Jsonout.Obj
+              (List.init max_wire_version (fun i ->
+                   let v = i + 1 in
+                   ( Printf.sprintf "v%d" v,
+                     Jsonout.Obj
+                       [
+                         ("served", num t.version_served.(v)); ("bytes", num t.version_bytes.(v));
+                       ] ))) );
           ("verdicts", Jsonout.Obj verdict_objs);
           ( "latency_us",
             Jsonout.Obj

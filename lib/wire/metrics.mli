@@ -27,8 +27,11 @@ type t
 
 val create : unit -> t
 
-(** Record one successfully served protocol query. *)
+(** Record one successfully served protocol query.  [version] is the wire
+    protocol the serving connection negotiated (1 = JSON lines, 2 = binary;
+    default 1) and feeds the per-version served gauge. *)
 val record_query :
+  ?version:int ->
   t ->
   protocol:string ->
   found_triangle:bool ->
@@ -64,6 +67,13 @@ val record_cache : t -> hit:bool -> unit
 (** Record one [{"op": "batch"}] exchange carrying [items] requests. *)
 val record_batch : t -> items:int -> unit
 
+(** Highest wire-protocol version the per-version gauges track. *)
+val max_wire_version : int
+
+(** Add [bytes] of serve-socket traffic (request plus reply, as written)
+    to [version]'s byte gauge. *)
+val record_version_bytes : t -> version:int -> bytes:int -> unit
+
 val queries_served : t -> int
 
 (** Total errors across all categories. *)
@@ -81,6 +91,13 @@ val batches : t -> int
 val batch_items : t -> int
 val wire_bytes : t -> int
 val accounted_bits : t -> int
+
+(** Queries served over wire-protocol version [v] (out-of-range versions
+    clamp to the nearest tracked slot). *)
+val version_served : t -> int -> int
+
+(** Serve-socket bytes recorded for wire-protocol version [v]. *)
+val version_bytes : t -> int -> int
 
 (** Fold [other]'s counters, verdict tallies and latency samples into the
     first registry (gauges are not merged).  Used by the load generator to

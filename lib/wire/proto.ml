@@ -1,0 +1,366 @@
+(** Wire-format primitives for the serve protocol's binary v2.
+
+    The JSON-per-line service protocol (v1) pays a parse/print cost and a
+    5-10x byte inflation on every query — exactly the waste the repo's
+    bit-accounting discipline exists to expose.  Protocol v2 keeps the
+    framing discipline of {!Frame} (varint length prefix, byte-sum
+    checksum, fail-closed typed errors) but carries fixed binary layouts
+    for the service's request/reply/batch/stats shapes.  This module owns
+    the pieces that are shape-independent:
+
+    - the negotiation handshake constants ({!magic}, {!max_version});
+    - {!buf}, a reusable growable scratch buffer with a frame
+      writer ({!begin_frame}/{!end_frame}) that seals a varint length
+      prefix and a 2-byte mod-2^16 checksum around whatever was put;
+    - {!cursor}, a reusable bounds-checked reader over a byte region;
+    - {!try_frame}, the streaming frame splitter the server's event loop
+      drains its per-connection read buffer with;
+    - {!rbuf}, that per-connection read buffer: grown on demand, compacted
+      in place, and — the part a long-lived daemon needs — shrunk back to
+      a small default once a large request has been consumed, so one
+      near-8MB line does not pin megabytes for the connection's lifetime.
+
+    Everything on the steady-state path is allocation-free: puts poke
+    bytes into preallocated storage, gets read scalars out of it, and the
+    only allocations are amortized buffer growth and the boxed
+    float/int64 a 64-bit load cannot avoid.  The micro-benchmark gate
+    ([bench/micro]) asserts this with a [Gc.minor_words]-per-query bound.
+
+    Frame format (identical discipline to {!Frame}):
+
+    {v
+    varint  L         length in bytes of everything after this varint
+    body    L-2 bytes tag byte + fixed layout fields (Service owns these)
+    2 bytes checksum  sum mod 2^16 of the body bytes
+    v} *)
+
+(* --------------------------------------------------------- negotiation *)
+
+(* The first byte of any JSON value the v1 protocol can carry is an open
+   brace/bracket, a double quote, [t]/[f]/[n], a digit, a minus sign or
+   whitespace — all below 0x80.  0xBF can
+   therefore never open a v1 request line, which is what makes the
+   handshake backward-compatible: a server reading 0xBF first knows it has
+   a v2-capable peer, and a v1 client's JSON is served unchanged. *)
+let magic = '\xbf'
+let max_version = 2
+
+(** The client's protocol preference: [V1] speaks JSON lines without a
+    handshake (wire-compatible with pre-v2 servers), [V2] and [Auto] send
+    the magic+version hello and use whatever the server negotiates —
+    binary v2 when both sides speak it, JSON v1 otherwise. *)
+type pref = V1 | V2 | Auto
+
+let pref_to_string = function V1 -> "v1" | V2 -> "v2" | Auto -> "auto"
+
+let pref_of_string = function
+  | "v1" -> Some V1
+  | "v2" -> Some V2
+  | "auto" -> Some Auto
+  | _ -> None
+
+(** The two-byte hello for [version], both directions: the client offers
+    the highest version it speaks, the server answers with the version the
+    connection will use (0 = refused; the connection falls back to v1). *)
+let hello version = Printf.sprintf "%c%c" magic (Char.chr (version land 0xff))
+
+(* ------------------------------------------------------------- checksum *)
+
+let sum16 data off len =
+  let s = ref 0 in
+  for i = off to off + len - 1 do
+    s := !s + Char.code (Bytes.unsafe_get data i)
+  done;
+  !s land 0xffff
+
+(* The frame cap mirrors {!Frame.max_frame_bytes}: a corrupted length
+   prefix must not make the server allocate or wait for gigabytes. *)
+let max_frame_bytes = 1 lsl 26
+
+(* ------------------------------------------------------- scratch buffer *)
+
+(* Room reserved in front of the body for the sealed length varint: 64 MiB
+   needs 4 varint bytes; 5 is safe for anything the cap admits. *)
+let headroom = 5
+
+type buf = {
+  mutable data : Bytes.t;
+  mutable len : int;  (** bytes written so far, including the headroom *)
+  mutable off : int;  (** start of the sealed frame after {!end_frame} *)
+}
+
+let create_buf ?(capacity = 256) () =
+  { data = Bytes.create (max capacity (headroom + 8)); len = headroom; off = headroom }
+
+let ensure b extra =
+  let need = b.len + extra in
+  if need > Bytes.length b.data then begin
+    let cap = ref (Bytes.length b.data) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let grown = Bytes.create !cap in
+    Bytes.blit b.data 0 grown 0 b.len;
+    b.data <- grown
+  end
+
+let put_u8 b v =
+  ensure b 1;
+  Bytes.unsafe_set b.data b.len (Char.unsafe_chr (v land 0xff));
+  b.len <- b.len + 1
+
+(* Unsigned LEB128, as everywhere else in lib/wire. *)
+let put_varint b v =
+  if v < 0 then invalid_arg "Proto.put_varint: negative";
+  ensure b 10;
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    if !v < 0x80 then begin
+      Bytes.unsafe_set b.data b.len (Char.unsafe_chr !v);
+      b.len <- b.len + 1;
+      continue := false
+    end
+    else begin
+      Bytes.unsafe_set b.data b.len (Char.unsafe_chr (0x80 lor (!v land 0x7f)));
+      b.len <- b.len + 1;
+      v := !v lsr 7
+    end
+  done
+
+let put_zigzag b v = put_varint b (if v >= 0 then 2 * v else (-2 * v) - 1)
+
+let put_f64 b f =
+  ensure b 8;
+  Bytes.set_int64_le b.data b.len (Int64.bits_of_float f);
+  b.len <- b.len + 8
+
+let put_string b s =
+  let n = String.length s in
+  put_varint b n;
+  ensure b n;
+  Bytes.blit_string s 0 b.data b.len n;
+  b.len <- b.len + n
+
+let varint_size v =
+  let rec go v acc = if v < 0x80 then acc else go (v lsr 7) (acc + 1) in
+  go v 1
+
+let begin_frame b =
+  b.len <- headroom;
+  b.off <- headroom
+
+let end_frame b =
+  let body_len = b.len - headroom in
+  let ck = sum16 b.data headroom body_len in
+  ensure b 2;
+  Bytes.unsafe_set b.data b.len (Char.unsafe_chr (ck land 0xff));
+  Bytes.unsafe_set b.data (b.len + 1) (Char.unsafe_chr (ck lsr 8));
+  b.len <- b.len + 2;
+  (* seal the length varint flush against the body, inside the headroom *)
+  let l = body_len + 2 in
+  let s = varint_size l in
+  b.off <- headroom - s;
+  let v = ref l and pos = ref b.off in
+  let continue = ref true in
+  while !continue do
+    if !v < 0x80 then begin
+      Bytes.unsafe_set b.data !pos (Char.unsafe_chr !v);
+      continue := false
+    end
+    else begin
+      Bytes.unsafe_set b.data !pos (Char.unsafe_chr (0x80 lor (!v land 0x7f)));
+      incr pos;
+      v := !v lsr 7
+    end
+  done
+
+let storage b = b.data
+let frame_off b = b.off
+let frame_len b = b.len - b.off
+
+(** Body bytes inside the sealed frame — the tag and layout fields, without
+    the length prefix and checksum.  This is the "payload" side of the
+    framed/payload byte split the load generator reports. *)
+let frame_body_len b = b.len - headroom - 2
+
+(* ---------------------------------------------------------------- cursor *)
+
+type cursor = { mutable cdata : Bytes.t; mutable cpos : int; mutable clim : int }
+
+let cursor () = { cdata = Bytes.empty; cpos = 0; clim = 0 }
+
+let set_cursor cur data ~pos ~limit =
+  cur.cdata <- data;
+  cur.cpos <- pos;
+  cur.clim <- limit
+
+let remaining cur = cur.clim - cur.cpos
+
+let get_u8 cur =
+  if cur.cpos >= cur.clim then
+    Wire_error.errorf_truncated "Proto.get_u8: read past the end of the body";
+  let v = Char.code (Bytes.unsafe_get cur.cdata cur.cpos) in
+  cur.cpos <- cur.cpos + 1;
+  v
+
+let get_varint cur =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if cur.cpos >= cur.clim then
+      Wire_error.errorf_truncated "Proto.get_varint: truncated varint";
+    if !shift > 63 then Wire_error.errorf_corrupt "Proto.get_varint: varint longer than 10 bytes";
+    let byte = Char.code (Bytes.unsafe_get cur.cdata cur.cpos) in
+    cur.cpos <- cur.cpos + 1;
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := byte land 0x80 <> 0
+  done;
+  if !v < 0 then Wire_error.errorf_corrupt "Proto.get_varint: negative value";
+  !v
+
+let get_zigzag cur =
+  let z = get_varint cur in
+  if z land 1 = 0 then z / 2 else -((z + 1) / 2)
+
+let get_f64 cur =
+  if cur.cpos + 8 > cur.clim then Wire_error.errorf_truncated "Proto.get_f64: truncated float";
+  let f = Int64.float_of_bits (Bytes.get_int64_le cur.cdata cur.cpos) in
+  cur.cpos <- cur.cpos + 8;
+  f
+
+let get_string cur =
+  let n = get_varint cur in
+  if cur.cpos + n > cur.clim then
+    Wire_error.errorf_truncated "Proto.get_string: %d-byte string in a %d-byte remainder" n
+      (remaining cur);
+  let s = if n = 0 then "" else Bytes.sub_string cur.cdata cur.cpos n in
+  cur.cpos <- cur.cpos + n;
+  s
+
+let expect_end cur =
+  if cur.cpos <> cur.clim then
+    Wire_error.errorf_corrupt "Proto.expect_end: %d trailing bytes after the message"
+      (remaining cur)
+
+(* ---------------------------------------------------- stream frame split *)
+
+(** Scan [data[pos, limit)] for one complete frame.  On success, verify the
+    checksum, point [cur] at the body (tag + fields, checksum excluded) and
+    return the total frame length to consume from the stream; return [-1]
+    when the bytes so far are a prefix of a valid frame (read more).
+    @raise Wire_error.Wire_error when the bytes can never become a valid
+    frame: an oversized or garbage length prefix, a checksum mismatch, a
+    body too short to carry a tag.  A byte stream cannot resync after any
+    of these, so the caller must fail the connection closed. *)
+let try_frame data ~pos ~limit cur =
+  (* length varint, streaming: incomplete only while it may still finish *)
+  let l = ref 0 and shift = ref 0 and p = ref pos and continue = ref true and result = ref 0 in
+  while !continue do
+    if !p >= limit then begin
+      if !p - pos >= 10 then Wire_error.errorf_corrupt "Proto.try_frame: length varint longer than 10 bytes";
+      result := -1;
+      continue := false
+    end
+    else begin
+      if !p - pos >= 10 then Wire_error.errorf_corrupt "Proto.try_frame: length varint longer than 10 bytes";
+      let byte = Char.code (Bytes.unsafe_get data !p) in
+      incr p;
+      l := !l lor ((byte land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if byte land 0x80 = 0 then continue := false
+    end
+  done;
+  if !result = -1 then -1
+  else begin
+    if !l < 0 then Wire_error.errorf_corrupt "Proto.try_frame: negative length prefix";
+    if !l > max_frame_bytes then
+      Wire_error.error (Wire_error.Oversized { limit = max_frame_bytes; got = !l });
+    if !l < 3 then
+      Wire_error.errorf_corrupt "Proto.try_frame: %d-byte frame is shorter than any message" !l;
+    let body_start = !p in
+    let frame_end = body_start + !l in
+    if frame_end > limit then -1
+    else begin
+      let body_len = !l - 2 in
+      let ck_off = body_start + body_len in
+      let expect = sum16 data body_start body_len in
+      let got =
+        Char.code (Bytes.unsafe_get data ck_off)
+        lor (Char.code (Bytes.unsafe_get data (ck_off + 1)) lsl 8)
+      in
+      if expect <> got then
+        Wire_error.errorf_corrupt "Proto.try_frame: checksum mismatch (computed %04x, carried %04x)"
+          expect got;
+      set_cursor cur data ~pos:body_start ~limit:ck_off;
+      frame_end - pos
+    end
+  end
+
+(** Framing overhead of a sealed frame whose body is [body_len] bytes: the
+    length varint plus the 2-byte checksum. *)
+let frame_overhead_bytes ~body_len = varint_size (body_len + 2) + 2
+
+(* ------------------------------------------------ connection read buffer *)
+
+(* A connection's read accumulation: appended by the event loop's [read],
+   consumed a line or a frame at a time.  Capacity policy: grow by doubling
+   to fit whatever arrives (the server separately caps buffered bytes), but
+   once consumption leaves at most a small tail, fall back to the default
+   allocation — a connection that once carried a near-8MB batch must not
+   pin that memory while it idles. *)
+
+let rbuf_default_capacity = 4 * 1024
+
+(** Retained capacity above this is released as soon as the buffered tail
+    fits the default allocation again. *)
+let rbuf_retain_capacity = 64 * 1024
+
+type rbuf = { mutable rdata : Bytes.t; mutable rstart : int; mutable rend : int }
+
+let rbuf_create () = { rdata = Bytes.create rbuf_default_capacity; rstart = 0; rend = 0 }
+let rbuf_avail r = r.rend - r.rstart
+let rbuf_data r = r.rdata
+let rbuf_start r = r.rstart
+let rbuf_capacity r = Bytes.length r.rdata
+
+let rbuf_append r src off len =
+  let avail = rbuf_avail r in
+  if r.rend + len > Bytes.length r.rdata then begin
+    (* compact first; grow only if the tail plus the new bytes still miss *)
+    if r.rstart > 0 then begin
+      Bytes.blit r.rdata r.rstart r.rdata 0 avail;
+      r.rstart <- 0;
+      r.rend <- avail
+    end;
+    if r.rend + len > Bytes.length r.rdata then begin
+      let cap = ref (Bytes.length r.rdata) in
+      while !cap < r.rend + len do
+        cap := !cap * 2
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit r.rdata 0 grown 0 r.rend;
+      r.rdata <- grown
+    end
+  end;
+  Bytes.blit src off r.rdata r.rend len;
+  r.rend <- r.rend + len
+
+let rbuf_consume r n =
+  if n < 0 || n > rbuf_avail r then invalid_arg "Proto.rbuf_consume: not that many bytes buffered";
+  r.rstart <- r.rstart + n;
+  let avail = rbuf_avail r in
+  if avail = 0 then begin
+    r.rstart <- 0;
+    r.rend <- 0;
+    if Bytes.length r.rdata > rbuf_retain_capacity then r.rdata <- Bytes.create rbuf_default_capacity
+  end
+  else if Bytes.length r.rdata > rbuf_retain_capacity && avail <= rbuf_default_capacity then begin
+    (* a big request went through but a small tail remains: keep the tail,
+       release the oversized allocation *)
+    let small = Bytes.create rbuf_default_capacity in
+    Bytes.blit r.rdata r.rstart small 0 avail;
+    r.rdata <- small;
+    r.rstart <- 0;
+    r.rend <- avail
+  end

@@ -1,0 +1,161 @@
+(** Wire-format primitives for the serve protocol's binary v2: the
+    negotiation handshake constants, a reusable zero-alloc frame writer and
+    bounds-checked reader, the streaming frame splitter the server's event
+    loop drains with, and the self-shrinking per-connection read buffer.
+
+    The service-shape layouts (query/reply/batch/stats) live in
+    {!Service}; this module only knows bytes.  Frames carry the same
+    discipline as {!Frame}: a varint length prefix, a body, and a 2-byte
+    mod-2^16 checksum over the body.  All reader failures raise the typed
+    {!Wire_error.Wire_error} — nothing here fails open. *)
+
+(** {2 Negotiation} *)
+
+(** First byte of the client hello; chosen ([0xBF]) to be invalid as the
+    first byte of any JSON line, which is what keeps v1 clients working
+    unchanged against a v2 server. *)
+val magic : char
+
+(** Highest protocol version this build speaks. *)
+val max_version : int
+
+(** The client's protocol preference: [V1] speaks JSON lines without a
+    handshake (wire-compatible with pre-v2 servers); [V2] and [Auto] send
+    the hello and use whatever the server negotiates — binary when both
+    sides speak v2, JSON lines otherwise. *)
+type pref = V1 | V2 | Auto
+
+val pref_to_string : pref -> string
+val pref_of_string : string -> pref option
+
+(** The two-byte hello for [version], identical in both directions: the
+    client offers the highest version it speaks, the server answers with
+    the version the connection will use ([0] = refused, fall back to v1). *)
+val hello : int -> string
+
+(** {2 Frames} *)
+
+(** Same cap as {!Frame.max_frame_bytes}: a corrupted length prefix must
+    not make either side allocate or wait for gigabytes. *)
+val max_frame_bytes : int
+
+val sum16 : Bytes.t -> int -> int -> int
+
+(** Length prefix + checksum bytes a sealed frame adds around a
+    [body_len]-byte body. *)
+val frame_overhead_bytes : body_len:int -> int
+
+(** {2 Writing: reusable scratch buffer}
+
+    One {!buf} per connection (or per client), reused for every frame:
+    {!begin_frame}, [put_*] the tag and fields, {!end_frame} — which seals
+    the checksum and writes the length varint backwards into reserved
+    headroom, so the finished frame is the contiguous byte range
+    [{!frame_off}, {!frame_off} + {!frame_len}) of {!storage}.  No
+    allocation happens on the steady-state path once the buffer has grown
+    to its working size. *)
+
+type buf
+
+val create_buf : ?capacity:int -> unit -> buf
+val begin_frame : buf -> unit
+val put_u8 : buf -> int -> unit
+
+(** Unsigned LEB128; negative is a programming error.
+    @raise Invalid_argument on a negative value. *)
+val put_varint : buf -> int -> unit
+
+(** Zigzag-mapped varint for possibly-negative integers. *)
+val put_zigzag : buf -> int -> unit
+
+(** IEEE-754 binary64, little-endian. *)
+val put_f64 : buf -> float -> unit
+
+(** Varint byte length, then the bytes. *)
+val put_string : buf -> string -> unit
+
+val end_frame : buf -> unit
+val storage : buf -> Bytes.t
+val frame_off : buf -> int
+val frame_len : buf -> int
+
+(** Body bytes inside the sealed frame (tag + fields, without length
+    prefix and checksum) — the "payload" side of the framed/payload byte
+    split. *)
+val frame_body_len : buf -> int
+
+(** {2 Reading: reusable bounds-checked cursor} *)
+
+type cursor
+
+val cursor : unit -> cursor
+
+(** Point the cursor at [data[pos, limit)]. *)
+val set_cursor : cursor -> Bytes.t -> pos:int -> limit:int -> unit
+
+val remaining : cursor -> int
+
+(** The [get_*] readers mirror the writers; each raises a typed
+    {!Wire_error.Wire_error} ([Truncated] past the limit, [Corrupt] on an
+    overlong or negative varint) rather than reading out of bounds. *)
+
+val get_u8 : cursor -> int
+val get_varint : cursor -> int
+val get_zigzag : cursor -> int
+val get_f64 : cursor -> float
+val get_string : cursor -> string
+
+(** Fail [Corrupt] if the cursor has not consumed its whole region — a
+    layout mismatch, not trailing garbage to ignore. *)
+val expect_end : cursor -> unit
+
+(** {2 Stream splitting} *)
+
+(** [try_frame data ~pos ~limit cur] scans [data[pos, limit)] for one
+    complete frame.  On success: verifies the checksum, points [cur] at
+    the body (checksum excluded) and returns the total byte length to
+    consume.  Returns [-1] while the buffered bytes are still a prefix of
+    a valid frame (read more).
+    @raise Wire_error.Wire_error when the bytes can never become a valid
+    frame (oversized or garbage length, checksum mismatch, body shorter
+    than a tag) — a byte stream cannot resync after these, so fail the
+    connection closed. *)
+val try_frame : Bytes.t -> pos:int -> limit:int -> cursor -> int
+
+(** {2 Per-connection read buffer}
+
+    Grown by doubling to fit whatever arrives, compacted in place, and —
+    the part a long-lived daemon needs — shrunk back to the default
+    allocation once consumption leaves at most a small tail, so one
+    near-8MB batch does not pin megabytes for the connection's
+    lifetime. *)
+
+type rbuf
+
+val rbuf_default_capacity : int
+
+(** Retained capacity above this is released as soon as the buffered tail
+    fits the default allocation again. *)
+val rbuf_retain_capacity : int
+
+val rbuf_create : unit -> rbuf
+
+(** Unconsumed byte count. *)
+val rbuf_avail : rbuf -> int
+
+(** Backing storage; unconsumed bytes live at
+    [[rbuf_start, rbuf_start + rbuf_avail)]. *)
+val rbuf_data : rbuf -> Bytes.t
+
+val rbuf_start : rbuf -> int
+
+(** Current backing allocation size (observable for the shrink tests). *)
+val rbuf_capacity : rbuf -> int
+
+(** Append [len] bytes of [src] starting at [off]. *)
+val rbuf_append : rbuf -> Bytes.t -> int -> int -> unit
+
+(** Discard [n] bytes from the front (a consumed line or frame); applies
+    the shrink policy.
+    @raise Invalid_argument when [n] exceeds {!rbuf_avail}. *)
+val rbuf_consume : rbuf -> int -> unit

@@ -303,6 +303,242 @@ let response_of_json j =
       }
   with Bad msg -> Error msg
 
+(* ------------------------------------------- binary protocol v2 layout *)
+
+(* Protocol v2 carries the same request/reply/batch/stats shapes as the
+   JSON lines, as fixed binary layouts inside {!Proto} frames (varint
+   length prefix + body + 2-byte checksum).  One tag byte opens every
+   body; integers travel as zigzag varints, floats as little-endian
+   binary64, strings as varint-length-prefixed bytes.  The layouts are
+   fixed — unknown tags and trailing bytes are typed errors, not
+   extensions — because a byte stream cannot resync on guesswork.
+
+   Encoding pokes bytes into a caller-owned {!Proto.buf} and decoding
+   reads scalars out of a caller-owned {!Proto.cursor}, so the serve hot
+   path allocates nothing per query beyond the decoded request record
+   itself (the micro benchmark holds this to a [Gc.minor_words] budget).
+
+   Structural failures (bytes missing, varint overflow) raise the typed
+   {!Wire_error.Wire_error}; semantic ones (enum code out of range, bad
+   fault spec) return [Error msg] so the server can answer a malformed
+   frame the way it answers a malformed line — typed reply, connection
+   kept. *)
+
+let tag_query = 1
+let tag_reply = 2
+let tag_error = 3
+let tag_batch = 4
+let tag_batch_reply = 5
+let tag_stats = 6
+let tag_stats_reply = 7
+let tag_shutdown = 8
+let tag_bye = 9
+
+(* enum codes: stable on the wire, dense for a match-based decode *)
+
+let family_code = function
+  | Far -> 0
+  | Free -> 1
+  | Hub -> 2
+  | Mu -> 3
+  | Gnp -> 4
+  | Behrend -> 5
+  | Diluted -> 6
+
+let family_of_code = function
+  | 0 -> Some Far
+  | 1 -> Some Free
+  | 2 -> Some Hub
+  | 3 -> Some Mu
+  | 4 -> Some Gnp
+  | 5 -> Some Behrend
+  | 6 -> Some Diluted
+  | _ -> None
+
+let partition_code = function Disjoint -> 0 | Dup -> 1 | Replicate -> 2 | Skewed -> 3 | Hash -> 4
+
+let partition_of_code = function
+  | 0 -> Some Disjoint
+  | 1 -> Some Dup
+  | 2 -> Some Replicate
+  | 3 -> Some Skewed
+  | 4 -> Some Hash
+  | _ -> None
+
+let protocol_code = function Unrestricted -> 0 | Sim -> 1 | Oblivious -> 2 | Exact -> 3
+
+let protocol_of_code = function
+  | 0 -> Some Unrestricted
+  | 1 -> Some Sim
+  | 2 -> Some Oblivious
+  | 3 -> Some Exact
+  | _ -> None
+
+let transport_code = function Wire_runtime.Pipe -> 0 | Wire_runtime.Socketpair -> 1
+
+let transport_of_code = function
+  | 0 -> Some Wire_runtime.Pipe
+  | 1 -> Some Wire_runtime.Socketpair
+  | _ -> None
+
+(* error categories travel as their index in {!Metrics.all_categories} *)
+
+let category_code category =
+  let rec go i = function [] -> 0 | c :: rest -> if c = category then i else go (i + 1) rest in
+  go 0 Metrics.all_categories
+
+let category_of_code i =
+  match List.nth_opt Metrics.all_categories i with Some c -> c | None -> Metrics.Run_failure
+
+(* query body: 4 enum bytes, 3 zigzag ints, 2 f64, the fault spec *)
+let put_request b r =
+  Proto.put_u8 b (family_code r.family);
+  Proto.put_u8 b (partition_code r.partition);
+  Proto.put_u8 b (protocol_code r.protocol);
+  Proto.put_u8 b (transport_code r.transport);
+  Proto.put_zigzag b r.n;
+  Proto.put_zigzag b r.k;
+  Proto.put_zigzag b r.seed;
+  Proto.put_f64 b r.d;
+  Proto.put_f64 b r.eps;
+  Proto.put_string b r.fault
+
+(* Structural reads happen unconditionally (a failure raises and fails the
+   whole frame); the semantic checks return [Error] so a bad enum code or
+   fault spec is a per-request malformed reply, exactly like its JSON
+   twin.  The [""] fast path keeps the no-fault hot query from paying a
+   [Fault.parse]. *)
+let decode_request_body cur =
+  let family_c = Proto.get_u8 cur in
+  let partition_c = Proto.get_u8 cur in
+  let protocol_c = Proto.get_u8 cur in
+  let transport_c = Proto.get_u8 cur in
+  let n = Proto.get_zigzag cur in
+  let k = Proto.get_zigzag cur in
+  let seed = Proto.get_zigzag cur in
+  let d = Proto.get_f64 cur in
+  let eps = Proto.get_f64 cur in
+  let fault = Proto.get_string cur in
+  match (family_of_code family_c, partition_of_code partition_c, protocol_of_code protocol_c,
+         transport_of_code transport_c)
+  with
+  | Some family, Some partition, Some protocol, Some transport ->
+      if fault = "" then Ok { family; partition; protocol; n; d; k; eps; seed; transport; fault }
+      else (
+        match Fault.parse fault with
+        | Ok _ -> Ok { family; partition; protocol; n; d; k; eps; seed; transport; fault }
+        | Error msg -> Error (Printf.sprintf "bad fault spec: %s" msg))
+  | None, _, _, _ -> Error (Printf.sprintf "unknown family code %d" family_c)
+  | _, None, _, _ -> Error (Printf.sprintf "unknown partition code %d" partition_c)
+  | _, _, None, _ -> Error (Printf.sprintf "unknown protocol code %d" protocol_c)
+  | _, _, _, None -> Error (Printf.sprintf "unknown transport code %d" transport_c)
+
+(* reply body: verdict (+ witness), the counters, the reconciled wire report *)
+let put_response b r =
+  (match r.verdict with
+  | Tfree.Tester.Triangle_free -> Proto.put_u8 b 0
+  | Tfree.Tester.Triangle (x, y, z) ->
+      Proto.put_u8 b 1;
+      Proto.put_zigzag b x;
+      Proto.put_zigzag b y;
+      Proto.put_zigzag b z);
+  Proto.put_zigzag b r.bits;
+  Proto.put_zigzag b r.rounds;
+  Proto.put_zigzag b r.max_message;
+  let w = r.wire in
+  Proto.put_zigzag b w.Wire_runtime.wire_bytes;
+  Proto.put_zigzag b w.Wire_runtime.frames;
+  Proto.put_zigzag b w.Wire_runtime.payload_bits;
+  Proto.put_zigzag b w.Wire_runtime.framing_overhead_bits;
+  Proto.put_zigzag b w.Wire_runtime.accounted_bits;
+  Proto.put_f64 b w.Wire_runtime.ratio
+
+let decode_response_body cur =
+  let verdict =
+    match Proto.get_u8 cur with
+    | 0 -> Tfree.Tester.Triangle_free
+    | 1 ->
+        let x = Proto.get_zigzag cur in
+        let y = Proto.get_zigzag cur in
+        let z = Proto.get_zigzag cur in
+        Tfree.Tester.Triangle (x, y, z)
+    | v -> Wire_error.errorf_corrupt "unknown verdict code %d" v
+  in
+  let bits = Proto.get_zigzag cur in
+  let rounds = Proto.get_zigzag cur in
+  let max_message = Proto.get_zigzag cur in
+  let wire_bytes = Proto.get_zigzag cur in
+  let frames = Proto.get_zigzag cur in
+  let payload_bits = Proto.get_zigzag cur in
+  let framing_overhead_bits = Proto.get_zigzag cur in
+  let accounted_bits = Proto.get_zigzag cur in
+  let ratio = Proto.get_f64 cur in
+  {
+    verdict;
+    bits;
+    rounds;
+    max_message;
+    wire =
+      {
+        Wire_runtime.wire_bytes;
+        frames;
+        payload_bits;
+        framing_overhead_bits;
+        accounted_bits;
+        ratio;
+      };
+  }
+
+let encode_query_frame b r =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_query;
+  put_request b r;
+  Proto.end_frame b
+
+let encode_response_frame b r =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_reply;
+  put_response b r;
+  Proto.end_frame b
+
+let encode_error_frame b ~category msg =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_error;
+  Proto.put_u8 b (category_code category);
+  Proto.put_string b msg;
+  Proto.end_frame b
+
+let encode_batch_frame b reqs =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_batch;
+  Proto.put_varint b (List.length reqs);
+  List.iter (fun r -> put_request b r) reqs;
+  Proto.end_frame b
+
+(* The all-ok batch reply, byte-identical to what [handle_frame] writes
+   when every item serves — the load generator re-encodes expected replies
+   with this to account the server's per-version byte gauge exactly. *)
+let encode_batch_reply_frame b resps =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_batch_reply;
+  Proto.put_varint b (List.length resps);
+  List.iter
+    (fun resp ->
+      Proto.put_u8 b tag_reply;
+      put_response b resp)
+    resps;
+  Proto.end_frame b
+
+let encode_stats_frame b =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_stats;
+  Proto.end_frame b
+
+let encode_shutdown_frame b =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_shutdown;
+  Proto.end_frame b
+
 (* ------------------------------------------------- the instance cache *)
 
 (* The fields of a request that determine the instance and its partition —
@@ -440,11 +676,6 @@ let read_line_deadline fd ~deadline =
   in
   loop ()
 
-let read_line_fd ?(timeout_s = 30.0) fd =
-  match read_line_deadline fd ~deadline:(Unix.gettimeofday () +. timeout_s) with
-  | Line l -> Some l
-  | Eof | Partial _ | Timed_out -> None
-
 let error_obj ~category msg =
   Jsonout.Obj
     [
@@ -459,16 +690,18 @@ let batch_request_to_json reqs =
   Jsonout.Obj
     [ ("op", Jsonout.Str "batch"); ("requests", Jsonout.List (List.map request_to_json reqs)) ]
 
-(* Run one protocol query and shape its reply object; the [int] is 1 when
-   the query was served (the unit the [max_requests] budget measures), 0 on
-   a categorized failure.  Shared by the single-query and batch paths so a
-   batch item's reply is byte-for-byte what the same request would get on
-   its own line. *)
-let run_one ?cache ~metrics req =
+(* Run one protocol query, record it, and classify the outcome.  Shared by
+   the JSON and binary reply paths so a batch item, a v1 line and a v2
+   frame for the same request produce the same metrics and the same
+   semantic reply.  [version] is the wire protocol of the serving
+   connection, feeding the per-version served gauge.  [Ok resp] counts as
+   one served query (the unit the [max_requests] budget measures);
+   [Error (category, msg)] was already recorded under its category. *)
+let run_core ?cache ~metrics ?(version = 1) req =
   let t0 = Unix.gettimeofday () in
   match run_request ?cache ~metrics req with
   | resp ->
-      Metrics.record_query metrics
+      Metrics.record_query ~version metrics
         ~protocol:(protocol_to_string req.protocol)
         ~found_triangle:
           (match resp.verdict with
@@ -477,14 +710,21 @@ let run_one ?cache ~metrics req =
         ~wire_bytes:resp.wire.Wire_runtime.wire_bytes
         ~accounted_bits:resp.wire.Wire_runtime.accounted_bits
         ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6);
-      (response_to_json resp, 1)
+      Ok resp
   | exception Wire_error.Wire_error k ->
       let category = Metrics.category_of_name (Wire_error.category k) in
       Metrics.record_error metrics ~category;
-      (error_obj ~category (Wire_error.message k), 0)
+      Error (category, Wire_error.message k)
   | exception e ->
       Metrics.record_error metrics ~category:Metrics.Run_failure;
-      (error_obj ~category:Metrics.Run_failure (Printexc.to_string e), 0)
+      Error (Metrics.Run_failure, Printexc.to_string e)
+
+(* The JSON shape of one query's outcome; the [int] is 1 when the query
+   was served, 0 on a categorized failure. *)
+let run_one ?cache ~metrics ?version req =
+  match run_core ?cache ~metrics ?version req with
+  | Ok resp -> (response_to_json resp, 1)
+  | Error (category, msg) -> (error_obj ~category msg, 0)
 
 (* One request line -> one reply line.  Sets [stop] on a shutdown command;
    returns how many protocol queries the line served (the unit the
@@ -497,7 +737,7 @@ let run_one ?cache ~metrics req =
    operator can tell chaos from bad input.  Inside a batch, failures are
    per-item: each element of [results] is exactly the reply the request
    would have gotten on its own line, errors included. *)
-let handle_line ?cache ~metrics ~stop line =
+let handle_line ?cache ~metrics ~stop ?version line =
   let err category msg =
     Metrics.record_error metrics ~category;
     (error_line ~category msg, 0)
@@ -528,7 +768,7 @@ let handle_line ?cache ~metrics ~stop line =
                         Metrics.record_error metrics ~category:Metrics.Malformed;
                         error_obj ~category:Metrics.Malformed msg
                     | Ok req ->
-                        let obj, n = run_one ?cache ~metrics req in
+                        let obj, n = run_one ?cache ~metrics ?version req in
                         served := !served + n;
                         obj)
                   items
@@ -549,8 +789,86 @@ let handle_line ?cache ~metrics ~stop line =
           match request_of_json j with
           | Error msg -> err Metrics.Malformed msg
           | Ok req ->
-              let obj, n = run_one ?cache ~metrics req in
+              let obj, n = run_one ?cache ~metrics ?version req in
               (Jsonout.to_line obj, n)))
+
+(* One protocol-v2 frame body -> one sealed reply frame in [b]; the binary
+   twin of [handle_line], with the same dispatch, the same error
+   categories and the same served-count contract.  [cur] covers the frame
+   body (tag onward); structural decode failures — the frame passed its
+   checksum but its layout is garbled — fail that frame with a typed
+   malformed reply while the connection stays usable, because the frame
+   boundary is known and the stream can resync on the next frame.  Batch
+   items fail per item, like their JSON twins, when the failure is
+   semantic (bad enum code, bad fault spec); a structurally garbled item
+   makes the remaining bytes meaningless, so it fails the whole frame. *)
+let handle_frame ?cache ~metrics ~stop ~version b cur =
+  let err category msg =
+    Metrics.record_error metrics ~category;
+    encode_error_frame b ~category msg;
+    0
+  in
+  try
+    let tag = Proto.get_u8 cur in
+    if tag = tag_query then (
+      match decode_request_body cur with
+      | Error msg -> err Metrics.Malformed msg
+      | Ok req -> (
+          Proto.expect_end cur;
+          match run_core ?cache ~metrics ~version req with
+          | Ok resp ->
+              encode_response_frame b resp;
+              1
+          | Error (category, msg) ->
+              encode_error_frame b ~category msg;
+              0))
+    else if tag = tag_batch then begin
+      let count = Proto.get_varint cur in
+      Metrics.record_batch metrics ~items:count;
+      Proto.begin_frame b;
+      Proto.put_u8 b tag_batch_reply;
+      Proto.put_varint b count;
+      let served = ref 0 in
+      for _ = 1 to count do
+        match decode_request_body cur with
+        | Error msg ->
+            Metrics.record_error metrics ~category:Metrics.Malformed;
+            Proto.put_u8 b tag_error;
+            Proto.put_u8 b (category_code Metrics.Malformed);
+            Proto.put_string b msg
+        | Ok req -> (
+            match run_core ?cache ~metrics ~version req with
+            | Ok resp ->
+                Proto.put_u8 b tag_reply;
+                put_response b resp;
+                incr served
+            | Error (category, msg) ->
+                Proto.put_u8 b tag_error;
+                Proto.put_u8 b (category_code category);
+                Proto.put_string b msg)
+      done;
+      Proto.expect_end cur;
+      Proto.end_frame b;
+      !served
+    end
+    else if tag = tag_stats then begin
+      Proto.expect_end cur;
+      Proto.begin_frame b;
+      Proto.put_u8 b tag_stats_reply;
+      Proto.put_string b (Jsonout.to_string (Metrics.to_json metrics));
+      Proto.end_frame b;
+      0
+    end
+    else if tag = tag_shutdown then begin
+      Proto.expect_end cur;
+      stop := true;
+      Proto.begin_frame b;
+      Proto.put_u8 b tag_bye;
+      Proto.end_frame b;
+      0
+    end
+    else err Metrics.Unknown_op (Printf.sprintf "unknown frame tag %d" tag)
+  with Wire_error.Wire_error k -> err Metrics.Malformed ("bad frame: " ^ Wire_error.message k)
 
 (* Reply-level fault injection: the [op]-th reply the server writes (0-based
    across the whole server lifetime) suffers the scheduled fault.  [Drop]
@@ -559,16 +877,22 @@ let handle_line ?cache ~metrics ~stop line =
    fails to parse); [Truncate] sends a proper prefix and closes; [Delay]
    holds the reply [amount] milliseconds; [Partial] splits the write in two
    (same bytes — the client must not notice).  Every firing bumps the
-   injected-fault tally, never the error counters: the fault is ours. *)
+   injected-fault tally, never the error counters: the fault is ours.
+
+   The second component reports whether the reply landed byte-intact
+   ([Delay] and [Partial] reorder time, not bytes) — the condition under
+   which the exchange's traffic counts toward the per-version byte gauge,
+   so the gauge reconciles exactly against what a client's successful
+   exchanges measured. *)
 let inject_reply ~metrics ~fault ~op fd reply =
   match Fault.find fault op with
   | None ->
       write_line fd reply;
-      `Keep
+      (`Keep, true)
   | Some kind -> (
       Metrics.record_injected metrics;
       match kind with
-      | Fault.Drop | Fault.Close -> `Close
+      | Fault.Drop | Fault.Close -> (`Close, false)
       | Fault.Corrupt { bit } ->
           let b = Bytes.of_string reply in
           let nbits = 8 * Bytes.length b in
@@ -578,31 +902,99 @@ let inject_reply ~metrics ~fault ~op fd reply =
             Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl off)))
           end;
           write_line fd (Bytes.to_string b);
-          `Keep
+          (`Keep, false)
       | Fault.Truncate { keep } ->
           let s = reply ^ "\n" in
           write_all fd (String.sub s 0 (min (max keep 0) (max 0 (String.length s - 1))));
-          `Close
+          (`Close, false)
       | Fault.Delay { amount } ->
           Unix.sleepf (float_of_int (max amount 0) /. 1000.0);
           write_line fd reply;
-          `Keep
+          (`Keep, true)
       | Fault.Partial { at } ->
           let s = reply ^ "\n" in
           let cut = max 1 (min at (String.length s - 1)) in
           write_all fd (String.sub s 0 cut);
           write_all fd (String.sub s cut (String.length s - cut));
-          `Keep)
+          (`Keep, true))
 
-(* One open connection in the event loop: its descriptor, the bytes read
-   so far that do not yet end in a newline, and the wall-clock instant by
-   which the next newline must arrive. *)
+let write_bytes_all fd data off len =
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd data (off + !sent) (len - !sent)
+  done
+
+(* Write the sealed frame currently held by [b]. *)
+let write_frame fd b = write_bytes_all fd (Proto.storage b) (Proto.frame_off b) (Proto.frame_len b)
+
+(* [inject_reply] for a sealed binary reply frame in [b]; same fault
+   semantics, adapted to frames.  [Corrupt] flips a bit past the length
+   varint — in the body or its checksum — so the frame stays delimited and
+   the client reads a complete frame that fails its checksum, mirroring
+   how the line path garbles the body but preserves the newline.
+   [Truncate] sends a proper prefix and closes, starving the client's
+   frame read until its deadline. *)
+let inject_reply_frame ~metrics ~fault ~op fd b =
+  let data = Proto.storage b and off = Proto.frame_off b and len = Proto.frame_len b in
+  match Fault.find fault op with
+  | None ->
+      write_bytes_all fd data off len;
+      (`Keep, true)
+  | Some kind -> (
+      Metrics.record_injected metrics;
+      match kind with
+      | Fault.Drop | Fault.Close -> (`Close, false)
+      | Fault.Corrupt { bit } ->
+          let varint_len = len - (Proto.frame_body_len b + 2) in
+          let region_off = off + varint_len in
+          let nbits = 8 * (len - varint_len) in
+          if nbits > 0 then begin
+            let i = ((bit mod nbits) + nbits) mod nbits in
+            let byte = region_off + (i / 8) and o = i mod 8 in
+            Bytes.set data byte (Char.chr (Char.code (Bytes.get data byte) lxor (1 lsl o)))
+          end;
+          write_bytes_all fd data off len;
+          (`Keep, false)
+      | Fault.Truncate { keep } ->
+          write_bytes_all fd data off (min (max keep 0) (max 0 (len - 1)));
+          (`Close, false)
+      | Fault.Delay { amount } ->
+          Unix.sleepf (float_of_int (max amount 0) /. 1000.0);
+          write_bytes_all fd data off len;
+          (`Keep, true)
+      | Fault.Partial { at } ->
+          let cut = max 1 (min at (len - 1)) in
+          write_bytes_all fd data off cut;
+          write_bytes_all fd data (off + cut) (len - cut);
+          (`Keep, true))
+
+(* One open connection in the event loop: its descriptor, the read buffer
+   holding bytes that do not yet form a complete line or frame, the
+   preallocated scratch a binary reply is encoded into, the reusable
+   cursor binary requests are decoded through, the wire-protocol version
+   the connection negotiated (0 until the first byte decides), and the
+   wall-clock instant by which the next request unit must arrive.  The
+   read buffer shrinks back to a small default once a large request has
+   been consumed ({!Proto.rbuf_consume}), so one near-cap line or batch
+   does not pin megabytes for the connection's lifetime. *)
 type conn = {
   conn_fd : Unix.file_descr;
-  pending : Buffer.t;
+  rbuf : Proto.rbuf;
+  wbuf : Proto.buf;
+  rcur : Proto.cursor;
+  mutable version : int;
   mutable deadline : float;
   mutable conn_open : bool;
 }
+
+(* Find '\n' in [data[pos, lim)]; [Bytes.index_from] would scan past the
+   buffered region. *)
+let find_newline data pos lim =
+  let i = ref pos in
+  while !i < lim && Bytes.unsafe_get data !i <> '\n' do
+    incr i
+  done;
+  if !i < lim then Some !i else None
 
 (* A connection that streams garbage without newlines must not grow its
    buffer forever; past this it is shed with a malformed error. *)
@@ -625,11 +1017,19 @@ let max_line_bytes = 8 * 1024 * 1024
     fault schedule indexes replies globally across all connections, in the
     order the loop writes them.
 
+    A connection's first byte decides its wire protocol: {!Proto.magic}
+    opens a version handshake (answered with
+    [min requested max_version]; binary v2 frames follow when both sides
+    speak it), anything else is the first byte of a JSON line and the
+    connection speaks v1 unchanged.  [max_version] (default
+    {!Proto.max_version}) caps what the server negotiates — [1] forces
+    every connection onto JSON lines.
+
     No client behaviour — killed mid-line, flooding garbage, going silent
     — takes the daemon down; each costs a categorized error counter and at
     worst its own connection. *)
 let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 30.0)
-    ?(fault = []) ?(cache_capacity = 32) ~path () =
+    ?(fault = []) ?(cache_capacity = 32) ?(max_version = Proto.max_version) ~path () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -684,7 +1084,10 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
           conns :=
             {
               conn_fd = fd;
-              pending = Buffer.create 256;
+              rbuf = Proto.rbuf_create ();
+              wbuf = Proto.create_buf ();
+              rcur = Proto.cursor ();
+              version = 0;
               deadline = Unix.gettimeofday () +. line_timeout_s;
               conn_open = true;
             }
@@ -692,60 +1095,160 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
           Metrics.set_in_flight metrics (List.length !conns)
         end
   in
+  (* Write [c] a categorized error in whatever protocol it negotiated —
+     best-effort: the peer may already be gone. *)
+  let write_error_conn c ~category msg =
+    try
+      if c.version >= 2 then begin
+        encode_error_frame c.wbuf ~category msg;
+        write_frame c.conn_fd c.wbuf
+      end
+      else write_line c.conn_fd (error_line ~category msg)
+    with Unix.Unix_error _ -> ()
+  in
+  (* Route one reply (line or frame) through the fault schedule, tally the
+     served queries, and — when the reply landed byte-intact — credit the
+     exchange's request+reply bytes to the connection's wire-protocol
+     version, so stats reconcile exactly against what the client's
+     successful exchanges measured. *)
+  let deliver_reply c ~nserved ~request_bytes ~reply_bytes inject =
+    let op = !reply_op in
+    incr reply_op;
+    match inject ~op c.conn_fd with
+    | exception Unix.Unix_error _ ->
+        (* the peer closed before the reply landed *)
+        transport_error ();
+        close_conn c
+    | action, clean ->
+        served := !served + nserved;
+        if clean && nserved > 0 then
+          Metrics.record_version_bytes metrics
+            ~version:(max 1 c.version)
+            ~bytes:(request_bytes + reply_bytes);
+        if action = `Close then close_conn c
+  in
   let handle_one c line =
-    match handle_line ?cache ~metrics ~stop line with
+    match handle_line ?cache ~metrics ~stop ~version:(max 1 c.version) line with
     | exception e ->
         Metrics.record_error metrics ~category:Metrics.Run_failure;
-        (try write_line c.conn_fd (error_line ~category:Metrics.Run_failure (Printexc.to_string e))
-         with Unix.Unix_error _ -> ());
+        write_error_conn c ~category:Metrics.Run_failure (Printexc.to_string e);
         close_conn c
-    | reply, nserved -> (
-        let op = !reply_op in
-        incr reply_op;
-        match inject_reply ~metrics ~fault ~op c.conn_fd reply with
-        | `Keep -> served := !served + nserved
-        | `Close ->
-            served := !served + nserved;
-            close_conn c
-        | exception Unix.Unix_error _ ->
-            (* the peer closed before the reply landed *)
-            transport_error ();
-            close_conn c)
+    | reply, nserved ->
+        deliver_reply c ~nserved
+          ~request_bytes:(String.length line + 1)
+          ~reply_bytes:(String.length reply + 1)
+          (fun ~op fd -> inject_reply ~metrics ~fault ~op fd reply)
   in
-  (* Split off and handle every complete line in [c]'s buffer; keep the
-     unterminated tail for the next readable event.  Each complete line
-     rolls the deadline forward. *)
-  let drain_buffer c =
-    let data = Buffer.contents c.pending in
-    let len = String.length data in
-    let pos = ref 0 in
+  (* Split off and handle every complete line in [c]'s read buffer; keep
+     the unterminated tail for the next readable event.  Each complete
+     line rolls the deadline forward. *)
+  let drain_lines c =
     let scanning = ref true in
-    while !scanning && !pos < len do
-      match String.index_from_opt data !pos '\n' with
+    while !scanning && c.conn_open do
+      let data = Proto.rbuf_data c.rbuf and start = Proto.rbuf_start c.rbuf in
+      match find_newline data start (start + Proto.rbuf_avail c.rbuf) with
       | None -> scanning := false
       | Some nl ->
-          let line = String.sub data !pos (nl - !pos) in
-          pos := nl + 1;
+          let line = Bytes.sub_string data start (nl - start) in
+          Proto.rbuf_consume c.rbuf (nl - start + 1);
           c.deadline <- Unix.gettimeofday () +. line_timeout_s;
           if (not !stop) && budget_left () then handle_one c line;
-          if (not c.conn_open) || !stop then scanning := false
+          if !stop then scanning := false
     done;
-    if c.conn_open then begin
-      let rest = String.sub data !pos (len - !pos) in
-      Buffer.clear c.pending;
-      Buffer.add_string c.pending rest;
-      if Buffer.length c.pending > max_line_bytes then begin
-        Metrics.record_error metrics ~category:Metrics.Malformed;
-        (try write_line c.conn_fd (error_line ~category:Metrics.Malformed "request line too long")
-         with Unix.Unix_error _ -> ());
-        close_conn c
-      end
+    if c.conn_open && Proto.rbuf_avail c.rbuf > max_line_bytes then begin
+      Metrics.record_error metrics ~category:Metrics.Malformed;
+      write_error_conn c ~category:Metrics.Malformed "request line too long";
+      close_conn c
     end
+  in
+  (* Split off and handle every complete frame.  A stream-level framing
+     error — garbage or oversized length prefix, checksum mismatch — is
+     unrecoverable (a byte stream cannot resync), so it costs a transport
+     error and the connection; a frame that passes its checksum but
+     decodes badly is handled inside [handle_frame] with the connection
+     kept. *)
+  let drain_frames c =
+    let scanning = ref true in
+    while !scanning && c.conn_open && not !stop do
+      let start = Proto.rbuf_start c.rbuf in
+      match
+        Proto.try_frame (Proto.rbuf_data c.rbuf) ~pos:start
+          ~limit:(start + Proto.rbuf_avail c.rbuf)
+          c.rcur
+      with
+      | exception Wire_error.Wire_error k ->
+          transport_error ();
+          write_error_conn c ~category:Metrics.Transport
+            ("unrecoverable frame stream: " ^ Wire_error.message k);
+          close_conn c
+      | -1 ->
+          if Proto.rbuf_avail c.rbuf > max_line_bytes then begin
+            Metrics.record_error metrics ~category:Metrics.Malformed;
+            write_error_conn c ~category:Metrics.Malformed "request frame too long";
+            close_conn c
+          end;
+          scanning := false
+      | frame_len ->
+          c.deadline <- Unix.gettimeofday () +. line_timeout_s;
+          if (not !stop) && budget_left () then begin
+            match handle_frame ?cache ~metrics ~stop ~version:c.version c.wbuf c.rcur with
+            | exception e ->
+                Metrics.record_error metrics ~category:Metrics.Run_failure;
+                write_error_conn c ~category:Metrics.Run_failure (Printexc.to_string e);
+                close_conn c
+            | nserved ->
+                deliver_reply c ~nserved ~request_bytes:frame_len
+                  ~reply_bytes:(Proto.frame_len c.wbuf) (fun ~op fd ->
+                    inject_reply_frame ~metrics ~fault ~op fd c.wbuf)
+          end;
+          if c.conn_open then Proto.rbuf_consume c.rbuf frame_len else scanning := false
+    done
+  in
+  (* The first byte decides the connection's protocol: {!Proto.magic}
+     opens the version handshake, anything else is the first byte of a
+     JSON line and the connection is v1.  A hello offering version 0 is a
+     typed malformed error answered with a version-0 hello; the
+     connection then falls back to v1 and stays usable.  Handshake bytes
+     are excluded from the per-version byte gauges and from the fault
+     schedule's reply numbering, so op indices line up across versions. *)
+  let rec drain c =
+    if c.conn_open then
+      if c.version = 0 then begin
+        let avail = Proto.rbuf_avail c.rbuf in
+        if avail >= 1 then begin
+          let data = Proto.rbuf_data c.rbuf and start = Proto.rbuf_start c.rbuf in
+          if Bytes.get data start <> Proto.magic then begin
+            c.version <- 1;
+            drain c
+          end
+          else if avail >= 2 then begin
+            let requested = Char.code (Bytes.get data (start + 1)) in
+            Proto.rbuf_consume c.rbuf 2;
+            c.deadline <- Unix.gettimeofday () +. line_timeout_s;
+            let negotiated = if requested < 1 then 0 else min requested max_version in
+            if negotiated = 0 then
+              Metrics.record_error metrics ~category:Metrics.Malformed;
+            (match
+               write_all c.conn_fd (Proto.hello negotiated)
+             with
+            | () ->
+                c.version <- max 1 negotiated;
+                drain c
+            | exception Unix.Unix_error _ ->
+                transport_error ();
+                close_conn c)
+          end
+          (* else: magic seen, version byte still in flight — wait *)
+        end
+      end
+      else if c.version >= 2 then drain_frames c
+      else drain_lines c
   in
   let chunk = Bytes.create 4096 in
   let on_eof c =
-    (* the client died mid-line; a half request is not a request *)
-    if Buffer.length c.pending > 0 then transport_error ();
+    (* the client died mid-line (or mid-frame); a half request is not a
+       request *)
+    if Proto.rbuf_avail c.rbuf > 0 then transport_error ();
     close_conn c
   in
   let service_conn c =
@@ -757,16 +1260,15 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
         close_conn c
     | 0 -> on_eof c
     | nread ->
-        Buffer.add_subbytes c.pending chunk 0 nread;
-        drain_buffer c
+        Proto.rbuf_append c.rbuf chunk 0 nread;
+        drain c
   in
   let expire_deadlines now =
     List.iter
       (fun c ->
         if c.conn_open && c.deadline <= now then begin
           Metrics.record_error metrics ~category:Metrics.Timeout;
-          (try write_line c.conn_fd (error_line ~category:Metrics.Timeout "read timed out")
-           with Unix.Unix_error _ -> ());
+          write_error_conn c ~category:Metrics.Timeout "read timed out";
           close_conn c
         end)
       !conns
@@ -824,30 +1326,222 @@ let reply_error j =
   in
   ((if transient then `Transient else `Fatal), msg)
 
-(* One connect/write/read attempt, classified: [`Transient] failures are
-   worth retrying (the server may be restarting or shedding load, the reply
-   may have been garbled by a fault), [`Fatal] ones are the server telling
-   us the request itself is wrong.  [interpret] turns the parsed reply of a
-   successful exchange into the caller's result. *)
-let attempt_exchange ~timeout_s ~path ~line ~interpret =
-  match
-    with_connection ~path (fun sock ->
-        write_line sock line;
-        match read_line_deadline sock ~deadline:(Unix.gettimeofday () +. timeout_s) with
-        | Eof | Partial _ -> Error (`Transient, "server closed the connection")
-        | Timed_out -> Error (`Transient, "reply timed out")
-        | Line reply -> (
-            match Jsonout.parse reply with
-            | Error msg -> Error (`Transient, "bad reply JSON: " ^ msg)
-            | Ok j -> (
-                match Jsonout.member "ok" j with
-                | Some (Jsonout.Bool false) -> Error (reply_error j)
-                | _ -> interpret j)))
-  with
+(* Same transient-or-fatal split, from a binary error frame's category. *)
+let classify_category category =
+  match category with
+  | Metrics.Timeout | Metrics.Transport | Metrics.Overload -> `Transient
+  | Metrics.Malformed | Metrics.Unknown_op | Metrics.Run_failure -> `Fatal
+
+(* One JSON line-protocol exchange on an already-connected socket;
+   [interpret] turns the parsed reply of a successful exchange into the
+   caller's result. *)
+let json_exchange sock ~deadline ~line ~interpret =
+  write_line sock line;
+  match read_line_deadline sock ~deadline with
+  | Eof | Partial _ -> Error (`Transient, "server closed the connection")
+  | Timed_out -> Error (`Transient, "reply timed out")
+  | Line reply -> (
+      match Jsonout.parse reply with
+      | Error msg -> Error (`Transient, "bad reply JSON: " ^ msg)
+      | Ok j -> (
+          match Jsonout.member "ok" j with
+          | Some (Jsonout.Bool false) -> Error (reply_error j)
+          | _ -> interpret j))
+
+(* The exceptions any attempt can surface, classified transient: the
+   server may be restarting, shedding load, or mid-fault. *)
+let guard_attempt f =
+  match f () with
   | v -> v
   | exception Unix.Unix_error (e, fn, _) ->
       Error (`Transient, Printf.sprintf "%s: %s" fn (Unix.error_message e))
   | exception Wire_error.Wire_error k -> Error (`Transient, Wire_error.message k)
+
+(* One v1 connect/write/read attempt, classified: [`Transient] failures
+   are worth retrying (the server may be restarting or shedding load, the
+   reply may have been garbled by a fault), [`Fatal] ones are the server
+   telling us the request itself is wrong. *)
+let attempt_exchange ~timeout_s ~path ~line ~interpret =
+  guard_attempt (fun () ->
+      with_connection ~path (fun sock ->
+          json_exchange sock ~deadline:(Unix.gettimeofday () +. timeout_s) ~line ~interpret))
+
+(* ----------------------------------------------------- client, binary v2 *)
+
+(* One byte off the socket under a deadline. *)
+let read_byte_deadline fd ~deadline =
+  let one = Bytes.create 1 in
+  let rec loop () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then `Timeout
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> `Timeout
+      | _ -> (
+          match Unix.read fd one 0 1 with
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | 0 -> `Eof
+          | _ -> `Byte (Bytes.get one 0))
+  in
+  loop ()
+
+(* Accumulate socket bytes until {!Proto.try_frame} finds one complete
+   frame; [cur] then covers its body.  Garbage that can never frame
+   raises {!Wire_error.Wire_error} (the attempt guard classifies it
+   transient). *)
+let read_frame_deadline sock ~deadline cur =
+  let rb = Proto.rbuf_create () in
+  let chunk = Bytes.create 4096 in
+  let rec loop () =
+    let start = Proto.rbuf_start rb in
+    match
+      Proto.try_frame (Proto.rbuf_data rb) ~pos:start ~limit:(start + Proto.rbuf_avail rb) cur
+    with
+    | n when n >= 0 -> `Frame
+    | _ -> (
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then `Timeout
+        else
+          match Unix.select [ sock ] [] [] remaining with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | [], _, _ -> `Timeout
+          | _ -> (
+              match Unix.read sock chunk 0 (Bytes.length chunk) with
+              | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Closed
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+              | 0 -> `Closed
+              | nread ->
+                  Proto.rbuf_append rb chunk 0 nread;
+                  loop ()))
+  in
+  loop ()
+
+(* The four exchanges a client performs, shaped once so the v1 and v2
+   paths cannot drift. *)
+type wire_op = Op_query of request | Op_batch of request list | Op_stats | Op_shutdown
+
+let op_line = function
+  | Op_query req -> Jsonout.to_line (request_to_json req)
+  | Op_batch reqs -> Jsonout.to_line (batch_request_to_json reqs)
+  | Op_stats -> Jsonout.to_line (Jsonout.Obj [ ("op", Jsonout.Str "stats") ])
+  | Op_shutdown -> Jsonout.to_line (Jsonout.Obj [ ("cmd", Jsonout.Str "shutdown") ])
+
+let op_fill b = function
+  | Op_query req -> encode_query_frame b req
+  | Op_batch reqs -> encode_batch_frame b reqs
+  | Op_stats -> encode_stats_frame b
+  | Op_shutdown -> encode_shutdown_frame b
+
+(* A decoded binary reply, every shape the server can send. *)
+type wire_reply =
+  | R_response of response
+  | R_error of Metrics.error_category * string
+  | R_batch of (response, Metrics.error_category * string) result list
+  | R_stats of Jsonout.t
+  | R_bye
+
+let decode_reply cur =
+  let tag = Proto.get_u8 cur in
+  if tag = tag_reply then begin
+    let r = decode_response_body cur in
+    Proto.expect_end cur;
+    R_response r
+  end
+  else if tag = tag_error then begin
+    let category = category_of_code (Proto.get_u8 cur) in
+    let msg = Proto.get_string cur in
+    Proto.expect_end cur;
+    R_error (category, msg)
+  end
+  else if tag = tag_batch_reply then begin
+    let count = Proto.get_varint cur in
+    let items = ref [] in
+    for _ = 1 to count do
+      let sub = Proto.get_u8 cur in
+      if sub = tag_reply then items := Ok (decode_response_body cur) :: !items
+      else if sub = tag_error then begin
+        let category = category_of_code (Proto.get_u8 cur) in
+        let msg = Proto.get_string cur in
+        items := Error (category, msg) :: !items
+      end
+      else Wire_error.errorf_corrupt "unknown batch item tag %d" sub
+    done;
+    Proto.expect_end cur;
+    R_batch (List.rev !items)
+  end
+  else if tag = tag_stats_reply then begin
+    let s = Proto.get_string cur in
+    Proto.expect_end cur;
+    match Jsonout.parse s with
+    | Ok j -> R_stats j
+    | Error msg -> Wire_error.errorf_corrupt "bad stats JSON in frame: %s" msg
+  end
+  else if tag = tag_bye then begin
+    Proto.expect_end cur;
+    R_bye
+  end
+  else Wire_error.errorf_corrupt "unknown reply tag %d" tag
+
+(* Offer the server our best version and classify its answer.  A server
+   that does not speak the handshake still answers *something* — most
+   usefully the overload-shed JSON error line — so a non-magic first byte
+   is read out as a line and interpreted as a v1 reply; its typed
+   category keeps the retry classification (an overload shed stays
+   transient with the server's own message). *)
+let client_hello sock ~deadline =
+  write_all sock (Proto.hello Proto.max_version);
+  match read_byte_deadline sock ~deadline with
+  | `Timeout -> Error (`Transient, "handshake timed out")
+  | `Eof -> Error (`Transient, "server closed during handshake")
+  | `Byte b when b = Proto.magic -> (
+      match read_byte_deadline sock ~deadline with
+      | `Timeout -> Error (`Transient, "handshake timed out")
+      | `Eof -> Error (`Transient, "server closed during handshake")
+      | `Byte v -> (
+          match Char.code v with
+          | 2 -> Ok 2
+          | 1 -> Ok 1
+          | 0 -> Error (`Fatal, "server refused the protocol handshake")
+          | v -> Error (`Transient, Printf.sprintf "server negotiated unknown version %d" v)))
+  | `Byte b -> (
+      (* a JSON line, not a handshake: read it out and interpret it *)
+      match read_line_deadline sock ~deadline with
+      | Timed_out -> Error (`Transient, "handshake timed out")
+      | Eof | Partial _ -> Error (`Transient, "server closed during handshake")
+      | Line rest -> (
+          match Jsonout.parse (String.make 1 b ^ rest) with
+          | Ok j when Jsonout.member "ok" j = Some (Jsonout.Bool false) -> Error (reply_error j)
+          | Ok _ | Error _ -> Error (`Transient, "garbled handshake reply")))
+
+(* One exchange attempt honouring [protocol]: [V1] is the bare JSON line
+   path; [V2]/[Auto] shake hands first and speak binary frames when the
+   server agrees, JSON lines on the same connection when it answers v1.
+   [interpret]/[interpret_bin] turn the two reply shapes into the caller's
+   result; both run under the transient-exception guard. *)
+let attempt_op ~protocol ~timeout_s ~path ~op ~interpret ~interpret_bin =
+  match (protocol : Proto.pref) with
+  | Proto.V1 -> attempt_exchange ~timeout_s ~path ~line:(op_line op) ~interpret
+  | Proto.V2 | Proto.Auto ->
+      guard_attempt (fun () ->
+          with_connection ~path (fun sock ->
+              let deadline = Unix.gettimeofday () +. timeout_s in
+              match client_hello sock ~deadline with
+              | Error e -> Error e
+              | Ok 1 -> json_exchange sock ~deadline ~line:(op_line op) ~interpret
+              | Ok _ -> (
+                  let b = Proto.create_buf () in
+                  op_fill b op;
+                  write_frame sock b;
+                  let cur = Proto.cursor () in
+                  match read_frame_deadline sock ~deadline cur with
+                  | `Timeout -> Error (`Transient, "reply timed out")
+                  | `Closed -> Error (`Transient, "server closed the connection")
+                  | `Frame -> (
+                      match decode_reply cur with
+                      | R_error (category, msg) -> Error (classify_category category, msg)
+                      | reply -> interpret_bin reply))))
 
 (* The shared retry envelope: transient failures back off exponentially
    ([backoff_s · 2^attempt] plus up to 25% jitter, deterministic in
@@ -874,16 +1568,21 @@ let with_retries ~retries ~backoff_s ~backoff_seed ~metrics attempt =
     reply.  Transient failures retry up to [retries] more times with
     exponential backoff ([backoff_s · 2^attempt] plus up to 25% jitter,
     deterministic in [backoff_seed]); each retry is tallied in [metrics]
-    when given.  Fatal server rejections return immediately. *)
+    when given.  Fatal server rejections return immediately.  [protocol]
+    picks the wire protocol (default [Auto]: binary v2 when the server
+    speaks it, JSON v1 otherwise); the retry envelope covers the
+    handshake, so a garbled negotiation retries like a garbled reply. *)
 let client_query ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0)
-    ?metrics ~path req =
+    ?metrics ?(protocol = Proto.Auto) ~path req =
   with_retries ~retries ~backoff_s ~backoff_seed ~metrics (fun () ->
-      attempt_exchange ~timeout_s ~path
-        ~line:(Jsonout.to_line (request_to_json req))
+      attempt_op ~protocol ~timeout_s ~path ~op:(Op_query req)
         ~interpret:(fun j ->
           match response_of_json j with
           | Ok resp -> Ok resp
-          | Error msg -> Error (`Transient, "garbled reply: " ^ msg)))
+          | Error msg -> Error (`Transient, "garbled reply: " ^ msg))
+        ~interpret_bin:(function
+          | R_response resp -> Ok resp
+          | _ -> Error (`Transient, "garbled reply: unexpected frame shape")))
 
 (** Send [reqs] as one [{"op": "batch"}] exchange — one line out, one line
     back — and return per-item results in request order.  The retry
@@ -893,10 +1592,9 @@ let client_query ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backof
     batch) is that item's final [Error].  An empty [reqs] is one empty
     round trip. *)
 let client_batch ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0)
-    ?metrics ~path reqs =
+    ?metrics ?(protocol = Proto.Auto) ~path reqs =
   with_retries ~retries ~backoff_s ~backoff_seed ~metrics (fun () ->
-      attempt_exchange ~timeout_s ~path
-        ~line:(Jsonout.to_line (batch_request_to_json reqs))
+      attempt_op ~protocol ~timeout_s ~path ~op:(Op_batch reqs)
         ~interpret:(fun j ->
           match Jsonout.member "results" j with
           | Some (Jsonout.List items) when List.length items = List.length reqs ->
@@ -915,29 +1613,36 @@ let client_batch ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backof
                 ( `Transient,
                   Printf.sprintf "garbled reply: %d results for %d requests" (List.length items)
                     (List.length reqs) )
-          | _ -> Error (`Transient, "garbled reply: batch reply without results")))
+          | _ -> Error (`Transient, "garbled reply: batch reply without results"))
+        ~interpret_bin:(function
+          | R_batch items when List.length items = List.length reqs ->
+              Ok (List.map (function Ok resp -> Ok resp | Error (_, msg) -> Error msg) items)
+          | R_batch items ->
+              Error
+                ( `Transient,
+                  Printf.sprintf "garbled reply: %d results for %d requests" (List.length items)
+                    (List.length reqs) )
+          | _ -> Error (`Transient, "garbled reply: unexpected frame shape")))
 
 (** Fetch the server's telemetry ([{"op": "stats"}]); returns the [stats]
     object of the reply. *)
-let client_stats ?(timeout_s = 30.0) ~path () =
-  with_connection ~path (fun sock ->
-      write_line sock (Jsonout.to_line (Jsonout.Obj [ ("op", Jsonout.Str "stats") ]));
-      match read_line_fd ~timeout_s sock with
-      | None -> Error "server closed the connection"
-      | Some line -> (
-          match Jsonout.parse line with
-          | Error msg -> Error ("bad reply JSON: " ^ msg)
-          | Ok j -> (
-              match (Jsonout.member "ok" j, Jsonout.member "stats" j) with
-              | Some (Jsonout.Bool true), Some stats -> Ok stats
-              | _ ->
-                  Error
-                    (match Jsonout.member "error" j with
-                    | Some (Jsonout.Str s) -> s
-                    | _ -> "server error"))))
+let client_stats ?(timeout_s = 30.0) ?(protocol = Proto.Auto) ~path () =
+  match
+    attempt_op ~protocol ~timeout_s ~path ~op:Op_stats
+      ~interpret:(fun j ->
+        match Jsonout.member "stats" j with
+        | Some stats -> Ok stats
+        | None -> Error (`Transient, "garbled reply: stats reply without stats"))
+      ~interpret_bin:(function
+        | R_stats stats -> Ok stats
+        | _ -> Error (`Transient, "garbled reply: unexpected frame shape"))
+  with
+  | Ok stats -> Ok stats
+  | Error (_, msg) -> Error msg
 
 (** Ask a server at [path] to shut down. *)
-let client_shutdown ~path =
-  with_connection ~path (fun sock ->
-      write_line sock (Jsonout.to_line (Jsonout.Obj [ ("cmd", Jsonout.Str "shutdown") ]));
-      ignore (read_line_fd sock))
+let client_shutdown ?(protocol = Proto.Auto) ~path () =
+  ignore
+    (attempt_op ~protocol ~timeout_s:30.0 ~path ~op:Op_shutdown
+       ~interpret:(fun _ -> Ok ())
+       ~interpret_bin:(fun _ -> Ok ()))

@@ -73,6 +73,39 @@ val response_of_json : Jsonout.t -> (response, string) result
 (** The [{"op": "batch", "requests": [...]}] object for a request list. *)
 val batch_request_to_json : request list -> Jsonout.t
 
+(** {2 Binary protocol v2 layouts}
+
+    The same shapes as fixed binary layouts inside {!Proto} frames: one
+    tag byte, zigzag varints for integers, little-endian binary64 for
+    floats, varint-length-prefixed strings.  Encoders poke into a
+    caller-owned {!Proto.buf} (sealing a complete frame); decoders read a
+    {!Proto.cursor} positioned past the tag byte.  Structural decode
+    failures raise {!Wire_error.Wire_error}; semantic ones (enum code out
+    of range, bad fault spec) return [Error msg]. *)
+
+val tag_query : int
+val tag_reply : int
+val tag_error : int
+val tag_batch : int
+val tag_batch_reply : int
+val tag_stats : int
+val tag_stats_reply : int
+val tag_shutdown : int
+val tag_bye : int
+
+val encode_query_frame : Proto.buf -> request -> unit
+val encode_batch_frame : Proto.buf -> request list -> unit
+val encode_response_frame : Proto.buf -> response -> unit
+
+(** The all-ok batch reply frame, byte-identical to the server's when
+    every item serves (used to account wire bytes without a tap). *)
+val encode_batch_reply_frame : Proto.buf -> response list -> unit
+val encode_error_frame : Proto.buf -> category:Metrics.error_category -> string -> unit
+val decode_request_body : Proto.cursor -> (request, string) result
+
+(** @raise Wire_error.Wire_error on a garbled layout. *)
+val decode_response_body : Proto.cursor -> response
+
 (** {2 The instance cache}
 
     Requests that agree on every instance-determining field — family,
@@ -132,9 +165,16 @@ val read_line_deadline : Unix.file_descr -> deadline:float -> line_read
     request, in order, per-item errors included).  Every failure shape
     replies with a structured [{"ok": false, "error": ..., "category":
     ...}] and records the error under its {!Metrics.error_category};
-    nothing escapes. *)
+    nothing escapes.  [version] is the wire-protocol version of the
+    serving connection (default 1), feeding the per-version served
+    gauge. *)
 val handle_line :
-  ?cache:instance_cache -> metrics:Metrics.t -> stop:bool ref -> string -> string * int
+  ?cache:instance_cache ->
+  metrics:Metrics.t ->
+  stop:bool ref ->
+  ?version:int ->
+  string ->
+  string * int
 
 (** Serve requests on a Unix-domain socket at [path] until a
     [{"cmd": "shutdown"}] line (or [max_requests] successfully served
@@ -156,7 +196,14 @@ val handle_line :
     loop writes them — for chaos-testing the client retry path; firings
     are tallied as injected faults, not errors.  No client behaviour
     (killed mid-line, flooding garbage, going silent, closing before the
-    reply) takes the daemon down. *)
+    reply) takes the daemon down.
+
+    A connection's first byte decides its wire protocol: {!Proto.magic}
+    opens the version handshake (answered with
+    [min requested max_version]; binary v2 frames follow when both sides
+    speak it), anything else starts a JSON line and the connection speaks
+    v1 unchanged.  [max_version] (default {!Proto.max_version}) caps the
+    negotiation; [1] forces every connection onto JSON lines. *)
 val serve :
   ?backlog:int ->
   ?max_clients:int ->
@@ -164,6 +211,7 @@ val serve :
   ?line_timeout_s:float ->
   ?fault:Fault.schedule ->
   ?cache_capacity:int ->
+  ?max_version:int ->
   path:string ->
   unit ->
   int
@@ -175,13 +223,20 @@ val serve :
     0) more times with exponential backoff ([backoff_s]·2^attempt, default
     50 ms, plus up to 25% jitter deterministic in [backoff_seed]); each
     retry is tallied in [metrics] when given.  Structured server
-    rejections (malformed request, unknown op) are fatal immediately. *)
+    rejections (malformed request, unknown op) are fatal immediately.
+
+    [protocol] picks the wire protocol (default [Auto]: a magic+version
+    handshake, then binary v2 frames when the server speaks v2, JSON v1
+    lines otherwise; [V1] skips the handshake entirely, staying
+    wire-compatible with pre-v2 servers).  The retry envelope covers the
+    handshake. *)
 val client_query :
   ?timeout_s:float ->
   ?retries:int ->
   ?backoff_s:float ->
   ?backoff_seed:int ->
   ?metrics:Metrics.t ->
+  ?protocol:Proto.pref ->
   path:string ->
   request ->
   (response, string) result
@@ -197,13 +252,15 @@ val client_batch :
   ?backoff_s:float ->
   ?backoff_seed:int ->
   ?metrics:Metrics.t ->
+  ?protocol:Proto.pref ->
   path:string ->
   request list ->
   ((response, string) result list, string) result
 
 (** Fetch the server's telemetry ([{"op": "stats"}] query); returns the
     [stats] object of the reply (see {!Metrics.to_json} for its shape). *)
-val client_stats : ?timeout_s:float -> path:string -> unit -> (Jsonout.t, string) result
+val client_stats :
+  ?timeout_s:float -> ?protocol:Proto.pref -> path:string -> unit -> (Jsonout.t, string) result
 
 (** Ask a server at [path] to shut down. *)
-val client_shutdown : path:string -> unit
+val client_shutdown : ?protocol:Proto.pref -> path:string -> unit -> unit

@@ -16,6 +16,7 @@ module Service = Tfree_wire.Service
 module Fault = Tfree_wire.Fault
 module Wire_error = Tfree_wire.Wire_error
 module Metrics = Tfree_wire.Metrics
+module Proto = Tfree_wire.Proto
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -489,7 +490,8 @@ let test_service_run_request_reconciles () =
 (* Fork a real server on a temp socket, run [f path] against it, shut it
    down and assert the child saw exactly [expect_served] queries and exited
    cleanly — a daemon that died under a misbehaving client fails here. *)
-let with_forked_server ?(fault = []) ?max_clients ?cache_capacity ~tag ~expect_served f =
+let with_forked_server ?(fault = []) ?max_clients ?cache_capacity ?max_version ~tag ~expect_served
+    f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "tfree-test-%s-%d.sock" tag (Unix.getpid ()))
@@ -499,7 +501,8 @@ let with_forked_server ?(fault = []) ?max_clients ?cache_capacity ~tag ~expect_s
   | 0 ->
       exit
         (if
-           Service.serve ?max_clients ?cache_capacity ~line_timeout_s:5.0 ~fault ~path ()
+           Service.serve ?max_clients ?cache_capacity ?max_version ~line_timeout_s:5.0 ~fault
+             ~path ()
            = expect_served
          then 0
          else 1)
@@ -515,13 +518,13 @@ let with_forked_server ?(fault = []) ?max_clients ?cache_capacity ~tag ~expect_s
       (match f path with
       | () -> ()
       | exception e ->
-          (try Service.client_shutdown ~path with _ -> ());
+          (try Service.client_shutdown ~path () with _ -> ());
           ignore (Unix.waitpid [] server);
           raise e);
       (* the shutdown connection can itself be shed under a tiny
          --max-clients; keep asking until the server exits *)
       let rec finish tries =
-        (try Service.client_shutdown ~path with Unix.Unix_error _ -> ());
+        (try Service.client_shutdown ~path () with Unix.Unix_error _ -> ());
         match Unix.waitpid [ Unix.WNOHANG ] server with
         | 0, _ ->
             if tries = 0 then begin
@@ -938,6 +941,247 @@ let test_overload_sheds_with_typed_error () =
           checki "the one real query served" 1 (stats_num stats "queries_served")
       | Error msg -> Alcotest.failf "stats query failed: %s" msg)
 
+(* -------------------------------------------------- proto read buffer *)
+
+(* The per-connection read buffer must release oversized allocations once
+   consumption leaves at most a small tail: one near-8MB line or batch
+   frame must not pin megabytes for the connection's lifetime. *)
+let test_proto_rbuf_shrinks () =
+  let rb = Proto.rbuf_create () in
+  checki "fresh capacity is the default" Proto.rbuf_default_capacity (Proto.rbuf_capacity rb);
+  let big = 5 * 1024 * 1024 in
+  let chunk = Bytes.make 65536 'x' in
+  let rec fill n =
+    if n > 0 then begin
+      Proto.rbuf_append rb chunk 0 (min n 65536);
+      fill (n - 65536)
+    end
+  in
+  fill big;
+  let tail = Bytes.make 64 'y' in
+  Proto.rbuf_append rb tail 0 64;
+  checki "everything buffered" (big + 64) (Proto.rbuf_avail rb);
+  checkb "buffer grew past the retain cap" true
+    (Proto.rbuf_capacity rb > Proto.rbuf_retain_capacity);
+  (* a partial consume that leaves a large tail must NOT shrink: the rest
+     of the burst is still in flight *)
+  Proto.rbuf_consume rb (1024 * 1024);
+  checkb "large remaining tail keeps the allocation" true
+    (Proto.rbuf_capacity rb > Proto.rbuf_retain_capacity);
+  (* consuming down to a small tail releases the memory and keeps the tail *)
+  Proto.rbuf_consume rb (big - (1024 * 1024));
+  checki "tail intact" 64 (Proto.rbuf_avail rb);
+  checkb "capacity released back to the default" true
+    (Proto.rbuf_capacity rb <= Proto.rbuf_default_capacity);
+  let kept = Bytes.sub (Proto.rbuf_data rb) (Proto.rbuf_start rb) 64 in
+  checkb "tail bytes preserved across the shrink" true
+    (Bytes.for_all (fun c -> c = 'y') kept);
+  Proto.rbuf_consume rb 64;
+  checki "empty after the tail" 0 (Proto.rbuf_avail rb);
+  (* full drain of an oversized buffer also resets the allocation *)
+  fill big;
+  Proto.rbuf_consume rb (Proto.rbuf_avail rb);
+  checki "full drain leaves the default allocation" Proto.rbuf_default_capacity
+    (Proto.rbuf_capacity rb)
+
+(* -------------------------------------------------- version negotiation *)
+
+let stats_version stats v k =
+  match
+    Option.bind (Jsonout.member "protocol_versions" stats) (fun pv ->
+        Option.bind (Jsonout.member (Printf.sprintf "v%d" v) pv) (Jsonout.member k))
+  with
+  | Some (Jsonout.Num f) -> int_of_float f
+  | _ -> Alcotest.failf "stats missing protocol_versions.v%d.%s" v k
+
+(* A v2 client against a v1-capped server: the handshake answers with 1,
+   the exchange falls back to JSON lines, and every gauge lands on v1. *)
+let test_negotiation_v2_client_v1_server () =
+  with_forked_server ~max_version:1 ~tag:"neg-v2v1" ~expect_served:1 (fun path ->
+      let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
+      (match Service.client_query ~protocol:Proto.V2 ~path req with
+      | Ok resp ->
+          checkb "v2 client serves over the JSON fallback" true (resp = Service.run_request req)
+      | Error msg -> Alcotest.failf "v2 client against v1-capped server failed: %s" msg);
+      match Service.client_stats ~path () with
+      | Ok stats ->
+          checki "served on v1" 1 (stats_version stats 1 "served");
+          checki "nothing served on v2" 0 (stats_version stats 2 "served");
+          checkb "v1 bytes recorded" true (stats_version stats 1 "bytes" > 0);
+          checki "no v2 bytes" 0 (stats_version stats 2 "bytes");
+          checki "no errors" 0 (stats_num stats "errors")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* A v1 client against a v2 server: no handshake, plain JSON lines, wire
+   compatibility unchanged — and the v1 byte gauge equals the two lines
+   (newlines included) exactly. *)
+let test_negotiation_v1_client_v2_server () =
+  with_forked_server ~tag:"neg-v1v2" ~expect_served:1 (fun path ->
+      let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
+      let expected = Service.run_request req in
+      (match Service.client_query ~protocol:Proto.V1 ~path req with
+      | Ok resp -> checkb "v1 client serves against a v2 server" true (resp = expected)
+      | Error msg -> Alcotest.failf "v1 client against v2 server failed: %s" msg);
+      let framed =
+        String.length (Jsonout.to_line (Service.request_to_json req))
+        + 1
+        + String.length (Jsonout.to_line (Service.response_to_json expected))
+        + 1
+      in
+      match Service.client_stats ~path () with
+      | Ok stats ->
+          checki "served on v1" 1 (stats_version stats 1 "served");
+          checki "v1 byte gauge = the two lines exactly" framed (stats_version stats 1 "bytes");
+          checki "nothing served on v2" 0 (stats_version stats 2 "served");
+          checki "no v2 bytes" 0 (stats_version stats 2 "bytes")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* v2 both sides: binary frames end to end, and the v2 byte gauge equals
+   the query frame plus the reply frame exactly — handshake bytes and the
+   stats exchange are excluded by design. *)
+let test_negotiation_v2_v2_exact_bytes () =
+  with_forked_server ~tag:"neg-v2v2" ~expect_served:1 (fun path ->
+      let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
+      let expected = Service.run_request req in
+      (match Service.client_query ~protocol:Proto.V2 ~path req with
+      | Ok resp -> checkb "binary reply = local run" true (resp = expected)
+      | Error msg -> Alcotest.failf "v2 exchange failed: %s" msg);
+      let b = Proto.create_buf () in
+      Service.encode_query_frame b req;
+      let framed = Proto.frame_len b in
+      Service.encode_response_frame b expected;
+      let framed = framed + Proto.frame_len b in
+      match Service.client_stats ~protocol:Proto.V2 ~path () with
+      | Ok stats ->
+          checki "served on v2" 1 (stats_version stats 2 "served");
+          checki "v2 byte gauge = the two frames exactly" framed (stats_version stats 2 "bytes");
+          checki "nothing served on v1" 0 (stats_version stats 1 "served");
+          checki "no v1 bytes" 0 (stats_version stats 1 "bytes")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* A garbage version byte (magic + version 0): the server must answer the
+   refusal hello (magic, 0), tally one malformed error, and keep the
+   connection usable as v1 — typed error, never a closed or hung socket. *)
+let test_negotiation_garbage_version_byte () =
+  with_forked_server ~tag:"neg-garbage" ~expect_served:1 (fun path ->
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let hello = Printf.sprintf "%c%c" Proto.magic '\000' in
+      ignore (Unix.write_substring sock hello 0 2);
+      let reply = Bytes.create 2 in
+      let rec read_exact off =
+        if off < 2 then
+          match Unix.read sock reply off (2 - off) with
+          | 0 -> Alcotest.fail "server closed the connection on a refused handshake"
+          | n -> read_exact (off + n)
+      in
+      read_exact 0;
+      checkb "refusal hello is (magic, 0)" true
+        (Bytes.get reply 0 = Proto.magic && Bytes.get reply 1 = '\000');
+      (* the same connection must still serve, speaking v1 *)
+      let req = { Service.default_request with protocol = Service.Exact; n = 60 } in
+      let line = Jsonout.to_line (Service.request_to_json req) ^ "\n" in
+      ignore (Unix.write_substring sock line 0 (String.length line));
+      let inp = Unix.in_channel_of_descr sock in
+      (match In_channel.input_line inp with
+      | Some reply_line -> (
+          match Result.bind (Jsonout.parse reply_line) Service.response_of_json with
+          | Ok resp ->
+              checkb "query after refused handshake reconciles" true
+                (Wire.reconciles resp.Service.wire)
+          | Error msg -> Alcotest.failf "connection unusable after refused handshake: %s" msg)
+      | None -> Alcotest.fail "no reply after the refused handshake");
+      Unix.close sock;
+      match Service.client_stats ~path () with
+      | Ok stats ->
+          checki "refused handshake = one malformed error" 1 (stats_category stats "malformed");
+          checki "one error total" 1 (stats_num stats "errors");
+          checki "the query served as v1" 1 (stats_version stats 1 "served")
+      | Error msg -> Alcotest.failf "stats query failed: %s" msg)
+
+(* The binary batch reply decodes to the same per-item results as its JSON
+   twin: responses equal record-for-record, failures failing the same
+   items (a semantically bad request mixed in fails per item in both). *)
+let test_binary_batch_matches_json () =
+  let reqs =
+    List.init 3 (fun i ->
+        { Service.default_request with protocol = Service.Exact; n = 60; seed = i + 1 })
+    @ [ { Service.default_request with protocol = Service.Exact; n = -5 } ]
+  in
+  (* the bad item serves nothing; 3 good items x both protocol passes *)
+  with_forked_server ~tag:"batch-binary" ~expect_served:6 (fun path ->
+      let run pref =
+        match Service.client_batch ~protocol:pref ~path reqs with
+        | Ok items -> items
+        | Error msg -> Alcotest.failf "batch over %s failed: %s" (Proto.pref_to_string pref) msg
+      in
+      let v1 = run Proto.V1 and v2 = run Proto.V2 in
+      checki "same item count" (List.length v1) (List.length v2);
+      List.iter2
+        (fun a b ->
+          match (a, b) with
+          | Ok ra, Ok rb -> checkb "binary batch item = JSON batch item" true (ra = rb)
+          | Error _, Error _ -> ()
+          | Ok _, Error msg -> Alcotest.failf "item ok over JSON, failed over binary: %s" msg
+          | Error msg, Ok _ -> Alcotest.failf "item ok over binary, failed over JSON: %s" msg)
+        v1 v2;
+      checki "the bad item failed in both" 2
+        (List.length (List.filter Result.is_error v1)
+        + List.length (List.filter Result.is_error v2)))
+
+(* Chaos over the version matrix: generated request-level fault schedules
+   x {v1, v2} x {pipe, socketpair}.  Every served reply must carry the
+   fault-free verdict (and match a local run of the same faulted request
+   exactly); every abort must be a typed error; and which requests serve
+   is deterministic, so the forked server's served count is asserted
+   exactly.  Never a wrong verdict, never a hang. *)
+let test_chaos_versions_matrix () =
+  let schedules =
+    QCheck.Gen.generate
+      ~rand:(Random.State.make [| 20260809 |])
+      ~n:5
+      (Tfree_proptest.Fault_gen.gen ~max_ops:30 ~max_events:4 ())
+  in
+  let base = { Service.default_request with protocol = Service.Exact; n = 60 } in
+  let clean = Service.run_request base in
+  let cases =
+    List.concat_map
+      (fun sched ->
+        List.map
+          (fun transport -> { base with Service.fault = Fault.to_string sched; transport })
+          [ Wire.Pipe; Wire.Socketpair ])
+      schedules
+  in
+  (* the local, deterministic outcome of each faulted request *)
+  let outcomes =
+    List.map
+      (fun req ->
+        match Service.run_request req with
+        | resp -> Some resp
+        | exception Wire_error.Wire_error _ -> None)
+      cases
+  in
+  let served_per_pass = List.length (List.filter Option.is_some outcomes) in
+  with_forked_server ~tag:"chaos-versions" ~expect_served:(2 * served_per_pass) (fun path ->
+      List.iter
+        (fun pref ->
+          List.iter2
+            (fun req outcome ->
+              match Service.client_query ~protocol:pref ~path req with
+              | Ok resp -> (
+                  checkb "served verdict = fault-free verdict" true
+                    (resp.Service.verdict = clean.Service.verdict);
+                  match outcome with
+                  | Some local -> checkb "served reply = local faulted run" true (resp = local)
+                  | None -> Alcotest.fail "server served a request that aborts locally")
+              | Error msg -> (
+                  match outcome with
+                  | None -> checkb "typed error carries a message" true (msg <> "")
+                  | Some _ ->
+                      Alcotest.failf "server failed a request that serves locally: %s" msg))
+            cases outcomes)
+        [ Proto.V1; Proto.V2 ])
+
 (* ------------------------------------------- handle_line categorization *)
 
 let test_handle_line_categories () =
@@ -1132,6 +1376,24 @@ let () =
           Alcotest.test_case "rejects unknown enum" `Quick test_service_request_rejects_unknown;
           Alcotest.test_case "run_request reconciles" `Quick test_service_run_request_reconciles;
           Alcotest.test_case "handle_line categories" `Quick test_handle_line_categories;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "read buffer shrinks after a large burst" `Quick
+            test_proto_rbuf_shrinks;
+        ] );
+      ( "negotiation",
+        [
+          Alcotest.test_case "v2 client, v1-capped server" `Quick
+            test_negotiation_v2_client_v1_server;
+          Alcotest.test_case "v1 client, v2 server" `Quick test_negotiation_v1_client_v2_server;
+          Alcotest.test_case "v2 both sides, exact byte gauge" `Quick
+            test_negotiation_v2_v2_exact_bytes;
+          Alcotest.test_case "garbage version byte keeps connection" `Quick
+            test_negotiation_garbage_version_byte;
+          Alcotest.test_case "binary batch = JSON batch" `Quick test_binary_batch_matches_json;
+          Alcotest.test_case "chaos schedules x versions x transports" `Quick
+            test_chaos_versions_matrix;
         ] );
       ( "serve-resilience",
         [
