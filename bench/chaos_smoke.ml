@@ -90,6 +90,71 @@ let chaos_matrix () =
   Printf.printf "chaos_smoke: matrix ok (%d runs: %d clean, %d typed aborts, 0 wrong verdicts)\n"
     (!clean + !aborted) !clean !aborted
 
+(* ---------- part 1b: the same matrix over {"op": "dataset"} ---------- *)
+
+(* A dataset-backed exchange under every fault kind x both transports x the
+   protocols: the run either answers the fault-free response bit for bit or
+   aborts with a typed Wire_error (surfaced by run_dataset_request exactly
+   as run_request surfaces it).  Never a wrong verdict, never a hang. *)
+let dataset_matrix () =
+  let module Registry = Tfree_dataset.Registry in
+  let module Snapshot = Tfree_dataset.Snapshot in
+  let seed = 7 in
+  let g = Service.build_instance Service.Far (Service.graph_rng seed) ~n:200 ~d:4.0 ~eps:0.1 in
+  let snap = Filename.temp_file "tfree_chaos_ds" ".tfs" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ())
+    (fun () ->
+      Snapshot.save g snap;
+      let registry = Registry.create () in
+      Registry.add registry
+        { Registry.name = "chaos"; path = snap; format = Registry.Snapshot;
+          n = Tfree_graph.Graph.n g; m = Tfree_graph.Graph.m g; gen = None };
+      let spec_of op kind =
+        Printf.sprintf "%d:%s" op
+          (match kind with
+          | Fault.Drop -> "drop"
+          | Fault.Corrupt { bit } -> Printf.sprintf "corrupt@%d" bit
+          | Fault.Truncate { keep } -> Printf.sprintf "truncate@%d" keep
+          | Fault.Delay { amount } -> Printf.sprintf "delay@%d" amount
+          | Fault.Partial { at } -> Printf.sprintf "partial@%d" at
+          | Fault.Close -> "close")
+      in
+      let clean = ref 0 and aborted = ref 0 in
+      List.iter
+        (fun transport ->
+          List.iter
+            (fun (pname, protocol) ->
+              let base_req =
+                { (Service.default_dataset_request ~name:"chaos") with
+                  ds_protocol = protocol; ds_seed = seed; ds_transport = transport }
+              in
+              let base = Service.run_dataset_request ~registry base_req in
+              List.iter
+                (fun kind ->
+                  List.iter
+                    (fun op ->
+                      let req = { base_req with Service.ds_fault = spec_of op kind } in
+                      match Service.run_dataset_request ~registry req with
+                      | r ->
+                          if r <> base then
+                            fail "dataset %s/%s under %s: run completed but differs from base"
+                              (Wire.kind_to_string transport) pname req.Service.ds_fault
+                          else incr clean
+                      | exception Wire_error.Wire_error k ->
+                          if Fault.benign kind then
+                            fail "dataset %s/%s: benign fault %s aborted the run (%s)"
+                              (Wire.kind_to_string transport) pname req.Service.ds_fault
+                              (Wire_error.message k)
+                          else incr aborted)
+                    [ 0; 5 ])
+                kinds)
+            [ ("sim", Service.Sim); ("oblivious", Service.Oblivious); ("exact", Service.Exact) ])
+        [ Wire.Pipe; Wire.Socketpair ];
+      Printf.printf
+        "chaos_smoke: dataset matrix ok (%d runs: %d clean, %d typed aborts, 0 wrong verdicts)\n"
+        (!clean + !aborted) !clean !aborted)
+
 (* ---------- forked-daemon scaffolding ---------- *)
 
 let with_server ?(fault = []) ~tag ~expect_served f =
@@ -198,6 +263,7 @@ let killed_client () =
 
 let () =
   chaos_matrix ();
+  dataset_matrix ();
   retry_recovery ();
   killed_client ();
   print_endline "chaos_smoke: ok"

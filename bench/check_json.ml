@@ -165,7 +165,31 @@ let () =
     let v2 = float_field words "v2" and limit = float_field words "limit" in
     if limit <= 0.0 then fail "micro/serve-minor-words-per-query: non-positive limit";
     if v2 > limit then
-      fail "micro/serve-minor-words-per-query: %g minor words/query over the %g budget" v2 limit
+      fail "micro/serve-minor-words-per-query: %g minor words/query over the %g budget" v2 limit;
+    (* The dataset rows (bench/dataset_bench.ml) witness the reasons
+       lib/dataset exists: the snapshot loads faster than regenerating or
+       re-parsing the corpus, and is the smaller on-disk encoding. *)
+    let load = wire_row "dataset/snapshot-load-vs-regen" in
+    let snap_ns = float_field load "snapshot_ns" in
+    let regen_ns = float_field load "regen_ns" in
+    let dimacs_ns = float_field load "dimacs_ns" in
+    if float_field load "m" <= 0.0 then fail "dataset/snapshot-load-vs-regen: non-positive m";
+    if not (snap_ns < regen_ns) then
+      fail "dataset/snapshot-load-vs-regen: load (%g ns) not below regeneration (%g ns)" snap_ns
+        regen_ns;
+    if not (snap_ns < dimacs_ns) then
+      fail "dataset/snapshot-load-vs-regen: load (%g ns) not below dimacs parse (%g ns)" snap_ns
+        dimacs_ns;
+    let size = wire_row "dataset/snapshot-bytes-per-edge" in
+    let snap_b = float_field size "snapshot_bytes" in
+    let dimacs_b = float_field size "dimacs_bytes" in
+    let m = float_field size "m" in
+    if m <= 0.0 then fail "dataset/snapshot-bytes-per-edge: non-positive m";
+    if not (snap_b < dimacs_b) then
+      fail "dataset/snapshot-bytes-per-edge: snapshot (%g B) not below dimacs (%g B)" snap_b dimacs_b;
+    let bpe = float_field size "bits_per_edge" in
+    if Float.abs (bpe -. (8.0 *. snap_b /. m)) > 0.01 then
+      fail "dataset/snapshot-bytes-per-edge: bits_per_edge %g does not reconcile" bpe
   end;
   Printf.printf "check_json: %s ok (%d experiments, %d micro rows)\n" path (List.length experiments)
     (List.length micro)

@@ -263,6 +263,11 @@ let print_micro rows =
    v2 on the serve hot path.  Same iteration split as @micro-smoke. *)
 let measure_wire () = Micro_wire.measure ~iters:(if opts.smoke then 20_000 else 200_000)
 
+(* The dataset-pipeline micro-benchmark (bench/dataset_bench.ml): snapshot
+   load vs regeneration vs text parse on a quarter-million-edge corpus.
+   Few iterations — each one loads the whole graph. *)
+let measure_dataset () = Dataset_bench.measure ~iters:(if opts.smoke then 2 else 5)
+
 (* ------------------------------------------------------- json output *)
 
 let json_file = "BENCH_results.json"
@@ -288,6 +293,8 @@ let run_json () =
   if opts.only = [] then print_micro micro;
   let wire = if opts.only = [] then Some (measure_wire ()) else None in
   Option.iter Micro_wire.print_table wire;
+  let dataset = if opts.only = [] then Some (measure_dataset ()) else None in
+  Option.iter Dataset_bench.print_table dataset;
   let experiments =
     List.map2
       (fun (id, dt1) (id', dtn) ->
@@ -324,7 +331,8 @@ let run_json () =
                (fun (name, est, r2) ->
                  Jsonout.Obj [ ("name", Str name); ("ns_per_run", Num est); ("r2", Num r2) ])
                micro
-            @ match wire with Some w -> Micro_wire.to_rows w | None -> []) );
+            @ (match wire with Some w -> Micro_wire.to_rows w | None -> [])
+            @ match dataset with Some d -> Dataset_bench.to_rows d | None -> []) );
       ])
   in
   let oc = open_out json_file in
@@ -343,7 +351,8 @@ let () =
     print_string out;
     if opts.only = [] then begin
       print_micro (measure_micro ());
-      Micro_wire.print_table (measure_wire ())
+      Micro_wire.print_table (measure_wire ());
+      Dataset_bench.print_table (measure_dataset ())
     end;
     print_endline "done."
   end

@@ -1,10 +1,11 @@
 (* tfree — command-line driver.
 
    Subcommands:
-     run           test a generated distributed instance with a chosen protocol
+     run           test a generated or file-loaded distributed instance
      experiment    run a named reproduction experiment (see `tfree list`)
      list          list the reproduction experiments
      inspect       generate an instance and print its triangle statistics
+     dataset       maintain a named-dataset manifest (list/info/import/gen)
      serve         answer queries over a Unix-domain socket (tfree-serve)
      client        query a running tfree-serve daemon
      trace-report  phase/player breakdown tables of a --trace file *)
@@ -16,6 +17,8 @@ module Service = Tfree_wire.Service
 module Wire = Tfree_wire.Wire_runtime
 module Proto = Tfree_wire.Proto
 module Trace = Tfree_trace.Trace
+module Registry = Tfree_dataset.Registry
+module Dataset_error = Tfree_dataset.Dataset_error
 
 (* ----------------------------------------------------------- common args *)
 
@@ -132,6 +135,29 @@ let parse_fault_spec spec =
       Printf.eprintf "error: bad --fault-spec: %s\n" msg;
       exit 2
 
+(* dataset failures are user-input failures: report and exit, never a trace *)
+let or_dataset_exit f =
+  try f ()
+  with Dataset_error.Dataset_error kind ->
+    Printf.eprintf "error: %s\n" (Dataset_error.message kind);
+    exit 1
+
+let format_arg =
+  let doc = "Input format: auto (sniff the content), dimacs, edges (0-based whitespace pairs), snapshot." in
+  Arg.(value
+       & opt
+           (enum
+              [ ("auto", None); ("dimacs", Some Registry.Dimacs); ("edges", Some Registry.Edges);
+                ("snapshot", Some Registry.Snapshot) ])
+           None
+       & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let manifest_arg =
+  Arg.(value & opt string "datasets.json"
+       & info [ "manifest" ] ~docv:"FILE"
+           ~doc:"Dataset manifest (tfree-datasets/v1 JSON; entry paths resolve against its \
+                 directory).")
+
 (* ------------------------------------------------------------------ run *)
 
 let print_report g (report : Tfree.Tester.report) =
@@ -149,10 +175,23 @@ let verdict_string = function
   | Tfree.Tester.Triangle_free -> "triangle-free"
 
 let run_cmd =
-  let run seed n d k eps family part proto blackboard wire transport fault_spec trace_out =
-    let rng = Rng.create seed in
-    let g = Service.build_instance family rng ~n ~d ~eps in
-    let inputs = Service.build_partition part rng ~k g in
+  let run seed n d k eps family part proto blackboard wire transport fault_spec trace_out input
+      format =
+    (* graph and partition draw from independent rng streams (the service's
+       split), so a file-loaded graph partitions identically to the
+       generated run of the same seed *)
+    let g =
+      match input with
+      | Some file ->
+          or_dataset_exit (fun () ->
+              let g = Registry.load_graph ?format file in
+              Printf.printf "input: %s (%s)\n" file
+                (Registry.format_to_string
+                   (match format with Some f -> f | None -> Registry.sniff file));
+              g)
+      | None -> Service.build_instance family (Service.graph_rng seed) ~n ~d ~eps
+    in
+    let inputs = Service.build_partition part (Service.partition_rng seed) ~k g in
     Printf.printf "instance: n=%d m=%d avg degree %.2f; k=%d players (duplication %b)\n" (Graph.n g)
       (Graph.m g) (Graph.avg_degree g) k (Partition.has_duplication inputs);
     let params = Tfree.Params.(with_eps practical eps) in
@@ -212,7 +251,7 @@ let run_cmd =
                 ("accounted_bits", Jsonout.Num (float_of_int accounted));
                 ("protocol", Jsonout.Str (Service.protocol_to_string proto));
                 ("verdict", Jsonout.Str (verdict_string report.Tfree.Tester.verdict));
-                ("n", Jsonout.Num (float_of_int n));
+                ("n", Jsonout.Num (float_of_int (Graph.n g)));
                 ("k", Jsonout.Num (float_of_int k));
                 ("seed", Jsonout.Num (float_of_int seed));
               ]
@@ -233,11 +272,22 @@ let run_cmd =
              ~doc:"Record a phase-attributed trace of every charged message and write it as \
                    Chrome trace-event JSON (open in Perfetto, or feed to `tfree trace-report`).")
   in
+  let input_arg =
+    Arg.(value & opt (some string) None
+         & info [ "input" ] ~docv:"FILE"
+             ~doc:"Load the graph from FILE (see --format) instead of generating it; --instance, \
+                   --n and --d are ignored.")
+  in
   let term =
     Term.(const run $ seed_arg $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg
-          $ protocol_arg $ blackboard_arg $ wire_arg $ transport_arg $ fault_spec_arg $ trace_arg)
+          $ protocol_arg $ blackboard_arg $ wire_arg $ transport_arg $ fault_spec_arg $ trace_arg
+          $ input_arg $ format_arg)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Test a generated distributed instance with a chosen protocol.") term
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Test a generated (or --input file-loaded) distributed instance with a chosen \
+             protocol.")
+    term
 
 (* --------------------------------------------------------- trace-report *)
 
@@ -329,19 +379,167 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Generate an instance and print its triangle statistics.")
     Term.(const run $ seed_arg $ n_arg $ d_arg $ eps_arg $ instance_arg)
 
+(* -------------------------------------------------------------- dataset *)
+
+let load_manifest path =
+  or_dataset_exit (fun () ->
+      if Sys.file_exists path then Registry.load path else Registry.create ~dir:(Filename.dirname path) ())
+
+let dataset_name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Dataset name.")
+
+let dataset_list_cmd =
+  let run manifest =
+    let reg = load_manifest manifest in
+    match Registry.entries reg with
+    | [] -> Printf.printf "no datasets in %s\n" manifest
+    | entries ->
+        Table.print
+          (Table.make ~title:(Printf.sprintf "datasets (%s)" manifest)
+             ~header:[ "name"; "format"; "n"; "m"; "path"; "origin" ]
+             (List.map
+                (fun (e : Registry.entry) ->
+                  let origin =
+                    match e.Registry.gen with
+                    | None -> "imported"
+                    | Some g ->
+                        Printf.sprintf "gen %s n=%d d=%g eps=%g seed=%d" g.Registry.gen_family
+                          g.Registry.gen_n g.Registry.gen_d g.Registry.gen_eps g.Registry.gen_seed
+                  in
+                  [ e.Registry.name;
+                    Registry.format_to_string e.Registry.format;
+                    Table.icell e.Registry.n; Table.icell e.Registry.m; e.Registry.path; origin ])
+                entries))
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the datasets registered in the manifest.")
+    Term.(const run $ manifest_arg)
+
+let dataset_info_cmd =
+  let run manifest name triangles =
+    let reg = load_manifest manifest in
+    match Registry.find reg name with
+    | None ->
+        Printf.eprintf "error: unknown dataset %S in %s\n" name manifest;
+        exit 1
+    | Some e ->
+        Printf.printf "name: %s\nformat: %s\npath: %s\nn: %d\nm: %d\n" e.Registry.name
+          (Registry.format_to_string e.Registry.format)
+          (Registry.resolve_path reg e) e.Registry.n e.Registry.m;
+        (match e.Registry.gen with
+        | None -> print_endline "origin: imported"
+        | Some g ->
+            Printf.printf "origin: generated (%s n=%d d=%g eps=%g seed=%d)\n" g.Registry.gen_family
+              g.Registry.gen_n g.Registry.gen_d g.Registry.gen_eps g.Registry.gen_seed);
+        let g = or_dataset_exit (fun () -> Registry.graph reg name) in
+        Printf.printf "loaded: n=%d m=%d avg degree %.2f (matches manifest)\n" (Graph.n g)
+          (Graph.m g) (Graph.avg_degree g);
+        if triangles then
+          Printf.printf "triangles: %d; greedy edge-disjoint packing: %d\n" (Triangle.count g)
+            (List.length (Triangle.greedy_packing g))
+  in
+  let triangles_arg =
+    Arg.(value & flag
+         & info [ "triangles" ] ~doc:"Also count triangles (scans the whole graph; slow on large corpora).")
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print one dataset's manifest entry and verify its file loads.")
+    Term.(const run $ manifest_arg $ dataset_name_arg $ triangles_arg)
+
+(* import and gen share the write path: snapshot next to the manifest,
+   then register under the (relative) snapshot name *)
+let register_snapshot reg manifest ~name ~gen g =
+  let dir = Filename.dirname manifest in
+  let file = name ^ ".tfs" in
+  or_dataset_exit (fun () ->
+      Tfree_dataset.Snapshot.save g (Filename.concat dir file);
+      Registry.add reg
+        { Registry.name; path = file; format = Registry.Snapshot; n = Graph.n g; m = Graph.m g; gen };
+      Registry.save reg manifest);
+  Printf.printf "registered %S: n=%d m=%d, snapshot %s, manifest %s\n" name (Graph.n g) (Graph.m g)
+    (Filename.concat dir file) manifest
+
+let dataset_import_cmd =
+  let run manifest name file format raw =
+    let reg = load_manifest manifest in
+    let fmt = match format with Some f -> f | None -> or_dataset_exit (fun () -> Registry.sniff file) in
+    let g = or_dataset_exit (fun () -> Registry.load_graph ~format:fmt file) in
+    if raw then (
+      or_dataset_exit (fun () ->
+          Registry.add reg
+            { Registry.name; path = file; format = fmt; n = Graph.n g; m = Graph.m g; gen = None };
+          Registry.save reg manifest);
+      Printf.printf "registered %S: n=%d m=%d, %s file %s, manifest %s\n" name (Graph.n g)
+        (Graph.m g) (Registry.format_to_string fmt) file manifest)
+    else register_snapshot reg manifest ~name ~gen:None g
+  in
+  let file_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Graph file to import.")
+  in
+  let raw_arg =
+    Arg.(value & flag
+         & info [ "raw" ]
+             ~doc:"Register FILE in its original format instead of converting it to a snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Parse a graph file, convert it to a compact snapshot next to the manifest (unless \
+             --raw), and register it under NAME.")
+    Term.(const run $ manifest_arg $ dataset_name_arg $ file_arg $ format_arg $ raw_arg)
+
+let dataset_gen_cmd =
+  let run manifest name family n d eps seed =
+    let reg = load_manifest manifest in
+    (* the service's graph stream, so {"op":"dataset"} over this snapshot
+       answers byte-identically to the generated query of the same seed *)
+    let g = Service.build_instance family (Service.graph_rng seed) ~n ~d ~eps in
+    let gen =
+      Some
+        { Registry.gen_family = Service.family_to_string family; gen_n = n; gen_d = d;
+          gen_eps = eps; gen_seed = seed }
+    in
+    register_snapshot reg manifest ~name ~gen g
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate an instance with the service's generator rng, snapshot it, and register it \
+             under NAME with its generation parameters recorded.")
+    Term.(const run $ manifest_arg $ dataset_name_arg $ instance_arg $ n_arg $ d_arg $ eps_arg
+          $ seed_arg)
+
+let dataset_cmd =
+  Cmd.group
+    (Cmd.info "dataset"
+       ~doc:"Maintain the named-dataset manifest behind `tfree serve --datasets`: list and \
+             inspect entries, import real graph files, generate reference corpora.")
+    [ dataset_list_cmd; dataset_info_cmd; dataset_import_cmd; dataset_gen_cmd ]
+
 (* ------------------------------------------------------- serve / client *)
 
 let serve_cmd =
   let run path max_requests line_timeout backlog max_clients cache_capacity fault_spec
-      max_version =
+      max_version datasets preload =
     let fault = parse_fault_spec fault_spec in
+    let registry =
+      Option.map
+        (fun manifest ->
+          or_dataset_exit (fun () ->
+              let reg = Registry.load manifest in
+              if preload then Registry.preload reg;
+              Printf.printf "tfree-serve: %d dataset(s) from %s%s\n%!"
+                (List.length (Registry.entries reg))
+                manifest
+                (if preload then " (preloaded)" else "");
+              reg))
+        datasets
+    in
     Printf.printf
       "tfree-serve: listening on %s (backlog %d, max %d clients, cache %d, wire protocol <= v%d)%s\n%!"
       path backlog max_clients cache_capacity max_version
       (if fault = [] then "" else Printf.sprintf " (injecting %d reply fault(s))" (List.length fault));
     let served =
       Service.serve ~backlog ~max_clients ?max_requests ~line_timeout_s:line_timeout ~fault
-        ~cache_capacity ~max_version ~path ()
+        ~cache_capacity ~max_version ?registry ~path ()
     in
     Printf.printf "tfree-serve: served %d request(s); bye\n" served
   in
@@ -372,20 +570,36 @@ let serve_cmd =
              ~doc:"LRU instance/partition cache entries (0 disables); repeated seeds skip the \
                    instance rebuild.")
   in
+  let datasets_arg =
+    Arg.(value & opt (some string) None
+         & info [ "datasets" ] ~docv:"MANIFEST"
+             ~doc:"Load a dataset manifest at startup and answer {\"op\": \"dataset\"} queries \
+                   over its registered graphs.")
+  in
+  let preload_arg =
+    Arg.(value & flag
+         & info [ "preload" ]
+             ~doc:"Eagerly load every registered dataset at startup (with --datasets) instead \
+                   of on first query.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Answer triangle-freeness queries over a Unix-domain socket (one JSON value per \
-             line; requests name an instance family, a partition and a protocol).  A select \
-             event loop serves many clients concurrently, with per-connection deadlines, \
-             bounded admission and an LRU instance cache.  The server degrades under bad \
-             clients and injected faults; it never dies mid-conversation.")
+             line; requests name an instance family, a partition and a protocol — or, with \
+             --datasets, a registered corpus).  A select event loop serves many clients \
+             concurrently, with per-connection deadlines, bounded admission and an LRU \
+             instance cache.  The server degrades under bad clients and injected faults; it \
+             never dies mid-conversation.")
     Term.(const run $ socket_arg $ max_arg $ line_timeout_arg $ backlog_arg $ max_clients_arg
-          $ cache_arg $ fault_spec_arg $ serve_protocol_arg)
+          $ cache_arg $ fault_spec_arg $ serve_protocol_arg $ datasets_arg $ preload_arg)
 
 let client_cmd =
   let run path shutdown stats as_json batch seed n d k eps family part proto_specs transport
-      fault_spec timeout retries backoff =
+      fault_spec timeout retries backoff dataset =
     ignore (parse_fault_spec fault_spec);
+    if dataset <> None && batch <> None then (
+      Printf.eprintf "error: --dataset and --batch cannot be combined\n";
+      exit 2);
     let proto, wire_pref =
       List.fold_left
         (fun (p, w) -> function `Tester t -> (t, w) | `Wire v -> (p, v))
@@ -419,10 +633,20 @@ let client_cmd =
       in
       match batch with
       | None -> (
-          match
-            Service.client_query ~timeout_s:timeout ~retries ~backoff_s:backoff ~backoff_seed:seed
-              ~protocol:wire_pref ~path req
-          with
+          let result =
+            match dataset with
+            | Some name ->
+                let dreq =
+                  { Service.ds_name = name; ds_partition = part; ds_protocol = proto; ds_k = k;
+                    ds_eps = eps; ds_seed = seed; ds_transport = transport; ds_fault = fault_spec }
+                in
+                Service.client_dataset ~timeout_s:timeout ~retries ~backoff_s:backoff
+                  ~backoff_seed:seed ~protocol:wire_pref ~path dreq
+            | None ->
+                Service.client_query ~timeout_s:timeout ~retries ~backoff_s:backoff
+                  ~backoff_seed:seed ~protocol:wire_pref ~path req
+          in
+          match result with
           | Error msg ->
               Printf.eprintf "error: %s\n" msg;
               exit 1
@@ -481,15 +705,23 @@ let client_cmd =
          & info [ "backoff" ] ~docv:"SECONDS"
              ~doc:"Base backoff before the first retry; doubles each attempt, with jitter.")
   in
+  let dataset_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dataset" ] ~docv:"NAME"
+             ~doc:"Query the named registered dataset ({\"op\": \"dataset\"}) instead of a \
+                   generated instance; --instance, --n and --d are ignored.")
+  in
   Cmd.v
     (Cmd.info "client" ~doc:"Query a running tfree-serve daemon.")
     Term.(const run $ socket_arg $ shutdown_arg $ stats_arg $ json_arg $ batch_arg $ seed_arg
           $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg $ client_protocol_arg
-          $ transport_arg $ fault_spec_arg $ timeout_arg $ retries_arg $ backoff_arg)
+          $ transport_arg $ fault_spec_arg $ timeout_arg $ retries_arg $ backoff_arg
+          $ dataset_arg)
 
 let () =
   let doc = "multiparty communication-complexity testers for triangle-freeness (PODC'17 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tfree" ~doc)
-          [ run_cmd; experiment_cmd; list_cmd; inspect_cmd; serve_cmd; client_cmd; trace_report_cmd ]))
+          [ run_cmd; experiment_cmd; list_cmd; inspect_cmd; dataset_cmd; serve_cmd; client_cmd;
+            trace_report_cmd ]))

@@ -1,0 +1,44 @@
+type kind =
+  | Bad_header of string
+  | Bad_line of { line : int; msg : string }
+  | Out_of_range of { line : int; value : int; n : int }
+  | Truncated of string
+  | Corrupt of string
+  | Bad_manifest of string
+  | Unknown_dataset of string
+  | Io of string
+
+exception Dataset_error of kind
+
+let message = function
+  | Bad_header msg -> Printf.sprintf "bad header: %s" msg
+  | Bad_line { line; msg } -> Printf.sprintf "line %d: %s" line msg
+  | Out_of_range { line; value; n } ->
+      Printf.sprintf "line %d: vertex %d out of range (n=%d)" line value n
+  | Truncated msg -> Printf.sprintf "truncated: %s" msg
+  | Corrupt msg -> Printf.sprintf "corrupt: %s" msg
+  | Bad_manifest msg -> Printf.sprintf "bad manifest: %s" msg
+  | Unknown_dataset name -> Printf.sprintf "unknown dataset %S" name
+  | Io msg -> Printf.sprintf "io: %s" msg
+
+let () =
+  Printexc.register_printer (function
+    | Dataset_error kind -> Some ("Dataset_error: " ^ message kind)
+    | _ -> None)
+
+let bad_header fmt = Printf.ksprintf (fun msg -> raise (Dataset_error (Bad_header msg))) fmt
+
+let bad_line ~line fmt =
+  Printf.ksprintf (fun msg -> raise (Dataset_error (Bad_line { line; msg }))) fmt
+
+let out_of_range ~line ~value ~n = raise (Dataset_error (Out_of_range { line; value; n }))
+
+let truncated fmt = Printf.ksprintf (fun msg -> raise (Dataset_error (Truncated msg))) fmt
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Dataset_error (Corrupt msg))) fmt
+
+let bad_manifest fmt = Printf.ksprintf (fun msg -> raise (Dataset_error (Bad_manifest msg))) fmt
+
+let unknown_dataset name = raise (Dataset_error (Unknown_dataset name))
+
+let io fmt = Printf.ksprintf (fun msg -> raise (Dataset_error (Io msg))) fmt

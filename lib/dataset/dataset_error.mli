@@ -1,0 +1,38 @@
+(** The typed failure taxonomy of the dataset subsystem, mirroring
+    [lib/wire]'s [Wire_error] discipline: every parser, codec and registry
+    layer fails closed by raising {!Dataset_error} with a kind naming what
+    was wrong and where, never by returning a half-built graph.
+
+    The split matters to callers the same way it does on the wire: a
+    malformed input file ([Bad_header], [Bad_line], [Out_of_range]) is the
+    data's fault; [Truncated]/[Corrupt] mean a snapshot's framing or
+    checksum broke; [Bad_manifest]/[Unknown_dataset] are registry-level;
+    [Io] wraps the operating system. *)
+
+type kind =
+  | Bad_header of string  (** missing or malformed DIMACS [p]-line, count mismatch *)
+  | Bad_line of { line : int; msg : string }  (** a body line that does not parse *)
+  | Out_of_range of { line : int; value : int; n : int }
+      (** a vertex outside the declared range *)
+  | Truncated of string  (** the input ended before the format said it would *)
+  | Corrupt of string  (** bad magic, bad varint, checksum mismatch, trailing bytes *)
+  | Bad_manifest of string  (** registry manifest fails validation *)
+  | Unknown_dataset of string  (** a name the registry does not hold *)
+  | Io of string  (** an [Unix]/[Sys_error]-level failure, wrapped *)
+
+exception Dataset_error of kind
+
+(** A one-line human-readable rendering of the kind (also used by the
+    registered [Printexc] printer). *)
+val message : kind -> string
+
+(** {2 Raising helpers} — printf-style, one per kind that carries prose. *)
+
+val bad_header : ('a, unit, string, 'b) format4 -> 'a
+val bad_line : line:int -> ('a, unit, string, 'b) format4 -> 'a
+val out_of_range : line:int -> value:int -> n:int -> 'a
+val truncated : ('a, unit, string, 'b) format4 -> 'a
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+val bad_manifest : ('a, unit, string, 'b) format4 -> 'a
+val unknown_dataset : string -> 'a
+val io : ('a, unit, string, 'b) format4 -> 'a

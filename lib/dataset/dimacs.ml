@@ -1,0 +1,97 @@
+open Tfree_graph
+module E = Dataset_error
+
+(* Whitespace tokenizer tolerant of tabs and CR line endings. *)
+let tokens line =
+  String.map (fun c -> if c = '\t' || c = '\r' then ' ' else c) line
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
+let int_token ~line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> E.bad_line ~line "%s %S is not an integer" what s
+
+let is_comment l = l <> "" && l.[0] = 'c'
+
+(* One pass: scan to the header for [n]/[m], then hand the rest of the line
+   dispenser to {!Graph.of_edge_seq} as an edge sequence that validates and
+   counts as it is forced. *)
+let parse_lines lines =
+  let next = Seq.to_dispenser lines in
+  let lineno = ref 0 in
+  let read () =
+    match next () with
+    | Some l ->
+        incr lineno;
+        Some l
+    | None -> None
+  in
+  let rec header () =
+    match read () with
+    | None -> E.bad_header "no 'p edge' line before end of input"
+    | Some l when is_comment l -> header ()
+    | Some l -> (
+        match tokens l with
+        | [] -> header ()
+        | [ "p"; "edge"; sn; sm ] ->
+            let n = int_token ~line:!lineno "vertex count" sn in
+            let m = int_token ~line:!lineno "edge count" sm in
+            if n < 0 then E.bad_header "negative vertex count %d" n;
+            if m < 0 then E.bad_header "negative edge count %d" m;
+            (n, m)
+        | "p" :: "edge" :: _ -> E.bad_line ~line:!lineno "header is not 'p edge N M'"
+        | "p" :: kind :: _ -> E.bad_header "unsupported problem kind %S (want \"edge\")" kind
+        | [ "p" ] -> E.bad_line ~line:!lineno "header is not 'p edge N M'"
+        | "e" :: _ -> E.bad_header "edge line before the 'p edge' header"
+        | kind :: _ -> E.bad_line ~line:!lineno "unknown line kind %S" kind)
+  in
+  let n, m_declared = header () in
+  let seen = ref 0 in
+  let rec edge_step () =
+    match read () with
+    | None ->
+        if !seen <> m_declared then
+          E.bad_header "declared m=%d but found %d edge lines" m_declared !seen;
+        Seq.Nil
+    | Some l when is_comment l -> edge_step ()
+    | Some l -> (
+        match tokens l with
+        | [] -> edge_step ()
+        | [ "e"; su; sv ] ->
+            let u = int_token ~line:!lineno "vertex" su in
+            let v = int_token ~line:!lineno "vertex" sv in
+            if u < 1 || u > n then E.out_of_range ~line:!lineno ~value:u ~n;
+            if v < 1 || v > n then E.out_of_range ~line:!lineno ~value:v ~n;
+            incr seen;
+            if !seen > m_declared then
+              E.bad_header "more edge lines than the declared m=%d" m_declared;
+            Seq.Cons ((u - 1, v - 1), edge_step)
+        | "e" :: _ -> E.bad_line ~line:!lineno "edge line is not 'e u v'"
+        | "p" :: _ -> E.bad_line ~line:!lineno "duplicate 'p' header"
+        | kind :: _ -> E.bad_line ~line:!lineno "unknown line kind %S" kind)
+  in
+  Graph.of_edge_seq ~n edge_step
+
+let parse_string s = parse_lines (List.to_seq (String.split_on_char '\n' s))
+
+let load path =
+  let ic = try open_in_bin path with Sys_error msg -> E.io "%s" msg in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec lines () =
+        match In_channel.input_line ic with Some l -> Seq.Cons (l, lines) | None -> Seq.Nil
+      in
+      try parse_lines lines with Sys_error msg -> E.io "%s" msg)
+
+let to_string g =
+  let b = Buffer.create (64 + (12 * Graph.m g)) in
+  Buffer.add_string b "c tfree dataset\n";
+  Buffer.add_string b (Printf.sprintf "p edge %d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges g (fun u v -> Buffer.add_string b (Printf.sprintf "e %d %d\n" (u + 1) (v + 1)));
+  Buffer.contents b
+
+let save g path =
+  try Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (to_string g))
+  with Sys_error msg -> E.io "%s" msg

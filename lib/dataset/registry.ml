@@ -1,0 +1,203 @@
+open Tfree_util
+open Tfree_graph
+module E = Dataset_error
+
+let schema = "tfree-datasets/v1"
+
+(* ----------------------------------------------------------------- format *)
+
+type format = Dimacs | Edges | Snapshot
+
+let format_to_string = function Dimacs -> "dimacs" | Edges -> "edges" | Snapshot -> "snapshot"
+
+let format_of_string = function
+  | "dimacs" -> Some Dimacs
+  | "edges" -> Some Edges
+  | "snapshot" -> Some Snapshot
+  | _ -> None
+
+(* Content sniffing: the snapshot magic is binary and unambiguous; otherwise
+   scan the leading lines for a DIMACS problem line. *)
+let sniff path =
+  let head =
+    let ic = try open_in_bin path with Sys_error msg -> E.io "%s" msg in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let want = 4096 in
+        let buf = Bytes.create want in
+        let got = try In_channel.input ic buf 0 want with Sys_error msg -> E.io "%s" msg in
+        Bytes.sub_string buf 0 got)
+  in
+  let mlen = String.length Snapshot.magic in
+  if String.length head >= mlen && String.sub head 0 mlen = Snapshot.magic then Snapshot
+  else
+    let lines = String.split_on_char '\n' head in
+    let rec scan = function
+      | [] -> Edges
+      | l :: rest ->
+          if l = "" || l = "\r" || l.[0] = 'c' || l.[0] = '#' then scan rest
+          else if String.length l >= 2 && l.[0] = 'p' && (l.[1] = ' ' || l.[1] = '\t') then Dimacs
+          else Edges
+    in
+    scan lines
+
+let load_graph ?format path =
+  let format = match format with Some f -> f | None -> sniff path in
+  match format with
+  | Dimacs -> Dimacs.load path
+  | Edges -> Edgelist.load path
+  | Snapshot -> Snapshot.load path
+
+(* ---------------------------------------------------------------- entries *)
+
+type gen_meta = { gen_family : string; gen_n : int; gen_d : float; gen_eps : float; gen_seed : int }
+
+type entry = {
+  name : string;
+  path : string;
+  format : format;
+  n : int;
+  m : int;
+  gen : gen_meta option;
+}
+
+type t = {
+  dir : string;
+  mutable items : entry list;  (** manifest order *)
+  graphs : (string, Graph.t) Hashtbl.t;
+}
+
+let create ?(dir = ".") () = { dir; items = []; graphs = Hashtbl.create 8 }
+
+let entries t = t.items
+
+let find t name = List.find_opt (fun e -> e.name = name) t.items
+
+let add t e =
+  (match Hashtbl.find_opt t.graphs e.name with
+  | Some _ -> Hashtbl.remove t.graphs e.name
+  | None -> ());
+  if List.exists (fun x -> x.name = e.name) t.items then
+    t.items <- List.map (fun x -> if x.name = e.name then e else x) t.items
+  else t.items <- t.items @ [ e ]
+
+let resolve_path t e = if Filename.is_relative e.path then Filename.concat t.dir e.path else e.path
+
+(* --------------------------------------------------------------- manifest *)
+
+let gen_to_json g =
+  Jsonout.Obj
+    [
+      ("family", Jsonout.Str g.gen_family);
+      ("n", Jsonout.Num (float_of_int g.gen_n));
+      ("d", Jsonout.Num g.gen_d);
+      ("eps", Jsonout.Num g.gen_eps);
+      ("seed", Jsonout.Num (float_of_int g.gen_seed));
+    ]
+
+let entry_to_json e =
+  Jsonout.Obj
+    (("name", Jsonout.Str e.name)
+     :: ("path", Jsonout.Str e.path)
+     :: ("format", Jsonout.Str (format_to_string e.format))
+     :: ("n", Jsonout.Num (float_of_int e.n))
+     :: ("m", Jsonout.Num (float_of_int e.m))
+     :: (match e.gen with None -> [] | Some g -> [ ("gen", gen_to_json g) ]))
+
+let to_json t =
+  Jsonout.Obj
+    [ ("schema", Jsonout.Str schema); ("datasets", Jsonout.List (List.map entry_to_json t.items)) ]
+
+let str_field j name =
+  match Jsonout.member name j with
+  | Some (Jsonout.Str s) -> s
+  | Some _ -> E.bad_manifest "field %S is not a string" name
+  | None -> E.bad_manifest "missing field %S" name
+
+let int_field j name =
+  match Option.bind (Jsonout.member name j) Jsonout.to_float with
+  | Some x when Float.is_integer x -> int_of_float x
+  | Some _ -> E.bad_manifest "field %S is not an integer" name
+  | None -> E.bad_manifest "missing numeric field %S" name
+
+let num_field j name =
+  match Option.bind (Jsonout.member name j) Jsonout.to_float with
+  | Some x -> x
+  | None -> E.bad_manifest "missing numeric field %S" name
+
+let entry_of_json j =
+  let name = str_field j "name" in
+  if name = "" then E.bad_manifest "empty dataset name";
+  let format_s = str_field j "format" in
+  let format =
+    match format_of_string format_s with
+    | Some f -> f
+    | None -> E.bad_manifest "dataset %S: unknown format %S" name format_s
+  in
+  let n = int_field j "n" and m = int_field j "m" in
+  if n < 0 || m < 0 then E.bad_manifest "dataset %S: negative n or m" name;
+  let gen =
+    match Jsonout.member "gen" j with
+    | None -> None
+    | Some gj ->
+        Some
+          {
+            gen_family = str_field gj "family";
+            gen_n = int_field gj "n";
+            gen_d = num_field gj "d";
+            gen_eps = num_field gj "eps";
+            gen_seed = int_field gj "seed";
+          }
+  in
+  { name; path = str_field j "path"; format; n; m; gen }
+
+let load path =
+  let content =
+    try In_channel.with_open_bin path In_channel.input_all with Sys_error msg -> E.io "%s" msg
+  in
+  let doc =
+    match Jsonout.parse content with
+    | Ok v -> v
+    | Error msg -> E.bad_manifest "%s: %s" path msg
+  in
+  (match Jsonout.member "schema" doc with
+  | Some (Jsonout.Str s) when s = schema -> ()
+  | Some (Jsonout.Str s) -> E.bad_manifest "unexpected schema %S (want %S)" s schema
+  | _ -> E.bad_manifest "missing schema field");
+  let items =
+    match Option.bind (Jsonout.member "datasets" doc) Jsonout.to_list with
+    | Some l -> List.map entry_of_json l
+    | None -> E.bad_manifest "missing datasets list"
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.name then E.bad_manifest "duplicate dataset name %S" e.name;
+      Hashtbl.add seen e.name ())
+    items;
+  { dir = Filename.dirname path; items; graphs = Hashtbl.create 8 }
+
+let save t path =
+  try
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (Jsonout.to_string ~indent:2 (to_json t)))
+  with Sys_error msg -> E.io "%s" msg
+
+(* ----------------------------------------------------------------- graphs *)
+
+let graph t name =
+  match Hashtbl.find_opt t.graphs name with
+  | Some g -> g
+  | None -> (
+      match find t name with
+      | None -> E.unknown_dataset name
+      | Some e ->
+          let g = load_graph ~format:e.format (resolve_path t e) in
+          if Graph.n g <> e.n || Graph.m g <> e.m then
+            E.bad_manifest "dataset %S: file has n=%d m=%d, manifest says n=%d m=%d" name
+              (Graph.n g) (Graph.m g) e.n e.m;
+          Hashtbl.add t.graphs name g;
+          g)
+
+let preload t = List.iter (fun e -> ignore (graph t e.name)) t.items

@@ -30,6 +30,7 @@ let all : entry list =
     { id = "wire/overhead"; title = "E21 wire overhead"; run = Wire_overhead.e21_wire };
     { id = "wire/fault-tolerance"; title = "E22 fault tolerance"; run = Fault_tolerance.e22_fault };
     { id = "serve/throughput"; title = "E23 serve throughput"; run = Serve_throughput.e23_serve };
+    { id = "dataset/scaling"; title = "E24 real-graph datasets"; run = Datasets.e24_datasets };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

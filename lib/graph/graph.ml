@@ -7,32 +7,11 @@ let normalize_edge (u, v) = if u <= v then (u, v) else (v, u)
 let check_vertex n v =
   if v < 0 || v >= n then invalid_arg (Printf.sprintf "Graph: vertex %d out of range [0,%d)" v n)
 
-(* Two-pass count-then-fill: exact-size adjacency arrays with no per-edge
-   list cells, then an in-place sort + dedup per vertex. *)
-let of_edges ~n edges =
-  let deg = Array.make n 0 in
-  List.iter
-    (fun (u, v) ->
-      check_vertex n u;
-      check_vertex n v;
-      if u <> v then begin
-        deg.(u) <- deg.(u) + 1;
-        deg.(v) <- deg.(v) + 1
-      end)
-    edges;
-  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
-  let fill = Array.make n 0 in
-  List.iter
-    (fun (u, v) ->
-      if u <> v then begin
-        adj.(u).(fill.(u)) <- v;
-        fill.(u) <- fill.(u) + 1;
-        adj.(v).(fill.(v)) <- u;
-        fill.(v) <- fill.(v) + 1
-      end)
-    edges;
+(* Sort + dedup each adjacency array in place, returning the half-sum of the
+   final degrees (= m).  Shared finishing step of every constructor. *)
+let sort_dedup_adj adj =
   let deg_sum = ref 0 in
-  for v = 0 to n - 1 do
+  for v = 0 to Array.length adj - 1 do
     let a = adj.(v) in
     let len = Array.length a in
     if len > 0 then begin
@@ -48,7 +27,48 @@ let of_edges ~n edges =
       deg_sum := !deg_sum + !k
     end
   done;
-  { n; adj; m = !deg_sum / 2 }
+  !deg_sum / 2
+
+(* Streaming build: force the sequence exactly once, buffering endpoints in a
+   growable flat int array (two slots per edge, no list cells), then the usual
+   exact-size count-then-fill into per-vertex adjacency arrays. *)
+let of_edge_seq ~n seq =
+  let deg = Array.make n 0 in
+  let buf = ref (Array.make 4096 0) in
+  let len = ref 0 in
+  Seq.iter
+    (fun (u, v) ->
+      check_vertex n u;
+      check_vertex n v;
+      if u <> v then begin
+        if !len + 2 > Array.length !buf then begin
+          let grown = Array.make (2 * Array.length !buf) 0 in
+          Array.blit !buf 0 grown 0 !len;
+          buf := grown
+        end;
+        !buf.(!len) <- u;
+        !buf.(!len + 1) <- v;
+        len := !len + 2;
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      end)
+    seq;
+  let flat = !buf in
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  let i = ref 0 in
+  while !i < !len do
+    let u = flat.(!i) and v = flat.(!i + 1) in
+    adj.(u).(fill.(u)) <- v;
+    fill.(u) <- fill.(u) + 1;
+    adj.(v).(fill.(v)) <- u;
+    fill.(v) <- fill.(v) + 1;
+    i := !i + 2
+  done;
+  let m = sort_dedup_adj adj in
+  { n; adj; m }
+
+let of_edges ~n edges = of_edge_seq ~n (List.to_seq edges)
 
 let empty ~n = { n; adj = Array.make n [||]; m = 0 }
 

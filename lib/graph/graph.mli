@@ -19,6 +19,12 @@ val normalize_edge : int * int -> edge
     dropped.  Raises [Invalid_argument] on out-of-range endpoints. *)
 val of_edges : n:int -> (int * int) list -> t
 
+(** [of_edge_seq ~n seq] is {!of_edges} over a sequence, forced exactly once:
+    endpoints stream into a growable flat int buffer (no intermediate list
+    cells), so million-edge parsers feed the CSR build incrementally.
+    Semantics are identical to [of_edges ~n (List.of_seq seq)]. *)
+val of_edge_seq : n:int -> (int * int) Seq.t -> t
+
 val empty : n:int -> t
 
 (** Number of vertices. *)

@@ -72,6 +72,7 @@ type t = {
   version_served : int array;  (** queries served per wire-protocol version, indexed 1/2 *)
   version_bytes : int array;  (** serve-socket bytes per wire-protocol version, indexed 1/2 *)
   verdicts : (string, protocol_counts) Hashtbl.t;
+  datasets : (string, int) Hashtbl.t;  (** [{"op": "dataset"}] queries served, per name *)
   mutable latencies_us : float list;  (** newest first, one per served query *)
 }
 
@@ -101,6 +102,7 @@ let create () =
     version_served = Array.make (max_wire_version + 1) 0;
     version_bytes = Array.make (max_wire_version + 1) 0;
     verdicts = Hashtbl.create 8;
+    datasets = Hashtbl.create 8;
     latencies_us = [];
   }
 
@@ -155,6 +157,11 @@ let record_batch t ~items =
       t.batches <- t.batches + 1;
       t.batch_items <- t.batch_items + items)
 
+let record_dataset t ~name =
+  locked t (fun () ->
+      let c = match Hashtbl.find_opt t.datasets name with Some c -> c | None -> 0 in
+      Hashtbl.replace t.datasets name (c + 1))
+
 let record_version_bytes t ~version ~bytes =
   locked t (fun () ->
       let s = version_slot version in
@@ -175,6 +182,9 @@ let batches t = locked t (fun () -> t.batches)
 let batch_items t = locked t (fun () -> t.batch_items)
 let wire_bytes t = locked t (fun () -> t.wire_bytes)
 let accounted_bits t = locked t (fun () -> t.accounted_bits)
+let dataset_served t name =
+  locked t (fun () -> match Hashtbl.find_opt t.datasets name with Some c -> c | None -> 0)
+
 let version_served t v = locked t (fun () -> t.version_served.(version_slot v))
 let version_bytes t v = locked t (fun () -> t.version_bytes.(version_slot v))
 
@@ -210,6 +220,11 @@ let merge t other =
               mine.triangle <- mine.triangle + c.triangle;
               mine.triangle_free <- mine.triangle_free + c.triangle_free)
             other.verdicts;
+          Hashtbl.iter
+            (fun name c ->
+              let mine = match Hashtbl.find_opt t.datasets name with Some c -> c | None -> 0 in
+              Hashtbl.replace t.datasets name (mine + c))
+            other.datasets;
           t.latencies_us <- other.latencies_us @ t.latencies_us))
 
 let to_json t =
@@ -271,6 +286,12 @@ let to_json t =
                          ("served", num t.version_served.(v)); ("bytes", num t.version_bytes.(v));
                        ] ))) );
           ("verdicts", Jsonout.Obj verdict_objs);
+          ( "datasets",
+            Jsonout.Obj
+              (Hashtbl.fold
+                 (fun name c acc -> (name, Jsonout.Num (float_of_int c)) :: acc)
+                 t.datasets []
+              |> List.sort compare) );
           ( "latency_us",
             Jsonout.Obj
               [

@@ -67,6 +67,13 @@ val record_cache : t -> hit:bool -> unit
 (** Record one [{"op": "batch"}] exchange carrying [items] requests. *)
 val record_batch : t -> items:int -> unit
 
+(** Record one served [{"op": "dataset"}] query against its dataset name
+    (on top of the {!record_query} the query also gets). *)
+val record_dataset : t -> name:string -> unit
+
+(** Queries served over the named dataset (0 for a name never served). *)
+val dataset_served : t -> string -> int
+
 (** Highest wire-protocol version the per-version gauges track. *)
 val max_wire_version : int
 

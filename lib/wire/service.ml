@@ -162,6 +162,32 @@ type response = {
   wire : Wire_runtime.report;
 }
 
+(* A [{"op": "dataset"}] query: the same protocol/partition/k/eps/seed
+   vocabulary as a generated request, but the graph comes from the server's
+   dataset registry by name — family/n/d have no say. *)
+type dataset_request = {
+  ds_name : string;
+  ds_partition : partition_kind;
+  ds_protocol : protocol;
+  ds_k : int;
+  ds_eps : float;
+  ds_seed : int;
+  ds_transport : Wire_runtime.kind;
+  ds_fault : string;
+}
+
+let default_dataset_request ~name =
+  {
+    ds_name = name;
+    ds_partition = Dup;
+    ds_protocol = Oblivious;
+    ds_k = 4;
+    ds_eps = 0.1;
+    ds_seed = 1;
+    ds_transport = Wire_runtime.Pipe;
+    ds_fault = "";
+  }
+
 (* ----------------------------------------------------------------- JSON *)
 
 let request_to_json r =
@@ -222,6 +248,47 @@ let request_of_json j =
         transport = enum_field j "transport" Wire_runtime.kind_of_string r.transport;
         fault =
           (let s = str_field j "fault" r.fault in
+           match Fault.parse s with
+           | Ok _ -> s
+           | Error msg -> raise (Bad (Printf.sprintf "bad fault spec: %s" msg)));
+      }
+  with Bad msg -> Error msg
+
+let dataset_request_to_json r =
+  Jsonout.Obj
+    [
+      ("op", Jsonout.Str "dataset");
+      ("name", Jsonout.Str r.ds_name);
+      ("partition", Jsonout.Str (partition_to_string r.ds_partition));
+      ("protocol", Jsonout.Str (protocol_to_string r.ds_protocol));
+      ("k", Jsonout.Num (float_of_int r.ds_k));
+      ("eps", Jsonout.Num r.ds_eps);
+      ("seed", Jsonout.Num (float_of_int r.ds_seed));
+      ("transport", Jsonout.Str (Wire_runtime.kind_to_string r.ds_transport));
+      ("fault", Jsonout.Str r.ds_fault);
+    ]
+
+let dataset_request_of_json j =
+  try
+    let name =
+      match Jsonout.member "name" j with
+      | Some (Jsonout.Str "") -> raise (Bad "dataset name must be non-empty")
+      | Some (Jsonout.Str s) -> s
+      | Some _ -> raise (Bad "field \"name\" must be a string")
+      | None -> raise (Bad "dataset request without a \"name\"")
+    in
+    let r = default_dataset_request ~name in
+    Ok
+      {
+        r with
+        ds_partition = enum_field j "partition" partition_of_string r.ds_partition;
+        ds_protocol = enum_field j "protocol" protocol_of_string r.ds_protocol;
+        ds_k = int_field j "k" r.ds_k;
+        ds_eps = num_field j "eps" r.ds_eps;
+        ds_seed = int_field j "seed" r.ds_seed;
+        ds_transport = enum_field j "transport" Wire_runtime.kind_of_string r.ds_transport;
+        ds_fault =
+          (let s = str_field j "fault" r.ds_fault in
            match Fault.parse s with
            | Ok _ -> s
            | Error msg -> raise (Bad (Printf.sprintf "bad fault spec: %s" msg)));
@@ -333,6 +400,7 @@ let tag_stats = 6
 let tag_stats_reply = 7
 let tag_shutdown = 8
 let tag_bye = 9
+let tag_dataset = 10
 
 (* enum codes: stable on the wire, dense for a match-based decode *)
 
@@ -539,44 +607,123 @@ let encode_shutdown_frame b =
   Proto.put_u8 b tag_shutdown;
   Proto.end_frame b
 
+(* dataset query body: the registered name, 3 enum bytes, 2 zigzag ints,
+   1 f64, the fault spec — the binary twin of the {"op": "dataset"} line *)
+let put_dataset_request b r =
+  Proto.put_string b r.ds_name;
+  Proto.put_u8 b (partition_code r.ds_partition);
+  Proto.put_u8 b (protocol_code r.ds_protocol);
+  Proto.put_u8 b (transport_code r.ds_transport);
+  Proto.put_zigzag b r.ds_k;
+  Proto.put_zigzag b r.ds_seed;
+  Proto.put_f64 b r.ds_eps;
+  Proto.put_string b r.ds_fault
+
+let decode_dataset_request_body cur =
+  let name = Proto.get_string cur in
+  let partition_c = Proto.get_u8 cur in
+  let protocol_c = Proto.get_u8 cur in
+  let transport_c = Proto.get_u8 cur in
+  let k = Proto.get_zigzag cur in
+  let seed = Proto.get_zigzag cur in
+  let eps = Proto.get_f64 cur in
+  let fault = Proto.get_string cur in
+  if name = "" then Error "dataset name must be non-empty"
+  else
+    match (partition_of_code partition_c, protocol_of_code protocol_c, transport_of_code transport_c)
+    with
+    | Some partition, Some protocol, Some transport ->
+        let r =
+          {
+            ds_name = name;
+            ds_partition = partition;
+            ds_protocol = protocol;
+            ds_k = k;
+            ds_eps = eps;
+            ds_seed = seed;
+            ds_transport = transport;
+            ds_fault = fault;
+          }
+        in
+        if fault = "" then Ok r
+        else (
+          match Fault.parse fault with
+          | Ok _ -> Ok r
+          | Error msg -> Error (Printf.sprintf "bad fault spec: %s" msg))
+    | None, _, _ -> Error (Printf.sprintf "unknown partition code %d" partition_c)
+    | _, None, _ -> Error (Printf.sprintf "unknown protocol code %d" protocol_c)
+    | _, _, None -> Error (Printf.sprintf "unknown transport code %d" transport_c)
+
+let encode_dataset_frame b r =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_dataset;
+  put_dataset_request b r;
+  Proto.end_frame b
+
 (* ------------------------------------------------- the instance cache *)
 
 (* The fields of a request that determine the instance and its partition —
    and nothing else.  Protocol, transport and fault spec are deliberately
    absent: two requests that differ only in how the instance is *queried*
-   share the cached build.  Correctness of sharing rests on [run_request]
-   deriving both graph and partition from one [Rng.create seed] stream and
-   running the protocol itself off a fresh [~seed], so a cache hit is
-   bit-identical to a rebuild. *)
-type instance_key = {
-  key_family : family;
-  key_partition : partition_kind;
-  key_n : int;
-  key_d : float;
-  key_k : int;
-  key_eps : float;
-  key_seed : int;
-}
+   share the cached build.  A dataset-backed instance is keyed by its
+   registered name instead of the generator fields.  Correctness of sharing
+   rests on the graph and the partition being derived from independent
+   seed-determined streams ({!graph_rng}/{!partition_rng}) and the protocol
+   run seeding itself off a fresh [~seed], so a cache hit is bit-identical
+   to a rebuild. *)
+type instance_key =
+  | Key_generated of {
+      key_family : family;
+      key_partition : partition_kind;
+      key_n : int;
+      key_d : float;
+      key_k : int;
+      key_eps : float;
+      key_seed : int;
+    }
+  | Key_dataset of {
+      key_name : string;
+      key_ds_partition : partition_kind;
+      key_ds_k : int;
+      key_ds_seed : int;
+    }
 
 type instance_cache = (instance_key, Graph.t * Partition.t) Lru.t
 
 let create_cache ?(capacity = 32) () : instance_cache = Lru.create capacity
 
 let key_of_request req =
-  {
-    key_family = req.family;
-    key_partition = req.partition;
-    key_n = req.n;
-    key_d = req.d;
-    key_k = req.k;
-    key_eps = req.eps;
-    key_seed = req.seed;
-  }
+  Key_generated
+    {
+      key_family = req.family;
+      key_partition = req.partition;
+      key_n = req.n;
+      key_d = req.d;
+      key_k = req.k;
+      key_eps = req.eps;
+      key_seed = req.seed;
+    }
+
+let key_of_dataset_request dreq =
+  Key_dataset
+    {
+      key_name = dreq.ds_name;
+      key_ds_partition = dreq.ds_partition;
+      key_ds_k = dreq.ds_k;
+      key_ds_seed = dreq.ds_seed;
+    }
+
+(* The graph and the partition come from *independent* seed-determined
+   streams.  This is what lets a dataset-backed query (whose graph comes
+   off disk, consuming no randomness) partition identically to the
+   generated query of the same seed — the byte-identical-replies
+   guarantee the dataset tests pin down. *)
+let graph_rng seed = Rng.create seed
+let partition_rng seed = Rng.create (seed lxor 0x7ea5eed)
 
 let build_pair req =
-  let rng = Rng.create req.seed in
-  let g = build_instance req.family rng ~n:req.n ~d:req.d ~eps:req.eps in
-  let inputs = build_partition req.partition rng ~k:req.k g in
+  let g = build_instance req.family (graph_rng req.seed) ~n:req.n ~d:req.d ~eps:req.eps in
+  let inputs = build_partition req.partition (partition_rng req.seed) ~k:req.k g in
   (g, inputs)
 
 (* The cached instance/partition pair for [req], built on a miss.  Each call
@@ -591,6 +738,26 @@ let instance_pair ?cache ?metrics req =
       (match metrics with Some m -> Metrics.record_cache m ~hit | None -> ());
       Lru.find_or_add c key (fun () -> build_pair req)
 
+(* The dataset twin: the graph is the registry's memoized load (shared
+   across every connection of the daemon), only the partition is built —
+   from the same [partition_rng] stream a generated request of this seed
+   would use. *)
+let dataset_pair ?cache ?metrics ~registry dreq =
+  let build () =
+    let g = Tfree_dataset.Registry.graph registry dreq.ds_name in
+    let inputs =
+      build_partition dreq.ds_partition (partition_rng dreq.ds_seed) ~k:dreq.ds_k g
+    in
+    (g, inputs)
+  in
+  match cache with
+  | None -> build ()
+  | Some c ->
+      let key = key_of_dataset_request dreq in
+      let hit = Lru.mem c key in
+      (match metrics with Some m -> Metrics.record_cache m ~hit | None -> ());
+      Lru.find_or_add c key build
+
 (* ---------------------------------------------------------- run a query *)
 
 (** Build the requested instance, run the requested protocol over a wire
@@ -599,26 +766,21 @@ let instance_pair ?cache ?metrics req =
     return the identical graph/partition a rebuild would produce.  The
     network is closed even when an injected fault aborts the run, so a
     chaos loop cannot leak descriptors. *)
-let run_request ?cache ?metrics req =
-  let fault =
-    match Fault.parse req.fault with
-    | Ok s -> s
-    | Error msg -> invalid_arg (Printf.sprintf "run_request: bad fault spec: %s" msg)
-  in
-  let g, inputs = instance_pair ?cache ?metrics req in
-  let net = Wire_runtime.create ~fault ~transport:req.transport ~k:req.k () in
+(* The protocol run itself, shared by the generated and dataset paths so
+   the two can never drift: same network, same params, same report shape. *)
+let run_protocol ~protocol ~seed ~eps ~transport ~fault ~k g inputs =
+  let net = Wire_runtime.create ~fault ~transport ~k () in
   Fun.protect
     ~finally:(fun () -> Wire_runtime.close net)
     (fun () ->
       let tap = Wire_runtime.tap net in
-      let params = Tfree.Params.(with_eps practical req.eps) in
+      let params = Tfree.Params.(with_eps practical eps) in
       let report =
-        match req.protocol with
-        | Unrestricted -> Tfree.Tester.unrestricted ~tap ~seed:req.seed params inputs
-        | Sim ->
-            Tfree.Tester.simultaneous ~tap ~seed:req.seed params ~d:(Graph.avg_degree g) inputs
-        | Oblivious -> Tfree.Tester.simultaneous_oblivious ~tap ~seed:req.seed params inputs
-        | Exact -> Tfree.Tester.exact ~tap ~seed:req.seed inputs
+        match protocol with
+        | Unrestricted -> Tfree.Tester.unrestricted ~tap ~seed params inputs
+        | Sim -> Tfree.Tester.simultaneous ~tap ~seed params ~d:(Graph.avg_degree g) inputs
+        | Oblivious -> Tfree.Tester.simultaneous_oblivious ~tap ~seed params inputs
+        | Exact -> Tfree.Tester.exact ~tap ~seed inputs
       in
       let wire = Wire_runtime.report net ~accounted_bits:report.Tfree.Tester.bits in
       {
@@ -628,6 +790,29 @@ let run_request ?cache ?metrics req =
         max_message = report.Tfree.Tester.max_message;
         wire;
       })
+
+let parse_fault_spec ~who spec =
+  match Fault.parse spec with
+  | Ok s -> s
+  | Error msg -> invalid_arg (Printf.sprintf "%s: bad fault spec: %s" who msg)
+
+let run_request ?cache ?metrics req =
+  let fault = parse_fault_spec ~who:"run_request" req.fault in
+  let g, inputs = instance_pair ?cache ?metrics req in
+  run_protocol ~protocol:req.protocol ~seed:req.seed ~eps:req.eps ~transport:req.transport ~fault
+    ~k:req.k g inputs
+
+(* Run a protocol over a registered dataset.  Byte-identical to the
+   generated path when the dataset was generated with the same seed and
+   family parameters: the registry hands back the exact graph
+   {!graph_rng} would build, and partition/protocol derive from the same
+   streams a generated request uses.
+   @raise Dataset_error on an unknown name or a failing load. *)
+let run_dataset_request ?cache ?metrics ~registry dreq =
+  let fault = parse_fault_spec ~who:"run_dataset_request" dreq.ds_fault in
+  let g, inputs = dataset_pair ?cache ?metrics ~registry dreq in
+  run_protocol ~protocol:dreq.ds_protocol ~seed:dreq.ds_seed ~eps:dreq.ds_eps
+    ~transport:dreq.ds_transport ~fault ~k:dreq.ds_k g inputs
 
 (* ------------------------------------------------------- line transport *)
 
@@ -719,6 +904,37 @@ let run_core ?cache ~metrics ?(version = 1) req =
       Metrics.record_error metrics ~category:Metrics.Run_failure;
       Error (Metrics.Run_failure, Printexc.to_string e)
 
+(* {!run_core} for a dataset query: same recording and classification,
+   plus the per-dataset served gauge; a typed dataset failure (the file
+   vanished or rotted under the manifest) keeps its own message under
+   [Run_failure] — the request was well-formed, the server's data was
+   not. *)
+let run_core_dataset ?cache ~metrics ?(version = 1) ~registry dreq =
+  let t0 = Unix.gettimeofday () in
+  match run_dataset_request ?cache ~metrics ~registry dreq with
+  | resp ->
+      Metrics.record_query ~version metrics
+        ~protocol:(protocol_to_string dreq.ds_protocol)
+        ~found_triangle:
+          (match resp.verdict with
+          | Tfree.Tester.Triangle _ -> true
+          | Tfree.Tester.Triangle_free -> false)
+        ~wire_bytes:resp.wire.Wire_runtime.wire_bytes
+        ~accounted_bits:resp.wire.Wire_runtime.accounted_bits
+        ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6);
+      Metrics.record_dataset metrics ~name:dreq.ds_name;
+      Ok resp
+  | exception Wire_error.Wire_error k ->
+      let category = Metrics.category_of_name (Wire_error.category k) in
+      Metrics.record_error metrics ~category;
+      Error (category, Wire_error.message k)
+  | exception Tfree_dataset.Dataset_error.Dataset_error kind ->
+      Metrics.record_error metrics ~category:Metrics.Run_failure;
+      Error (Metrics.Run_failure, "dataset: " ^ Tfree_dataset.Dataset_error.message kind)
+  | exception e ->
+      Metrics.record_error metrics ~category:Metrics.Run_failure;
+      Error (Metrics.Run_failure, Printexc.to_string e)
+
 (* The JSON shape of one query's outcome; the [int] is 1 when the query
    was served, 0 on a categorized failure. *)
 let run_one ?cache ~metrics ?version req =
@@ -737,7 +953,7 @@ let run_one ?cache ~metrics ?version req =
    operator can tell chaos from bad input.  Inside a batch, failures are
    per-item: each element of [results] is exactly the reply the request
    would have gotten on its own line, errors included. *)
-let handle_line ?cache ~metrics ~stop ?version line =
+let handle_line ?cache ?registry ~metrics ~stop ?version line =
   let err category msg =
     Metrics.record_error metrics ~category;
     (error_line ~category msg, 0)
@@ -783,6 +999,19 @@ let handle_line ?cache ~metrics ~stop ?version line =
                 !served )
           | Some _ -> err Metrics.Malformed "batch field \"requests\" must be a list"
           | None -> err Metrics.Malformed "batch without a \"requests\" list")
+      | None, Some (Jsonout.Str "dataset") -> (
+          match registry with
+          | None -> err Metrics.Unknown_op "no dataset registry configured"
+          | Some reg -> (
+              match dataset_request_of_json j with
+              | Error msg -> err Metrics.Malformed msg
+              | Ok dreq -> (
+                  if Tfree_dataset.Registry.find reg dreq.ds_name = None then
+                    err Metrics.Malformed (Printf.sprintf "unknown dataset %S" dreq.ds_name)
+                  else
+                    match run_core_dataset ?cache ~metrics ?version ~registry:reg dreq with
+                    | Ok resp -> (Jsonout.to_line (response_to_json resp), 1)
+                    | Error (category, msg) -> (error_line ~category msg, 0))))
       | None, Some (Jsonout.Str o) -> err Metrics.Unknown_op (Printf.sprintf "unknown op %S" o)
       | None, Some _ -> err Metrics.Malformed "op must be a string"
       | None, None -> (
@@ -802,7 +1031,7 @@ let handle_line ?cache ~metrics ~stop ?version line =
    items fail per item, like their JSON twins, when the failure is
    semantic (bad enum code, bad fault spec); a structurally garbled item
    makes the remaining bytes meaningless, so it fails the whole frame. *)
-let handle_frame ?cache ~metrics ~stop ~version b cur =
+let handle_frame ?cache ?registry ~metrics ~stop ~version b cur =
   let err category msg =
     Metrics.record_error metrics ~category;
     encode_error_frame b ~category msg;
@@ -867,6 +1096,24 @@ let handle_frame ?cache ~metrics ~stop ~version b cur =
       Proto.end_frame b;
       0
     end
+    else if tag = tag_dataset then (
+      match decode_dataset_request_body cur with
+      | Error msg -> err Metrics.Malformed msg
+      | Ok dreq -> (
+          Proto.expect_end cur;
+          match registry with
+          | None -> err Metrics.Unknown_op "no dataset registry configured"
+          | Some reg -> (
+              if Tfree_dataset.Registry.find reg dreq.ds_name = None then
+                err Metrics.Malformed (Printf.sprintf "unknown dataset %S" dreq.ds_name)
+              else
+                match run_core_dataset ?cache ~metrics ~version ~registry:reg dreq with
+                | Ok resp ->
+                    encode_response_frame b resp;
+                    1
+                | Error (category, msg) ->
+                    encode_error_frame b ~category msg;
+                    0)))
     else err Metrics.Unknown_op (Printf.sprintf "unknown frame tag %d" tag)
   with Wire_error.Wire_error k -> err Metrics.Malformed ("bad frame: " ^ Wire_error.message k)
 
@@ -1029,7 +1276,7 @@ let max_line_bytes = 8 * 1024 * 1024
     — takes the daemon down; each costs a categorized error counter and at
     worst its own connection. *)
 let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 30.0)
-    ?(fault = []) ?(cache_capacity = 32) ?(max_version = Proto.max_version) ~path () =
+    ?(fault = []) ?(cache_capacity = 32) ?(max_version = Proto.max_version) ?registry ~path () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -1128,7 +1375,7 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
         if action = `Close then close_conn c
   in
   let handle_one c line =
-    match handle_line ?cache ~metrics ~stop ~version:(max 1 c.version) line with
+    match handle_line ?cache ?registry ~metrics ~stop ~version:(max 1 c.version) line with
     | exception e ->
         Metrics.record_error metrics ~category:Metrics.Run_failure;
         write_error_conn c ~category:Metrics.Run_failure (Printexc.to_string e);
@@ -1191,7 +1438,7 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
       | frame_len ->
           c.deadline <- Unix.gettimeofday () +. line_timeout_s;
           if (not !stop) && budget_left () then begin
-            match handle_frame ?cache ~metrics ~stop ~version:c.version c.wbuf c.rcur with
+            match handle_frame ?cache ?registry ~metrics ~stop ~version:c.version c.wbuf c.rcur with
             | exception e ->
                 Metrics.record_error metrics ~category:Metrics.Run_failure;
                 write_error_conn c ~category:Metrics.Run_failure (Printexc.to_string e);
@@ -1420,16 +1667,23 @@ let read_frame_deadline sock ~deadline cur =
 
 (* The four exchanges a client performs, shaped once so the v1 and v2
    paths cannot drift. *)
-type wire_op = Op_query of request | Op_batch of request list | Op_stats | Op_shutdown
+type wire_op =
+  | Op_query of request
+  | Op_dataset of dataset_request
+  | Op_batch of request list
+  | Op_stats
+  | Op_shutdown
 
 let op_line = function
   | Op_query req -> Jsonout.to_line (request_to_json req)
+  | Op_dataset dreq -> Jsonout.to_line (dataset_request_to_json dreq)
   | Op_batch reqs -> Jsonout.to_line (batch_request_to_json reqs)
   | Op_stats -> Jsonout.to_line (Jsonout.Obj [ ("op", Jsonout.Str "stats") ])
   | Op_shutdown -> Jsonout.to_line (Jsonout.Obj [ ("cmd", Jsonout.Str "shutdown") ])
 
 let op_fill b = function
   | Op_query req -> encode_query_frame b req
+  | Op_dataset dreq -> encode_dataset_frame b dreq
   | Op_batch reqs -> encode_batch_frame b reqs
   | Op_stats -> encode_stats_frame b
   | Op_shutdown -> encode_shutdown_frame b
@@ -1576,6 +1830,21 @@ let client_query ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backof
     ?metrics ?(protocol = Proto.Auto) ~path req =
   with_retries ~retries ~backoff_s ~backoff_seed ~metrics (fun () ->
       attempt_op ~protocol ~timeout_s ~path ~op:(Op_query req)
+        ~interpret:(fun j ->
+          match response_of_json j with
+          | Ok resp -> Ok resp
+          | Error msg -> Error (`Transient, "garbled reply: " ^ msg))
+        ~interpret_bin:(function
+          | R_response resp -> Ok resp
+          | _ -> Error (`Transient, "garbled reply: unexpected frame shape")))
+
+(** {!client_query} for a [{"op": "dataset"}] query: same retry envelope,
+    same protocol negotiation, same reply shape — the server just takes
+    the graph from its registry instead of generating it. *)
+let client_dataset ?(timeout_s = 30.0) ?(retries = 0) ?(backoff_s = 0.05) ?(backoff_seed = 0)
+    ?metrics ?(protocol = Proto.Auto) ~path dreq =
+  with_retries ~retries ~backoff_s ~backoff_seed ~metrics (fun () ->
+      attempt_op ~protocol ~timeout_s ~path ~op:(Op_dataset dreq)
         ~interpret:(fun j ->
           match response_of_json j with
           | Ok resp -> Ok resp

@@ -57,6 +57,24 @@ type request = {
     fault; a request JSON object may omit any field to take its default. *)
 val default_request : request
 
+(** A [{"op": "dataset"}] query: run [ds_protocol] over the registered
+    dataset [ds_name], partitioned by [ds_partition]/[ds_k] under
+    [ds_seed].  Same query vocabulary as {!request} minus the generator
+    fields (family/n/d), which the registry supersedes. *)
+type dataset_request = {
+  ds_name : string;
+  ds_partition : partition_kind;
+  ds_protocol : protocol;
+  ds_k : int;
+  ds_eps : float;
+  ds_seed : int;
+  ds_transport : Wire_runtime.kind;
+  ds_fault : string;
+}
+
+(** dup/oblivious, k=4 eps=0.1 seed=1, pipe transport, no fault. *)
+val default_dataset_request : name:string -> dataset_request
+
 type response = {
   verdict : Tfree.Tester.verdict;
   bits : int;  (** accounted communication (the cost model) *)
@@ -67,6 +85,12 @@ type response = {
 
 val request_to_json : request -> Jsonout.t
 val request_of_json : Jsonout.t -> (request, string) result
+
+(** The [{"op": "dataset"}] object; a missing field takes its default,
+    [name] is required and must be non-empty. *)
+val dataset_request_to_json : dataset_request -> Jsonout.t
+
+val dataset_request_of_json : Jsonout.t -> (dataset_request, string) result
 val response_to_json : response -> Jsonout.t
 val response_of_json : Jsonout.t -> (response, string) result
 
@@ -92,8 +116,10 @@ val tag_stats : int
 val tag_stats_reply : int
 val tag_shutdown : int
 val tag_bye : int
+val tag_dataset : int
 
 val encode_query_frame : Proto.buf -> request -> unit
+val encode_dataset_frame : Proto.buf -> dataset_request -> unit
 val encode_batch_frame : Proto.buf -> request list -> unit
 val encode_response_frame : Proto.buf -> response -> unit
 
@@ -102,39 +128,70 @@ val encode_response_frame : Proto.buf -> response -> unit
 val encode_batch_reply_frame : Proto.buf -> response list -> unit
 val encode_error_frame : Proto.buf -> category:Metrics.error_category -> string -> unit
 val decode_request_body : Proto.cursor -> (request, string) result
+val decode_dataset_request_body : Proto.cursor -> (dataset_request, string) result
 
 (** @raise Wire_error.Wire_error on a garbled layout. *)
 val decode_response_body : Proto.cursor -> response
 
 (** {2 The instance cache}
 
-    Requests that agree on every instance-determining field — family,
-    partition, n, d, k, eps, seed — share one build of the graph and its
-    partition; protocol, transport and fault spec are excluded from the
-    key because they only affect how the instance is queried.  A hit is
-    bit-identical to a rebuild: graph and partition are derived from one
-    [Rng.create seed] stream, and the protocol run seeds itself
-    independently. *)
+    Requests that agree on every instance-determining field share one
+    build of the graph and its partition; protocol, transport and fault
+    spec are excluded from the key because they only affect how the
+    instance is queried.  Generated instances key on family, partition,
+    n, d, k, eps and seed; dataset-backed instances key on the dataset
+    name, partition, k and seed.  A hit is bit-identical to a rebuild:
+    the graph comes from {!graph_rng} (or from disk) and the partition
+    from the independent {!partition_rng} stream, and the protocol run
+    seeds itself independently. *)
 
-type instance_key = {
-  key_family : family;
-  key_partition : partition_kind;
-  key_n : int;
-  key_d : float;
-  key_k : int;
-  key_eps : float;
-  key_seed : int;
-}
+type instance_key =
+  | Key_generated of {
+      key_family : family;
+      key_partition : partition_kind;
+      key_n : int;
+      key_d : float;
+      key_k : int;
+      key_eps : float;
+      key_seed : int;
+    }
+  | Key_dataset of {
+      key_name : string;
+      key_ds_partition : partition_kind;
+      key_ds_k : int;
+      key_ds_seed : int;
+    }
 
 type instance_cache = (instance_key, Graph.t * Partition.t) Lru.t
 
 val create_cache : ?capacity:int -> unit -> instance_cache
 val key_of_request : request -> instance_key
+val key_of_dataset_request : dataset_request -> instance_key
+
+(** The graph generator's rng stream for [seed]. *)
+val graph_rng : int -> Rng.t
+
+(** The edge partition's rng stream for [seed] — independent of
+    {!graph_rng}, so a dataset-backed run (whose graph comes from disk
+    and consumes no randomness) partitions identically to a generated
+    run of the same seed. *)
+val partition_rng : int -> Rng.t
 
 (** The cached instance/partition pair for a request (built on a miss; one
     counted lookup per call, mirrored into [metrics] when given).  Without
     [cache], always builds. *)
 val instance_pair : ?cache:instance_cache -> ?metrics:Metrics.t -> request -> Graph.t * Partition.t
+
+(** The cached graph/partition pair for a dataset request: the graph from
+    the registry (itself memoized), the partition from {!partition_rng}.
+    @raise Tfree_dataset.Dataset_error.Dataset_error when the dataset is
+    unknown or its file fails to load. *)
+val dataset_pair :
+  ?cache:instance_cache ->
+  ?metrics:Metrics.t ->
+  registry:Tfree_dataset.Registry.t ->
+  dataset_request ->
+  Graph.t * Partition.t
 
 (** Build the requested instance, run the requested protocol over a wire
     network (under the request's fault schedule, if any), reconcile.
@@ -143,6 +200,20 @@ val instance_pair : ?cache:instance_cache -> ?metrics:Metrics.t -> request -> Gr
     would produce; the network is closed even when a fault aborts the run.
     @raise Wire_error.Wire_error when an injected fault aborts the run. *)
 val run_request : ?cache:instance_cache -> ?metrics:Metrics.t -> request -> response
+
+(** {!run_request} over a registered dataset: same protocol run, same
+    reply shape, graph from the registry instead of a generator.  A
+    dataset-backed response is byte-identical to the generated response
+    of the same seed when the dataset holds that generator's graph.
+    @raise Wire_error.Wire_error when an injected fault aborts the run.
+    @raise Tfree_dataset.Dataset_error.Dataset_error on a registry or
+    load failure. *)
+val run_dataset_request :
+  ?cache:instance_cache ->
+  ?metrics:Metrics.t ->
+  registry:Tfree_dataset.Registry.t ->
+  dataset_request ->
+  response
 
 (** {2 Server and client} *)
 
@@ -167,9 +238,11 @@ val read_line_deadline : Unix.file_descr -> deadline:float -> line_read
     ...}] and records the error under its {!Metrics.error_category};
     nothing escapes.  [version] is the wire-protocol version of the
     serving connection (default 1), feeding the per-version served
-    gauge. *)
+    gauge.  [registry] enables [{"op": "dataset"}] lines; without it they
+    answer a structured unknown-op error. *)
 val handle_line :
   ?cache:instance_cache ->
+  ?registry:Tfree_dataset.Registry.t ->
   metrics:Metrics.t ->
   stop:bool ref ->
   ?version:int ->
@@ -212,6 +285,7 @@ val serve :
   ?fault:Fault.schedule ->
   ?cache_capacity:int ->
   ?max_version:int ->
+  ?registry:Tfree_dataset.Registry.t ->
   path:string ->
   unit ->
   int
@@ -239,6 +313,21 @@ val client_query :
   ?protocol:Proto.pref ->
   path:string ->
   request ->
+  (response, string) result
+
+(** Send one [{"op": "dataset"}] query to a server at [path].  Same retry
+    envelope and protocol negotiation as {!client_query}; a server with
+    no dataset registry, or an unknown dataset name, answers a structured
+    rejection that is fatal immediately. *)
+val client_dataset :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?backoff_seed:int ->
+  ?metrics:Metrics.t ->
+  ?protocol:Proto.pref ->
+  path:string ->
+  dataset_request ->
   (response, string) result
 
 (** Send many requests as one [{"op": "batch"}] exchange — one line out,
