@@ -31,6 +31,17 @@
    side by side across versions when both run.  Exit status is nonzero on
    any violation, so the alias doubles as a concurrency regression gate.
 
+   Latency reconciliation: each client also records its per-exchange
+   latencies into a bounded {!Tfree_obs.Histogram} shipped down the pipe
+   in compact form.  The parent merges the per-client histograms and
+   insists the merge is bit-identical to a histogram of all raw samples
+   (merge over split histograms = unsplit), that the merged quantiles
+   agree with {!Stats.quantile} over the raw samples within the
+   histogram's documented precision, and that the server's own latency
+   histogram counted every served query; the server's per-phase
+   histograms must account one run and one encode per served query, and
+   their p99s are reported.
+
    Every forked process leaves with [Unix._exit]: the parent's [at_exit]
    handlers must run once, in the parent. *)
 
@@ -40,6 +51,8 @@ module Proto = Tfree_wire.Proto
 module Fault = Tfree_wire.Fault
 module Metrics = Tfree_wire.Metrics
 module Wire = Tfree_wire.Wire_runtime
+module Histogram = Tfree_obs.Histogram
+module Phase = Tfree_obs.Phase
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("load_gen: " ^ msg); exit 1) fmt
 
@@ -202,12 +215,17 @@ let run_client ~pref ~path ~expected c =
   (t, Metrics.retries m)
 
 (* One result line per client down the pipe; each is far under PIPE_BUF,
-   so concurrent writes stay atomic. *)
+   so concurrent writes stay atomic.  The ninth token is the client's
+   latency histogram in {!Histogram.to_compact} form (space-free), built
+   from exactly the raw samples in the eighth — the parent checks the
+   merge of these against a histogram of all the raw samples. *)
 let emit_tally fd c (t, nretries) =
   let lats = String.concat "," (List.rev_map string_of_int t.lats_us) in
+  let h = Histogram.create () in
+  List.iter (fun us -> Histogram.record h (float_of_int us)) t.lats_us;
   let line =
-    Printf.sprintf "%d %d %d %d %d %d %d %s\n" c t.ok t.wrong t.failed nretries t.framed t.payload
-      lats
+    Printf.sprintf "%d %d %d %d %d %d %d %s %s\n" c t.ok t.wrong t.failed nretries t.framed
+      t.payload lats (Histogram.to_compact h)
   in
   ignore (Unix.write_substring fd line 0 (String.length line))
 
@@ -311,10 +329,11 @@ let run_load ~pref ~fault ~expected ~path =
     fail "[%s] collected %d client tallies, expected %d" label (List.length lines) !clients;
   let ok = ref 0 and wrong = ref 0 and failed = ref 0 in
   let nretries = ref 0 and framed = ref 0 and payload = ref 0 and lats = ref [] in
+  let merged = Histogram.create () in
   List.iter
     (fun line ->
       match String.split_on_char ' ' line with
-      | [ _c; o; w; f; r; fb; pb; ls ] ->
+      | [ _c; o; w; f; r; fb; pb; ls; hc ] ->
           ok := !ok + int_of_string o;
           wrong := !wrong + int_of_string w;
           failed := !failed + int_of_string f;
@@ -323,9 +342,31 @@ let run_load ~pref ~fault ~expected ~path =
           payload := !payload + int_of_string pb;
           List.iter
             (fun s -> if s <> "" then lats := float_of_string s :: !lats)
-            (String.split_on_char ',' ls)
+            (String.split_on_char ',' ls);
+          (match Histogram.of_compact hc with
+          | Ok h -> Histogram.merge merged h
+          | Error msg -> fail "[%s] garbled client histogram: %s" label msg)
       | _ -> fail "[%s] garbled client tally %S" label line)
     lines;
+  (* merge over per-client histograms = one histogram of all raw samples,
+     exactly; and the merged quantiles track the exact sample quantiles
+     within the histogram's documented precision *)
+  let reference = Histogram.create () in
+  List.iter (Histogram.record reference) !lats;
+  if not (Histogram.equal merged reference) then
+    fail "[%s] merged client histograms differ from the unsplit histogram of all samples" label;
+  if Histogram.count merged <> List.length !lats then
+    fail "[%s] merged histogram holds %d samples, clients reported %d" label
+      (Histogram.count merged) (List.length !lats);
+  List.iter
+    (fun p ->
+      let exact = Stats.quantile p !lats in
+      let approx = Histogram.quantile merged p in
+      let tolerance = Histogram.max_error merged exact in
+      if Float.abs (approx -. exact) > tolerance then
+        fail "[%s] histogram p%.0f %.1f drifts from exact %.1f beyond precision %.1f" label
+          (100.0 *. p) approx exact tolerance)
+    [ 0.5; 0.9; 0.99 ];
   (* ---- server telemetry, then shutdown ---- *)
   let stats =
     match Service.client_stats ~protocol:pref ~path () with
@@ -391,6 +432,26 @@ let run_load ~pref ~fault ~expected ~path =
       fail "[%s] server saw %d batch items, clients sent %d" label
         (stats_sub stats "batch" "items") (exchanges * !batch)
   end;
+  (* the server's own bounded histograms: the end-to-end latency histogram
+     counted every served query, and the per-phase histograms account
+     exactly one run and one encode per served query *)
+  if stats_sub stats "latency_us" "count" <> served then
+    fail "[%s] server latency histogram holds %d samples, served %d queries" label
+      (stats_sub stats "latency_us" "count") served;
+  let phase_num phase k =
+    match
+      Option.bind (Jsonout.member "phases" stats) (fun ps ->
+          Option.bind (Jsonout.member (Phase.name phase) ps) (Jsonout.member k))
+    with
+    | Some j -> Option.value ~default:0.0 (Jsonout.to_float j)
+    | None -> fail "[%s] stats missing field phases.%s.%s" label (Phase.name phase) k
+  in
+  if int_of_float (phase_num Phase.Run "count") <> served then
+    fail "[%s] run phase counted %.0f samples, served %d queries" label
+      (phase_num Phase.Run "count") served;
+  if int_of_float (phase_num Phase.Encode "count") <> served then
+    fail "[%s] encode phase counted %.0f samples, served %d queries" label
+      (phase_num Phase.Encode "count") served;
   (* ---- report ---- *)
   let q p = Stats.quantile p !lats /. 1000.0 in
   Printf.printf
@@ -401,6 +462,11 @@ let run_load ~pref ~fault ~expected ~path =
     (if !batch > 1 then exchanges else 0);
   Printf.printf "load_gen: [%s] latency/exchange ms p50 %.1f  p90 %.1f  p99 %.1f\n" label (q 0.50)
     (q 0.90) (q 0.99);
+  Printf.printf "load_gen: [%s] server phase p99 us:%s\n" label
+    (String.concat ""
+       (List.map
+          (fun p -> Printf.sprintf "  %s %.0f" (Phase.name p) (phase_num p "p99"))
+          Phase.all));
   let per_query b = float_of_int b /. float_of_int total in
   Printf.printf "load_gen: [%s] wire bytes/query %.1f framed, %.1f payload\n" label
     (per_query !framed) (per_query !payload);

@@ -16,7 +16,10 @@
    warm-up pass grows the scratch buffers to working size, the round trip
    may allocate only the decoded records themselves — {!check} enforces a
    hard {!minor_words_limit} budget, and the v2-beats-v1 gates on both
-   byte counts and both codec timings.  [bench/main.ml] embeds the rows in
+   byte counts and both codec timings.  The measured round trip also
+   records into a {!Tfree_obs.Histogram} (as the serve loop does for
+   every query and phase) under the same unchanged budget, pinning the
+   histogram's recording fast path at zero allocations.  [bench/main.ml] embeds the rows in
    BENCH_results.json ([micro/serve-*]); [bench/micro.ml] runs the gate
    standalone behind the @micro-smoke alias; [bench/check_json.ml]
    re-validates the emitted rows. *)
@@ -25,6 +28,7 @@ open Tfree_util
 module Service = Tfree_wire.Service
 module Proto = Tfree_wire.Proto
 module Wire = Tfree_wire.Wire_runtime
+module Histogram = Tfree_obs.Histogram
 
 (* ------------------------------------------------------------ fixtures *)
 
@@ -153,10 +157,16 @@ let measure ~iters =
   ignore (v2_encode ());
   let v2_framed_bytes = Proto.frame_len qbuf + Proto.frame_len rbuf in
   let v2_payload_bytes = Proto.frame_body_len qbuf + Proto.frame_body_len rbuf in
-  (* allocation: one warmed v2 round trip, minor words per iteration *)
+  (* allocation: one warmed v2 round trip, minor words per iteration.
+     The round trip includes latency-histogram recording — the serve loop
+     records every query and every phase — under the SAME budget: the
+     histogram's int fast path must stay zero-alloc or the gate trips. *)
+  let hist = Histogram.create () in
   let round_trip () =
     ignore (Sys.opaque_identity (v2_encode ()));
-    ignore (Sys.opaque_identity (v2_decode ()))
+    Histogram.record_int hist (Proto.frame_len qbuf + Proto.frame_len rbuf);
+    ignore (Sys.opaque_identity (v2_decode ()));
+    Histogram.record_int hist 37
   in
   round_trip ();
   Gc.full_major ();

@@ -8,6 +8,7 @@
      dataset       maintain a named-dataset manifest (list/info/import/gen)
      serve         answer queries over a Unix-domain socket (tfree-serve)
      client        query a running tfree-serve daemon
+     top           live rates/latency dashboard over a daemon's stats
      trace-report  phase/player breakdown tables of a --trace file *)
 
 open Cmdliner
@@ -19,6 +20,9 @@ module Proto = Tfree_wire.Proto
 module Trace = Tfree_trace.Trace
 module Registry = Tfree_dataset.Registry
 module Dataset_error = Tfree_dataset.Dataset_error
+module Logger = Tfree_obs.Logger
+module Prom = Tfree_obs.Prom
+module Obs_phase = Tfree_obs.Phase
 
 (* ----------------------------------------------------------- common args *)
 
@@ -518,7 +522,8 @@ let dataset_cmd =
 
 let serve_cmd =
   let run path max_requests line_timeout backlog max_clients cache_capacity fault_spec
-      max_version datasets preload =
+      max_version datasets preload log_file log_level slow_us trace_sample trace_out metrics_file
+      metrics_interval =
     let fault = parse_fault_spec fault_spec in
     let registry =
       Option.map
@@ -533,14 +538,34 @@ let serve_cmd =
               reg))
         datasets
     in
+    let level =
+      match Logger.level_of_name log_level with
+      | Some l -> l
+      | None ->
+          Printf.eprintf "error: unknown log level %S (use debug|info|warn|error)\n" log_level;
+          exit 2
+    in
+    let logger = Option.map (fun path -> Logger.create ~level ~path ()) log_file in
+    (match (slow_us, log_file) with
+    | Some _, None ->
+        Printf.eprintf "error: --slow-us needs --log FILE to write to\n";
+        exit 2
+    | _ -> ());
+    (match (trace_sample, trace_out) with
+    | n, None when n > 0 ->
+        Printf.eprintf "error: --trace-sample needs --trace-out FILE to write to\n";
+        exit 2
+    | _ -> ());
     Printf.printf
       "tfree-serve: listening on %s (backlog %d, max %d clients, cache %d, wire protocol <= v%d)%s\n%!"
       path backlog max_clients cache_capacity max_version
       (if fault = [] then "" else Printf.sprintf " (injecting %d reply fault(s))" (List.length fault));
     let served =
       Service.serve ~backlog ~max_clients ?max_requests ~line_timeout_s:line_timeout ~fault
-        ~cache_capacity ~max_version ?registry ~path ()
+        ~cache_capacity ~max_version ?registry ?logger ?slow_us ~trace_sample ?trace_out
+        ?metrics_file ~metrics_interval_s:metrics_interval ~path ()
     in
+    Option.iter Logger.close logger;
     Printf.printf "tfree-serve: served %d request(s); bye\n" served
   in
   let max_arg =
@@ -582,6 +607,47 @@ let serve_cmd =
              ~doc:"Eagerly load every registered dataset at startup (with --datasets) instead \
                    of on first query.")
   in
+  let log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Append leveled structured events (one JSON object per line) to FILE: \
+                   start/accept/shed/request errors/slow queries/shutdown.")
+  in
+  let log_level_arg =
+    Arg.(value & opt string "info"
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Lowest level written to --log: debug, info, warn or error.")
+  in
+  let slow_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-us" ] ~docv:"MICROSECONDS"
+             ~doc:"With --log: log every query whose protocol-run phase exceeds this many \
+                   microseconds, with its request key and latency breakdown.")
+  in
+  let trace_sample_arg =
+    Arg.(value & opt int 0
+         & info [ "trace-sample" ] ~docv:"N"
+             ~doc:"Record every Nth request as a span timeline (serve phases plus protocol \
+                   messages); 0 disables.  Needs --trace-out.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the sampled request timelines in Chrome trace format to FILE at \
+                   shutdown.")
+  in
+  let metrics_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-file" ] ~docv:"FILE"
+             ~doc:"Atomically rewrite FILE with a Prometheus text exposition of the stats \
+                   every --metrics-interval seconds (and at shutdown), for a node-exporter \
+                   style scrape.")
+  in
+  let metrics_interval_arg =
+    Arg.(value & opt float 5.0
+         & info [ "metrics-interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between --metrics-file rewrites (floored at 0.1).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Answer triangle-freeness queries over a Unix-domain socket (one JSON value per \
@@ -589,13 +655,17 @@ let serve_cmd =
              --datasets, a registered corpus).  A select event loop serves many clients \
              concurrently, with per-connection deadlines, bounded admission and an LRU \
              instance cache.  The server degrades under bad clients and injected faults; it \
-             never dies mid-conversation.")
+             never dies mid-conversation.  Observability: --log (structured JSONL events), \
+             --slow-us (slow-query log), --trace-sample/--trace-out (sampled request \
+             timelines), --metrics-file (Prometheus text dumps).")
     Term.(const run $ socket_arg $ max_arg $ line_timeout_arg $ backlog_arg $ max_clients_arg
-          $ cache_arg $ fault_spec_arg $ serve_protocol_arg $ datasets_arg $ preload_arg)
+          $ cache_arg $ fault_spec_arg $ serve_protocol_arg $ datasets_arg $ preload_arg
+          $ log_arg $ log_level_arg $ slow_arg $ trace_sample_arg $ trace_out_arg
+          $ metrics_file_arg $ metrics_interval_arg)
 
 let client_cmd =
-  let run path shutdown stats as_json batch seed n d k eps family part proto_specs transport
-      fault_spec timeout retries backoff dataset =
+  let run path shutdown stats health format as_json batch seed n d k eps family part proto_specs
+      transport fault_spec timeout retries backoff dataset =
     ignore (parse_fault_spec fault_spec);
     if dataset <> None && batch <> None then (
       Printf.eprintf "error: --dataset and --batch cannot be combined\n";
@@ -608,12 +678,21 @@ let client_cmd =
     if shutdown then (
       Service.client_shutdown ~protocol:wire_pref ~path ();
       print_endline "shutdown sent")
+    else if health then (
+      match Service.client_health ~timeout_s:timeout ~protocol:wire_pref ~path () with
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+      | Ok health -> print_string (Jsonout.to_string health))
     else if stats then (
       match Service.client_stats ~timeout_s:timeout ~protocol:wire_pref ~path () with
       | Error msg ->
           Printf.eprintf "error: %s\n" msg;
           exit 1
-      | Ok stats -> print_string (Jsonout.to_string stats))
+      | Ok stats -> (
+          match format with
+          | `Json -> print_string (Jsonout.to_string stats)
+          | `Prom -> print_string (Prom.of_stats stats)))
     else
       let req =
         { Service.family; partition = part; protocol = proto; n; d; k; eps; seed; transport;
@@ -684,6 +763,18 @@ let client_cmd =
              ~doc:"Fetch the server's telemetry (queries served, verdict counts, latency \
                    quantiles, wire traffic) instead of querying.")
   in
+  let health_arg =
+    Arg.(value & flag
+         & info [ "health" ]
+             ~doc:"Fetch the server's cheap liveness payload (uptime, served, errors, \
+                   connection gauges, cache occupancy) instead of querying.")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"With --stats: print the raw JSON (json) or a Prometheus text exposition \
+                   (prom).")
+  in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print the server's raw JSON reply.") in
   let batch_arg =
     Arg.(value & opt (some int) None
@@ -713,10 +804,83 @@ let client_cmd =
   in
   Cmd.v
     (Cmd.info "client" ~doc:"Query a running tfree-serve daemon.")
-    Term.(const run $ socket_arg $ shutdown_arg $ stats_arg $ json_arg $ batch_arg $ seed_arg
-          $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg $ client_protocol_arg
-          $ transport_arg $ fault_spec_arg $ timeout_arg $ retries_arg $ backoff_arg
-          $ dataset_arg)
+    Term.(const run $ socket_arg $ shutdown_arg $ stats_arg $ health_arg $ format_arg $ json_arg
+          $ batch_arg $ seed_arg $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg
+          $ client_protocol_arg $ transport_arg $ fault_spec_arg $ timeout_arg $ retries_arg
+          $ backoff_arg $ dataset_arg)
+
+(* ------------------------------------------------------------------ top *)
+
+(* Live dashboard: poll a daemon's stats and print the diff of successive
+   snapshots as rates.  Counters are lifetime-cumulative, so the delta
+   over the poll interval (divided by the server's own uptime delta, not
+   the client's sleep) is the instantaneous rate; quantiles are not
+   diffable and are shown as the histogram's current lifetime value. *)
+let top_cmd =
+  let run path interval count proto_specs =
+    let wire_pref =
+      List.fold_left (fun w -> function `Wire v -> v | `Tester _ -> w) Proto.Auto proto_specs
+    in
+    let interval = Float.max 0.1 interval in
+    let num keys j =
+      let rec go j = function
+        | [] -> Option.value ~default:0.0 (Jsonout.to_float j)
+        | k :: rest -> ( match Jsonout.member k j with Some v -> go v rest | None -> 0.0)
+      in
+      go j keys
+    in
+    let fetch () =
+      match Service.client_stats ~protocol:wire_pref ~path () with
+      | Ok stats -> stats
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+    in
+    let phase_label p =
+      match Obs_phase.name p with "cache_lookup" -> "cache" | name -> name
+    in
+    Printf.printf "%8s %8s %8s %10s %6s %5s" "uptime" "qps" "err/s" "bytes/s" "hit%" "infl";
+    List.iter (fun p -> Printf.printf " %9s" ("p99:" ^ phase_label p)) Obs_phase.all;
+    print_newline ();
+    let prev = ref (fetch ()) in
+    let ticks = ref 0 in
+    while count = 0 || !ticks < count do
+      Unix.sleepf interval;
+      let cur = fetch () in
+      let d keys = num keys cur -. num keys !prev in
+      let dt = Float.max 1e-9 (num [ "uptime_s" ] cur -. num [ "uptime_s" ] !prev) in
+      let lookups = d [ "cache"; "hits" ] +. d [ "cache"; "misses" ] in
+      let hit_pct = if lookups > 0.0 then 100.0 *. d [ "cache"; "hits" ] /. lookups else 0.0 in
+      Printf.printf "%8.1f %8.1f %8.1f %10.0f %6.1f %5.0f"
+        (num [ "uptime_s" ] cur)
+        (d [ "queries_served" ] /. dt)
+        (d [ "errors" ] /. dt)
+        (d [ "wire_bytes" ] /. dt)
+        hit_pct
+        (num [ "in_flight" ] cur);
+      List.iter
+        (fun p -> Printf.printf " %9.0f" (num [ "phases"; Obs_phase.name p; "p99" ] cur))
+        Obs_phase.all;
+      print_newline ();
+      flush stdout;
+      prev := cur;
+      incr ticks
+    done
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between stats polls.")
+  in
+  let count_arg =
+    Arg.(value & opt int 0
+         & info [ "count" ] ~docv:"N" ~doc:"Stop after N refreshes (0 = run until interrupted).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Poll a running tfree-serve daemon's stats and print successive-snapshot diffs as \
+             live rates: queries/s, errors/s, bytes/s, cache hit ratio, open connections, and \
+             the per-phase p99 latencies.")
+    Term.(const run $ socket_arg $ interval_arg $ count_arg $ client_protocol_arg)
 
 let () =
   let doc = "multiparty communication-complexity testers for triangle-freeness (PODC'17 reproduction)" in
@@ -724,4 +888,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "tfree" ~doc)
           [ run_cmd; experiment_cmd; list_cmd; inspect_cmd; dataset_cmd; serve_cmd; client_cmd;
-            trace_report_cmd ]))
+            top_cmd; trace_report_cmd ]))

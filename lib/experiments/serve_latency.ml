@@ -1,0 +1,148 @@
+(** E25: serve latency decomposition — the phase-count contract and the
+    bounded histogram's quantile precision.
+
+    Wall-clock latency is the one thing the bench harness cannot diff
+    byte-for-byte across runs, so both tables report only deterministic
+    quantities: sample {e counts} from the live phase instrumentation and
+    quantile {e errors} over a seeded synthetic workload.
+
+    Table A drives real queries through
+    {!Tfree_wire.Service.handle_line} — the exact code path a socket line
+    takes, minus the socket — and reads the per-phase histogram counts
+    back out of the metrics registry.  The serve loop's decomposition
+    contract says a clean single-query line costs exactly one
+    [cache_lookup], one [run] and one [encode] sample (and one end-to-end
+    latency sample), while one [parse] sample is paid per line whether or
+    not it serves; [read]/[write] belong to the socket loop and stay 0
+    in-process.  The [check] column asserts all of it, including that an
+    error line pays [parse] but touches no other phase.
+
+    Table B prices the histogram's documented precision bound: a seeded
+    heavy-tailed sample stream (microsecond-scale mixture spanning five
+    orders of magnitude, like real serve latencies) is recorded into
+    histograms at several [sub_bits] resolutions and the histogram
+    quantiles are compared against the exact {!Tfree_util.Stats.quantile}
+    of the raw samples.  Every absolute error must sit inside
+    [Histogram.max_error] — one microsecond of floor quantization plus
+    [2^(1 - sub_bits)] relative — while the bucket-array memory bound
+    stays fixed regardless of sample count. *)
+
+open Tfree_util
+module Service = Tfree_wire.Service
+module Metrics = Tfree_wire.Metrics
+module Histogram = Tfree_obs.Histogram
+module Phase = Tfree_obs.Phase
+
+let e25_serve_latency scale =
+  let n, queries, samples =
+    match scale with Common.Small -> (200, 12, 4_000) | Common.Big -> (400, 32, 40_000)
+  in
+  (* ---- Table A: phase counts through handle_line ---- *)
+  let run_plan lines =
+    let cache = Service.create_cache ~capacity:queries () in
+    let metrics = Metrics.create () in
+    let stop = ref false in
+    let served =
+      List.fold_left (fun acc line -> acc + snd (Service.handle_line ~cache ~metrics ~stop line)) 0 lines
+    in
+    (metrics, served)
+  in
+  let query_line seed =
+    Jsonout.to_line (Service.request_to_json { Service.default_request with n; seed })
+  in
+  let plans =
+    [
+      ("clean queries", List.init queries (fun i -> query_line (1 + i)), queries, 0);
+      ( "queries + 2 bad lines",
+        ("{nope" :: List.init queries (fun i -> query_line (1 + i))) @ [ "{\"op\": \"levitate\"}" ],
+        queries, 2 );
+      ("errors only", [ "{nope"; "{\"n\": -5}" ], 0, 2);
+    ]
+  in
+  let rows_a =
+    List.map
+      (fun (label, lines, expect_served, expect_failed) ->
+        let metrics, served = run_plan lines in
+        let count p = Metrics.phase_count metrics p in
+        let latency = Histogram.count (Metrics.latency_snapshot metrics) in
+        (* parse is paid per parsed line; the malformed "{nope" line never
+           reaches the parser's output, but still costs its parse attempt *)
+        let okay =
+          served = expect_served
+          && count Phase.Cache_lookup = served
+          && count Phase.Run = served
+          && count Phase.Encode = served
+          && latency = served
+          && count Phase.Parse = List.length lines
+          && count Phase.Read = 0
+          && count Phase.Write = 0
+          && Metrics.errors metrics = expect_failed
+        in
+        [
+          label;
+          string_of_int (List.length lines);
+          string_of_int served;
+          string_of_int (count Phase.Parse);
+          string_of_int (count Phase.Cache_lookup);
+          string_of_int (count Phase.Run);
+          string_of_int (count Phase.Encode);
+          string_of_int latency;
+          (if okay then "yes" else "NO");
+        ])
+      plans
+  in
+  let table_a =
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "E25a phase-count decomposition: handle_line in-process (n=%d); cache_lookup = run = \
+            encode = latency = served, parse = lines"
+           n)
+      ~header:
+        [ "plan"; "lines"; "served"; "parse"; "cache_lookup"; "run"; "encode"; "latency"; "check" ]
+      rows_a
+  in
+  (* ---- Table B: quantile precision vs sub_bits ---- *)
+  let rng = Rng.create 25 in
+  let sample i =
+    (* heavy-tailed mixture: mostly sub-millisecond, a long tail to ~1 s *)
+    let u = Rng.hash_float rng i in
+    let v = Rng.hash_float2 rng i 1 in
+    if u < 0.9 then 20.0 +. (980.0 *. v) else Float.pow 10.0 (3.0 +. (3.0 *. v))
+  in
+  let raw = List.init samples sample in
+  let quantiles = [ 0.5; 0.9; 0.99 ] in
+  let exact = List.map (fun q -> (q, Stats.quantile q raw)) quantiles in
+  let row_b sub_bits =
+    let h = Histogram.create ~sub_bits () in
+    List.iter (Histogram.record h) raw;
+    let errs =
+      List.map
+        (fun (q, ex) ->
+          let err = Float.abs (Histogram.quantile h q -. ex) in
+          (err, Histogram.max_error h ex))
+        exact
+    in
+    let okay = List.for_all (fun (err, bound) -> err <= bound) errs in
+    string_of_int sub_bits
+    :: string_of_int (Histogram.num_buckets h)
+    :: List.concat_map
+         (fun (err, bound) -> [ Table.fcell ~prec:1 err; Table.fcell ~prec:1 bound ])
+         errs
+    @ [ (if okay then "yes" else "NO") ]
+  in
+  let table_b =
+    Table.make
+      ~title:
+        (Printf.sprintf
+           "E25b histogram precision: %d seeded samples vs Stats.quantile; |err| <= 1 + q * \
+            2^(1-sub_bits), memory fixed at num_buckets"
+           samples)
+      ~header:
+        [
+          "sub_bits"; "buckets"; "p50 err"; "bound"; "p90 err"; "bound"; "p99 err"; "bound";
+          "check";
+        ]
+      (List.map row_b [ 2; 3; 5; 8 ])
+  in
+  [ table_a; table_b ]

@@ -1,0 +1,96 @@
+(** Leveled structured JSONL event log for the daemon.
+
+    One JSON object per line: [{"ts": epoch_seconds, "level": "...",
+    "event": "...", ...fields}].  Events below the configured level are
+    dropped before any formatting.  Every emitted line is flushed to the
+    log file immediately (the daemon may be killed) and also kept in a
+    fixed-size in-memory ring, so the last N events survive for
+    post-mortem inspection without re-reading the file.
+
+    Thread-safe: emission takes a mutex (the serve loop is single-threaded,
+    but client-side registries share freely). *)
+
+open Tfree_util
+
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_name = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type t = {
+  mu : Mutex.t;
+  oc : out_channel;
+  min_severity : int;
+  ring : string option array;
+  mutable ring_next : int;  (* next slot to overwrite *)
+  mutable emitted : int;  (* lines actually written *)
+}
+
+let create ?(ring = 256) ?(level = Info) ~path () =
+  if ring < 1 then invalid_arg "Logger.create: ring must be >= 1";
+  {
+    mu = Mutex.create ();
+    oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path;
+    min_severity = severity level;
+    ring = Array.make ring None;
+    ring_next = 0;
+    emitted = 0;
+  }
+
+let enabled t level = severity level >= t.min_severity
+
+let log t level event fields =
+  if enabled t level then begin
+    let line =
+      Jsonout.to_line
+        (Jsonout.Obj
+           (("ts", Jsonout.Num (Unix.gettimeofday ()))
+           :: ("level", Jsonout.Str (level_name level))
+           :: ("event", Jsonout.Str event)
+           :: fields))
+    in
+    Mutex.lock t.mu;
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    t.ring.(t.ring_next) <- Some line;
+    t.ring_next <- (t.ring_next + 1) mod Array.length t.ring;
+    t.emitted <- t.emitted + 1;
+    Mutex.unlock t.mu
+  end
+
+let emitted t =
+  Mutex.lock t.mu;
+  let n = t.emitted in
+  Mutex.unlock t.mu;
+  n
+
+let recent t =
+  Mutex.lock t.mu;
+  let n = Array.length t.ring in
+  let acc = ref [] in
+  (* Oldest-first: walk the ring forward starting at the overwrite cursor. *)
+  for i = 0 to n - 1 do
+    match t.ring.((t.ring_next + i) mod n) with
+    | Some line -> acc := line :: !acc
+    | None -> ()
+  done;
+  Mutex.unlock t.mu;
+  List.rev !acc
+
+let close t =
+  Mutex.lock t.mu;
+  (try close_out t.oc with Sys_error _ -> ());
+  Mutex.unlock t.mu

@@ -1,0 +1,34 @@
+(** Leveled structured JSONL event log: one [{"ts": ..., "level": ...,
+    "event": ..., ...}] object per line, flushed per event, with the last
+    N lines also held in a fixed-size in-memory ring.  Thread-safe. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+val level_of_name : string -> level option
+
+type t
+
+(** [create ~ring ~level ~path ()] opens [path] for append.  [ring]
+    (default 256) bounds the in-memory tail; [level] (default [Info]) is
+    the minimum emitted severity.
+    @raise Invalid_argument when [ring < 1]
+    @raise Sys_error when the file cannot be opened. *)
+val create : ?ring:int -> ?level:level -> path:string -> unit -> t
+
+(** Would an event at this level be emitted?  Use to skip building
+    expensive fields. *)
+val enabled : t -> level -> bool
+
+(** [log t level event fields] emits one JSONL line; a no-op below the
+    configured level. *)
+val log : t -> level -> string -> (string * Tfree_util.Jsonout.t) list -> unit
+
+(** Lines actually written (post-filter), over the logger's lifetime. *)
+val emitted : t -> int
+
+(** The ring's current contents, oldest first (at most [ring] lines). *)
+val recent : t -> string list
+
+val close : t -> unit

@@ -1,0 +1,23 @@
+(** Monotonic (never-decreasing) wall-clock reads for latency timing.
+
+    [Unix.gettimeofday] can step backwards under NTP adjustment, which
+    turned into negative latency samples in the serve path.  Without
+    reaching for an external clock library, a clamped global high-water
+    mark over [gettimeofday] gives the property the telemetry needs:
+    successive reads never decrease, so deltas are never negative.  The
+    cost is that during a backwards step the clock holds still (deltas
+    read 0) until real time catches back up — fine for latency
+    measurement, not a basis for wall-clock timestamps. *)
+
+let mu = Mutex.create ()
+let high_water = ref neg_infinity
+
+let now_s () =
+  Mutex.lock mu;
+  let t = Unix.gettimeofday () in
+  if t > !high_water then high_water := t;
+  let r = !high_water in
+  Mutex.unlock mu;
+  r
+
+let now_us () = now_s () *. 1e6

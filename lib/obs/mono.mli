@@ -1,0 +1,11 @@
+(** Monotonic (never-decreasing) clock for latency timing: a clamped
+    high-water mark over [Unix.gettimeofday].  Successive reads never
+    decrease — during a backwards NTP step the clock holds still until
+    real time catches up — so latency deltas are never negative.  Use for
+    durations, not for wall-clock timestamps. *)
+
+(** Seconds; same epoch as [Unix.gettimeofday], clamped non-decreasing. *)
+val now_s : unit -> float
+
+(** Microseconds ([now_s *. 1e6]). *)
+val now_us : unit -> float

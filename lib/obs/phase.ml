@@ -1,0 +1,54 @@
+(** The serve-request phases: where a request's wall-clock goes between
+    the socket and the reply.  Each phase gets its own latency histogram
+    in {!Tfree_wire.Metrics}; under a clean single-query load every phase
+    records exactly one sample per served query, which is the consistency
+    the observability smoke asserts.
+
+    - [Read]: assembling one request unit (line or frame) from socket
+      chunks — first buffered byte to unit extraction.
+    - [Parse]: text → JSON parse (v1) or frame-body decode (v2); one
+      sample per request unit.
+    - [Cache_lookup]: instance/dataset resolution against the LRU cache,
+      including any rebuild on miss.
+    - [Run]: the protocol run itself.
+    - [Encode]: serializing a successful query response.
+    - [Write]: delivering the reply bytes to the socket. *)
+
+type t = Read | Parse | Cache_lookup | Run | Encode | Write
+
+let all = [ Read; Parse; Cache_lookup; Run; Encode; Write ]
+let count = 6
+
+let index = function
+  | Read -> 0
+  | Parse -> 1
+  | Cache_lookup -> 2
+  | Run -> 3
+  | Encode -> 4
+  | Write -> 5
+
+let of_index = function
+  | 0 -> Read
+  | 1 -> Parse
+  | 2 -> Cache_lookup
+  | 3 -> Run
+  | 4 -> Encode
+  | 5 -> Write
+  | i -> invalid_arg (Printf.sprintf "Phase.of_index: %d" i)
+
+let name = function
+  | Read -> "read"
+  | Parse -> "parse"
+  | Cache_lookup -> "cache_lookup"
+  | Run -> "run"
+  | Encode -> "encode"
+  | Write -> "write"
+
+let of_name = function
+  | "read" -> Some Read
+  | "parse" -> Some Parse
+  | "cache_lookup" -> Some Cache_lookup
+  | "run" -> Some Run
+  | "encode" -> Some Encode
+  | "write" -> Some Write
+  | _ -> None

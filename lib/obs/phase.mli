@@ -1,0 +1,26 @@
+(** Serve-request phases (read, parse, cache-lookup, run, encode, write):
+    the per-request decomposition of the daemon hot path.  Each phase gets
+    a latency histogram in the metrics registry; under a clean
+    single-query load every phase records exactly one sample per served
+    query. *)
+
+type t = Read | Parse | Cache_lookup | Run | Encode | Write
+
+(** In [index] order. *)
+val all : t list
+
+(** [List.length all] = 6. *)
+val count : int
+
+(** Dense 0-based index (array slot). *)
+val index : t -> int
+
+(** Inverse of [index].  @raise Invalid_argument outside [0, count). *)
+val of_index : int -> t
+
+(** Lower-snake name as it appears in stats JSON, Prometheus labels and
+    trace span names: ["read"], ["parse"], ["cache_lookup"], ["run"],
+    ["encode"], ["write"]. *)
+val name : t -> string
+
+val of_name : string -> t option

@@ -1,0 +1,300 @@
+(** Prometheus text exposition (version 0.0.4) of the tfree-serve stats
+    JSON, plus a strict-enough validator used by the observability smoke.
+
+    [of_stats] translates the {!Tfree_wire.Metrics.to_json} document into
+    metric families: monotone counters get a [_total] suffix, gauges stay
+    bare, and the latency histograms surface as summaries
+    ([tfree_latency_us{quantile="0.99"}] plus [_sum]/[_count]), with the
+    per-phase histograms under one family labeled by phase.  The
+    translation reads the JSON rather than the registry so any stats
+    document — including one fetched over the wire by
+    [tfree client --stats --format prom] — can be exposed. *)
+
+open Tfree_util
+
+let escape_label s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fmt_value v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let num_member k j =
+  match Jsonout.member k j with
+  | Some v -> ( match Jsonout.to_float v with Some f -> Some f | None -> None)
+  | None -> None
+
+let obj_member k j =
+  match Jsonout.member k j with Some (Jsonout.Obj fields) -> Some fields | _ -> None
+
+type emitter = { buf : Buffer.t }
+
+let family e name typ help =
+  Buffer.add_string e.buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string e.buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+
+let sample ?(labels = []) e name v =
+  Buffer.add_string e.buf name;
+  (match labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char e.buf '{';
+      List.iteri
+        (fun i (k, lv) ->
+          if i > 0 then Buffer.add_char e.buf ',';
+          Buffer.add_string e.buf (Printf.sprintf "%s=\"%s\"" k (escape_label lv)))
+        labels;
+      Buffer.add_char e.buf '}');
+  Buffer.add_char e.buf ' ';
+  Buffer.add_string e.buf (fmt_value v);
+  Buffer.add_char e.buf '\n'
+
+(* One summary family out of a latency_us-shaped object
+   ({count, mean, sum, p50, p90, p99, p999}); quantile samples are
+   omitted while the histogram is empty (the JSON holds null). *)
+let summary ?(labels = []) e name j =
+  List.iter
+    (fun (q, key) ->
+      match num_member key j with
+      | Some v -> sample e name v ~labels:(labels @ [ ("quantile", q) ])
+      | None -> ())
+    [ ("0.5", "p50"); ("0.9", "p90"); ("0.99", "p99"); ("0.999", "p999") ];
+  let count = Option.value ~default:0.0 (num_member "count" j) in
+  let sum =
+    match num_member "sum" j with
+    | Some s -> s
+    | None -> count *. Option.value ~default:0.0 (num_member "mean" j)
+  in
+  sample e (name ^ "_sum") sum ~labels;
+  sample e (name ^ "_count") count ~labels
+
+let of_stats j =
+  let e = { buf = Buffer.create 2048 } in
+  let counter ?labels name help v =
+    family e name "counter" help;
+    sample ?labels e name v
+  in
+  let gauge name help v =
+    family e name "gauge" help;
+    sample e name v
+  in
+  let n k = Option.value ~default:0.0 (num_member k j) in
+  counter "tfree_queries_served_total" "Queries served" (n "queries_served");
+  counter "tfree_errors_total" "Failed request lines" (n "errors");
+  family e "tfree_category_errors_total" "counter" "Failed request lines by category";
+  (match obj_member "errors_by_category" j with
+  | Some fields ->
+      List.iter
+        (fun (cat, v) ->
+          match Jsonout.to_float v with
+          | Some v -> sample e "tfree_category_errors_total" v ~labels:[ ("category", cat) ]
+          | None -> ())
+        fields
+  | None -> ());
+  counter "tfree_retries_total" "Client retry attempts" (n "retries");
+  counter "tfree_injected_faults_total" "Scheduled chaos faults fired" (n "injected_faults");
+  counter "tfree_wire_bytes_total" "Transport bytes of served queries" (n "wire_bytes");
+  counter "tfree_accounted_bits_total" "Ledger bits of served queries" (n "accounted_bits");
+  gauge "tfree_uptime_seconds" "Seconds since registry creation" (n "uptime_s");
+  gauge "tfree_served_per_second" "Lifetime served/uptime" (n "served_per_sec");
+  gauge "tfree_in_flight" "Connections currently open" (n "in_flight");
+  (match obj_member "connections" j with
+  | Some fields ->
+      let cn k = Option.value ~default:0.0 (num_member k (Jsonout.Obj fields)) in
+      counter "tfree_connections_accepted_total" "Connections accepted" (cn "accepted");
+      counter "tfree_connections_shed_total" "Connections shed under overload" (cn "shed")
+  | None -> ());
+  (match obj_member "cache" j with
+  | Some fields ->
+      let cn k = Option.value ~default:0.0 (num_member k (Jsonout.Obj fields)) in
+      counter "tfree_cache_hits_total" "Instance-cache hits" (cn "hits");
+      counter "tfree_cache_misses_total" "Instance-cache misses" (cn "misses")
+  | None -> ());
+  (match obj_member "batch" j with
+  | Some fields ->
+      let cn k = Option.value ~default:0.0 (num_member k (Jsonout.Obj fields)) in
+      counter "tfree_batches_total" "Batch exchanges" (cn "batches");
+      counter "tfree_batch_items_total" "Queries carried by batch exchanges" (cn "items")
+  | None -> ());
+  (match obj_member "protocol_versions" j with
+  | Some fields ->
+      family e "tfree_version_served_total" "counter" "Queries served per wire version";
+      family e "tfree_version_bytes_total" "counter" "Serve-socket bytes per wire version";
+      List.iter
+        (fun (v, vj) ->
+          let cn k = Option.value ~default:0.0 (num_member k vj) in
+          sample e "tfree_version_served_total" (cn "served") ~labels:[ ("version", v) ];
+          sample e "tfree_version_bytes_total" (cn "bytes") ~labels:[ ("version", v) ])
+        fields
+  | None -> ());
+  (match obj_member "verdicts" j with
+  | Some fields ->
+      family e "tfree_verdicts_total" "counter" "Verdicts by protocol";
+      List.iter
+        (fun (proto, vj) ->
+          List.iter
+            (fun verdict ->
+              match num_member verdict vj with
+              | Some v ->
+                  sample e "tfree_verdicts_total" v
+                    ~labels:[ ("protocol", proto); ("verdict", verdict) ]
+              | None -> ())
+            [ "triangle"; "triangle_free" ])
+        fields
+  | None -> ());
+  (match obj_member "datasets" j with
+  | Some fields when fields <> [] ->
+      family e "tfree_dataset_queries_total" "counter" "Dataset queries served, per name";
+      List.iter
+        (fun (name, v) ->
+          match Jsonout.to_float v with
+          | Some v -> sample e "tfree_dataset_queries_total" v ~labels:[ ("dataset", name) ]
+          | None -> ())
+        fields
+  | _ -> ());
+  (match Jsonout.member "latency_us" j with
+  | Some lat ->
+      family e "tfree_latency_us" "summary" "Served-query latency (microseconds)";
+      summary e "tfree_latency_us" lat
+  | None -> ());
+  (match obj_member "phases" j with
+  | Some fields ->
+      family e "tfree_phase_latency_us" "summary" "Per-phase serve latency (microseconds)";
+      List.iter
+        (fun (phase, pj) -> summary e "tfree_phase_latency_us" pj ~labels:[ ("phase", phase) ])
+        fields
+  | None -> ());
+  Buffer.contents e.buf
+
+(* ---- validator ---------------------------------------------------- *)
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let parse_name line i =
+  let n = String.length line in
+  if i >= n || not (is_name_start line.[i]) then None
+  else begin
+    let j = ref (i + 1) in
+    while !j < n && is_name_char line.[!j] do
+      incr j
+    done;
+    Some (String.sub line i (!j - i), !j)
+  end
+
+let parse_float_value s =
+  match String.trim s with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some nan
+  | s -> float_of_string_opt s
+
+(* Parse one {label="value",...} block starting at [i] (which points at
+   '{'); returns the index just past '}'. *)
+let parse_labels line i =
+  let n = String.length line in
+  let rec labels i first =
+    if i < n && line.[i] = '}' then Ok (i + 1)
+    else begin
+      let i = if (not first) && i < n && line.[i] = ',' then i + 1 else i in
+      match parse_name line i with
+      | None -> Error "expected label name"
+      | Some (_, i) ->
+          if i + 1 >= n || line.[i] <> '=' || line.[i + 1] <> '"' then
+            Error "expected =\" after label name"
+          else begin
+            let j = ref (i + 2) in
+            let fine = ref true in
+            while !fine && !j < n && line.[!j] <> '"' do
+              if line.[!j] = '\\' then
+                if !j + 1 < n then j := !j + 2 else fine := false
+              else incr j
+            done;
+            if (not !fine) || !j >= n then Error "unterminated label value"
+            else labels (!j + 1) false
+          end
+    end
+  in
+  labels (i + 1) true
+
+let validate text =
+  let typed = Hashtbl.create 16 in
+  let samples = ref 0 in
+  let err = ref None in
+  let fail lineno msg =
+    if !err = None then err := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  List.iteri
+    (fun k line ->
+      let lineno = k + 1 in
+      if !err = None && String.trim line <> "" then
+        if String.length line >= 2 && String.sub line 0 2 = "# " then begin
+          (* comment: must be HELP or TYPE with a well-formed metric name *)
+          match String.index_from_opt line 2 ' ' with
+          | None -> fail lineno "bare comment (expected # HELP or # TYPE)"
+          | Some sp -> (
+              let kind = String.sub line 2 (sp - 2) in
+              match kind with
+              | "HELP" | "TYPE" -> (
+                  match parse_name line (sp + 1) with
+                  | None -> fail lineno "missing metric name"
+                  | Some (name, j) ->
+                      if kind = "TYPE" then begin
+                        let typ = String.trim (String.sub line j (String.length line - j)) in
+                        if List.mem typ [ "counter"; "gauge"; "summary"; "histogram"; "untyped" ]
+                        then Hashtbl.replace typed name ()
+                        else fail lineno (Printf.sprintf "unknown TYPE %S" typ)
+                      end)
+              | _ -> fail lineno "comment is neither # HELP nor # TYPE")
+        end
+        else begin
+          match parse_name line 0 with
+          | None -> fail lineno "sample does not start with a metric name"
+          | Some (name, i) -> (
+              let after_labels =
+                if i < String.length line && line.[i] = '{' then parse_labels line i
+                else Ok i
+              in
+              match after_labels with
+              | Error msg -> fail lineno msg
+              | Ok i -> (
+                  let rest = String.sub line i (String.length line - i) in
+                  match parse_float_value rest with
+                  | None -> fail lineno (Printf.sprintf "unparseable value %S" (String.trim rest))
+                  | Some _ ->
+                      let base suffix =
+                        if
+                          String.length name > String.length suffix
+                          && String.sub name
+                               (String.length name - String.length suffix)
+                               (String.length suffix)
+                             = suffix
+                        then String.sub name 0 (String.length name - String.length suffix)
+                        else name
+                      in
+                      let declared =
+                        Hashtbl.mem typed name
+                        || Hashtbl.mem typed (base "_sum")
+                        || Hashtbl.mem typed (base "_count")
+                        || Hashtbl.mem typed (base "_bucket")
+                      in
+                      if not declared then
+                        fail lineno (Printf.sprintf "sample %s has no preceding # TYPE" name)
+                      else incr samples))
+        end)
+    (String.split_on_char '\n' text);
+  match !err with
+  | Some e -> Error e
+  | None -> if !samples = 0 then Error "no samples" else Ok ()

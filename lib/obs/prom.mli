@@ -1,0 +1,18 @@
+(** Prometheus text exposition (0.0.4) of a tfree-serve stats JSON
+    document, and a validator for the smoke tests.
+
+    Counters get [_total] names, gauges stay bare, the latency histograms
+    render as summaries with [quantile] labels plus [_sum]/[_count], and
+    per-phase histograms share one family labeled by [phase]. *)
+
+(** Translate a {!Tfree_wire.Metrics.to_json}-shaped document (local or
+    fetched over the wire) into exposition text.  Unknown/missing fields
+    are skipped, never fatal. *)
+val of_stats : Tfree_util.Jsonout.t -> string
+
+(** Check exposition text: every comment is a well-formed [# HELP]/[#
+    TYPE], every sample line parses (name, optional labels with escaped
+    values, float value, [+Inf]/[-Inf]/[NaN] accepted), every sample's
+    family has a preceding [# TYPE] (modulo [_sum]/[_count]/[_bucket]
+    suffixes), and there is at least one sample. *)
+val validate : string -> (unit, string) result

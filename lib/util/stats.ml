@@ -19,6 +19,7 @@ let stddev xs = sqrt (variance xs)
 
 (** Empirical quantile with linear interpolation; [q] in [0, 1]. *)
 let quantile q xs =
+  let q = Float.min 1.0 (Float.max 0.0 q) in
   match List.sort compare xs with
   | [] -> nan
   | sorted ->

@@ -10,8 +10,8 @@ val variance : float list -> float
 
 val stddev : float list -> float
 
-(** Empirical quantile with linear interpolation, [q] in [0, 1];
-    [nan] on the empty list. *)
+(** Empirical quantile with linear interpolation; [q] is clamped into
+    [0, 1]; [nan] on the empty list. *)
 val quantile : float -> float list -> float
 
 val median : float list -> float

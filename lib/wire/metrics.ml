@@ -16,13 +16,18 @@
     Every mutation and every read takes the registry's mutex, so one
     registry can be shared by concurrently running clients (the load
     generator fans its per-client tallies into one) or by a server that
-    serves connections from several domains.  The whole registry serializes
-    to JSON with latency quantiles computed by {!Tfree_util.Stats} at
-    render time — the registry stores raw samples, so quantiles are exact
-    over the server's lifetime (and well-defined on empty and single-sample
-    registries: [null] and the sample itself, respectively). *)
+    serves connections from several domains.  Latency lives in bounded
+    {!Tfree_obs.Histogram}s — one for end-to-end query latency, one per
+    serve {!Tfree_obs.Phase} — so registry memory is O(buckets) no matter
+    how many queries are served, quantiles (p50/p90/p99/p999) cost
+    O(buckets) at render time within the histogram's documented precision
+    (exact on empty and single-sample registries: [null] and the sample
+    itself), and {!merge} folds histograms exactly, which is what lets
+    per-worker registries combine into fleet-wide stats without shipping
+    raw samples. *)
 
 open Tfree_util
+open Tfree_obs
 
 type error_category =
   | Malformed  (** unparseable JSON, bad field types, unknown command, bad request values *)
@@ -42,14 +47,17 @@ let category_name = function
   | Transport -> "transport"
   | Overload -> "overload"
 
-(** Inverse of {!category_name}; unknown strings land in [Run_failure]. *)
+(** Inverse of {!category_name}; [None] on unknown strings (they used to
+    land silently in [Run_failure], which made every typo look like a
+    crashed protocol run). *)
 let category_of_name = function
-  | "malformed" -> Malformed
-  | "unknown_op" -> Unknown_op
-  | "timeout" -> Timeout
-  | "transport" -> Transport
-  | "overload" -> Overload
-  | _ -> Run_failure
+  | "malformed" -> Some Malformed
+  | "unknown_op" -> Some Unknown_op
+  | "run_failure" -> Some Run_failure
+  | "timeout" -> Some Timeout
+  | "transport" -> Some Transport
+  | "overload" -> Some Overload
+  | _ -> None
 
 type protocol_counts = { mutable triangle : int; mutable triangle_free : int }
 
@@ -73,7 +81,8 @@ type t = {
   version_bytes : int array;  (** serve-socket bytes per wire-protocol version, indexed 1/2 *)
   verdicts : (string, protocol_counts) Hashtbl.t;
   datasets : (string, int) Hashtbl.t;  (** [{"op": "dataset"}] queries served, per name *)
-  mutable latencies_us : float list;  (** newest first, one per served query *)
+  latency : Histogram.t;  (** end-to-end latency, one sample per served query *)
+  phases : Histogram.t array;  (** per-{!Tfree_obs.Phase} latency, [Phase.index]-indexed *)
 }
 
 (* versions 1..max_wire_version index [version_served]/[version_bytes];
@@ -81,6 +90,10 @@ type t = {
    merge of a registry from a newer build cannot crash an older one. *)
 let max_wire_version = 2
 let version_slot v = if v < 1 then 1 else if v > max_wire_version then max_wire_version else v
+
+(* All histograms in a registry share one precision so merge never faces a
+   sub_bits mismatch; 2^-5 ≈ 3.1% relative bucket width. *)
+let histogram_sub_bits = 5
 
 let create () =
   {
@@ -103,7 +116,8 @@ let create () =
     version_bytes = Array.make (max_wire_version + 1) 0;
     verdicts = Hashtbl.create 8;
     datasets = Hashtbl.create 8;
-    latencies_us = [];
+    latency = Histogram.create ~sub_bits:histogram_sub_bits ();
+    phases = Array.init Phase.count (fun _ -> Histogram.create ~sub_bits:histogram_sub_bits ());
   }
 
 let locked t f =
@@ -129,7 +143,11 @@ let record_query ?(version = 1) t ~protocol ~found_triangle ~wire_bytes ~account
       let c = counts_for t protocol in
       if found_triangle then c.triangle <- c.triangle + 1
       else c.triangle_free <- c.triangle_free + 1;
-      t.latencies_us <- latency_us :: t.latencies_us)
+      (* A negative or nan latency can only come from a broken clock or a
+         broken caller (the serve path times with the clamped
+         [Tfree_obs.Mono] source); reject the sample rather than let it
+         poison the histogram. *)
+      if latency_us >= 0.0 then Histogram.record t.latency latency_us)
 
 let index_of category =
   let rec go i = function
@@ -167,6 +185,14 @@ let record_version_bytes t ~version ~bytes =
       let s = version_slot version in
       t.version_bytes.(s) <- t.version_bytes.(s) + bytes)
 
+let record_phase t ~phase ~us =
+  if us >= 0.0 then
+    locked t (fun () -> Histogram.record t.phases.(Phase.index phase) us)
+
+let latency_snapshot t = locked t (fun () -> Histogram.copy t.latency)
+let phase_snapshot t phase = locked t (fun () -> Histogram.copy t.phases.(Phase.index phase))
+let phase_count t phase = locked t (fun () -> Histogram.count t.phases.(Phase.index phase))
+
 let queries_served t = locked t (fun () -> t.queries_served)
 let errors_unlocked t = Array.fold_left ( + ) 0 t.error_counts
 let errors t = locked t (fun () -> errors_unlocked t)
@@ -188,9 +214,11 @@ let dataset_served t name =
 let version_served t v = locked t (fun () -> t.version_served.(version_slot v))
 let version_bytes t v = locked t (fun () -> t.version_bytes.(version_slot v))
 
-(** Fold [other]'s counters and samples into [t] (used by the load generator
-    to merge per-client registries into one for reconciliation).  Gauges
-    ([in_flight]) are not merged. *)
+(** Fold [other]'s counters and histograms into [t] (used by the load
+    generator to merge per-client registries into one for reconciliation,
+    and by fleet-wide stats to combine per-worker registries).  Histogram
+    merge is exact — bucket-wise count addition.  Gauges ([in_flight])
+    are not merged. *)
 let merge t other =
   (* Lock ordering: always [t] then [other]; callers merge into one
      accumulator from one thread, so this cannot deadlock. *)
@@ -225,12 +253,29 @@ let merge t other =
               let mine = match Hashtbl.find_opt t.datasets name with Some c -> c | None -> 0 in
               Hashtbl.replace t.datasets name (mine + c))
             other.datasets;
-          t.latencies_us <- other.latencies_us @ t.latencies_us))
+          Histogram.merge t.latency other.latency;
+          Array.iteri (fun i h -> Histogram.merge t.phases.(i) h) other.phases))
+
+(* Render one histogram as the stats-JSON latency object.  The legacy
+   per-sample keys (count/mean/p50/p90/p99) keep their meaning; p999,
+   sum, min and max are additive. *)
+let histogram_json h =
+  let num_or_null v = if Histogram.count h = 0 then Jsonout.Null else Jsonout.Num v in
+  Jsonout.Obj
+    [
+      ("count", Jsonout.Num (float_of_int (Histogram.count h)));
+      ("mean", num_or_null (Histogram.mean h));
+      ("sum", Jsonout.Num (Histogram.sum h));
+      ("min", num_or_null (Histogram.min_value h));
+      ("max", num_or_null (Histogram.max_value h));
+      ("p50", num_or_null (Histogram.quantile h 0.5));
+      ("p90", num_or_null (Histogram.quantile h 0.9));
+      ("p99", num_or_null (Histogram.quantile h 0.99));
+      ("p999", num_or_null (Histogram.quantile h 0.999));
+    ]
 
 let to_json t =
   locked t (fun () ->
-      let lat = t.latencies_us in
-      let q p = if lat = [] then Jsonout.Null else Jsonout.Num (Stats.quantile p lat) in
       let verdict_objs =
         Hashtbl.fold
           (fun protocol c acc ->
@@ -292,13 +337,29 @@ let to_json t =
                  (fun name c acc -> (name, Jsonout.Num (float_of_int c)) :: acc)
                  t.datasets []
               |> List.sort compare) );
-          ( "latency_us",
+          ("latency_us", histogram_json t.latency);
+          ( "phases",
             Jsonout.Obj
-              [
-                ("count", num (List.length lat));
-                ("mean", if lat = [] then Jsonout.Null else Jsonout.Num (Stats.mean lat));
-                ("p50", q 0.5);
-                ("p90", q 0.9);
-                ("p99", q 0.99);
-              ] );
+              (List.map
+                 (fun p -> (Phase.name p, histogram_json t.phases.(Phase.index p)))
+                 Phase.all) );
+        ])
+
+(** Cheap liveness snapshot for [{"op": "health"}]: scalar counters only —
+    no hashtable iteration, no histogram walk, no quantile computation —
+    so a health probe costs O(1) under the mutex no matter how much the
+    registry has accumulated.  (Cache occupancy is the service's to add:
+    the LRU lives outside the registry.) *)
+let health_json t =
+  locked t (fun () ->
+      let num n = Jsonout.Num (float_of_int n) in
+      let uptime = Float.max 1e-9 (Unix.gettimeofday () -. t.started_at) in
+      Jsonout.Obj
+        [
+          ("uptime_s", Jsonout.Num uptime);
+          ("queries_served", num t.queries_served);
+          ("errors", num (errors_unlocked t));
+          ("in_flight", num t.in_flight);
+          ("accepted", num t.accepted);
+          ("shed", num t.shed);
         ])

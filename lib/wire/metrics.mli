@@ -4,6 +4,11 @@
     connection and instance-cache gauges, wire traffic totals and wall-clock
     latency quantiles, exposed through the [{"op": "stats"}] service query.
 
+    Latency (end-to-end and per serve {!Tfree_obs.Phase}) lives in bounded
+    {!Tfree_obs.Histogram}s: registry memory is O(buckets) regardless of
+    queries served, quantiles cost O(buckets) within the histogram's
+    documented precision, and {!merge} folds histograms exactly.
+
     Safe under concurrent mutation: every record and read takes an internal
     mutex, so one registry can be shared across domains (the concurrent
     server, or a load generator's per-client tallies merged with
@@ -20,8 +25,8 @@ type error_category =
 val all_categories : error_category list
 val category_name : error_category -> string
 
-(** Inverse of {!category_name}; unknown strings land in [Run_failure]. *)
-val category_of_name : string -> error_category
+(** Inverse of {!category_name}; [None] on unknown strings. *)
+val category_of_name : string -> error_category option
 
 type t
 
@@ -29,7 +34,10 @@ val create : unit -> t
 
 (** Record one successfully served protocol query.  [version] is the wire
     protocol the serving connection negotiated (1 = JSON lines, 2 = binary;
-    default 1) and feeds the per-version served gauge. *)
+    default 1) and feeds the per-version served gauge.  A negative or nan
+    [latency_us] (impossible from the monotonic serve clock, possible from
+    a buggy caller) is rejected: the query still counts, the latency
+    sample is dropped. *)
 val record_query :
   ?version:int ->
   t ->
@@ -81,6 +89,19 @@ val max_wire_version : int
     to [version]'s byte gauge. *)
 val record_version_bytes : t -> version:int -> bytes:int -> unit
 
+(** Record one per-phase latency sample (microseconds; negative and nan
+    samples are rejected like {!record_query}'s). *)
+val record_phase : t -> phase:Tfree_obs.Phase.t -> us:float -> unit
+
+(** Snapshot (deep copy) of the end-to-end latency histogram. *)
+val latency_snapshot : t -> Tfree_obs.Histogram.t
+
+(** Snapshot of one phase's latency histogram. *)
+val phase_snapshot : t -> Tfree_obs.Phase.t -> Tfree_obs.Histogram.t
+
+(** Samples recorded for one phase. *)
+val phase_count : t -> Tfree_obs.Phase.t -> int
+
 val queries_served : t -> int
 
 (** Total errors across all categories. *)
@@ -106,15 +127,25 @@ val version_served : t -> int -> int
 (** Serve-socket bytes recorded for wire-protocol version [v]. *)
 val version_bytes : t -> int -> int
 
-(** Fold [other]'s counters, verdict tallies and latency samples into the
-    first registry (gauges are not merged).  Used by the load generator to
-    reconcile per-client tallies against the server's stats. *)
+(** Fold [other]'s counters, verdict tallies and latency histograms into
+    the first registry (gauges are not merged; histogram merge is exact).
+    Used by the load generator to reconcile per-client tallies against the
+    server's stats, and by fleet-wide stats to combine worker
+    registries. *)
 val merge : t -> t -> unit
 
 (** The stats-query payload: counters, per-category error counts, retry and
     injected-fault tallies, connection gauges ([accepted]/[shed]/
     [in_flight]), instance-cache hit/miss/lookup counts, batch tallies,
-    uptime and served-per-second, per-protocol verdict counts, and latency
-    mean/p50/p90/p99 (via {!Tfree_util.Stats.quantile}; [null] when no query
-    has been served, the sample itself on a single-sample registry). *)
+    uptime and served-per-second, per-protocol verdict counts, latency
+    count/mean/sum/min/max and p50/p90/p99/p999 from the bounded histogram
+    ([null] quantiles when no query has been served, the exact sample on a
+    single-sample registry), and a ["phases"] object with the same shape
+    per serve phase. *)
 val to_json : t -> Tfree_util.Jsonout.t
+
+(** Cheap liveness payload for [{"op": "health"}]: uptime, queries served,
+    errors, in-flight/accepted/shed — scalar counters only, O(1) under the
+    mutex (no hashtable iteration, no histogram walk).  The service layer
+    adds cache occupancy. *)
+val health_json : t -> Tfree_util.Jsonout.t

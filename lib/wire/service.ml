@@ -43,6 +43,11 @@
 
 open Tfree_util
 open Tfree_graph
+module Phase = Tfree_obs.Phase
+module Mono = Tfree_obs.Mono
+module Logger = Tfree_obs.Logger
+module Prom = Tfree_obs.Prom
+module Trace = Tfree_trace.Trace
 
 (* ------------------------------------------------------ the CLI's enums *)
 
@@ -401,6 +406,8 @@ let tag_stats_reply = 7
 let tag_shutdown = 8
 let tag_bye = 9
 let tag_dataset = 10
+let tag_health = 11
+let tag_health_reply = 12
 
 (* enum codes: stable on the wire, dense for a match-based decode *)
 
@@ -602,6 +609,11 @@ let encode_stats_frame b =
   Proto.put_u8 b tag_stats;
   Proto.end_frame b
 
+let encode_health_frame b =
+  Proto.begin_frame b;
+  Proto.put_u8 b tag_health;
+  Proto.end_frame b
+
 let encode_shutdown_frame b =
   Proto.begin_frame b;
   Proto.put_u8 b tag_shutdown;
@@ -758,6 +770,65 @@ let dataset_pair ?cache ?metrics ~registry dreq =
       (match metrics with Some m -> Metrics.record_cache m ~hit | None -> ());
       Lru.find_or_add c key build
 
+(* -------------------------------------------------- serve observability *)
+
+(* Ambient per-request observation state.  The serve event loop is
+   single-threaded, so one module-level scratch is data-race free; the
+   in-process callers (tests, experiments) simply leave tracing and the
+   slow-query log off, and still get per-phase histograms through
+   [metrics].  [trace] is [Some] only while the loop is handling a
+   sampled request unit: it routes protocol messages into the sampled
+   timeline and turns the phase timers into {!Trace.span}s. *)
+module Obs_ctx = struct
+  (* per-phase durations (µs) of the request being handled, for the
+     slow-query log's latency breakdown *)
+  let scratch = Array.make Phase.count nan
+
+  (* the sampled-request collector, set around a sampled unit *)
+  let trace : Trace.t option ref = ref None
+
+  (* accounted bits of every traced run, the trace file's otherData
+     reconciliation figure *)
+  let traced_bits = ref 0
+
+  (* slow-query log: threshold (µs, on the run phase) and sink *)
+  let slow : (float * Logger.t) option ref = ref None
+end
+
+(* Time [f] as serve phase [phase]: one histogram sample into [metrics],
+   the duration into the slow-query scratch, and — while a sampled trace
+   is active — a {!Trace.span} in the request timeline.  Records only
+   when [f] returns (an aborted phase is not a completed phase), which is
+   what keeps phase counts consistent with served counts. *)
+let timed_phase ~metrics phase f =
+  let t0 = Mono.now_us () in
+  let r =
+    match !Obs_ctx.trace with
+    | Some _ -> Trace.span (Phase.name phase) f
+    | None -> f ()
+  in
+  let dt = Mono.now_us () -. t0 in
+  Metrics.record_phase metrics ~phase ~us:dt;
+  Obs_ctx.scratch.(Phase.index phase) <- dt;
+  r
+
+(* Emit one slow-query line when the run phase of the query just served
+   crossed the threshold: the request key [fields] plus the latency
+   breakdown the scratch holds. *)
+let maybe_slow_query ~latency_us fields =
+  match !Obs_ctx.slow with
+  | Some (threshold_us, logger) ->
+      let run_us = Obs_ctx.scratch.(Phase.index Phase.Run) in
+      if run_us >= threshold_us then
+        Logger.log logger Logger.Warn "slow_query"
+          (fields
+          @ [
+              ("run_us", Jsonout.Num run_us);
+              ("cache_lookup_us", Jsonout.Num Obs_ctx.scratch.(Phase.index Phase.Cache_lookup));
+              ("latency_us", Jsonout.Num latency_us);
+            ])
+  | None -> ()
+
 (* ---------------------------------------------------------- run a query *)
 
 (** Build the requested instance, run the requested protocol over a wire
@@ -767,13 +838,20 @@ let dataset_pair ?cache ?metrics ~registry dreq =
     network is closed even when an injected fault aborts the run, so a
     chaos loop cannot leak descriptors. *)
 (* The protocol run itself, shared by the generated and dataset paths so
-   the two can never drift: same network, same params, same report shape. *)
-let run_protocol ~protocol ~seed ~eps ~transport ~fault ~k g inputs =
+   the two can never drift: same network, same params, same report shape.
+   [trace] additionally routes every protocol message into a sampled
+   request timeline (composed before the wire tap, so the ledger the wire
+   reconciles against is untouched). *)
+let run_protocol ?trace ~protocol ~seed ~eps ~transport ~fault ~k g inputs =
   let net = Wire_runtime.create ~fault ~transport ~k () in
   Fun.protect
     ~finally:(fun () -> Wire_runtime.close net)
     (fun () ->
-      let tap = Wire_runtime.tap net in
+      let tap =
+        match trace with
+        | None -> Wire_runtime.tap net
+        | Some tr -> Tfree_comm.Channel.compose_all [ Trace.tap tr; Wire_runtime.tap net ]
+      in
       let params = Tfree.Params.(with_eps practical eps) in
       let report =
         match protocol with
@@ -883,9 +961,24 @@ let batch_request_to_json reqs =
    one served query (the unit the [max_requests] budget measures);
    [Error (category, msg)] was already recorded under its category. *)
 let run_core ?cache ~metrics ?(version = 1) req =
-  let t0 = Unix.gettimeofday () in
-  match run_request ?cache ~metrics req with
-  | resp ->
+  let t0 = Mono.now_us () in
+  let phased () =
+    let fault = parse_fault_spec ~who:"run_request" req.fault in
+    let g, inputs =
+      timed_phase ~metrics Phase.Cache_lookup (fun () -> instance_pair ?cache ~metrics req)
+    in
+    (* A sampled trace only accounts clean runs: an injected fault aborts
+       mid-protocol and would leave a half timeline. *)
+    let trace =
+      match !Obs_ctx.trace with Some tr when req.fault = "" -> Some tr | _ -> None
+    in
+    ( trace,
+      timed_phase ~metrics Phase.Run (fun () ->
+          run_protocol ?trace ~protocol:req.protocol ~seed:req.seed ~eps:req.eps
+            ~transport:req.transport ~fault ~k:req.k g inputs) )
+  in
+  match phased () with
+  | trace, resp ->
       Metrics.record_query ~version metrics
         ~protocol:(protocol_to_string req.protocol)
         ~found_triangle:
@@ -894,10 +987,26 @@ let run_core ?cache ~metrics ?(version = 1) req =
           | Tfree.Tester.Triangle_free -> false)
         ~wire_bytes:resp.wire.Wire_runtime.wire_bytes
         ~accounted_bits:resp.wire.Wire_runtime.accounted_bits
-        ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6);
+        ~latency_us:(Mono.now_us () -. t0);
+      (match trace with
+      | Some _ -> Obs_ctx.traced_bits := !Obs_ctx.traced_bits + resp.wire.Wire_runtime.accounted_bits
+      | None -> ());
+      maybe_slow_query
+        ~latency_us:(Mono.now_us () -. t0)
+        [
+          ("protocol", Jsonout.Str (protocol_to_string req.protocol));
+          ("family", Jsonout.Str (family_to_string req.family));
+          ("partition", Jsonout.Str (partition_to_string req.partition));
+          ("n", Jsonout.Num (float_of_int req.n));
+          ("k", Jsonout.Num (float_of_int req.k));
+          ("seed", Jsonout.Num (float_of_int req.seed));
+        ];
       Ok resp
   | exception Wire_error.Wire_error k ->
-      let category = Metrics.category_of_name (Wire_error.category k) in
+      let category =
+        Option.value ~default:Metrics.Run_failure
+          (Metrics.category_of_name (Wire_error.category k))
+      in
       Metrics.record_error metrics ~category;
       Error (category, Wire_error.message k)
   | exception e ->
@@ -910,9 +1019,23 @@ let run_core ?cache ~metrics ?(version = 1) req =
    [Run_failure] — the request was well-formed, the server's data was
    not. *)
 let run_core_dataset ?cache ~metrics ?(version = 1) ~registry dreq =
-  let t0 = Unix.gettimeofday () in
-  match run_dataset_request ?cache ~metrics ~registry dreq with
-  | resp ->
+  let t0 = Mono.now_us () in
+  let phased () =
+    let fault = parse_fault_spec ~who:"run_dataset_request" dreq.ds_fault in
+    let g, inputs =
+      timed_phase ~metrics Phase.Cache_lookup (fun () ->
+          dataset_pair ?cache ~metrics ~registry dreq)
+    in
+    let trace =
+      match !Obs_ctx.trace with Some tr when dreq.ds_fault = "" -> Some tr | _ -> None
+    in
+    ( trace,
+      timed_phase ~metrics Phase.Run (fun () ->
+          run_protocol ?trace ~protocol:dreq.ds_protocol ~seed:dreq.ds_seed ~eps:dreq.ds_eps
+            ~transport:dreq.ds_transport ~fault ~k:dreq.ds_k g inputs) )
+  in
+  match phased () with
+  | trace, resp ->
       Metrics.record_query ~version metrics
         ~protocol:(protocol_to_string dreq.ds_protocol)
         ~found_triangle:
@@ -921,11 +1044,25 @@ let run_core_dataset ?cache ~metrics ?(version = 1) ~registry dreq =
           | Tfree.Tester.Triangle_free -> false)
         ~wire_bytes:resp.wire.Wire_runtime.wire_bytes
         ~accounted_bits:resp.wire.Wire_runtime.accounted_bits
-        ~latency_us:((Unix.gettimeofday () -. t0) *. 1e6);
+        ~latency_us:(Mono.now_us () -. t0);
       Metrics.record_dataset metrics ~name:dreq.ds_name;
+      (match trace with
+      | Some _ -> Obs_ctx.traced_bits := !Obs_ctx.traced_bits + resp.wire.Wire_runtime.accounted_bits
+      | None -> ());
+      maybe_slow_query
+        ~latency_us:(Mono.now_us () -. t0)
+        [
+          ("protocol", Jsonout.Str (protocol_to_string dreq.ds_protocol));
+          ("dataset", Jsonout.Str dreq.ds_name);
+          ("k", Jsonout.Num (float_of_int dreq.ds_k));
+          ("seed", Jsonout.Num (float_of_int dreq.ds_seed));
+        ];
       Ok resp
   | exception Wire_error.Wire_error k ->
-      let category = Metrics.category_of_name (Wire_error.category k) in
+      let category =
+        Option.value ~default:Metrics.Run_failure
+          (Metrics.category_of_name (Wire_error.category k))
+      in
       Metrics.record_error metrics ~category;
       Error (category, Wire_error.message k)
   | exception Tfree_dataset.Dataset_error.Dataset_error kind ->
@@ -939,8 +1076,29 @@ let run_core_dataset ?cache ~metrics ?(version = 1) ~registry dreq =
    was served, 0 on a categorized failure. *)
 let run_one ?cache ~metrics ?version req =
   match run_core ?cache ~metrics ?version req with
-  | Ok resp -> (response_to_json resp, 1)
+  | Ok resp -> (timed_phase ~metrics Phase.Encode (fun () -> response_to_json resp), 1)
   | Error (category, msg) -> (error_obj ~category msg, 0)
+
+(* The [{"op": "health"}] payload: the registry's O(1) scalars plus the
+   instance cache's occupancy — no verdict/dataset table walk, no
+   histogram walk, so a prober's poll never contends with serving. *)
+let health_payload ?cache metrics =
+  let entries, capacity =
+    match cache with Some c -> (Lru.length c, Lru.capacity c) | None -> (0, 0)
+  in
+  match Metrics.health_json metrics with
+  | Jsonout.Obj fields ->
+      Jsonout.Obj
+        (fields
+        @ [
+            ( "cache",
+              Jsonout.Obj
+                [
+                  ("entries", Jsonout.Num (float_of_int entries));
+                  ("capacity", Jsonout.Num (float_of_int capacity));
+                ] );
+          ])
+  | j -> j
 
 (* One request line -> one reply line.  Sets [stop] on a shutdown command;
    returns how many protocol queries the line served (the unit the
@@ -958,7 +1116,7 @@ let handle_line ?cache ?registry ~metrics ~stop ?version line =
     Metrics.record_error metrics ~category;
     (error_line ~category msg, 0)
   in
-  match Jsonout.parse line with
+  match timed_phase ~metrics Phase.Parse (fun () -> Jsonout.parse line) with
   | Error msg -> err Metrics.Malformed ("bad JSON: " ^ msg)
   | Ok j -> (
       match (Jsonout.member "cmd" j, Jsonout.member "op" j) with
@@ -970,6 +1128,11 @@ let handle_line ?cache ?registry ~metrics ~stop ?version line =
       | None, Some (Jsonout.Str "stats") ->
           ( Jsonout.to_line
               (Jsonout.Obj [ ("ok", Jsonout.Bool true); ("stats", Metrics.to_json metrics) ]),
+            0 )
+      | None, Some (Jsonout.Str "health") ->
+          ( Jsonout.to_line
+              (Jsonout.Obj
+                 [ ("ok", Jsonout.Bool true); ("health", health_payload ?cache metrics) ]),
             0 )
       | None, Some (Jsonout.Str "batch") -> (
           match Jsonout.member "requests" j with
@@ -1010,7 +1173,10 @@ let handle_line ?cache ?registry ~metrics ~stop ?version line =
                     err Metrics.Malformed (Printf.sprintf "unknown dataset %S" dreq.ds_name)
                   else
                     match run_core_dataset ?cache ~metrics ?version ~registry:reg dreq with
-                    | Ok resp -> (Jsonout.to_line (response_to_json resp), 1)
+                    | Ok resp ->
+                        ( Jsonout.to_line
+                            (timed_phase ~metrics Phase.Encode (fun () -> response_to_json resp)),
+                          1 )
                     | Error (category, msg) -> (error_line ~category msg, 0))))
       | None, Some (Jsonout.Str o) -> err Metrics.Unknown_op (Printf.sprintf "unknown op %S" o)
       | None, Some _ -> err Metrics.Malformed "op must be a string"
@@ -1040,13 +1206,13 @@ let handle_frame ?cache ?registry ~metrics ~stop ~version b cur =
   try
     let tag = Proto.get_u8 cur in
     if tag = tag_query then (
-      match decode_request_body cur with
+      match timed_phase ~metrics Phase.Parse (fun () -> decode_request_body cur) with
       | Error msg -> err Metrics.Malformed msg
       | Ok req -> (
           Proto.expect_end cur;
           match run_core ?cache ~metrics ~version req with
           | Ok resp ->
-              encode_response_frame b resp;
+              timed_phase ~metrics Phase.Encode (fun () -> encode_response_frame b resp);
               1
           | Error (category, msg) ->
               encode_error_frame b ~category msg;
@@ -1059,7 +1225,7 @@ let handle_frame ?cache ?registry ~metrics ~stop ~version b cur =
       Proto.put_varint b count;
       let served = ref 0 in
       for _ = 1 to count do
-        match decode_request_body cur with
+        match timed_phase ~metrics Phase.Parse (fun () -> decode_request_body cur) with
         | Error msg ->
             Metrics.record_error metrics ~category:Metrics.Malformed;
             Proto.put_u8 b tag_error;
@@ -1068,8 +1234,9 @@ let handle_frame ?cache ?registry ~metrics ~stop ~version b cur =
         | Ok req -> (
             match run_core ?cache ~metrics ~version req with
             | Ok resp ->
-                Proto.put_u8 b tag_reply;
-                put_response b resp;
+                timed_phase ~metrics Phase.Encode (fun () ->
+                    Proto.put_u8 b tag_reply;
+                    put_response b resp);
                 incr served
             | Error (category, msg) ->
                 Proto.put_u8 b tag_error;
@@ -1088,6 +1255,14 @@ let handle_frame ?cache ?registry ~metrics ~stop ~version b cur =
       Proto.end_frame b;
       0
     end
+    else if tag = tag_health then begin
+      Proto.expect_end cur;
+      Proto.begin_frame b;
+      Proto.put_u8 b tag_health_reply;
+      Proto.put_string b (Jsonout.to_string (health_payload ?cache metrics));
+      Proto.end_frame b;
+      0
+    end
     else if tag = tag_shutdown then begin
       Proto.expect_end cur;
       stop := true;
@@ -1097,7 +1272,7 @@ let handle_frame ?cache ?registry ~metrics ~stop ~version b cur =
       0
     end
     else if tag = tag_dataset then (
-      match decode_dataset_request_body cur with
+      match timed_phase ~metrics Phase.Parse (fun () -> decode_dataset_request_body cur) with
       | Error msg -> err Metrics.Malformed msg
       | Ok dreq -> (
           Proto.expect_end cur;
@@ -1109,7 +1284,7 @@ let handle_frame ?cache ?registry ~metrics ~stop ~version b cur =
               else
                 match run_core_dataset ?cache ~metrics ~version ~registry:reg dreq with
                 | Ok resp ->
-                    encode_response_frame b resp;
+                    timed_phase ~metrics Phase.Encode (fun () -> encode_response_frame b resp);
                     1
                 | Error (category, msg) ->
                     encode_error_frame b ~category msg;
@@ -1232,6 +1407,9 @@ type conn = {
   mutable version : int;
   mutable deadline : float;
   mutable conn_open : bool;
+  (* µs timestamp of the first buffered byte of the request unit being
+     assembled; nan between units.  Feeds the read-phase histogram. *)
+  mutable read_start : float;
 }
 
 (* Find '\n' in [data[pos, lim)]; [Bytes.index_from] would scan past the
@@ -1272,11 +1450,21 @@ let max_line_bytes = 8 * 1024 * 1024
     {!Proto.max_version}) caps what the server negotiates — [1] forces
     every connection onto JSON lines.
 
+    Observability (all off by default): [logger] receives leveled JSONL
+    lifecycle events (start/accept/shed/error/shutdown); [slow_us] (with
+    [logger]) logs every query whose run phase exceeds the threshold,
+    with its latency breakdown; [trace_sample] > 0 (with [trace_out])
+    records every [trace_sample]-th request unit as a Chrome-traceable
+    span timeline written to [trace_out] at shutdown; [metrics_file] gets
+    an atomically-replaced Prometheus text dump every
+    [metrics_interval_s] seconds and once at shutdown.
+
     No client behaviour — killed mid-line, flooding garbage, going silent
     — takes the daemon down; each costs a categorized error counter and at
     worst its own connection. *)
 let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 30.0)
-    ?(fault = []) ?(cache_capacity = 32) ?(max_version = Proto.max_version) ?registry ~path () =
+    ?(fault = []) ?(cache_capacity = 32) ?(max_version = Proto.max_version) ?registry ?logger
+    ?slow_us ?(trace_sample = 0) ?trace_out ?metrics_file ?(metrics_interval_s = 5.0) ~path () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -1294,6 +1482,57 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
      cleanup ();
      raise e);
   let metrics = Metrics.create () in
+  let log level event fields =
+    match logger with Some lg -> Logger.log lg level event fields | None -> ()
+  in
+  let jnum v = Jsonout.Num (float_of_int v) in
+  Obs_ctx.slow :=
+    (match (logger, slow_us) with Some lg, Some thr -> Some (thr, lg) | _ -> None);
+  Obs_ctx.traced_bits := 0;
+  let tracer =
+    match trace_out with Some _ when trace_sample > 0 -> Some (Trace.create ()) | _ -> None
+  in
+  let units_seen = ref 0 and units_sampled = ref 0 in
+  (* Run the handling of one request unit; every [trace_sample]-th unit
+     runs under the sampled collector, so its phases and protocol
+     messages land in the request timeline. *)
+  let observe_unit f =
+    match tracer with
+    | Some tr when !units_seen mod max 1 trace_sample = 0 ->
+        incr units_seen;
+        incr units_sampled;
+        Obs_ctx.trace := Some tr;
+        Fun.protect
+          ~finally:(fun () -> Obs_ctx.trace := None)
+          (fun () -> Trace.with_collector tr f)
+    | _ ->
+        incr units_seen;
+        f ()
+  in
+  let dump_metrics () =
+    match metrics_file with
+    | None -> ()
+    | Some file -> (
+        let tmp = file ^ ".tmp" in
+        try
+          Out_channel.with_open_text tmp (fun oc ->
+              Out_channel.output_string oc (Prom.of_stats (Metrics.to_json metrics)));
+          Sys.rename tmp file;
+          log Logger.Debug "metrics_dump" [ ("file", Jsonout.Str file) ]
+        with Sys_error msg -> log Logger.Error "metrics_dump_failed" [ ("error", Jsonout.Str msg) ])
+  in
+  let next_dump =
+    ref
+      (match metrics_file with
+      | None -> infinity
+      | Some _ -> Unix.gettimeofday () +. Float.max 0.1 metrics_interval_s)
+  in
+  log Logger.Info "start"
+    [
+      ("path", Jsonout.Str path);
+      ("max_clients", jnum max_clients);
+      ("cache_capacity", jnum cache_capacity);
+    ];
   let cache = if cache_capacity <= 0 then None else Some (create_cache ~capacity:cache_capacity ()) in
   let served = ref 0 and stop = ref false and reply_op = ref 0 in
   let budget_left () = match max_requests with None -> true | Some m -> !served < m in
@@ -1319,6 +1558,7 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
              not a hang, and its retry loop treats overload as transient *)
           Metrics.record_shed metrics;
           Metrics.record_error metrics ~category:Metrics.Overload;
+          log Logger.Warn "shed" [ ("max_clients", jnum max_clients) ];
           (try
              write_line fd
                (error_line ~category:Metrics.Overload
@@ -1337,14 +1577,20 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
               version = 0;
               deadline = Unix.gettimeofday () +. line_timeout_s;
               conn_open = true;
+              read_start = nan;
             }
             :: !conns;
-          Metrics.set_in_flight metrics (List.length !conns)
+          Metrics.set_in_flight metrics (List.length !conns);
+          log Logger.Debug "accept" [ ("in_flight", jnum (List.length !conns)) ]
         end
   in
   (* Write [c] a categorized error in whatever protocol it negotiated —
      best-effort: the peer may already be gone. *)
   let write_error_conn c ~category msg =
+    log Logger.Warn "request_error"
+      [
+        ("category", Jsonout.Str (Metrics.category_name category)); ("detail", Jsonout.Str msg);
+      ];
     try
       if c.version >= 2 then begin
         encode_error_frame c.wbuf ~category msg;
@@ -1352,6 +1598,18 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
       end
       else write_line c.conn_fd (error_line ~category msg)
     with Unix.Unix_error _ -> ()
+  in
+  (* One request unit fully assembled out of [c]'s socket: one read-phase
+     sample from the first buffered byte to now.  [remaining] > 0 means
+     the next unit's bytes are already buffered, so its read began now;
+     otherwise the clock re-arms on the next readable event. *)
+  let note_unit_read c ~remaining =
+    if not (Float.is_nan c.read_start) then begin
+      let now = Mono.now_us () in
+      Metrics.record_phase metrics ~phase:Phase.Read ~us:(now -. c.read_start);
+      Obs_ctx.scratch.(Phase.index Phase.Read) <- now -. c.read_start;
+      c.read_start <- (if remaining > 0 then now else nan)
+    end
   in
   (* Route one reply (line or frame) through the fault schedule, tally the
      served queries, and — when the reply landed byte-intact — credit the
@@ -1361,7 +1619,7 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
   let deliver_reply c ~nserved ~request_bytes ~reply_bytes inject =
     let op = !reply_op in
     incr reply_op;
-    match inject ~op c.conn_fd with
+    match timed_phase ~metrics Phase.Write (fun () -> inject ~op c.conn_fd) with
     | exception Unix.Unix_error _ ->
         (* the peer closed before the reply landed *)
         transport_error ();
@@ -1398,8 +1656,9 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
       | Some nl ->
           let line = Bytes.sub_string data start (nl - start) in
           Proto.rbuf_consume c.rbuf (nl - start + 1);
+          note_unit_read c ~remaining:(Proto.rbuf_avail c.rbuf);
           c.deadline <- Unix.gettimeofday () +. line_timeout_s;
-          if (not !stop) && budget_left () then handle_one c line;
+          if (not !stop) && budget_left () then observe_unit (fun () -> handle_one c line);
           if !stop then scanning := false
     done;
     if c.conn_open && Proto.rbuf_avail c.rbuf > max_line_bytes then begin
@@ -1436,18 +1695,21 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
           end;
           scanning := false
       | frame_len ->
+          note_unit_read c ~remaining:(Proto.rbuf_avail c.rbuf - frame_len);
           c.deadline <- Unix.gettimeofday () +. line_timeout_s;
-          if (not !stop) && budget_left () then begin
-            match handle_frame ?cache ?registry ~metrics ~stop ~version:c.version c.wbuf c.rcur with
-            | exception e ->
-                Metrics.record_error metrics ~category:Metrics.Run_failure;
-                write_error_conn c ~category:Metrics.Run_failure (Printexc.to_string e);
-                close_conn c
-            | nserved ->
-                deliver_reply c ~nserved ~request_bytes:frame_len
-                  ~reply_bytes:(Proto.frame_len c.wbuf) (fun ~op fd ->
-                    inject_reply_frame ~metrics ~fault ~op fd c.wbuf)
-          end;
+          if (not !stop) && budget_left () then
+            observe_unit (fun () ->
+                match
+                  handle_frame ?cache ?registry ~metrics ~stop ~version:c.version c.wbuf c.rcur
+                with
+                | exception e ->
+                    Metrics.record_error metrics ~category:Metrics.Run_failure;
+                    write_error_conn c ~category:Metrics.Run_failure (Printexc.to_string e);
+                    close_conn c
+                | nserved ->
+                    deliver_reply c ~nserved ~request_bytes:frame_len
+                      ~reply_bytes:(Proto.frame_len c.wbuf) (fun ~op fd ->
+                        inject_reply_frame ~metrics ~fault ~op fd c.wbuf));
           if c.conn_open then Proto.rbuf_consume c.rbuf frame_len else scanning := false
     done
   in
@@ -1471,6 +1733,10 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
           else if avail >= 2 then begin
             let requested = Char.code (Bytes.get data (start + 1)) in
             Proto.rbuf_consume c.rbuf 2;
+            (* handshake bytes are not a request unit: re-arm the read
+               clock without recording *)
+            c.read_start <-
+              (if Proto.rbuf_avail c.rbuf > 0 then Mono.now_us () else nan);
             c.deadline <- Unix.gettimeofday () +. line_timeout_s;
             let negotiated = if requested < 1 then 0 else min requested max_version in
             if negotiated = 0 then
@@ -1508,6 +1774,7 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
     | 0 -> on_eof c
     | nread ->
         Proto.rbuf_append c.rbuf chunk 0 nread;
+        if Float.is_nan c.read_start then c.read_start <- Mono.now_us ();
         drain c
   in
   let expire_deadlines now =
@@ -1523,10 +1790,15 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
   while (not !stop) && budget_left () do
     let now = Unix.gettimeofday () in
     expire_deadlines now;
+    if now >= !next_dump then begin
+      dump_metrics ();
+      next_dump := now +. Float.max 0.1 metrics_interval_s
+    end;
     prune ();
     let timeout =
       List.fold_left (fun acc c -> Float.min acc (c.deadline -. now)) Float.infinity !conns
     in
+    let timeout = Float.min timeout (!next_dump -. now) in
     let timeout = if timeout = Float.infinity then -1.0 else Float.max 0.0 timeout in
     let fds = sock :: List.map (fun c -> c.conn_fd) !conns in
     match Unix.select fds [] [] timeout with
@@ -1545,6 +1817,22 @@ let serve ?(backlog = 64) ?(max_clients = 64) ?max_requests ?(line_timeout_s = 3
   done;
   List.iter close_conn !conns;
   prune ();
+  dump_metrics ();
+  (match (trace_out, tracer) with
+  | Some file, Some tr -> (
+      let json =
+        Trace.to_chrome tr
+          ~other:[ ("accounted_bits", Jsonout.Num (float_of_int !Obs_ctx.traced_bits)) ]
+      in
+      try
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc (Jsonout.to_string json));
+        log Logger.Info "trace_written"
+          [ ("file", Jsonout.Str file); ("sampled_units", jnum !units_sampled) ]
+      with Sys_error msg -> log Logger.Error "trace_write_failed" [ ("error", Jsonout.Str msg) ])
+  | _ -> ());
+  log Logger.Info "shutdown" [ ("served", jnum !served) ];
+  Obs_ctx.slow := None;
   cleanup ();
   !served
 
@@ -1672,6 +1960,7 @@ type wire_op =
   | Op_dataset of dataset_request
   | Op_batch of request list
   | Op_stats
+  | Op_health
   | Op_shutdown
 
 let op_line = function
@@ -1679,6 +1968,7 @@ let op_line = function
   | Op_dataset dreq -> Jsonout.to_line (dataset_request_to_json dreq)
   | Op_batch reqs -> Jsonout.to_line (batch_request_to_json reqs)
   | Op_stats -> Jsonout.to_line (Jsonout.Obj [ ("op", Jsonout.Str "stats") ])
+  | Op_health -> Jsonout.to_line (Jsonout.Obj [ ("op", Jsonout.Str "health") ])
   | Op_shutdown -> Jsonout.to_line (Jsonout.Obj [ ("cmd", Jsonout.Str "shutdown") ])
 
 let op_fill b = function
@@ -1686,6 +1976,7 @@ let op_fill b = function
   | Op_dataset dreq -> encode_dataset_frame b dreq
   | Op_batch reqs -> encode_batch_frame b reqs
   | Op_stats -> encode_stats_frame b
+  | Op_health -> encode_health_frame b
   | Op_shutdown -> encode_shutdown_frame b
 
 (* A decoded binary reply, every shape the server can send. *)
@@ -1694,6 +1985,7 @@ type wire_reply =
   | R_error of Metrics.error_category * string
   | R_batch of (response, Metrics.error_category * string) result list
   | R_stats of Jsonout.t
+  | R_health of Jsonout.t
   | R_bye
 
 let decode_reply cur =
@@ -1731,6 +2023,13 @@ let decode_reply cur =
     match Jsonout.parse s with
     | Ok j -> R_stats j
     | Error msg -> Wire_error.errorf_corrupt "bad stats JSON in frame: %s" msg
+  end
+  else if tag = tag_health_reply then begin
+    let s = Proto.get_string cur in
+    Proto.expect_end cur;
+    match Jsonout.parse s with
+    | Ok j -> R_health j
+    | Error msg -> Wire_error.errorf_corrupt "bad health JSON in frame: %s" msg
   end
   else if tag = tag_bye then begin
     Proto.expect_end cur;
@@ -1907,6 +2206,22 @@ let client_stats ?(timeout_s = 30.0) ?(protocol = Proto.Auto) ~path () =
         | _ -> Error (`Transient, "garbled reply: unexpected frame shape"))
   with
   | Ok stats -> Ok stats
+  | Error (_, msg) -> Error msg
+
+(** Fetch the server's cheap liveness payload ([{"op": "health"}]);
+    returns the [health] object of the reply. *)
+let client_health ?(timeout_s = 30.0) ?(protocol = Proto.Auto) ~path () =
+  match
+    attempt_op ~protocol ~timeout_s ~path ~op:Op_health
+      ~interpret:(fun j ->
+        match Jsonout.member "health" j with
+        | Some health -> Ok health
+        | None -> Error (`Transient, "garbled reply: health reply without health"))
+      ~interpret_bin:(function
+        | R_health health -> Ok health
+        | _ -> Error (`Transient, "garbled reply: unexpected frame shape"))
+  with
+  | Ok health -> Ok health
   | Error (_, msg) -> Error msg
 
 (** Ask a server at [path] to shut down. *)

@@ -117,6 +117,8 @@ val tag_stats_reply : int
 val tag_shutdown : int
 val tag_bye : int
 val tag_dataset : int
+val tag_health : int
+val tag_health_reply : int
 
 val encode_query_frame : Proto.buf -> request -> unit
 val encode_dataset_frame : Proto.buf -> dataset_request -> unit
@@ -276,7 +278,20 @@ val handle_line :
     [min requested max_version]; binary v2 frames follow when both sides
     speak it), anything else starts a JSON line and the connection speaks
     v1 unchanged.  [max_version] (default {!Proto.max_version}) caps the
-    negotiation; [1] forces every connection onto JSON lines. *)
+    negotiation; [1] forces every connection onto JSON lines.
+
+    Observability (all off by default): [logger] receives leveled JSONL
+    lifecycle events — [start], [accept] (debug), [shed], [request_error]
+    (with category and detail), [metrics_dump], [trace_written],
+    [shutdown] — plus [slow_query] lines for queries whose run phase
+    exceeds [slow_us] microseconds (threshold needs [logger]).
+    [trace_sample] > 0 with [trace_out] records every [trace_sample]-th
+    request unit as a span timeline (serve phases plus the protocol's own
+    message events) written in Chrome trace format to [trace_out] at
+    shutdown, with the traced runs' accounted bits in [otherData].
+    [metrics_file] is atomically replaced with a Prometheus text
+    exposition of the stats every [metrics_interval_s] seconds (default
+    5, floored at 0.1) and once more at shutdown. *)
 val serve :
   ?backlog:int ->
   ?max_clients:int ->
@@ -286,6 +301,12 @@ val serve :
   ?cache_capacity:int ->
   ?max_version:int ->
   ?registry:Tfree_dataset.Registry.t ->
+  ?logger:Tfree_obs.Logger.t ->
+  ?slow_us:float ->
+  ?trace_sample:int ->
+  ?trace_out:string ->
+  ?metrics_file:string ->
+  ?metrics_interval_s:float ->
   path:string ->
   unit ->
   int
@@ -349,6 +370,13 @@ val client_batch :
 (** Fetch the server's telemetry ([{"op": "stats"}] query); returns the
     [stats] object of the reply (see {!Metrics.to_json} for its shape). *)
 val client_stats :
+  ?timeout_s:float -> ?protocol:Proto.pref -> path:string -> unit -> (Jsonout.t, string) result
+
+(** Fetch the server's cheap liveness payload ([{"op": "health"}] over v1,
+    a dedicated frame tag over v2); returns the [health] object: uptime,
+    queries served, errors, connection gauges and instance-cache occupancy
+    — O(1) scalars, no verdict-table or histogram walk on the server. *)
+val client_health :
   ?timeout_s:float -> ?protocol:Proto.pref -> path:string -> unit -> (Jsonout.t, string) result
 
 (** Ask a server at [path] to shut down. *)

@@ -230,6 +230,25 @@ let test_stats_quantiles () =
   checkb "q0" true (Float.abs (Stats.quantile 0.0 xs -. 1.0) < 1e-9);
   checkb "q1" true (Float.abs (Stats.quantile 1.0 xs -. 4.0) < 1e-9)
 
+let test_stats_quantile_edges () =
+  checkb "empty list is nan" true (Float.is_nan (Stats.quantile 0.5 []));
+  List.iter
+    (fun q ->
+      checkb (Printf.sprintf "single sample at q=%.2f" q) true (Stats.quantile q [ 9.0 ] = 9.0))
+    [ 0.0; 0.25; 1.0 ];
+  (* input order must not matter: quantile sorts internally *)
+  let sorted = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] and shuffled = [ 3.0; 5.0; 1.0; 4.0; 2.0 ] in
+  List.iter
+    (fun q ->
+      checkb
+        (Printf.sprintf "order-independent at q=%.2f" q)
+        true
+        (Stats.quantile q sorted = Stats.quantile q shuffled))
+    [ 0.0; 0.3; 0.5; 0.9; 1.0 ];
+  (* out-of-range q clamps to the extremes *)
+  checkb "q < 0 clamps to min" true (Stats.quantile (-1.0) sorted = 1.0);
+  checkb "q > 1 clamps to max" true (Stats.quantile 2.0 sorted = 5.0)
+
 let test_stats_linear_fit_exact () =
   let pts = List.map (fun x -> (x, (3.0 *. x) +. 1.0)) [ 0.0; 1.0; 2.0; 5.0 ] in
   let f = Stats.linear_fit pts in
@@ -482,6 +501,7 @@ let () =
           Alcotest.test_case "mean/variance" `Quick test_stats_mean_variance;
           Alcotest.test_case "empty mean" `Quick test_stats_empty_mean_nan;
           Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
+          Alcotest.test_case "quantile edges" `Quick test_stats_quantile_edges;
           Alcotest.test_case "linear fit" `Quick test_stats_linear_fit_exact;
           Alcotest.test_case "loglog exponent" `Quick test_stats_loglog_exponent;
           Alcotest.test_case "loglog nonpositive" `Quick test_stats_loglog_skips_nonpositive;

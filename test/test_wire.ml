@@ -1208,6 +1208,39 @@ let test_handle_line_categories () =
   checki "no query served" 0 (Metrics.queries_served m);
   checkb "shutdown untouched" true (not !stop)
 
+(* {"op": "health"} over the v1 line protocol: a cheap scalar liveness
+   payload — no verdict table, no histograms — that does not count as a
+   served query. *)
+let test_handle_line_health () =
+  let m = Metrics.create () in
+  let stop = ref false in
+  let reply, _ = Service.handle_line ~metrics:m ~stop "{\"op\": \"health\"}" in
+  let j =
+    match Jsonout.parse reply with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "health reply does not parse: %s" msg
+  in
+  checkb "ok" true (Jsonout.member "ok" j = Some (Jsonout.Bool true));
+  let h =
+    match Jsonout.member "health" j with
+    | Some h -> h
+    | None -> Alcotest.fail "reply missing health member"
+  in
+  List.iter
+    (fun k ->
+      checkb (k ^ " present and numeric") true
+        (match Jsonout.member k h with Some (Jsonout.Num _) -> true | _ -> false))
+    [ "uptime_s"; "queries_served"; "errors"; "in_flight"; "accepted"; "shed" ];
+  checkb "cache occupancy reported" true
+    (match Jsonout.member "cache" h with
+    | Some (Jsonout.Obj _) -> true
+    | _ -> false);
+  checkb "no verdict table walk" true (Jsonout.member "verdicts" h = None);
+  checkb "no histograms" true (Jsonout.member "latency_us" h = None);
+  checki "health is not a served query" 0 (Metrics.queries_served m);
+  checki "health is not an error" 0 (Metrics.errors m);
+  checkb "shutdown untouched" true (not !stop)
+
 (* ---------------------------------------------------------------- metrics *)
 
 let latency_field stats k =
@@ -1256,8 +1289,10 @@ let test_metrics_categories () =
       checkb
         (Metrics.category_name c ^ " name round-trips")
         true
-        (Metrics.category_of_name (Metrics.category_name c) = c))
-    Metrics.all_categories
+        (Metrics.category_of_name (Metrics.category_name c) = Some c))
+    Metrics.all_categories;
+  checkb "unknown category name maps to None" true (Metrics.category_of_name "bogus" = None);
+  checkb "empty category name maps to None" true (Metrics.category_of_name "" = None)
 
 (* --------------------------------------------------------------- QCheck *)
 
@@ -1376,6 +1411,7 @@ let () =
           Alcotest.test_case "rejects unknown enum" `Quick test_service_request_rejects_unknown;
           Alcotest.test_case "run_request reconciles" `Quick test_service_run_request_reconciles;
           Alcotest.test_case "handle_line categories" `Quick test_handle_line_categories;
+          Alcotest.test_case "health over v1" `Quick test_handle_line_health;
         ] );
       ( "proto",
         [
