@@ -69,6 +69,9 @@ let cache_capacity = ref 32
 let inst_n = ref 200
 let socket_path = ref ""
 let protocol_mode = ref "both"
+let workers = ref 0
+let fleet_sweep = ref false
+let fleet_out = ref ""
 
 let specs =
   [
@@ -85,6 +88,15 @@ let specs =
     ("--socket", Arg.Set_string socket_path, "PATH  socket path stem (default: fresh temp path)");
     ("--protocol", Arg.Set_string protocol_mode,
      "P  wire protocol to drive: v1, v2 or both (default both)");
+    ("--workers", Arg.Set_int workers,
+     "W  drive a W-worker fleet (serve --workers W) with shard-aware clients; 0 = single server \
+      (default 0)");
+    ("--fleet", Arg.Set fleet_sweep,
+     "  fleet throughput sweep: run the workload at 1, 2 and 4 workers, reconcile each run \
+      exactly, and require the multi-worker runs to beat one worker on wall-clock qps");
+    ("--fleet-out", Arg.Set_string fleet_out,
+     "FILE  write the sweep's fleet/* rows as JSON: into FILE's \"fleet\" member when it is a \
+      tfree-bench/v1 document, else as a standalone tfree-fleet/v1 document");
   ]
 
 let usage = "load_gen [options]  -- closed-loop load generator for tfree-serve"
@@ -477,6 +489,299 @@ let run_load ~pref ~fault ~expected ~path =
     us_per_query = List.fold_left ( +. ) 0.0 !lats /. float_of_int total;
   }
 
+(* ------------------------------------------------------- fleet harness *)
+
+(* The fleet workload routes every request to the worker that owns its
+   instance key — the same {!Service.shard_of_request} hash the fleet
+   parent shards by — so each worker's LRU sees only its slice of the
+   seed space.  That sharding is the single-core throughput lever the
+   sweep measures: with [--seeds] past a worker's [--cache] capacity,
+   one worker thrashes (every lookup rebuilds its instance) while at
+   two or four workers every shard slice fits its cache and repeats
+   hit.  Clients group each [--batch] chunk per shard (one exchange
+   per shard the chunk touches) and account retries per exchange, so
+   the reconciliation [served = ok + extra] stays exact at any batch
+   size: a retried exchange re-serves exactly its own items. *)
+
+(* One fleet client: returns (ok, wrong, failed, retries, extra) where
+   [extra] counts queries the server served again because an exchange
+   was retried. *)
+let run_fleet_client ~workers ~path ~expected c =
+  let m = Metrics.create () in
+  let ok = ref 0 and wrong = ref 0 and failed = ref 0 and extra = ref 0 in
+  List.iter
+    (fun reqs ->
+      let by_shard = Hashtbl.create 4 in
+      List.iter
+        (fun r ->
+          let sh = Service.shard_of_request ~workers r in
+          Hashtbl.replace by_shard sh (r :: (try Hashtbl.find by_shard sh with Not_found -> [])))
+        reqs;
+      let groups =
+        Hashtbl.fold (fun sh rs acc -> (sh, List.rev rs) :: acc) by_shard [] |> List.sort compare
+      in
+      List.iter
+        (fun (sh, reqs) ->
+          let spath = Service.worker_path ~path sh in
+          let before = Metrics.retries m in
+          let results =
+            match reqs with
+            | [ r ] ->
+                [
+                  Service.client_query ~timeout_s:5.0 ~retries:!retries ~backoff_s:0.02
+                    ~backoff_seed:c ~metrics:m ~protocol:Proto.V2 ~path:spath r;
+                ]
+            | _ -> (
+                match
+                  Service.client_batch ~timeout_s:5.0 ~retries:!retries ~backoff_s:0.02
+                    ~backoff_seed:c ~metrics:m ~protocol:Proto.V2 ~path:spath reqs
+                with
+                | Ok items -> items
+                | Error msg -> List.map (fun _ -> Error msg) reqs)
+          in
+          extra := !extra + ((Metrics.retries m - before) * List.length reqs);
+          List.iter2
+            (fun r result ->
+              match check_item (expected r.Service.seed) result with
+              | `Ok -> incr ok
+              | `Wrong -> incr wrong
+              | `Failed msg ->
+                  Printf.eprintf "load_gen: fleet client %d exchange failed: %s\n%!" c msg;
+                  incr failed)
+            reqs results)
+        groups)
+    (plan_for_client c);
+  (!ok, !wrong, !failed, Metrics.retries m, !extra)
+
+type fleet_row = {
+  fr_workers : int;
+  fr_qps : float;
+  fr_served : int;
+  fr_ok : int;
+  fr_retries : int;
+  fr_extra : int;
+  fr_hits : int;
+  fr_misses : int;
+  fr_restarts : int;
+}
+
+(* One full fleet run at [workers]: fork [serve --workers], await the
+   public and every shard socket, drive the shard-aware client fleet,
+   measure wall-clock qps over the client phase, then reconcile the
+   merged {"op":"stats"} exactly — served = ok + extra, zero wrong,
+   zero errors, cache lookups = served, per-worker gauges summing to
+   the total, no restarts. *)
+let run_fleet_load ~workers ~expected ~path =
+  let label = Printf.sprintf "fleet w%d" workers in
+  let all_paths = path :: List.init workers (Service.worker_path ~path) in
+  List.iter (fun p -> if Sys.file_exists p then Sys.remove p) all_paths;
+  let server =
+    match Unix.fork () with
+    | 0 ->
+        (try
+           ignore
+             (Service.serve ~max_clients:!max_clients ~line_timeout_s:10.0
+                ~cache_capacity:!cache_capacity ~workers ~path ())
+         with _ -> Unix._exit 2);
+        Unix._exit 0
+    | pid -> pid
+  in
+  let rec await tries =
+    if not (List.for_all Sys.file_exists all_paths) then
+      if tries = 0 then (
+        Unix.kill server Sys.sigkill;
+        fail "[%s] fleet sockets at %s never appeared" label path)
+      else (
+        Unix.sleepf 0.05;
+        await (tries - 1))
+  in
+  await 100;
+  let rd, wr = Unix.pipe () in
+  let t0 = Unix.gettimeofday () in
+  let pids =
+    List.init !clients (fun c ->
+        match Unix.fork () with
+        | 0 ->
+            Unix.close rd;
+            let ok, wrong, failed, nretries, extra = run_fleet_client ~workers ~path ~expected c in
+            let line = Printf.sprintf "%d %d %d %d %d %d\n" c ok wrong failed nretries extra in
+            ignore (Unix.write_substring wr line 0 (String.length line));
+            Unix._exit 0
+        | pid -> pid)
+  in
+  Unix.close wr;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read rd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  Unix.close rd;
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _ -> fail "[%s] a client process crashed" label)
+    pids;
+  let t1 = Unix.gettimeofday () in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf)) in
+  if List.length lines <> !clients then
+    fail "[%s] collected %d client tallies, expected %d" label (List.length lines) !clients;
+  let ok = ref 0 and wrong = ref 0 and failed = ref 0 and nretries = ref 0 and extra = ref 0 in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ _c; o; w; f; r; x ] ->
+          ok := !ok + int_of_string o;
+          wrong := !wrong + int_of_string w;
+          failed := !failed + int_of_string f;
+          nretries := !nretries + int_of_string r;
+          extra := !extra + int_of_string x
+      | _ -> fail "[%s] garbled client tally %S" label line)
+    lines;
+  let stats =
+    match Service.client_stats ~protocol:Proto.V2 ~path () with
+    | Ok s -> s
+    | Error msg -> fail "[%s] stats query: %s" label msg
+  in
+  Service.client_shutdown ~path ();
+  (match Unix.waitpid [] server with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> fail "[%s] fleet supervisor did not exit cleanly" label);
+  let total = !clients * !queries in
+  if !wrong > 0 then fail "[%s] %d wrong verdicts out of %d queries" label !wrong total;
+  if !failed > 0 then fail "[%s] %d exchanges exhausted their retry budget" label !failed;
+  if !ok <> total then fail "[%s] %d ok replies, expected %d" label !ok total;
+  let served = stats_num stats "queries_served" in
+  if served <> !ok + !extra then
+    fail "[%s] fleet served %d queries; clients account for %d (= %d ok + %d re-served)" label
+      served (!ok + !extra) !ok !extra;
+  if stats_num stats "errors" <> 0 then
+    fail "[%s] fleet tallied %d errors on a clean run" label (stats_num stats "errors");
+  if stats_num stats "injected_faults" <> 0 then
+    fail "[%s] fleet injected %d faults with no schedule" label (stats_num stats "injected_faults");
+  let hits = stats_sub stats "cache" "hits" and misses = stats_sub stats "cache" "misses" in
+  if hits + misses <> served then
+    fail "[%s] cache lookups %d != queries served %d" label (hits + misses) served;
+  let wobj =
+    match Jsonout.member "workers" stats with
+    | Some w -> w
+    | None -> fail "[%s] merged stats missing the workers object" label
+  in
+  if stats_num wobj "count" <> workers then
+    fail "[%s] workers gauge says %d, fleet has %d" label (stats_num wobj "count") workers;
+  let restarts = stats_num wobj "restarts" in
+  if restarts <> 0 then fail "[%s] %d unexpected worker restarts" label restarts;
+  (match Option.bind (Jsonout.member "fleet" wobj) Jsonout.to_list with
+  | Some entries ->
+      if List.length entries <> workers then
+        fail "[%s] %d per-worker gauge rows, expected %d" label (List.length entries) workers;
+      let sum = List.fold_left (fun acc e -> acc + stats_num e "served") 0 entries in
+      if sum <> served then
+        fail "[%s] per-worker served gauges sum to %d, fleet served %d" label sum served
+  | None -> fail "[%s] workers object missing the fleet array" label);
+  let qps = float_of_int total /. Float.max 1e-9 (t1 -. t0) in
+  Printf.printf
+    "load_gen: [%s] %d clients x %d queries: %.0f qps, served %d (%d ok + %d re-served), cache \
+     %d/%d hit/miss\n"
+    label !clients !queries qps served !ok !extra hits misses;
+  {
+    fr_workers = workers;
+    fr_qps = qps;
+    fr_served = served;
+    fr_ok = !ok;
+    fr_retries = !nretries;
+    fr_extra = !extra;
+    fr_hits = hits;
+    fr_misses = misses;
+    fr_restarts = restarts;
+  }
+
+let fleet_json rows =
+  let num i = Jsonout.Num (float_of_int i) in
+  Jsonout.Obj
+    [
+      ( "workload",
+        Jsonout.Obj
+          [
+            ("clients", num !clients);
+            ("queries", num !queries);
+            ("batch", num !batch);
+            ("seeds", num !seeds);
+            ("cache", num !cache_capacity);
+            ("n", num !inst_n);
+          ] );
+      ( "rows",
+        Jsonout.List
+          (List.map
+             (fun r ->
+               Jsonout.Obj
+                 [
+                   ("name", Jsonout.Str (Printf.sprintf "fleet/w%d" r.fr_workers));
+                   ("workers", num r.fr_workers);
+                   ("qps", Jsonout.Num r.fr_qps);
+                   ("served", num r.fr_served);
+                   ("ok", num r.fr_ok);
+                   ("retries", num r.fr_retries);
+                   ("extra", num r.fr_extra);
+                   ("wrong", num 0);
+                   ("cache_hits", num r.fr_hits);
+                   ("cache_misses", num r.fr_misses);
+                   ("restarts", num r.fr_restarts);
+                   ("reconciled", Jsonout.Bool true);
+                 ])
+             rows) );
+    ]
+
+(* Write the sweep's rows: injected as the "fleet" member of an existing
+   tfree-bench/v1 document (the committed baseline keeps one document),
+   or as a standalone tfree-fleet/v1 document. *)
+let write_fleet_out file rows =
+  let fleet = fleet_json rows in
+  let doc =
+    match
+      if Sys.file_exists file then Jsonout.parse (In_channel.with_open_text file In_channel.input_all)
+      else Error "absent"
+    with
+    | Ok (Jsonout.Obj fields)
+      when Jsonout.member "schema" (Jsonout.Obj fields) = Some (Jsonout.Str "tfree-bench/v1") ->
+        Jsonout.Obj (List.filter (fun (k, _) -> k <> "fleet") fields @ [ ("fleet", fleet) ])
+    | _ -> Jsonout.Obj [ ("schema", Jsonout.Str "tfree-fleet/v1"); ("fleet", fleet) ]
+  in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Jsonout.to_string ~indent:2 doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "load_gen: fleet rows written to %s\n" file
+
+let run_fleet_sweep ~expected ~stem =
+  (* Two measured runs per worker count, keeping the faster: every run
+     reconciles exactly on its own, so the extra run only filters
+     one-off scheduler noise out of the wall-clock qps the gate below
+     compares. *)
+  let rows =
+    List.map
+      (fun w ->
+        let run i = run_fleet_load ~workers:w ~expected ~path:(Printf.sprintf "%s.f%d.r%d" stem w i) in
+        let a = run 0 and b = run 1 in
+        if b.fr_qps > a.fr_qps then b else a)
+      [ 1; 2; 4 ]
+  in
+  let qps w =
+    match List.find_opt (fun r -> r.fr_workers = w) rows with
+    | Some r -> r.fr_qps
+    | None -> fail "fleet sweep lost its w%d row" w
+  in
+  Printf.printf "load_gen: fleet qps  w1 %.0f  w2 %.0f  w4 %.0f\n" (qps 1) (qps 2) (qps 4);
+  if qps 2 <= qps 1 then
+    fail "fleet of 2 (%.0f qps) does not beat one worker (%.0f qps)" (qps 2) (qps 1);
+  if qps 4 <= qps 1 then
+    fail "fleet of 4 (%.0f qps) does not beat one worker (%.0f qps)" (qps 4) (qps 1);
+  if !fleet_out <> "" then write_fleet_out !fleet_out rows
+
 let () =
   Arg.parse specs (fun a -> fail "unexpected argument %S" a) usage;
   if !clients < 1 || !queries < 1 || !batch < 1 || !seeds < 1 then
@@ -508,6 +813,20 @@ let () =
     Array.init !seeds (fun i -> Service.run_request (request_for (1 + i)))
   in
   let expected seed = expected_arr.(seed - 1) in
+  if !fleet_sweep || !workers > 0 then begin
+    (* Fleet runs are clean-path throughput measurements: the fault
+       schedule targets a single server's reply stream and would make
+       the per-worker op indices racy across a fleet. *)
+    if !fault_spec <> "" then
+      fail "--fleet/--workers measure the clean path; drop --fault (%S)" !fault_spec;
+    if !fleet_sweep then run_fleet_sweep ~expected ~stem
+    else begin
+      let row = run_fleet_load ~workers:!workers ~expected ~path:stem in
+      if !fleet_out <> "" then write_fleet_out !fleet_out [ row ]
+    end;
+    print_endline "load_gen: ok";
+    exit 0
+  end;
   let summaries =
     List.map
       (fun pref ->

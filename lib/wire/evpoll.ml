@@ -1,0 +1,37 @@
+(* See evpoll.mli.  The stub takes parallel fds/events/revents arrays
+   (bit 1 = readable, bit 2 = writable) and a millisecond timeout;
+   it returns the ready count with revents filled in. *)
+external poll_raw : Unix.file_descr array -> int array -> int array -> int -> int
+  = "tfree_evpoll_wait"
+
+(* poll's timeout is a C int of milliseconds.  Round *up* so a deadline
+   with 0.2ms left waits 1ms instead of spinning; cap at a day so an
+   [infinity]-ish float cannot overflow the C int (every caller loops
+   and re-computes its deadline anyway). *)
+let ms_of_timeout timeout_s =
+  if timeout_s < 0.0 then -1
+  else if timeout_s >= 86_400.0 then 86_400_000
+  else int_of_float (Float.ceil (timeout_s *. 1000.0))
+
+let readable fd ~timeout_s =
+  let fds = [| fd |] and events = [| 1 |] and revents = [| 0 |] in
+  poll_raw fds events revents (ms_of_timeout timeout_s) > 0 && revents.(0) land 1 <> 0
+
+let wait_in fds ~timeout_s =
+  match fds with
+  | [] ->
+      (* poll(NULL, 0, t) is a valid sleep, which is exactly what the
+         event loop wants while no connection is open *)
+      ignore (poll_raw [||] [||] [||] (ms_of_timeout timeout_s));
+      []
+  | _ ->
+      let arr = Array.of_list fds in
+      let n = Array.length arr in
+      let events = Array.make n 1 and revents = Array.make n 0 in
+      if poll_raw arr events revents (ms_of_timeout timeout_s) <= 0 then []
+      else
+        let ready = ref [] in
+        for i = n - 1 downto 0 do
+          if revents.(i) land 1 <> 0 then ready := arr.(i) :: !ready
+        done;
+        !ready

@@ -1,0 +1,75 @@
+/* poll(2) binding for the serve event loop.
+
+   The OCaml stdlib only exposes select(), whose fd_set caps every
+   descriptor at FD_SETSIZE (~1024): a server holding more connections —
+   or a *client* library whose process happens to have 1024 fds open —
+   gets EINVAL or silent fd_set corruption.  poll() has no such cap, so
+   this one entry point backs both the event loop's multi-fd wait and
+   the deadline readers' single-fd wait.
+
+   Contract (kept deliberately tiny so the stub needs no unixsupport.h):
+   - fds / events / revents are same-length OCaml arrays; events and
+     revents use bit 1 = readable, bit 2 = writable.  A descriptor at
+     EOF, half-closed or invalid is reported readable: the caller's
+     read() then surfaces the real condition (0 bytes, ECONNRESET,
+     EBADF) through its existing error handling, exactly as select()
+     behaved.
+   - The OCaml runtime lock is released around the kernel wait.
+   - EINTR/EAGAIN surface as 0 ready descriptors, not an exception:
+     every caller sits in a deadline loop that re-checks wall clock and
+     re-polls, which is also what the old select paths did on EINTR.
+   - Any other failure (ENOMEM, EINVAL) is a caml_failwith: those mean
+     the process is broken, not the connection. */
+
+#include <poll.h>
+#include <errno.h>
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/signals.h>
+
+#define TFREE_EVPOLL_STACK_FDS 64
+
+CAMLprim value tfree_evpoll_wait(value v_fds, value v_events, value v_revents,
+                                 value v_timeout_ms)
+{
+  CAMLparam4(v_fds, v_events, v_revents, v_timeout_ms);
+  mlsize_t n = Wosize_val(v_fds);
+  struct pollfd stack_pfds[TFREE_EVPOLL_STACK_FDS];
+  struct pollfd *pfds = stack_pfds;
+  int rc, err;
+  mlsize_t i;
+
+  if (Wosize_val(v_events) != n || Wosize_val(v_revents) != n)
+    caml_invalid_argument("Evpoll: array length mismatch");
+  if (n > TFREE_EVPOLL_STACK_FDS)
+    pfds = (struct pollfd *) caml_stat_alloc(n * sizeof(struct pollfd));
+
+  for (i = 0; i < n; i++) {
+    int ev = Int_val(Field(v_events, i));
+    pfds[i].fd = Int_val(Field(v_fds, i));
+    pfds[i].events = (short) (((ev & 1) ? POLLIN : 0) | ((ev & 2) ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+
+  caml_enter_blocking_section();
+  rc = poll(pfds, (nfds_t) n, Int_val(v_timeout_ms));
+  err = errno;
+  caml_leave_blocking_section();
+
+  if (rc < 0) {
+    if (pfds != stack_pfds) caml_stat_free(pfds);
+    if (err == EINTR || err == EAGAIN) CAMLreturn(Val_int(0));
+    caml_failwith("Evpoll: poll failed");
+  }
+
+  for (i = 0; i < n; i++) {
+    int rv = 0;
+    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) rv |= 1;
+    if (pfds[i].revents & (POLLOUT | POLLHUP | POLLERR)) rv |= 2;
+    Store_field(v_revents, i, Val_int(rv));
+  }
+  if (pfds != stack_pfds) caml_stat_free(pfds);
+  CAMLreturn(Val_int(rc));
+}

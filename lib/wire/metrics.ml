@@ -95,10 +95,10 @@ let version_slot v = if v < 1 then 1 else if v > max_wire_version then max_wire_
    sub_bits mismatch; 2^-5 ≈ 3.1% relative bucket width. *)
 let histogram_sub_bits = 5
 
-let create () =
+let create ?started_at () =
   {
     mutex = Mutex.create ();
-    started_at = Unix.gettimeofday ();
+    started_at = (match started_at with Some t -> t | None -> Unix.gettimeofday ());
     queries_served = 0;
     wire_bytes = 0;
     accounted_bits = 0;
@@ -255,6 +255,156 @@ let merge t other =
             other.datasets;
           Histogram.merge t.latency other.latency;
           Array.iteri (fun i h -> Histogram.merge t.phases.(i) h) other.phases))
+
+(* ------------------------------------------- cross-process snapshots *)
+
+(* A registry serialized for the fleet control channel: every counter,
+   both version arrays, the verdict and dataset tables, the start time,
+   and each histogram in its exact {!Histogram.to_compact} encoding — so
+   [of_wire] round-trips to a registry whose {!merge} into an accumulator
+   is indistinguishable from merging the original.  JSON because it is
+   cheap to write with {!Jsonout} and the fleet control channel is not a
+   hot path (stats pulls, worker exits); the histogram compacts keep the
+   bucket counts exact, and {!Jsonout} prints non-integral floats with
+   %.17g so [started_at] survives.  Gauges ([in_flight]) travel too:
+   merge ignores them, but the fleet parent sums them by hand for the
+   fleet-wide gauge. *)
+
+let to_wire t =
+  locked t (fun () ->
+      let num n = Jsonout.Num (float_of_int n) in
+      let ints a = Jsonout.List (Array.to_list (Array.map num a)) in
+      let verdicts =
+        Hashtbl.fold
+          (fun protocol c acc ->
+            (protocol, Jsonout.List [ num c.triangle; num c.triangle_free ]) :: acc)
+          t.verdicts []
+        |> List.sort compare
+      in
+      let datasets =
+        Hashtbl.fold (fun name c acc -> (name, num c) :: acc) t.datasets [] |> List.sort compare
+      in
+      Jsonout.to_string
+        (Jsonout.Obj
+           [
+             ("started_at", Jsonout.Num t.started_at);
+             ("queries_served", num t.queries_served);
+             ("wire_bytes", num t.wire_bytes);
+             ("accounted_bits", num t.accounted_bits);
+             ("errors", ints t.error_counts);
+             ("retries", num t.retries);
+             ("injected", num t.injected);
+             ("accepted", num t.accepted);
+             ("shed", num t.shed);
+             ("in_flight", num t.in_flight);
+             ("cache_hits", num t.cache_hits);
+             ("cache_misses", num t.cache_misses);
+             ("batches", num t.batches);
+             ("batch_items", num t.batch_items);
+             ("version_served", ints t.version_served);
+             ("version_bytes", ints t.version_bytes);
+             ("verdicts", Jsonout.Obj verdicts);
+             ("datasets", Jsonout.Obj datasets);
+             ("latency", Jsonout.Str (Histogram.to_compact t.latency));
+             ( "phases",
+               Jsonout.List
+                 (Array.to_list
+                    (Array.map (fun h -> Jsonout.Str (Histogram.to_compact h)) t.phases)) );
+           ]))
+
+exception Bad_wire of string
+
+let of_wire s =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad_wire m)) fmt in
+  let parse_result j =
+    let int_of k =
+      match Option.bind (Jsonout.member k j) Jsonout.to_float with
+      | Some f -> int_of_float f
+      | None -> fail "missing or non-numeric field %S" k
+    in
+    let float_of k =
+      match Option.bind (Jsonout.member k j) Jsonout.to_float with
+      | Some f -> f
+      | None -> fail "missing or non-numeric field %S" k
+    in
+    let fill_ints k dst =
+      match Jsonout.member k j with
+      | Some (Jsonout.List l) ->
+          (* tolerate a snapshot from a build tracking more (or fewer)
+             slots: copy what fits, exactly like version_slot clamps *)
+          List.iteri
+            (fun i v ->
+              if i < Array.length dst then
+                match Jsonout.to_float v with
+                | Some f -> dst.(i) <- int_of_float f
+                | None -> fail "non-numeric entry in %S" k)
+            l
+      | _ -> fail "missing list field %S" k
+    in
+    let histogram_of k s =
+      match Histogram.of_compact s with
+      | Ok h -> h
+      | Error msg -> fail "bad %S histogram: %s" k msg
+    in
+    let t = create ~started_at:(float_of "started_at") () in
+    t.queries_served <- int_of "queries_served";
+    t.wire_bytes <- int_of "wire_bytes";
+    t.accounted_bits <- int_of "accounted_bits";
+    fill_ints "errors" t.error_counts;
+    t.retries <- int_of "retries";
+    t.injected <- int_of "injected";
+    t.accepted <- int_of "accepted";
+    t.shed <- int_of "shed";
+    t.in_flight <- int_of "in_flight";
+    t.cache_hits <- int_of "cache_hits";
+    t.cache_misses <- int_of "cache_misses";
+    t.batches <- int_of "batches";
+    t.batch_items <- int_of "batch_items";
+    fill_ints "version_served" t.version_served;
+    fill_ints "version_bytes" t.version_bytes;
+    (match Jsonout.member "verdicts" j with
+    | Some (Jsonout.Obj fields) ->
+        List.iter
+          (fun (protocol, v) ->
+            match v with
+            | Jsonout.List [ tri; free ] -> (
+                match (Jsonout.to_float tri, Jsonout.to_float free) with
+                | Some a, Some b ->
+                    Hashtbl.replace t.verdicts protocol
+                      { triangle = int_of_float a; triangle_free = int_of_float b }
+                | _ -> fail "non-numeric verdict counts for %S" protocol)
+            | _ -> fail "bad verdict entry for %S" protocol)
+          fields
+    | _ -> fail "missing object field \"verdicts\"");
+    (match Jsonout.member "datasets" j with
+    | Some (Jsonout.Obj fields) ->
+        List.iter
+          (fun (name, v) ->
+            match Jsonout.to_float v with
+            | Some f -> Hashtbl.replace t.datasets name (int_of_float f)
+            | None -> fail "non-numeric dataset count for %S" name)
+          fields
+    | _ -> fail "missing object field \"datasets\"");
+    (match Jsonout.member "latency" j with
+    | Some (Jsonout.Str s) -> Histogram.merge t.latency (histogram_of "latency" s)
+    | _ -> fail "missing string field \"latency\"");
+    (match Jsonout.member "phases" j with
+    | Some (Jsonout.List l) ->
+        List.iteri
+          (fun i v ->
+            match v with
+            | Jsonout.Str s when i < Array.length t.phases ->
+                Histogram.merge t.phases.(i) (histogram_of "phases" s)
+            | Jsonout.Str _ -> ()
+            | _ -> fail "non-string entry in \"phases\"")
+          l
+    | _ -> fail "missing list field \"phases\"");
+    t
+  in
+  match Jsonout.parse s with
+  | Error msg -> Error ("Metrics.of_wire: bad JSON: " ^ msg)
+  | Ok j -> (
+      try Ok (parse_result j) with Bad_wire msg -> Error ("Metrics.of_wire: " ^ msg))
 
 (* Render one histogram as the stats-JSON latency object.  The legacy
    per-sample keys (count/mean/p50/p90/p99) keep their meaning; p999,

@@ -30,7 +30,11 @@ val category_of_name : string -> error_category option
 
 type t
 
-val create : unit -> t
+(** [started_at] (default: now) back-dates the registry's start time —
+    the fleet parent stamps its merged registry with its own start so the
+    fleet-wide [uptime_s]/[served_per_sec] describe the fleet, not the
+    moment of the merge. *)
+val create : ?started_at:float -> unit -> t
 
 (** Record one successfully served protocol query.  [version] is the wire
     protocol the serving connection negotiated (1 = JSON lines, 2 = binary;
@@ -133,6 +137,18 @@ val version_bytes : t -> int -> int
     server's stats, and by fleet-wide stats to combine worker
     registries. *)
 val merge : t -> t -> unit
+
+(** Serialize the registry for the fleet control channel: every counter,
+    the verdict/dataset tables, the start time and each histogram in its
+    exact {!Tfree_obs.Histogram.to_compact} encoding, as one JSON line.
+    {!of_wire} round-trips to a registry whose {!merge} into an
+    accumulator is indistinguishable from merging the original —
+    fleet-wide stats stay exact across process boundaries.  The
+    [in_flight] gauge travels too (merge ignores it; the fleet parent
+    sums it by hand). *)
+val to_wire : t -> string
+
+val of_wire : string -> (t, string) result
 
 (** The stats-query payload: counters, per-category error counts, retry and
     injected-fault tallies, connection gauges ([accepted]/[shed]/

@@ -170,6 +170,29 @@ val create_cache : ?capacity:int -> unit -> instance_cache
 val key_of_request : request -> instance_key
 val key_of_dataset_request : dataset_request -> instance_key
 
+(** {2 Fleet sharding}
+
+    A fleet routes every request to the worker owning its instance key,
+    so each worker's LRU sees only its own shard and stays hot.  The hash
+    is FNV-1a over a canonical rendering of {e every} field of the key
+    (floats in exact hex) — deterministic across processes, builds and
+    runs, unlike [Hashtbl.hash]; both key arms hash with distinct
+    prefixes. *)
+
+(** The deterministic hash of a key: nonnegative, stable across
+    processes. *)
+val shard_key : instance_key -> int
+
+(** [shard_key] reduced mod [workers] ([0] when [workers <= 1]). *)
+val shard_of_key : workers:int -> instance_key -> int
+
+val shard_of_request : workers:int -> request -> int
+val shard_of_dataset_request : workers:int -> dataset_request -> int
+
+(** The shard socket path of fleet worker [i] under a fleet serving
+    [path]: [path.w<i>]. *)
+val worker_path : path:string -> int -> string
+
 (** The graph generator's rng stream for [seed]. *)
 val graph_rng : int -> Rng.t
 
@@ -231,6 +254,16 @@ type line_read =
     [Eof]/[Partial], never an exception. *)
 val read_line_deadline : Unix.file_descr -> deadline:float -> line_read
 
+(** Fleet delegation hooks for {!handle_line}: a fleet worker's
+    stats/health ops must describe the whole fleet, not one shard, so the
+    dispatcher lets the fleet layer substitute those two payloads.
+    [None] from a hook (the fleet parent was unreachable) falls back to
+    the local registry. *)
+type serve_hooks = {
+  hook_stats : unit -> Jsonout.t option;
+  hook_health : unit -> Jsonout.t option;
+}
+
 (** One request line to one reply line against [metrics]; sets [stop] on a
     shutdown command.  Returns the reply and how many protocol queries the
     line served — 0 or 1 for a plain line, up to the item count for an
@@ -241,10 +274,12 @@ val read_line_deadline : Unix.file_descr -> deadline:float -> line_read
     nothing escapes.  [version] is the wire-protocol version of the
     serving connection (default 1), feeding the per-version served
     gauge.  [registry] enables [{"op": "dataset"}] lines; without it they
-    answer a structured unknown-op error. *)
+    answer a structured unknown-op error.  [hooks] overrides the
+    stats/health payloads ({!serve_hooks}). *)
 val handle_line :
   ?cache:instance_cache ->
   ?registry:Tfree_dataset.Registry.t ->
+  ?hooks:serve_hooks ->
   metrics:Metrics.t ->
   stop:bool ref ->
   ?version:int ->
@@ -256,8 +291,9 @@ val handle_line :
     protocol queries — batch items each count) arrives.  Returns the
     number of queries served.
 
-    The server is a single-threaded select event loop: every open
-    connection owns a read buffer and a rolling per-line deadline of
+    The server is a single-threaded poll event loop ({!Evpoll} — no
+    FD_SETSIZE ceiling, so descriptor counts past 1024 are fine): every
+    open connection owns a read buffer and a rolling per-line deadline of
     [line_timeout_s] (default 30), so a slow or silent client costs a
     [Timeout] error and its own connection while everyone else keeps being
     served.  [backlog] (default 64) sizes the kernel accept queue; at most
@@ -291,7 +327,29 @@ val handle_line :
     shutdown, with the traced runs' accounted bits in [otherData].
     [metrics_file] is atomically replaced with a Prometheus text
     exposition of the stats every [metrics_interval_s] seconds (default
-    5, floored at 0.1) and once more at shutdown. *)
+    5, floored at 0.1) and once more at shutdown.
+
+    [workers = Some n] (n >= 1) turns the call into a {e fleet}: the
+    parent binds the public listener at [path] plus one shard listener
+    per worker ({!worker_path}), forks [n] worker processes that each
+    run the event loop over the public socket and their own shard
+    socket, and supervises.  Requests routed with {!shard_of_request}
+    to [path.w<i>] keep each worker's instance cache hot; connections to
+    the public [path] land on whichever worker accepts first.  Stats and
+    health queries answered by any worker describe the whole fleet: the
+    parent barrier-pulls every worker's registry snapshot, merges them
+    (plus a graveyard of finished workers, so counters are monotone
+    across crashes) with {!Metrics.merge}, and adds a ["workers"] object
+    with per-worker gauges ([pid], [alive], [restarts], [served],
+    [in_flight], [cache_hits]).  A worker that dies is reaped, its last
+    snapshot folded in, and its seat respawned on the same listeners (no
+    connection is refused while the seat is empty — the backlog holds
+    them).  A [{"cmd": "shutdown"}] received by any worker stops the
+    whole fleet; [max_requests] applies per worker, and a worker that
+    exhausts its budget is not respawned.  In fleet mode [fault] goes to
+    worker 0 alone (deterministic chaos indices), and [metrics_file] /
+    [trace_out] are suffixed [.w<i>] per worker.  The returned served
+    count is the fleet-wide total. *)
 val serve :
   ?backlog:int ->
   ?max_clients:int ->
@@ -307,6 +365,7 @@ val serve :
   ?trace_out:string ->
   ?metrics_file:string ->
   ?metrics_interval_s:float ->
+  ?workers:int ->
   path:string ->
   unit ->
   int
