@@ -245,7 +245,60 @@ let () =
       fail "dataset/snapshot-bytes-per-edge: snapshot (%g B) not below dimacs (%g B)" snap_b dimacs_b;
     let bpe = float_field size "bits_per_edge" in
     if Float.abs (bpe -. (8.0 *. snap_b /. m)) > 0.01 then
-      fail "dataset/snapshot-bytes-per-edge: bits_per_edge %g does not reconcile" bpe
+      fail "dataset/snapshot-bytes-per-edge: bits_per_edge %g does not reconcile" bpe;
+    (* The congest rows (lib/experiments/congest_threshold.ml): every
+       threshold row must be internally consistent — detection counts within
+       [0, reps], cap and threshold on the geometric grid {1, 2, 4, ...},
+       threshold within the cap, and the rate at the threshold at least 1/2
+       by definition — and the accounting row must witness the per-round
+       ledger identity from the document alone: sum of per-round bits =
+       total message bits = traced bits (same for message counts). *)
+    let pow2 v =
+      let i = int_of_float v in
+      Float.is_integer v && i >= 1 && i land (i - 1) = 0
+    in
+    let thresholds =
+      List.filter
+        (fun m ->
+          match Jsonout.member "name" m with Some (Str "congest/threshold") -> true | _ -> false)
+        micro
+    in
+    if thresholds = [] then fail "missing congest/threshold rows";
+    List.iter
+      (fun row ->
+        let reps = float_field row "reps" in
+        let cap = float_field row "cap_rounds" in
+        let detected = float_field row "detected" in
+        if reps <= 0.0 then fail "congest/threshold: non-positive reps";
+        if detected < 0.0 || detected > reps then
+          fail "congest/threshold: detected %g outside [0, %g]" detected reps;
+        if not (pow2 cap) then fail "congest/threshold: cap %g is not a power of two" cap;
+        match field row "threshold_rounds" with
+        | Jsonout.Null -> ()
+        | Jsonout.Num t ->
+            if not (pow2 t) then fail "congest/threshold: threshold %g is not a power of two" t;
+            if t > cap then fail "congest/threshold: threshold %g exceeds the cap %g" t cap;
+            let rate = float_field row "rate_at_threshold" in
+            if rate < 0.5 || rate > 1.0 then
+              fail "congest/threshold: rate %g at the threshold is outside [1/2, 1]" rate
+        | _ -> fail "congest/threshold: threshold_rounds is neither a number nor null")
+      thresholds;
+    let acc = wire_row "congest/accounting" in
+    (match field acc "identity" with
+    | Bool true -> ()
+    | Bool false -> fail "congest/accounting: identity flag is false"
+    | _ -> fail "congest/accounting: identity is not a bool");
+    let total = float_field acc "total_bits" in
+    if total <= 0.0 then fail "congest/accounting: non-positive total bits";
+    List.iter
+      (fun k ->
+        let v = float_field acc k in
+        if v <> total then fail "congest/accounting: %s (%g) != total_bits (%g)" k v total)
+      [ "round_bits_sum"; "traced_bits" ];
+    if float_field acc "round_messages_sum" <> float_field acc "messages" then
+      fail "congest/accounting: per-round message sum does not reconcile";
+    if float_field acc "rounds_run" > float_field acc "budget" then
+      fail "congest/accounting: rounds_run exceeds the budget"
   end;
   Printf.printf "check_json: %s ok (%d experiments, %d micro rows, %d fleet rows)\n" path
     (List.length experiments) (List.length micro) fleet_rows

@@ -1,0 +1,109 @@
+(* Smoke behind the @congest-smoke alias: the round-budget machinery end to
+   end on a small fixed instance, deterministic in its seeds.
+
+   1. Threshold scan: for several seeds, the geometric-grid budget returned
+      by [rounds_to_detect] must equal a naive scan that re-runs the tester
+      independently at each grid budget (the budget-independence claim made
+      executable), at least half of the seeds must detect within the cap
+      (the detection-probability-crosses-1/2 methodology E27 uses), and a
+      budget of one round must never detect (probes sent in the only round
+      are charged but not delivered).
+
+   2. Per-round accounting: one traced run must reconcile three ways — the
+      sum of per-round bits equals [stats.total_message_bits] equals the
+      traced bits — and the per-round rows re-derived from the serialized
+      Chrome trace must equal the in-memory [round_stats] ledger.  The
+      trace file is then handed to trace_check, which re-asserts the
+      decomposition identity from the bytes alone. *)
+
+open Tfree_util
+open Tfree_graph
+module Sim = Tfree_congest.Simulator
+module Tester = Tfree_congest.Triangle_tester
+module Trace = Tfree_trace.Trace
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("congest_smoke: " ^ msg); exit 1) fmt
+
+let trace_file = "congest_trace.json"
+
+let fmt_opt = function Some r -> string_of_int r | None -> "none"
+
+let () =
+  let g = Gen.diluted_far (Rng.create 4242) ~triangles:6 ~extra_degree:8 in
+  let cap = 512 in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  (* 1. the threshold scan, checked against the naive per-budget re-scan *)
+  let naive ~seed =
+    let rec scan r =
+      if r > cap then None
+      else if (Tester.test ~rounds:r g ~eps:0.1 ~seed).Tester.triangle <> None then Some r
+      else scan (2 * r)
+    in
+    scan 1
+  in
+  let thresholds =
+    List.map
+      (fun seed ->
+        let grid = Tester.rounds_to_detect g ~seed ~max_rounds:cap in
+        let expect = naive ~seed in
+        if grid <> expect then
+          fail "seed %d: grid scan %s != naive scan %s" seed (fmt_opt grid) (fmt_opt expect);
+        if (Tester.test ~rounds:1 g ~eps:0.1 ~seed).Tester.triangle <> None then
+          fail "seed %d: detected with a 1-round budget (no message was ever delivered)" seed;
+        grid)
+      seeds
+  in
+  let detected = List.length (List.filter Option.is_some thresholds) in
+  if 2 * detected < List.length seeds then
+    fail "only %d/%d seeds detect within %d rounds" detected (List.length seeds) cap;
+  (* 2. the per-round accounting identity, in memory and through the file *)
+  let c = Trace.create () in
+  let r =
+    Trace.with_collector c (fun () -> Tester.test ~tap:(Trace.tap c) ~rounds:cap g ~eps:0.1 ~seed:1)
+  in
+  let st = r.Tester.stats in
+  let sum_bits = Array.fold_left (fun a (rs : Sim.round_stat) -> a + rs.Sim.round_bits) 0 st.Sim.round_stats in
+  let sum_msgs =
+    Array.fold_left (fun a (rs : Sim.round_stat) -> a + rs.Sim.round_messages) 0 st.Sim.round_stats
+  in
+  if sum_bits <> st.Sim.total_message_bits then
+    fail "per-round bits sum to %d, total is %d" sum_bits st.Sim.total_message_bits;
+  if sum_msgs <> st.Sim.messages then
+    fail "per-round messages sum to %d, total is %d" sum_msgs st.Sim.messages;
+  if Trace.total_bits c <> st.Sim.total_message_bits then
+    fail "traced %d bits, accounted %d" (Trace.total_bits c) st.Sim.total_message_bits;
+  if Array.length st.Sim.round_stats <> st.Sim.rounds_run then
+    fail "%d round stats for %d executed rounds" (Array.length st.Sim.round_stats) st.Sim.rounds_run;
+  let json =
+    Trace.to_chrome c
+      ~other:
+        [
+          ("accounted_bits", Jsonout.Num (float_of_int st.Sim.total_message_bits));
+          ("protocol", Jsonout.Str "congest");
+          ("verdict", Jsonout.Str (match r.Tester.triangle with Some _ -> "triangle" | None -> "triangle-free"));
+          ("outcome", Jsonout.Str (Sim.outcome_to_string st.Sim.outcome));
+          ("rounds_run", Jsonout.Num (float_of_int st.Sim.rounds_run));
+          ("round_budget", Jsonout.Num (float_of_int r.Tester.budget));
+        ]
+  in
+  Out_channel.with_open_text trace_file (fun oc -> Out_channel.output_string oc (Jsonout.to_string json));
+  (* the serialized file must yield the same per-round ledger *)
+  let from_stats =
+    List.filter
+      (fun (_, m, _) -> m > 0)
+      (List.mapi
+         (fun i (rs : Sim.round_stat) -> (i + 1, rs.Sim.round_messages, rs.Sim.round_bits))
+         (Array.to_list st.Sim.round_stats))
+  in
+  let reparsed =
+    match Jsonout.parse (In_channel.with_open_text trace_file In_channel.input_all) with
+    | Ok doc -> Trace.round_rows_of_chrome doc
+    | Error msg -> fail "%s does not parse back: %s" trace_file msg
+  in
+  if reparsed <> from_stats then fail "per-round rows from the trace file diverge from round_stats";
+  Printf.printf
+    "congest_smoke: ok (%d/%d seeds detect within %d rounds; traced run %s after %d round(s), %d \
+     bits = per-round sum = traced bits; wrote %s)\n"
+    detected (List.length seeds) cap
+    (Sim.outcome_to_string st.Sim.outcome)
+    st.Sim.rounds_run st.Sim.total_message_bits trace_file

@@ -295,6 +295,9 @@ let run_json () =
   Option.iter Micro_wire.print_table wire;
   let dataset = if opts.only = [] then Some (measure_dataset ()) else None in
   Option.iter Dataset_bench.print_table dataset;
+  (* The congest threshold/accounting rows (lib/experiments/congest_threshold.ml):
+     seeded, wall-clock-free, so the document stays byte-stable. *)
+  let congest = if opts.only = [] then Tfree_experiments.Congest_threshold.bench_rows () else [] in
   let experiments =
     List.map2
       (fun (id, dt1) (id', dtn) ->
@@ -332,7 +335,8 @@ let run_json () =
                  Jsonout.Obj [ ("name", Str name); ("ns_per_run", Num est); ("r2", Num r2) ])
                micro
             @ (match wire with Some w -> Micro_wire.to_rows w | None -> [])
-            @ match dataset with Some d -> Dataset_bench.to_rows d | None -> []) );
+            @ (match dataset with Some d -> Dataset_bench.to_rows d | None -> [])
+            @ congest) );
       ])
   in
   let oc = open_out json_file in

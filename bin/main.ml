@@ -23,6 +23,8 @@ module Dataset_error = Tfree_dataset.Dataset_error
 module Logger = Tfree_obs.Logger
 module Prom = Tfree_obs.Prom
 module Obs_phase = Tfree_obs.Phase
+module Congest = Tfree_congest.Simulator
+module Congest_tester = Tfree_congest.Triangle_tester
 
 (* ----------------------------------------------------------- common args *)
 
@@ -178,9 +180,62 @@ let verdict_string = function
   | Tfree.Tester.Triangle _ -> "triangle"
   | Tfree.Tester.Triangle_free -> "triangle-free"
 
+(* The --congest path of `tfree run`: one node per vertex, a hard round
+   budget, per-round accounting.  Shares --seed/--n/--d/--eps/--instance,
+   --input and --trace with the communication protocols; partition, wire and
+   fault flags are meaningless here (single-machine simulation of a
+   message-passing network, no byte transport) and are rejected loudly. *)
+let run_congest g ~eps ~seed ~rounds ~b_bits ~trace_out =
+  let n = Graph.n g in
+  let used_b_bits = match b_bits with Some b -> b | None -> Congest_tester.default_b_bits ~n in
+  let collector = Option.map (fun _ -> Trace.create ()) trace_out in
+  let tap = Option.map Trace.tap collector in
+  let run_tester () = Congest_tester.test ?rounds ?b_bits ?tap g ~eps ~seed in
+  let r =
+    match collector with Some c -> Trace.with_collector c run_tester | None -> run_tester ()
+  in
+  let st = r.Congest_tester.stats in
+  (match r.Congest_tester.triangle with
+  | Some (a, b, c) ->
+      Printf.printf "verdict: TRIANGLE (%d,%d,%d) — verified real: %b\n" a b c
+        (Triangle.is_triangle g (a, b, c))
+  | None -> print_endline "verdict: no triangle found");
+  Printf.printf "congest: %s after %d of %d round(s); bandwidth %d bits/edge/round\n"
+    (Congest.outcome_to_string st.Congest.outcome)
+    r.Congest_tester.rounds r.Congest_tester.budget used_b_bits;
+  Printf.printf "communication: %d bits in %d message(s); max single message %d bits\n"
+    st.Congest.total_message_bits st.Congest.messages st.Congest.max_message_bits;
+  match (collector, trace_out) with
+  | Some c, Some file ->
+      let accounted = st.Congest.total_message_bits in
+      if not (Trace.decomposes c ~accounted) then (
+        Printf.eprintf "trace: decomposition FAILED — traced %d bits, accounted %d\n"
+          (Trace.total_bits c) accounted;
+        exit 1);
+      let json =
+        Trace.to_chrome c
+          ~other:
+            [
+              ("accounted_bits", Jsonout.Num (float_of_int accounted));
+              ("protocol", Jsonout.Str "congest");
+              ( "verdict",
+                Jsonout.Str (match r.Congest_tester.triangle with Some _ -> "triangle" | None -> "triangle-free") );
+              ("outcome", Jsonout.Str (Congest.outcome_to_string st.Congest.outcome));
+              ("rounds_run", Jsonout.Num (float_of_int st.Congest.rounds_run));
+              ("round_budget", Jsonout.Num (float_of_int r.Congest_tester.budget));
+              ("b_bits", Jsonout.Num (float_of_int used_b_bits));
+              ("n", Jsonout.Num (float_of_int n));
+              ("seed", Jsonout.Num (float_of_int seed));
+            ]
+      in
+      Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc (Jsonout.to_string json));
+      Printf.printf "trace: %d message event(s), %d bits = accounted bits exactly; wrote %s\n"
+        (Trace.message_count c) (Trace.total_bits c) file
+  | _ -> ()
+
 let run_cmd =
   let run seed n d k eps family part proto blackboard wire transport fault_spec trace_out input
-      format =
+      format congest rounds b_bits =
     (* graph and partition draw from independent rng streams (the service's
        split), so a file-loaded graph partitions identically to the
        generated run of the same seed *)
@@ -195,6 +250,29 @@ let run_cmd =
               g)
       | None -> Service.build_instance family (Service.graph_rng seed) ~n ~d ~eps
     in
+    if congest then begin
+      (* the congest simulation has no players, wire or faults to configure *)
+      if wire || fault_spec <> "" then begin
+        prerr_endline
+          "error: --wire and --fault-spec do not apply to --congest (the simulated network has \
+           no byte transport)";
+        exit 2
+      end;
+      (match rounds with
+      | Some r when r <= 0 ->
+          prerr_endline "error: --rounds must be positive";
+          exit 2
+      | _ -> ());
+      (match b_bits with
+      | Some b when b < 0 ->
+          prerr_endline "error: --b-bits must be non-negative";
+          exit 2
+      | _ -> ());
+      Printf.printf "instance: n=%d m=%d avg degree %.2f; congest (one node per vertex)\n"
+        (Graph.n g) (Graph.m g) (Graph.avg_degree g);
+      run_congest g ~eps ~seed ~rounds ~b_bits ~trace_out
+    end
+    else begin
     let inputs = Service.build_partition part (Service.partition_rng seed) ~k g in
     Printf.printf "instance: n=%d m=%d avg degree %.2f; k=%d players (duplication %b)\n" (Graph.n g)
       (Graph.m g) (Graph.avg_degree g) k (Partition.has_duplication inputs);
@@ -264,6 +342,7 @@ let run_cmd =
         Printf.printf "trace: %d message event(s), %d bits = accounted bits exactly; wrote %s\n"
           (Trace.message_count c) (Trace.total_bits c) file
     | _ -> ()
+    end
   in
   let wire_arg =
     Arg.(value & flag
@@ -282,10 +361,28 @@ let run_cmd =
              ~doc:"Load the graph from FILE (see --format) instead of generating it; --instance, \
                    --n and --d are ignored.")
   in
+  let congest_arg =
+    Arg.(value & flag
+         & info [ "congest" ]
+             ~doc:"Run the CONGEST triangle tester (one node per vertex, synchronous rounds, \
+                   bandwidth-capped edges) instead of a communication protocol; --k, --partition, \
+                   --protocol are ignored, --wire and --fault-spec are rejected.")
+  in
+  let rounds_arg =
+    Arg.(value & opt (some int) None
+         & info [ "rounds" ] ~docv:"R"
+             ~doc:"Hard round budget for --congest (default ceil(2/ǫ²)); running out of rounds is \
+                   reported as the budget-exhausted outcome, not an error.")
+  in
+  let b_bits_arg =
+    Arg.(value & opt (some int) None
+         & info [ "b-bits" ] ~docv:"B"
+             ~doc:"Per-edge per-round bandwidth cap in bits for --congest (default ⌈log₂ n⌉ + 1).")
+  in
   let term =
     Term.(const run $ seed_arg $ n_arg $ d_arg $ k_arg $ eps_arg $ instance_arg $ partition_arg
           $ protocol_arg $ blackboard_arg $ wire_arg $ transport_arg $ fault_spec_arg $ trace_arg
-          $ input_arg $ format_arg)
+          $ input_arg $ format_arg $ congest_arg $ rounds_arg $ b_bits_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -322,7 +419,33 @@ let trace_report_cmd =
           (Table.make ~title:"Per-player traffic" ~header:[ "party"; "download bits"; "upload bits" ]
              (List.map
                 (fun (label, down, up) -> [ label; Table.icell down; Table.icell up ])
-                players))
+                players));
+        (* every message event carries its round, so any trace decomposes by
+           round — for congest runs this is the per-round ledger (round_stats)
+           recovered from the file alone.  Long runs collapse into a tail row. *)
+        let rounds = Trace.round_rows_of_chrome json in
+        if rounds <> [] then begin
+          let shown, rest =
+            if List.length rounds <= 16 then (rounds, [])
+            else (List.filteri (fun i _ -> i < 16) rounds, List.filteri (fun i _ -> i >= 16) rounds)
+          in
+          let rows =
+            List.map
+              (fun (r, msgs, bits) -> [ Table.icell r; Table.icell msgs; Table.icell bits; share bits ])
+              shown
+            @
+            match rest with
+            | [] -> []
+            | _ ->
+                let msgs = List.fold_left (fun a (_, m, _) -> a + m) 0 rest in
+                let bits = List.fold_left (fun a (_, _, b) -> a + b) 0 rest in
+                [ [ Printf.sprintf "(+%d more)" (List.length rest); Table.icell msgs;
+                    Table.icell bits; share bits ] ]
+          in
+          print_newline ();
+          Table.print
+            (Table.make ~title:"Per-round traffic" ~header:[ "round"; "messages"; "bits"; "share %" ] rows)
+        end
   in
   let file_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"A trace written by run --trace.")

@@ -1,6 +1,9 @@
 (** Synchronous CONGEST simulator ([10, 19]'s model): one node per vertex,
     synchronous rounds, at most [b_bits] bits per incident edge per round —
-    the bandwidth cap is enforced at runtime. *)
+    the bandwidth cap is enforced at runtime.  Rounds are a budgeted
+    resource too: [run] executes at most [rounds] rounds and reports as a
+    typed {!outcome} whether the halt predicate fired ({!Halted}) or the
+    budget ran out first ({!Budget_exhausted}) — a verdict, not an error. *)
 
 open Tfree_graph
 
@@ -22,15 +25,50 @@ type 'st algorithm = {
           (sender, message), emit an outbox (neighbour, message). *)
 }
 
+(** How a run ended: the halt predicate fired inside the budget, or the
+    round budget ran out first. *)
+type outcome = Halted | Budget_exhausted
+
+(** One executed round's slice of the traffic ledger. *)
+type round_stat = {
+  round_bits : int;  (** message bits charged this round *)
+  round_messages : int;  (** messages sent this round *)
+  round_max_message_bits : int;  (** largest single message this round *)
+}
+
 type stats = {
-  rounds_run : int;
+  rounds_run : int;  (** executed rounds, <= the requested budget *)
   total_message_bits : int;
   max_message_bits : int;
   messages : int;
+  outcome : outcome;
+  round_stats : round_stat array;
+      (** one entry per executed round, in order; sums and maxima reconcile
+          with the totals exactly (asserted by [run] before returning) *)
 }
 
-(** Execute the algorithm; returns final node states and traffic statistics.
-    @raise Bandwidth_exceeded when a message exceeds [b_bits]
-    @raise Invalid_argument on sends to non-neighbours. *)
+val outcome_to_string : outcome -> string
+
+(** Phase label of round [r]'s {!Tfree_trace.Trace.span} ("round-<r>",
+    1-based) — what a congest trace's per-phase rows decompose by. *)
+val round_label : int -> string
+
+(** Execute up to [rounds] synchronous rounds; returns final node states and
+    traffic statistics with the per-round ledger.  [halt], checked on the
+    states after each round, ends the run early with [outcome = Halted];
+    otherwise the run ends with [outcome = Budget_exhausted] after exactly
+    [rounds] rounds.  [tap] observes every charged message (channel
+    [From_player src], 1-based round) and wraps each executed round in a
+    [Trace.span] labelled with {!round_label}, so traces decompose by round.
+    @raise Invalid_argument when [rounds <= 0] or [b_bits < 0], and on
+    sends to non-neighbours
+    @raise Bandwidth_exceeded when a message exceeds [b_bits] *)
 val run :
-  Graph.t -> b_bits:int -> rounds:int -> seed:int -> 'st algorithm -> 'st array * stats
+  ?halt:('st array -> bool) ->
+  ?tap:Tfree_comm.Channel.tap ->
+  Graph.t ->
+  b_bits:int ->
+  rounds:int ->
+  seed:int ->
+  'st algorithm ->
+  'st array * stats

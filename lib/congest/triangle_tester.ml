@@ -7,7 +7,17 @@
     for an edge it holds), and checks {u, w} locally — a hit is a real
     triangle (one-sided).  On a graph ǫ-far from triangle-free, a constant
     fraction of the ǫ·m disjoint triangle-vees is hit per round in
-    expectation, so Θ(1/ǫ²) rounds detect w.h.p. *)
+    expectation, so Θ(1/ǫ²) rounds detect w.h.p.
+
+    The tester runs under a hard round budget and halts the simulation the
+    round a triangle is first recorded: [rounds] in the result is the count
+    of rounds actually executed ([stats.rounds_run]), not the requested
+    budget, and [stats.outcome] says which way the run ended.  Because a
+    node's probe schedule depends only on its seeded rng stream and its
+    inbox history — never on the budget — the message schedule is
+    budget-independent: detection within budget R is equivalent to the
+    first-detection round being ≤ R, which {!first_detection_round} exploits
+    to answer every budget question with a single halted run. *)
 
 open Tfree_util
 open Tfree_graph
@@ -48,36 +58,69 @@ let algorithm : state Simulator.algorithm =
 
 type result = {
   triangle : Triangle.triangle option;
-  rounds : int;
+  rounds : int;  (** rounds actually executed (= [stats.rounds_run]) *)
+  budget : int;  (** the hard round budget the run was given *)
   stats : Simulator.stats;
 }
 
-(** Run the tester for ceil(c/ǫ²) rounds (c defaults to 2) with log n-bit
-    bandwidth; returns the first triangle recorded at any node. *)
-let test ?(c = 2.0) g ~eps ~seed =
+let detected states = Array.exists (fun (st : state) -> st.found <> None) states
+
+(** The paper-shaped default budget: ceil(c/ǫ²) rounds (c defaults to 2). *)
+let default_budget ?(c = 2.0) ~eps () = max 1 (int_of_float (Float.ceil (c /. (eps *. eps))))
+
+(** Default CONGEST bandwidth: one flag bit plus a vertex identifier,
+    ⌈log₂ n⌉ + 1 bits. *)
+let default_b_bits ~n = 1 + Tfree_util.Bits.vertex ~n
+
+(** Run the tester under a hard round budget ([rounds], defaulting to
+    ceil(c/ǫ²)) with [b_bits]-bit bandwidth (defaulting to log n + 1);
+    halts the round a triangle is first recorded, so [result.rounds] is the
+    rounds actually executed and [stats.outcome] is [Halted] on detection,
+    [Budget_exhausted] otherwise. *)
+let test ?(c = 2.0) ?rounds ?b_bits ?tap g ~eps ~seed =
   let n = Graph.n g in
-  let rounds = max 1 (int_of_float (Float.ceil (c /. (eps *. eps)))) in
-  let b_bits = 1 + Tfree_util.Bits.vertex ~n in
-  let states, stats = Simulator.run g ~b_bits ~rounds ~seed algorithm in
+  let budget = match rounds with Some r -> r | None -> default_budget ~c ~eps () in
+  let b_bits = match b_bits with Some b -> b | None -> default_b_bits ~n in
+  let states, stats = Simulator.run ~halt:detected ?tap g ~b_bits ~rounds:budget ~seed algorithm in
   let triangle =
     Array.fold_left
       (fun acc st -> match acc with Some _ -> acc | None -> st.found)
       None states
   in
-  { triangle; rounds; stats }
+  { triangle; rounds = stats.Simulator.rounds_run; budget; stats }
 
-(** Rounds until first detection (scanning round counts geometrically up to
-    [max_rounds]); [None] if never detected — the statistic E19 plots
-    against ǫ. *)
-let rounds_to_detect g ~seed ~max_rounds =
-  let rec scan rounds =
-    if rounds > max_rounds then None
-    else begin
-      let n = Graph.n g in
-      let b_bits = 1 + Tfree_util.Bits.vertex ~n in
-      let states, _ = Simulator.run g ~b_bits ~rounds ~seed algorithm in
-      let hit = Array.exists (fun st -> st.found <> None) states in
-      if hit then Some rounds else scan (rounds * 2)
-    end
-  in
-  scan 1
+(** The first round at which any node records a triangle, found with one
+    halted run at budget [max_rounds]; [None] if no node detects within it.
+    Budget-independence of the message schedule (module comment) makes this
+    the complete answer to every budget question up to [max_rounds]:
+    detection within budget R holds iff [first_detection_round <= R]. *)
+let first_detection_round ?b_bits g ~seed ~max_rounds =
+  if max_rounds < 1 then invalid_arg "Triangle_tester.first_detection_round: max_rounds must be positive";
+  let n = Graph.n g in
+  let b_bits = match b_bits with Some b -> b | None -> default_b_bits ~n in
+  let _, stats = Simulator.run ~halt:detected ~b_bits ~rounds:max_rounds ~seed g algorithm in
+  match stats.Simulator.outcome with
+  | Simulator.Halted -> Some stats.Simulator.rounds_run
+  | Simulator.Budget_exhausted -> None
+
+(* Smallest grid point >= r on the geometric budget grid {1, 2, 4, ...}. *)
+let next_grid r =
+  let rec go p = if p >= r then p else go (2 * p) in
+  go 1
+
+(** Rounds until first detection, reported on the geometric budget grid
+    {1, 2, 4, 8, ...} capped at [max_rounds]: the returned value is the
+    smallest power-of-two budget within the cap at which the (seeded,
+    deterministic) run detects, [None] if even the largest grid point
+    ≤ [max_rounds] does not — exactly what scanning budgets 1, 2, 4, ...
+    with independent runs of the same seed returns, computed with a single
+    halted run.  E19 plots this statistic against ǫ. *)
+let rounds_to_detect ?b_bits g ~seed ~max_rounds =
+  if max_rounds < 1 then invalid_arg "Triangle_tester.rounds_to_detect: max_rounds must be positive";
+  (* largest grid point within the cap — budgets beyond it were never
+     candidates for the scan, so detection past it still reports None *)
+  let cap = ref 1 in
+  while 2 * !cap <= max_rounds do cap := 2 * !cap done;
+  match first_detection_round ?b_bits g ~seed ~max_rounds:!cap with
+  | Some first -> Some (next_grid first)
+  | None -> None

@@ -1,0 +1,218 @@
+(** E27: the round-budget threshold for CONGEST triangle detection — the
+    Assadi–Sundaresan axis (PAPERS.md: "Distributed Triangle Detection is
+    Hard in Few Rounds").  Rounds are a budgeted resource exactly like bits,
+    and the question is where detection collapses as the budget shrinks: for
+    each (family, n, ǫ) cell we locate the smallest budget on the geometric
+    grid {1, 2, 4, ...} at which the detection probability over seeded
+    repetitions crosses 1/2.
+
+    Method.  One halted run per seed at the cap budget yields that seed's
+    first-detection round r* (the tester's message schedule is
+    budget-independent — see {!Tfree_congest.Triangle_tester} — so detection
+    within budget R ⟺ r* ≤ R, and a single run answers every budget
+    question).  The threshold is then the smallest grid point R with
+    [#{seeds : r* ≤ R} ≥ reps/2].  Everything derives from the seed alone,
+    so the cells fan over the domain pool and the tables are identical at
+    every job count.
+
+    Two instance families stress the two knobs:
+    - "far": [Gen.far_with_degree] at fixed average degree, ǫ scanning the
+      planted-triangle density — thresholds stay flat and small (many
+      disjoint triangles, each round probes them all in parallel);
+    - "diluted": [Gen.diluted_far] with distractor degree D (so
+      ǫ = 1/(3(D+1)) and each corner's probe hits with probability ~2/D²),
+      isolating the 1/ǫ² round dependence — thresholds grow with 1/ǫ. *)
+
+open Tfree_util
+open Tfree_graph
+module Simulator = Tfree_congest.Simulator
+module Tester = Tfree_congest.Triangle_tester
+
+(* One experiment cell: a family label, the printable parameters, and the
+   seeded instance builder. *)
+type cell = { family : string; n : int; eps : float; build : int -> Graph.t }
+
+let far_cell ~n ~eps =
+  {
+    family = "far";
+    n;
+    eps;
+    build =
+      (fun s ->
+        let rng = Rng.create (167_000 + (7 * s) + n + int_of_float (1000.0 *. eps)) in
+        Gen.far_with_degree rng ~n ~d:6.0 ~eps);
+  }
+
+let diluted_cell ~extra_degree =
+  let triangles = 6 in
+  {
+    family = "diluted";
+    n = 3 * triangles * (1 + extra_degree);
+    eps = 1.0 /. (3.0 *. float_of_int (extra_degree + 1));
+    build =
+      (fun s ->
+        let rng = Rng.create (168_000 + (7 * s) + extra_degree) in
+        Gen.diluted_far rng ~triangles ~extra_degree);
+  }
+
+let cells_for scale =
+  let far_ns, far_epss, dilutions =
+    match scale with
+    | Common.Small -> ([ 300; 600 ], [ 0.2; 0.1; 0.05 ], [ 4; 8; 16; 32 ])
+    | Common.Big -> ([ 300; 600; 1200 ], [ 0.2; 0.1; 0.05; 0.025 ], [ 4; 8; 16; 32; 64 ])
+  in
+  List.concat_map (fun n -> List.map (fun eps -> far_cell ~n ~eps) far_epss) far_ns
+  @ List.map (fun d -> diluted_cell ~extra_degree:d) dilutions
+
+(* Budget cap: the largest power of two the scan considers.  Diluted D=16
+   detects around 2^10 (E19), so Small leaves three grid points of headroom. *)
+let cap = function Common.Small -> 8192 | Common.Big -> 65_536
+
+(* One seeded measurement: (first-detection round if any, total bits the run
+   charged).  A single halted run at the cap budget. *)
+let run_cell cell ~max_rounds seed =
+  let g = cell.build seed in
+  let r = Tester.test ~rounds:max_rounds g ~eps:cell.eps ~seed in
+  let first =
+    match r.Tester.stats.Simulator.outcome with
+    | Simulator.Halted -> Some r.Tester.rounds
+    | Simulator.Budget_exhausted -> None
+  in
+  (first, r.Tester.stats.Simulator.total_message_bits)
+
+let detected_within samples r =
+  Array.fold_left (fun a (f, _) -> match f with Some f when f <= r -> a + 1 | _ -> a) 0 samples
+
+(** Smallest grid budget {1, 2, 4, ...} within [cap] at which at least half
+    of the seeds detect; [None] when even the cap misses the majority. *)
+let threshold ~reps ~cap samples =
+  let rec scan r =
+    if r > cap then None else if 2 * detected_within samples r >= reps then Some r else scan (2 * r)
+  in
+  scan 1
+
+(* ------------------------------------------------------------------ E27 *)
+
+let e27_round_threshold scale =
+  let reps = match scale with Common.Small -> 9 | Common.Big -> 21 in
+  let max_rounds = cap scale in
+  let measured = Common.cells ~reps (cells_for scale) (fun c s -> run_cell c ~max_rounds s) in
+  let rows = ref [] and pts = ref [] in
+  List.iter
+    (fun (c, samples) ->
+      let thr = threshold ~reps ~cap:max_rounds samples in
+      let firsts =
+        Array.to_list samples
+        |> List.filter_map (fun (f, _) -> Option.map float_of_int f)
+      in
+      let thr_cell, rate_cell =
+        match thr with
+        | Some t ->
+            ( string_of_int t,
+              Table.fcell (float_of_int (detected_within samples t) /. float_of_int reps) )
+        | None -> ("> " ^ string_of_int max_rounds, "-")
+      in
+      rows :=
+        [
+          c.family;
+          string_of_int c.n;
+          Table.fcell ~prec:3 c.eps;
+          string_of_int (List.length firsts) ^ "/" ^ string_of_int reps;
+          thr_cell;
+          rate_cell;
+          (if firsts = [] then "-" else Table.fcell ~prec:0 (Stats.median firsts));
+        ]
+        :: !rows;
+      if c.family = "diluted" then
+        Option.iter (fun t -> pts := (1.0 /. c.eps, float_of_int t) :: !pts) thr)
+    measured;
+  let fit = Common.exponent (List.rev !pts) in
+  [ Table.make
+      ~title:
+        "E27 round-budget threshold (Assadi–Sundaresan axis): smallest geometric-grid budget with \
+         detection probability >= 1/2 over seeded reps (paper context: O(1/ǫ²) rounds suffice [10])"
+      ~header:[ "family"; "n"; "eps"; "detected"; "threshold rounds"; "rate at threshold"; "median first" ]
+      (List.rev !rows
+      @ [
+          [ "fit (diluted)"; "-"; "-"; "-"; Printf.sprintf "(1/eps)^%s" (Common.fmt_exp fit);
+            "paper <= (1/eps)^2"; "-" ];
+        ]) ]
+
+(* ------------------------------------------------- machine-readable rows *)
+
+(** One traced run whose per-round ledger must reconcile three ways —
+    sum(round_stats bits) = stats.total_message_bits = traced bits (and the
+    same for message counts) — checked here before the row is emitted and
+    again by check_json from the document alone. *)
+let accounting_row () =
+  let module Trace = Tfree_trace.Trace in
+  let g = Gen.far_with_degree (Rng.create 167_777) ~n:400 ~d:6.0 ~eps:0.1 in
+  let c = Trace.create () in
+  let r =
+    Trace.with_collector c (fun () -> Tester.test ~tap:(Trace.tap c) ~rounds:64 g ~eps:0.1 ~seed:7)
+  in
+  let st = r.Tester.stats in
+  let sum_bits = Array.fold_left (fun a (rs : Simulator.round_stat) -> a + rs.Simulator.round_bits) 0 st.Simulator.round_stats in
+  let sum_msgs = Array.fold_left (fun a (rs : Simulator.round_stat) -> a + rs.Simulator.round_messages) 0 st.Simulator.round_stats in
+  let traced = Trace.total_bits c in
+  let identity =
+    sum_bits = st.Simulator.total_message_bits
+    && traced = st.Simulator.total_message_bits
+    && sum_msgs = st.Simulator.messages
+    && Trace.message_count c = st.Simulator.messages
+  in
+  if not identity then failwith "congest/accounting: per-round ledger does not reconcile";
+  Jsonout.Obj
+    [
+      ("name", Jsonout.Str "congest/accounting");
+      ("rounds_run", Jsonout.Num (float_of_int st.Simulator.rounds_run));
+      ("budget", Jsonout.Num (float_of_int r.Tester.budget));
+      ("outcome", Jsonout.Str (Simulator.outcome_to_string st.Simulator.outcome));
+      ("messages", Jsonout.Num (float_of_int st.Simulator.messages));
+      ("total_bits", Jsonout.Num (float_of_int st.Simulator.total_message_bits));
+      ("round_bits_sum", Jsonout.Num (float_of_int sum_bits));
+      ("round_messages_sum", Jsonout.Num (float_of_int sum_msgs));
+      ("traced_bits", Jsonout.Num (float_of_int traced));
+      ("identity", Jsonout.Bool identity);
+    ]
+
+(** The congest/* rows embedded in BENCH_results.json's micro list and
+    re-validated by [bench/check_json.exe]: one "congest/threshold" row per
+    cell of a fixed small grid (reps, cap and instances independent of
+    --jobs, aggregation in seed order — the document is byte-stable), plus
+    one "congest/accounting" row witnessing the per-round ledger identity on
+    a traced run: sum of round bits = total message bits = traced bits. *)
+let bench_rows () =
+  let reps = 5 and max_rounds = 4096 in
+  let cells =
+    [ far_cell ~n:300 ~eps:0.2; far_cell ~n:300 ~eps:0.1; diluted_cell ~extra_degree:4;
+      diluted_cell ~extra_degree:8; diluted_cell ~extra_degree:16 ]
+  in
+  let measured = Common.cells ~reps cells (fun c s -> run_cell c ~max_rounds s) in
+  let threshold_rows =
+    List.map
+      (fun (c, samples) ->
+        let thr = threshold ~reps ~cap:max_rounds samples in
+        let mean_bits =
+          Stats.mean (Array.to_list samples |> List.map (fun (_, b) -> float_of_int b))
+        in
+        Jsonout.Obj
+          [
+            ("name", Jsonout.Str "congest/threshold");
+            ("family", Jsonout.Str c.family);
+            ("n", Jsonout.Num (float_of_int c.n));
+            ("eps", Jsonout.Num c.eps);
+            ("reps", Jsonout.Num (float_of_int reps));
+            ("cap_rounds", Jsonout.Num (float_of_int max_rounds));
+            ("detected", Jsonout.Num (float_of_int (detected_within samples max_rounds)));
+            ( "threshold_rounds",
+              match thr with Some t -> Jsonout.Num (float_of_int t) | None -> Jsonout.Null );
+            ( "rate_at_threshold",
+              match thr with
+              | Some t -> Jsonout.Num (float_of_int (detected_within samples t) /. float_of_int reps)
+              | None -> Jsonout.Null );
+            ("mean_bits", Jsonout.Num mean_bits);
+          ])
+      measured
+  in
+  threshold_rows @ [ accounting_row () ]

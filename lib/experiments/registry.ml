@@ -33,6 +33,7 @@ let all : entry list =
     { id = "dataset/scaling"; title = "E24 real-graph datasets"; run = Datasets.e24_datasets };
     { id = "serve/latency"; title = "E25 serve latency decomposition"; run = Serve_latency.e25_serve_latency };
     { id = "serve/fleet"; title = "E26 fleet sharding"; run = Serve_fleet.e26_fleet };
+    { id = "congest/round-threshold"; title = "E27 round-budget threshold"; run = Congest_threshold.e27_round_threshold };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

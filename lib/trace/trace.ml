@@ -130,6 +130,12 @@ let rows_by key t =
 
 let phase_rows t = rows_by (fun e -> e.phase) t
 
+(** Per-round [(round, messages, bits)] rows in ascending round order — how
+    a congest trace decomposes, with the round stamped on every event at its
+    charging point.  Rounds that charged no message have no row. *)
+let round_rows t =
+  List.sort compare (rows_by (fun e -> e.round) t)
+
 let player_label ch =
   match Channel.player ch with Some j -> Printf.sprintf "p%d" j | None -> "board"
 
@@ -294,6 +300,22 @@ let player_rows_of_chrome json =
           | Some (d, u) -> Hashtbl.replace tbl label (d + down, u + up)))
     (chrome_message_args json);
   List.rev_map (fun l -> let d, u = Hashtbl.find tbl l in (l, d, u)) !order
+
+(** Per-round [(round, messages, bits)] rows of a parsed Chrome trace, in
+    ascending round order — the serialized-file side of {!round_rows}, used
+    by the congest smoke to re-derive the per-round ledger from the trace
+    alone. *)
+let round_rows_of_chrome json =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun args ->
+      let round = int_of_float (Option.value ~default:0. (arg_num "round" args)) in
+      let bits = int_of_float (Option.value ~default:0. (arg_num "bits" args)) in
+      match Hashtbl.find_opt tbl round with
+      | None -> Hashtbl.add tbl round (1, bits)
+      | Some (m, b) -> Hashtbl.replace tbl round (m + 1, b + bits))
+    (chrome_message_args json);
+  Hashtbl.fold (fun r (m, b) acc -> (r, m, b) :: acc) tbl [] |> List.sort compare
 
 (** [otherData] numeric field, e.g. [accounted_of_chrome "accounted_bits"]. *)
 let other_num_of_chrome key json =

@@ -60,6 +60,10 @@ val message_count : t -> int
 (** [(phase, messages, bits)] in first-appearance order. *)
 val phase_rows : t -> (string * int * int) list
 
+(** [(round, messages, bits)] in ascending round order; rounds that charged
+    no message have no row.  How congest runs decompose. *)
+val round_rows : t -> (int * int * int) list
+
 (** [(label, download bits, upload bits)] per player ("p0", ... or "board"),
     in first-appearance order.  Board postings count as download. *)
 val player_rows : t -> (string * int * int) list
@@ -84,6 +88,9 @@ val phase_rows_of_chrome : Tfree_util.Jsonout.t -> (string * int * int) list
 
 (** Per-player rows recovered from a parsed Chrome trace. *)
 val player_rows_of_chrome : Tfree_util.Jsonout.t -> (string * int * int) list
+
+(** Per-round rows recovered from a parsed Chrome trace, ascending. *)
+val round_rows_of_chrome : Tfree_util.Jsonout.t -> (int * int * int) list
 
 (** Numeric [otherData] field of a parsed trace, if present. *)
 val other_num_of_chrome : string -> Tfree_util.Jsonout.t -> int option

@@ -1,0 +1,226 @@
+(* The congest property/invariant harness (ISSUE 10): unit tests pinning the
+   round-budget semantics — fail-closed arguments, the per-round accounting
+   identity, the early-exit regression, the geometric-scan grid — and qcheck
+   properties over random (family, n, seed, budget) cases proving the
+   invariants hold across the whole case space: seed-determinism, the
+   bandwidth cap, per-round conservation, detection monotonicity in the
+   budget, one-sidedness, and the traced-equals-accounted identity. *)
+
+open Tfree_util
+open Tfree_graph
+module Sim = Tfree_congest.Simulator
+module Tester = Tfree_congest.Triangle_tester
+module Cgen = Tfree_proptest.Congest_gen
+module Trace = Tfree_trace.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let far_graph ~n seed = Gen.far_with_degree (Rng.create (77_000 + seed)) ~n ~d:5.0 ~eps:0.1
+
+(* ------------------------------------------------------- fail-closed args *)
+
+let test_invalid_arguments () =
+  let g = far_graph ~n:30 1 in
+  let run rounds b_bits () =
+    ignore (Sim.run g ~b_bits ~rounds ~seed:1 Tester.algorithm)
+  in
+  Alcotest.check_raises "rounds = 0" (Invalid_argument "Congest.run: rounds must be positive")
+    (run 0 8);
+  Alcotest.check_raises "rounds < 0" (Invalid_argument "Congest.run: rounds must be positive")
+    (run (-3) 8);
+  Alcotest.check_raises "b_bits < 0" (Invalid_argument "Congest.run: b_bits must be non-negative")
+    (run 5 (-1));
+  Alcotest.check_raises "first_detection_round cap < 1"
+    (Invalid_argument "Triangle_tester.first_detection_round: max_rounds must be positive")
+    (fun () -> ignore (Tester.first_detection_round g ~seed:1 ~max_rounds:0));
+  Alcotest.check_raises "rounds_to_detect cap < 1"
+    (Invalid_argument "Triangle_tester.rounds_to_detect: max_rounds must be positive")
+    (fun () -> ignore (Tester.rounds_to_detect g ~seed:1 ~max_rounds:0))
+
+(* --------------------------------------------- per-round ledger (fixed run) *)
+
+let sum_round_bits (st : Sim.stats) =
+  Array.fold_left (fun a (r : Sim.round_stat) -> a + r.Sim.round_bits) 0 st.Sim.round_stats
+
+let sum_round_messages (st : Sim.stats) =
+  Array.fold_left (fun a (r : Sim.round_stat) -> a + r.Sim.round_messages) 0 st.Sim.round_stats
+
+let max_round_bits (st : Sim.stats) =
+  Array.fold_left (fun a (r : Sim.round_stat) -> max a r.Sim.round_max_message_bits) 0 st.Sim.round_stats
+
+let test_round_stats_conservation () =
+  let g = far_graph ~n:60 2 in
+  let _, st = Sim.run g ~b_bits:8 ~rounds:20 ~seed:5 Tester.algorithm in
+  checki "one stat per executed round" st.Sim.rounds_run (Array.length st.Sim.round_stats);
+  checki "no halt: runs the whole budget" 20 st.Sim.rounds_run;
+  checkb "no halt: budget exhausted" true (st.Sim.outcome = Sim.Budget_exhausted);
+  checki "sum of round bits = total" st.Sim.total_message_bits (sum_round_bits st);
+  checki "sum of round messages = messages" st.Sim.messages (sum_round_messages st);
+  checki "max over rounds = overall max" st.Sim.max_message_bits (max_round_bits st);
+  checkb "traffic actually flowed" true (st.Sim.total_message_bits > 0)
+
+(* ------------------------------------------------- early-exit regression *)
+
+(* On K4 every delivered probe closes a triangle, whatever the rng draws:
+   round 1 only sends, round 2 delivers — detection at exactly round 2.  The
+   regression: [result.rounds] must be the 2 executed rounds, not the
+   requested budget. *)
+let test_early_exit_surfaces_rounds_run () =
+  let g = Gen.complete ~n:4 in
+  let r = Tester.test ~rounds:50 g ~eps:0.1 ~seed:11 in
+  checkb "triangle found" true (r.Tester.triangle <> None);
+  checki "rounds is rounds_run, not the budget" 2 r.Tester.rounds;
+  checki "stats agree" 2 r.Tester.stats.Sim.rounds_run;
+  checki "budget surfaced unchanged" 50 r.Tester.budget;
+  checkb "outcome halted" true (r.Tester.stats.Sim.outcome = Sim.Halted);
+  (* a budget of 1 charges the sends but never delivers them *)
+  let r1 = Tester.test ~rounds:1 g ~eps:0.1 ~seed:11 in
+  checkb "budget 1: no detection" true (r1.Tester.triangle = None);
+  checkb "budget 1: budget exhausted" true (r1.Tester.stats.Sim.outcome = Sim.Budget_exhausted);
+  checki "budget 1: one round ran" 1 r1.Tester.rounds;
+  checkb "budget 1: sends were still charged" true (r1.Tester.stats.Sim.total_message_bits > 0)
+
+(* ------------------------------------------------- geometric-scan grid *)
+
+(* [rounds_to_detect] is documented to return exactly what scanning budgets
+   1, 2, 4, ... with independent same-seed runs returns; check it against
+   that naive scan, including a cap that is not itself a power of two. *)
+let test_rounds_to_detect_matches_naive_scan () =
+  let naive g ~seed ~max_rounds =
+    let rec scan r =
+      if r > max_rounds then None
+      else if (Tester.test ~rounds:r g ~eps:0.1 ~seed).Tester.triangle <> None then Some r
+      else scan (2 * r)
+    in
+    scan 1
+  in
+  List.iter
+    (fun (g, seed, cap) ->
+      let expect = naive g ~seed ~max_rounds:cap in
+      Alcotest.(check (option int))
+        "grid scan equivalence" expect
+        (Tester.rounds_to_detect g ~seed ~max_rounds:cap))
+    [
+      (far_graph ~n:80 3, 1, 64);
+      (far_graph ~n:80 3, 2, 100) (* cap off the grid: largest point is 64 *);
+      (Gen.diluted_far (Rng.create 7) ~triangles:6 ~extra_degree:8, 4, 256);
+      (Gen.free_with_degree (Rng.create 9) ~n:40 ~d:4.0, 1, 32) (* never detects *);
+    ]
+
+(* ------------------------------------------------------- trace integration *)
+
+let test_trace_rounds_match_round_stats () =
+  let g = far_graph ~n:50 6 in
+  let c = Trace.create () in
+  let r =
+    Trace.with_collector c (fun () -> Tester.test ~tap:(Trace.tap c) ~rounds:8 g ~eps:0.1 ~seed:3)
+  in
+  let st = r.Tester.stats in
+  checkb "traced = accounted" true (Trace.decomposes c ~accounted:st.Sim.total_message_bits);
+  checki "traced messages = accounted" st.Sim.messages (Trace.message_count c);
+  (* the per-round trace rows are exactly the non-empty round_stats entries *)
+  let expected =
+    List.filter
+      (fun (_, m, _) -> m > 0)
+      (List.mapi
+         (fun i (rs : Sim.round_stat) -> (i + 1, rs.Sim.round_messages, rs.Sim.round_bits))
+         (Array.to_list st.Sim.round_stats))
+  in
+  Alcotest.(check (list (triple int int int))) "round_rows = round_stats" expected (Trace.round_rows c);
+  (* and they survive the round-trip through the Chrome trace file *)
+  let json = Trace.to_chrome c in
+  Alcotest.(check (list (triple int int int)))
+    "round_rows_of_chrome agrees" (Trace.round_rows c) (Trace.round_rows_of_chrome json);
+  (* every executed round ran inside its "round-N" span *)
+  let span_names = List.map (fun (s : Trace.span_rec) -> s.Trace.name) (Trace.spans c) in
+  Alcotest.(check (list string))
+    "one span per executed round"
+    (List.init st.Sim.rounds_run (fun i -> Sim.round_label (i + 1)))
+    span_names
+
+(* ------------------------------------------------------ qcheck properties *)
+
+let qcount = 120
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"congest run is seed-deterministic" ~count:qcount Cgen.arbitrary
+    (fun case ->
+      let g = Cgen.graph case in
+      let run () = Tester.test ~rounds:case.Cgen.budget g ~eps:0.1 ~seed:case.Cgen.seed in
+      let a = run () and b = run () in
+      a.Tester.triangle = b.Tester.triangle && a.Tester.stats = b.Tester.stats)
+
+let prop_bandwidth_cap =
+  QCheck.Test.make ~name:"bandwidth cap never exceeded at b_bits = log n" ~count:qcount
+    Cgen.arbitrary (fun case ->
+      let g = Cgen.graph case in
+      let b = Tester.default_b_bits ~n:(Graph.n g) in
+      let r = Tester.test ~rounds:case.Cgen.budget ~b_bits:b g ~eps:0.1 ~seed:case.Cgen.seed in
+      (* Simulator.run raises on violation; the recorded maxima agree *)
+      r.Tester.stats.Sim.max_message_bits <= b
+      && max_round_bits r.Tester.stats <= b)
+
+let prop_conservation =
+  QCheck.Test.make ~name:"per-round stats conservation" ~count:qcount Cgen.arbitrary (fun case ->
+      let g = Cgen.graph case in
+      let r = Tester.test ~rounds:case.Cgen.budget g ~eps:0.1 ~seed:case.Cgen.seed in
+      let st = r.Tester.stats in
+      sum_round_bits st = st.Sim.total_message_bits
+      && sum_round_messages st = st.Sim.messages
+      && max_round_bits st = st.Sim.max_message_bits
+      && Array.length st.Sim.round_stats = st.Sim.rounds_run)
+
+let prop_monotone_in_budget =
+  QCheck.Test.make ~name:"detection is monotone in the round budget" ~count:qcount Cgen.arbitrary
+    (fun case ->
+      let g = Cgen.graph case in
+      let detected budget =
+        (Tester.test ~rounds:budget g ~eps:0.1 ~seed:case.Cgen.seed).Tester.triangle <> None
+      in
+      (not (detected case.Cgen.budget)) || detected (2 * case.Cgen.budget))
+
+let prop_one_sided =
+  QCheck.Test.make ~name:"any reported triangle is real" ~count:qcount Cgen.arbitrary (fun case ->
+      let g = Cgen.graph case in
+      match (Tester.test ~rounds:case.Cgen.budget g ~eps:0.1 ~seed:case.Cgen.seed).Tester.triangle with
+      | None -> true
+      | Some t -> Triangle.is_triangle g t)
+
+let prop_traced_equals_total =
+  QCheck.Test.make ~name:"traced bits = per-round sum = total bits" ~count:qcount Cgen.arbitrary
+    (fun case ->
+      let g = Cgen.graph case in
+      let c = Trace.create () in
+      let r =
+        Trace.with_collector c (fun () ->
+            Tester.test ~tap:(Trace.tap c) ~rounds:case.Cgen.budget g ~eps:0.1 ~seed:case.Cgen.seed)
+      in
+      let st = r.Tester.stats in
+      Trace.total_bits c = st.Sim.total_message_bits
+      && sum_round_bits st = st.Sim.total_message_bits
+      && Trace.message_count c = st.Sim.messages)
+
+let qcheck_props =
+  [
+    prop_deterministic;
+    prop_bandwidth_cap;
+    prop_conservation;
+    prop_monotone_in_budget;
+    prop_one_sided;
+    prop_traced_equals_total;
+  ]
+
+let () =
+  Alcotest.run "tfree_congest"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "invalid arguments fail closed" `Quick test_invalid_arguments;
+          Alcotest.test_case "round stats conservation" `Quick test_round_stats_conservation;
+          Alcotest.test_case "early exit surfaces rounds_run" `Quick test_early_exit_surfaces_rounds_run;
+          Alcotest.test_case "rounds_to_detect grid" `Quick test_rounds_to_detect_matches_naive_scan;
+          Alcotest.test_case "trace rounds match round_stats" `Quick test_trace_rounds_match_round_stats;
+        ] );
+      ("qcheck", List.map QCheck_alcotest.to_alcotest qcheck_props);
+    ]
